@@ -1,0 +1,485 @@
+// Benchmark harness: one benchmark per experiment of DESIGN.md §4.
+// The paper's evaluation is qualitative; every one of its performance
+// claims is regenerated here as a measurable series (cmd/loadgen prints
+// the same series as tables). Shapes, not absolute numbers, are the
+// reproduction target.
+package govents_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"govents/internal/content"
+	"govents/internal/core"
+	"govents/internal/dace"
+	"govents/internal/filter"
+	"govents/internal/matching"
+	"govents/internal/multicast"
+	"govents/internal/netsim"
+	"govents/internal/obvent"
+	"govents/internal/rmi"
+	"govents/internal/topics"
+	"govents/internal/tuplespace"
+	"govents/internal/workload"
+)
+
+func fastOpts() multicast.Options {
+	return multicast.Options{RetransmitInterval: 5 * time.Millisecond, GossipPeriod: 3 * time.Millisecond}
+}
+
+// benchDomain builds n dace nodes + engines over a fresh netsim.
+func benchDomain(b *testing.B, net *netsim.Network, n int, cfg dace.Config) ([]*dace.Node, []*core.Engine) {
+	b.Helper()
+	var nodes []*dace.Node
+	var engines []*core.Engine
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("node-%02d", i)
+		ep, err := net.NewEndpoint(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg := obvent.NewRegistry()
+		workload.RegisterTypes(reg)
+		dn := dace.NewNode(ep, reg, cfg)
+		engines = append(engines, core.NewEngine(addr, dn, core.WithRegistry(reg)))
+		nodes = append(nodes, dn)
+		addrs[i] = addr
+	}
+	for _, dn := range nodes {
+		dn.SetPeers(addrs)
+	}
+	b.Cleanup(func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	})
+	return nodes, engines
+}
+
+func waitUntil(b *testing.B, timeout time.Duration, cond func() bool) {
+	b.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Fatal("bench condition timeout")
+}
+
+// --- F1: type-based matching vs hierarchy (paper Figure 1) ---
+
+// BenchmarkF1TypeMatching measures subtype-closed matching throughput:
+// the cost of deciding, per published class, whether it conforms to a
+// subscribed (super)type at increasing hierarchy distance.
+func BenchmarkF1TypeMatching(b *testing.B) {
+	reg := obvent.NewRegistry()
+	workload.RegisterTypes(reg)
+	spot := obvent.TypeName(obvent.TypeOf[workload.SpotPrice]())
+	targets := map[string]string{
+		"same-class":     spot,
+		"parent":         obvent.TypeName(obvent.TypeOf[workload.StockRequest]()),
+		"grandparent":    obvent.TypeName(obvent.TypeOf[workload.StockObvent]()),
+		"non-conforming": obvent.TypeName(obvent.TypeOf[workload.StockQuote]()),
+	}
+	for name, target := range targets {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reg.ConformsTo(spot, target)
+			}
+		})
+	}
+}
+
+// --- C1: remote filtering & factoring (paper §2.3.2) ---
+
+// BenchmarkC1RemoteFiltering compares network messages per published
+// obvent with subscriber-side vs publisher-side filter placement at 10%
+// selectivity.
+func BenchmarkC1RemoteFiltering(b *testing.B) {
+	for _, tc := range []struct {
+		name      string
+		placement dace.Placement
+	}{
+		{"at-subscriber", dace.AtSubscriber},
+		{"at-publisher", dace.AtPublisher},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			net := netsim.New(netsim.Config{})
+			defer net.Close()
+			nodes, engines := benchDomain(b, net, 2, dace.Config{Placement: tc.placement, Multicast: fastOpts()})
+			var got atomic.Int64
+			f := filter.Path("GetPrice").Lt(filter.Float(100)) // ~10% of [1,1000)
+			sub, err := core.Subscribe(engines[1], f, func(q workload.StockQuote) { got.Add(1) })
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = sub.Activate()
+			waitUntil(b, 5*time.Second, func() bool { return nodes[0].RemoteSubscriptionCount() >= 1 })
+			net.Settle()
+			net.ResetStats()
+			gen := workload.NewQuoteGen(1, 20)
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := core.Publish(engines[0], gen.Next()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			net.Settle()
+			b.StopTimer()
+			sent, bytes, _, _ := net.Stats()
+			b.ReportMetric(float64(sent)/float64(b.N), "msgs/op")
+			b.ReportMetric(float64(bytes)/float64(b.N), "wirebytes/op")
+		})
+	}
+}
+
+// BenchmarkC1Factoring compares naive per-subscription filter
+// evaluation against the compound (factored) matcher.
+func BenchmarkC1Factoring(b *testing.B) {
+	gen := workload.NewQuoteGen(2, 20)
+	for _, subs := range []int{10, 100, 1000} {
+		c := matching.New()
+		for i, spec := range gen.Interests(subs) {
+			if err := c.Add(fmt.Sprintf("s%04d", i), spec.Filter()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		q := gen.Next()
+		b.Run(fmt.Sprintf("naive/subs=%d", subs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.MatchNaive(q)
+			}
+		})
+		b.Run(fmt.Sprintf("compound/subs=%d", subs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Match(q)
+			}
+		})
+	}
+}
+
+// --- C2: delivery semantics cost (paper §3.1.2) ---
+
+// BenchmarkC2Semantics measures end-to-end publish+deliver cost per
+// delivery semantics on a 4-node domain (3 subscribers).
+func BenchmarkC2Semantics(b *testing.B) {
+	type pubFn func(e *core.Engine, q workload.StockObvent) error
+	cases := []struct {
+		name string
+		pub  pubFn
+	}{
+		{"unreliable", func(e *core.Engine, q workload.StockObvent) error {
+			return core.Publish(e, workload.StockQuote{StockObvent: q})
+		}},
+		{"reliable", func(e *core.Engine, q workload.StockObvent) error {
+			return core.Publish(e, workload.QuoteReliable{StockObvent: q})
+		}},
+		{"fifo", func(e *core.Engine, q workload.StockObvent) error {
+			return core.Publish(e, workload.QuoteFIFO{StockObvent: q})
+		}},
+		{"causal", func(e *core.Engine, q workload.StockObvent) error {
+			return core.Publish(e, workload.QuoteCausal{StockObvent: q})
+		}},
+		{"total", func(e *core.Engine, q workload.StockObvent) error {
+			return core.Publish(e, workload.QuoteTotal{StockObvent: q})
+		}},
+		{"certified", func(e *core.Engine, q workload.StockObvent) error {
+			return core.Publish(e, workload.QuoteCertified{StockObvent: q})
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			net := netsim.New(netsim.Config{})
+			defer net.Close()
+			nodes, engines := benchDomain(b, net, 4, dace.Config{Multicast: fastOpts()})
+			var got atomic.Int64
+			for _, e := range engines[1:] {
+				sub, err := core.Subscribe(e, nil, func(o workload.StockObvent) { got.Add(1) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = sub.Activate()
+			}
+			waitUntil(b, 5*time.Second, func() bool { return nodes[0].RemoteSubscriptionCount() >= 3 })
+			net.Settle() // drain control-plane traffic before timing
+			net.ResetStats()
+			gen := workload.NewQuoteGen(3, 10)
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tc.pub(engines[0], gen.Next().StockObvent); err != nil {
+					b.Fatal(err)
+				}
+			}
+			want := int64(b.N * 3)
+			waitUntil(b, time.Minute, func() bool { return got.Load() >= want })
+			b.StopTimer()
+			sent, _, _, _ := net.Stats()
+			b.ReportMetric(float64(sent)/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// --- C3: gossip scalability (paper §4.2) ---
+
+// BenchmarkC3Gossip measures time for one publication to saturate
+// groups of increasing size through the gossip channel, under 20% loss.
+func BenchmarkC3Gossip(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			net := netsim.New(netsim.Config{LossRate: 0.2, Seed: int64(n)})
+			defer net.Close()
+			opts := fastOpts()
+			opts.GossipFanout = 5
+			opts.GossipRounds = 10
+			nodes, engines := benchDomain(b, net, n, dace.Config{GossipUnreliable: true, Multicast: opts})
+			var got atomic.Int64
+			for _, e := range engines[1:] {
+				sub, err := core.Subscribe(e, nil, func(q workload.StockQuote) { got.Add(1) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = sub.Activate()
+			}
+			waitUntil(b, 10*time.Second, func() bool { return nodes[0].RemoteSubscriptionCount() >= n-1 })
+			gen := workload.NewQuoteGen(5, 5)
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				want := got.Load() + int64(n-1)*9/10 // 90% saturation
+				if err := core.Publish(engines[0], gen.Next()); err != nil {
+					b.Fatal(err)
+				}
+				waitUntil(b, 30*time.Second, func() bool { return got.Load() >= want })
+			}
+		})
+	}
+}
+
+// --- C4: subscription-scheme baselines (paper §2.3.2, §5, §6) ---
+
+// BenchmarkC4Baselines measures matching cost per event against 1000
+// subscriptions for each subscription scheme.
+func BenchmarkC4Baselines(b *testing.B) {
+	const subs = 1000
+	gen := workload.NewQuoteGen(7, 20)
+	specs := gen.Interests(subs)
+	q := gen.Next()
+
+	b.Run("type-based-compound", func(b *testing.B) {
+		c := matching.New()
+		for i, s := range specs {
+			if err := c.Add(fmt.Sprintf("s%d", i), s.Filter()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Match(q)
+		}
+	})
+	b.Run("topic-based", func(b *testing.B) {
+		tb := topics.New()
+		for _, s := range specs {
+			if _, err := tb.Subscribe("stocks."+s.Company, func(string, any) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		topic := "stocks." + q.Company
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb.Publish(topic, q)
+		}
+	})
+	b.Run("content-attr-value", func(b *testing.B) {
+		cb := content.New()
+		for _, s := range specs {
+			if _, err := cb.Subscribe([]content.Pred{
+				{Attr: "company", Op: content.Eq, Val: s.Company},
+				{Attr: "price", Op: content.Lt, Val: s.MaxPrice},
+			}, func(content.Event) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ev := content.Event{"company": q.Company, "price": q.Price, "amount": q.Amount}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cb.Publish(ev)
+		}
+	})
+	b.Run("tuple-space", func(b *testing.B) {
+		ts := tuplespace.New()
+		defer ts.Close()
+		for _, s := range specs {
+			ts.Notify(tuplespace.Template{tuplespace.Val(s.Company), tuplespace.Type[float64]()}, func(tuplespace.Tuple) {})
+		}
+		tp := tuplespace.Tuple{q.Company, q.Price}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ts.Out(tp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- C5: thread policies (paper §3.3.5) ---
+
+// BenchmarkC5ThreadPolicies measures handler throughput with a 200µs
+// blocking handler under each thread policy.
+func BenchmarkC5ThreadPolicies(b *testing.B) {
+	policies := []struct {
+		name  string
+		apply func(*core.Subscription)
+	}{
+		{"single", func(s *core.Subscription) { s.SetSingleThreading() }},
+		{"multi-4", func(s *core.Subscription) { s.SetMultiThreading(4) }},
+		{"multi-unbounded", func(s *core.Subscription) { s.SetMultiThreading(0) }},
+	}
+	for _, tc := range policies {
+		b.Run(tc.name, func(b *testing.B) {
+			e := core.NewEngine("c5", core.NewLocal())
+			defer e.Close()
+			workload.RegisterTypes(e.Registry())
+			var wg sync.WaitGroup
+			sub, err := core.Subscribe(e, nil, func(q workload.StockQuote) {
+				time.Sleep(200 * time.Microsecond)
+				wg.Done()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tc.apply(sub)
+			_ = sub.Activate()
+			gen := workload.NewQuoteGen(11, 5)
+			b.ResetTimer()
+			wg.Add(b.N)
+			for i := 0; i < b.N; i++ {
+				if err := core.Publish(e, gen.Next()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// --- C6: RMI vs publish/subscribe fanout (paper §5.4) ---
+
+// BenchmarkC6RMIvsPubsub measures one notification round to N
+// receivers via N synchronous RMI calls vs one reliable publish.
+func BenchmarkC6RMIvsPubsub(b *testing.B) {
+	latency := netsim.Config{MinLatency: 100 * time.Microsecond, MaxLatency: 200 * time.Microsecond}
+	for _, n := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("rmi/receivers=%d", n), func(b *testing.B) {
+			net := netsim.New(latency)
+			defer net.Close()
+			callerEp, err := net.NewEndpoint("caller")
+			if err != nil {
+				b.Fatal(err)
+			}
+			caller := rmi.New(callerEp, rmi.Options{})
+			defer caller.Close()
+			proxies := make([]*rmi.Proxy, n)
+			for i := 0; i < n; i++ {
+				ep, err := net.NewEndpoint(fmt.Sprintf("recv-%02d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := rmi.New(ep, rmi.Options{})
+				defer rt.Close()
+				if err := rt.Bind("sink", &benchSink{}); err != nil {
+					b.Fatal(err)
+				}
+				proxies[i] = caller.Dial(ep.Addr(), "sink")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range proxies {
+					if err := p.Call("Notify", []any{"quote", 80.0}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("pubsub/receivers=%d", n), func(b *testing.B) {
+			net := netsim.New(latency)
+			defer net.Close()
+			nodes, engines := benchDomain(b, net, n+1, dace.Config{Multicast: fastOpts()})
+			var got atomic.Int64
+			for _, e := range engines[1:] {
+				sub, err := core.Subscribe(e, nil, func(q workload.QuoteReliable) { got.Add(1) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = sub.Activate()
+			}
+			waitUntil(b, 10*time.Second, func() bool { return nodes[0].RemoteSubscriptionCount() >= n })
+			net.Settle() // drain the subscription-advertisement storm
+			gen := workload.NewQuoteGen(13, 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				want := got.Load() + int64(n)
+				if err := core.Publish(engines[0], workload.QuoteReliable{StockObvent: gen.Next().StockObvent}); err != nil {
+					b.Fatal(err)
+				}
+				waitUntil(b, 30*time.Second, func() bool { return got.Load() >= want })
+			}
+		})
+	}
+}
+
+// benchSink is the RMI notification receiver.
+type benchSink struct{}
+
+// Notify accepts a notification.
+func (s *benchSink) Notify(what string, price float64) {}
+
+// --- micro: primitive costs ---
+
+// BenchmarkPublishLocal measures the publish primitive on the loopback
+// substrate end to end (encode + dispatch + decode + handler).
+func BenchmarkPublishLocal(b *testing.B) {
+	e := core.NewEngine("micro", core.NewLocal())
+	defer e.Close()
+	workload.RegisterTypes(e.Registry())
+	var wg sync.WaitGroup
+	sub, err := core.Subscribe(e, nil, func(q workload.StockQuote) { wg.Done() })
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = sub.Activate()
+	gen := workload.NewQuoteGen(17, 5)
+	q := gen.Next()
+	b.ResetTimer()
+	wg.Add(b.N)
+	for i := 0; i < b.N; i++ {
+		if err := core.Publish(e, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkFilterEvaluate measures single-filter evaluation (the
+// paper's §2.3.3 example filter).
+func BenchmarkFilterEvaluate(b *testing.B) {
+	f := filter.And(
+		filter.Path("GetPrice").Lt(filter.Float(100)),
+		filter.Path("GetCompany").Contains(filter.Str("Telco")),
+	)
+	q := workload.StockQuote{StockObvent: workload.StockObvent{Company: "Telco Mobiles", Price: 80}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := filter.Evaluate(f, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command psc is the publish/subscribe precompiler (paper §4): the
+// counterpart of Java's rmic for type-based publish/subscribe. It scans
+// a Go package for obvent classes and //psc:filter functions, generates
+// typed adapters (paper Figure 6) and lifted filter expressions
+// (§4.4.3), and reports filters that violate the mobility restrictions
+// of §3.3.4.
+//
+// Usage:
+//
+//	psc -dir ./examples/stocktrading [-out psc_generated.go] [-check]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"govents/internal/psc"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	dir := flag.String("dir", ".", "package directory to scan")
+	out := flag.String("out", "", "output file (default <dir>/psc_generated.go)")
+	check := flag.Bool("check", false, "check filters only; do not generate")
+	flag.Parse()
+
+	res, err := psc.Scan(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psc:", err)
+		return 2
+	}
+
+	fmt.Printf("psc: package %s: %d obvent classes, %d migratable filters, %d violations\n",
+		res.Package, len(res.Classes), len(res.Filters), len(res.Violations))
+	for _, c := range res.Classes {
+		qos := "default"
+		if len(c.QoS) > 0 {
+			qos = fmt.Sprint(c.QoS)
+		}
+		fmt.Printf("  class  %-24s qos=%s\n", c.Name, qos)
+	}
+	for _, f := range res.Filters {
+		fmt.Printf("  filter %-24s -> %sExpr()\n", f.Name, f.Name)
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintf(os.Stderr, "  LOCAL-ONLY %s\n", v.Error())
+	}
+
+	if *check {
+		if len(res.Violations) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	path := *out
+	if path == "" {
+		path = filepath.Join(*dir, "psc_generated.go")
+	}
+	src, err := psc.Generate(res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psc:", err)
+		return 2
+	}
+	if err := os.WriteFile(path, src, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "psc:", err)
+		return 2
+	}
+	fmt.Printf("psc: wrote %s\n", path)
+	if len(res.Violations) > 0 {
+		return 1
+	}
+	return 0
+}

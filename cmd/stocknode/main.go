@@ -1,0 +1,115 @@
+// Command stocknode runs one DACE process over real TCP sockets: a
+// publisher streaming synthetic stock quotes or a subscriber with a
+// migratable price/company filter. It demonstrates the full stack —
+// engine, DACE node, multicast protocols, TCP transport — outside the
+// simulator.
+//
+// Start a subscriber, then a publisher:
+//
+//	stocknode -listen 127.0.0.1:7001 -peers 127.0.0.1:7001,127.0.0.1:7002 \
+//	          -mode sub -max-price 100 -company Company-001
+//	stocknode -listen 127.0.0.1:7002 -peers 127.0.0.1:7001,127.0.0.1:7002 \
+//	          -mode pub -count 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"govents/internal/core"
+	"govents/internal/dace"
+	"govents/internal/filter"
+	"govents/internal/obvent"
+	"govents/internal/transport"
+	"govents/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stocknode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:7001", "TCP listen address")
+	peersFlag := flag.String("peers", "", "comma-separated peer addresses (including self)")
+	mode := flag.String("mode", "sub", "pub or sub")
+	count := flag.Int("count", 20, "pub: quotes to publish")
+	rate := flag.Duration("rate", 50*time.Millisecond, "pub: publish interval")
+	maxPrice := flag.Float64("max-price", 0, "sub: only quotes cheaper than this (0 = all)")
+	company := flag.String("company", "", "sub: only quotes for this company (empty = all)")
+	seed := flag.Int64("seed", 42, "pub: workload seed")
+	flag.Parse()
+
+	tr, err := transport.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	reg := obvent.NewRegistry()
+	workload.RegisterTypes(reg)
+	node := dace.NewNode(tr, reg, dace.Config{Placement: dace.AtPublisher})
+	engine := core.NewEngine(tr.Addr(), node, core.WithRegistry(reg))
+	defer engine.Close()
+
+	peers := []string{tr.Addr()}
+	if *peersFlag != "" {
+		peers = strings.Split(*peersFlag, ",")
+	}
+	node.SetPeers(peers)
+	fmt.Printf("stocknode: %s mode=%s peers=%v\n", tr.Addr(), *mode, peers)
+
+	switch *mode {
+	case "pub":
+		// Give subscription advertisements a moment to arrive.
+		time.Sleep(300 * time.Millisecond)
+		gen := workload.NewQuoteGen(*seed, 10)
+		for i := 0; i < *count; i++ {
+			q := gen.Next()
+			if err := core.Publish(engine, q); err != nil {
+				return err
+			}
+			fmt.Printf("published %-12s %8.2f x%-3d\n", q.Company, q.Price, q.Amount)
+			time.Sleep(*rate)
+		}
+		// Let retransmissions drain.
+		time.Sleep(300 * time.Millisecond)
+		return nil
+
+	case "sub":
+		var conj []*filter.Expr
+		if *maxPrice > 0 {
+			conj = append(conj, filter.Path("GetPrice").Lt(filter.Float(*maxPrice)))
+		}
+		if *company != "" {
+			conj = append(conj, filter.Path("GetCompany").Eq(filter.Str(*company)))
+		}
+		var f *filter.Expr
+		if len(conj) > 0 {
+			f = filter.And(conj...)
+		}
+		sub, err := core.Subscribe(engine, f, func(q workload.StockQuote) {
+			fmt.Printf("received  %-12s %8.2f x%-3d\n", q.Company, q.Price, q.Amount)
+		})
+		if err != nil {
+			return err
+		}
+		if err := sub.Activate(); err != nil {
+			return err
+		}
+		fmt.Println("subscribed; ctrl-c to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		return sub.Deactivate()
+
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: the paper's two primitives in their simplest form — a
+// single-process engine, one typed subscription with a migratable
+// filter, one publication (paper §2.3.3).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"govents/internal/core"
+	"govents/internal/filter"
+	"govents/internal/obvent"
+)
+
+// StockQuote is an application-defined obvent (paper Figure 2): a plain
+// struct made publishable by embedding obvent.Base.
+type StockQuote struct {
+	obvent.Base
+	Company string
+	Price   float64
+	Amount  int
+}
+
+// GetCompany is an accessor usable in migratable filters (LP2:
+// subscriptions go through the type's interface, not its
+// representation).
+func (q StockQuote) GetCompany() string { return q.Company }
+
+// GetPrice is an accessor usable in migratable filters.
+func (q StockQuote) GetPrice() float64 { return q.Price }
+
+func main() {
+	// An engine over the in-process loopback substrate.
+	engine := core.NewEngine("quickstart", core.NewLocal())
+	defer engine.Close()
+	engine.Registry().MustRegister(StockQuote{})
+
+	// subscribe (StockQuote q)
+	//   { return q.getPrice() < 100 && q.getCompany().contains("Telco") }
+	//   { print("Got offer: ", q.getPrice()) }
+	done := make(chan struct{})
+	sub, err := core.Subscribe(engine,
+		filter.And(
+			filter.Path("GetPrice").Lt(filter.Float(100)),
+			filter.Path("GetCompany").Contains(filter.Str("Telco")),
+		),
+		func(q StockQuote) {
+			fmt.Printf("Got offer: %.2f (%s x%d)\n", q.Price, q.Company, q.Amount)
+			close(done)
+		})
+	if err != nil {
+		panic(err)
+	}
+	if err := sub.Activate(); err != nil {
+		panic(err)
+	}
+
+	// publish q;
+	quotes := []StockQuote{
+		{Company: "Acme Corp", Price: 50, Amount: 5},       // wrong company
+		{Company: "Telco Mobiles", Price: 150, Amount: 20}, // too expensive
+		{Company: "Telco Mobiles", Price: 80, Amount: 10},  // the paper's quote
+	}
+	for _, q := range quotes {
+		if err := core.Publish(engine, q); err != nil {
+			panic(err)
+		}
+	}
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		panic("no delivery")
+	}
+	if err := sub.Deactivate(); err != nil {
+		panic(err)
+	}
+	fmt.Println("quickstart: ok")
+}

@@ -1,0 +1,73 @@
+// The stock-trading scenario of the paper's Figures 1, 2 and 8: the
+// obvent hierarchy, plus psc-liftable filter functions. Run
+//
+//	go run ./cmd/psc -dir examples/stocktrading
+//
+// to regenerate psc_generated.go (the Figure 6 typed adapters and the
+// lifted filter expressions).
+package main
+
+import (
+	"strings"
+
+	"govents/internal/obvent"
+	"govents/internal/rmi"
+)
+
+// StockObvent is the hierarchy root (paper Figure 1).
+type StockObvent struct {
+	obvent.Base
+	Company string
+	Price   float64
+	Amount  int
+}
+
+// GetCompany returns the company (accessor for migratable filters).
+func (s StockObvent) GetCompany() string { return s.Company }
+
+// GetPrice returns the price.
+func (s StockObvent) GetPrice() float64 { return s.Price }
+
+// GetAmount returns the amount.
+func (s StockObvent) GetAmount() int { return s.Amount }
+
+// StockQuote carries, per the paper's Figure 8, a reference to the
+// stock market remote object so a broker can buy synchronously over
+// RMI from inside the handler.
+type StockQuote struct {
+	StockObvent
+	Market rmi.Ref
+}
+
+// StockRequest is the purchase-request branch of the hierarchy.
+type StockRequest struct {
+	StockObvent
+	Broker string
+}
+
+// SpotPrice requests an immediate purchase.
+type SpotPrice struct {
+	StockRequest
+}
+
+// MarketPrice requests a purchase once a criterion is met; it is
+// reliable so brokers do not lose standing orders.
+type MarketPrice struct {
+	obvent.Base
+	obvent.ReliableBase
+	StockRequest
+	LimitPrice float64
+}
+
+// GetLimitPrice returns the request's limit.
+func (m MarketPrice) GetLimitPrice() float64 { return m.LimitPrice }
+
+//psc:filter
+func CheapTelco(q StockQuote) bool {
+	return q.GetPrice() < 100 && strings.Contains(q.GetCompany(), "Telco")
+}
+
+//psc:filter
+func BulkOffers(q StockQuote) bool {
+	return q.GetAmount() >= 50 && q.GetPrice() < 500
+}

@@ -1,0 +1,120 @@
+// Telemetry: the transmission semantics of paper §3.1.2 — Timely
+// obvents that expire in transit, and Prioritary obvents that overtake
+// lower-priority backlog. Both semantics are composed onto the types
+// by embedding (LP4).
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"govents/internal/core"
+	"govents/internal/obvent"
+)
+
+// SensorReading is a timely obvent: stale readings are worthless and
+// must be dropped rather than delivered (TTL).
+type SensorReading struct {
+	obvent.Base
+	obvent.TimelyBase
+	Sensor string
+	Value  float64
+}
+
+// Alarm is a prioritary obvent: it overtakes queued readings.
+type Alarm struct {
+	obvent.Base
+	obvent.PriorityBase
+	Msg string
+}
+
+func main() {
+	engine := core.NewEngine("telemetry", core.NewLocal())
+	defer engine.Close()
+	engine.Registry().MustRegister(SensorReading{})
+	engine.Registry().MustRegister(Alarm{})
+
+	// --- Timely: an expired reading is dropped at dispatch ---
+	var mu sync.Mutex
+	var readings []SensorReading
+	subR, err := core.Subscribe(engine, nil, func(r SensorReading) {
+		mu.Lock()
+		defer mu.Unlock()
+		readings = append(readings, r)
+	})
+	must(err)
+	must(subR.Activate())
+
+	must(core.Publish(engine, SensorReading{
+		TimelyBase: obvent.TimelyBase{TTL: time.Millisecond, BirthTime: time.Now().Add(-time.Second)},
+		Sensor:     "stale", Value: 1,
+	}))
+	must(core.Publish(engine, SensorReading{
+		TimelyBase: obvent.TimelyBase{TTL: time.Minute},
+		Sensor:     "fresh", Value: 2,
+	}))
+	waitUntil(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(readings) == 1
+	})
+	mu.Lock()
+	fmt.Printf("timely: delivered %q, dropped the expired reading\n", readings[0].Sensor)
+	mu.Unlock()
+
+	// --- Prioritary: alarms overtake backlog ---
+	var order []string
+	block := make(chan struct{})
+	first := make(chan struct{}, 1)
+	var omu sync.Mutex
+	subA, err := core.Subscribe(engine, nil, func(a Alarm) {
+		select {
+		case first <- struct{}{}:
+			<-block // hold the dispatcher so backlog accumulates
+		default:
+		}
+		omu.Lock()
+		order = append(order, a.Msg)
+		omu.Unlock()
+	})
+	must(err)
+	subA.SetSingleThreading()
+	must(subA.Activate())
+
+	must(core.Publish(engine, Alarm{Msg: "blocker", PriorityBase: obvent.PriorityBase{Prio: 0}}))
+	waitUntil(func() bool { return len(first) == 1 })
+	must(core.Publish(engine, Alarm{Msg: "minor glitch", PriorityBase: obvent.PriorityBase{Prio: 1}}))
+	must(core.Publish(engine, Alarm{Msg: "FIRE", PriorityBase: obvent.PriorityBase{Prio: 9}}))
+	time.Sleep(20 * time.Millisecond)
+	close(block)
+	waitUntil(func() bool {
+		omu.Lock()
+		defer omu.Unlock()
+		return len(order) == 3
+	})
+	omu.Lock()
+	fmt.Printf("priority: delivery order after blocker: %q then %q\n", order[1], order[2])
+	if order[1] != "FIRE" {
+		panic("priority did not overtake")
+	}
+	omu.Unlock()
+	fmt.Println("telemetry: ok")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func waitUntil(cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	panic("timeout")
+}

@@ -1,0 +1,200 @@
+// Package codec implements the serialization substrate for obvents
+// (paper LM1, "default serialization mechanism"). It plays the role of
+// Java serialization in the paper: obvents are "objects that are
+// serialized, sent over the wire, and deserialized" (§3.1) without the
+// application implementing any specific operations or hooks.
+//
+// An obvent travels as an Envelope: a self-describing wire record carrying
+// the obvent's class name, its gob-encoded state, and the metadata needed
+// by the delivery semantics of its type (sequence numbers, vector clock,
+// priority, expiry). The envelope is the "reified message" of paper
+// §3.1.2 — the obvent reflects its semantics at every moment of the
+// transfer.
+package codec
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"time"
+
+	"govents/internal/obvent"
+	"govents/internal/vclock"
+)
+
+// Envelope is the wire representation of a published obvent.
+type Envelope struct {
+	// ID uniquely identifies this publication (not the clone: every
+	// delivery of the same publication shares the ID; every clone is a
+	// distinct object).
+	ID string
+	// Type is the registered wire name of the obvent's concrete class.
+	Type string
+	// Payload is the gob encoding of the obvent value.
+	Payload []byte
+
+	// Publisher is the node that published the obvent.
+	Publisher string
+	// Seq is the per-publisher, per-class publication sequence number
+	// (FIFO ordering metadata).
+	Seq uint64
+	// VC is the publisher's vector clock at publication (causal
+	// ordering metadata). Nil unless the type requests causal order.
+	VC vclock.VC
+	// GlobalSeq is the sequencer-assigned total-order number. Zero
+	// until a sequencer stamps it.
+	GlobalSeq uint64
+
+	// Reliability and Ordering mirror the resolved semantics of the
+	// obvent type so that intermediate hosts can route correctly
+	// without hosting the Go type.
+	Reliability obvent.Reliability
+	Ordering    obvent.Ordering
+
+	// Priority is the transmission priority (Prioritary semantics).
+	Priority int
+	// HasPriority distinguishes priority 0 from "no priority".
+	HasPriority bool
+
+	// Birth and TTL describe the validity window (Timely semantics).
+	// TTL zero means no expiry.
+	Birth time.Time
+	TTL   time.Duration
+}
+
+// Expired reports whether a timely envelope is obsolete at instant now.
+func (e *Envelope) Expired(now time.Time) bool {
+	if e.TTL == 0 || e.Birth.IsZero() {
+		return false
+	}
+	return now.After(e.Birth.Add(e.TTL))
+}
+
+// A Codec encodes and decodes obvents against a type registry.
+// Codec is safe for concurrent use.
+type Codec struct {
+	reg *obvent.Registry
+}
+
+// New returns a Codec over the given registry.
+func New(reg *obvent.Registry) *Codec {
+	return &Codec{reg: reg}
+}
+
+// Registry returns the codec's obvent type registry.
+func (c *Codec) Registry() *obvent.Registry { return c.reg }
+
+// Encode wraps obvent o into an Envelope: it resolves the QoS semantics of
+// o's type, stamps timely/priority metadata, and serializes the value.
+// Ordering metadata (Seq, VC, GlobalSeq) is left for the dissemination
+// layer to fill in.
+func (c *Codec) Encode(o obvent.Obvent) (*Envelope, error) {
+	name, err := c.reg.NameOf(o)
+	if err != nil {
+		return nil, fmt.Errorf("codec: encode: %w", err)
+	}
+	payload, err := encodeValue(o)
+	if err != nil {
+		return nil, fmt.Errorf("codec: encode %s: %w", name, err)
+	}
+	sem := obvent.Resolve(o)
+	env := &Envelope{
+		ID:          NewID(),
+		Type:        name,
+		Payload:     payload,
+		Reliability: sem.Reliability,
+		Ordering:    sem.Ordering,
+	}
+	if sem.Prioritary {
+		env.Priority = sem.Priority
+		env.HasPriority = true
+	}
+	if sem.Timely {
+		env.TTL = sem.TTL
+		env.Birth = sem.Birth
+		if env.Birth.IsZero() {
+			env.Birth = time.Now()
+		}
+	}
+	return env, nil
+}
+
+// Decode reconstructs the obvent carried by an envelope. Each call
+// returns a fresh, distinct value: decoding is the paper's "distributed
+// object creation" (§2.1.2) — every subscriber receives a new clone.
+func (c *Codec) Decode(e *Envelope) (obvent.Obvent, error) {
+	t, ok := c.reg.TypeByName(e.Type)
+	if !ok {
+		return nil, fmt.Errorf("codec: decode: unknown obvent class %q", e.Type)
+	}
+	v := reflect.New(t)
+	dec := gob.NewDecoder(bytes.NewReader(e.Payload))
+	if err := dec.DecodeValue(v); err != nil {
+		return nil, fmt.Errorf("codec: decode %s: %w", e.Type, err)
+	}
+	o, ok := v.Elem().Interface().(obvent.Obvent)
+	if !ok {
+		// The registry only holds Obvent types, so this indicates a
+		// registry/codec mismatch, not user error.
+		return nil, fmt.Errorf("codec: decode: %s is not an obvent", e.Type)
+	}
+	return o, nil
+}
+
+// Clone deep-copies an obvent through an encode/decode round trip. It
+// implements the per-subscriber cloning that gives the paper's Obvent
+// Global/Local Uniqueness properties (§2.1.2).
+func (c *Codec) Clone(o obvent.Obvent) (obvent.Obvent, error) {
+	e, err := c.Encode(o)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decode(e)
+}
+
+// Marshal serializes an envelope for transmission.
+func Marshal(e *Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("codec: marshal envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal deserializes an envelope from the wire.
+func Unmarshal(data []byte) (*Envelope, error) {
+	var e Envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("codec: unmarshal envelope: %w", err)
+	}
+	return &e, nil
+}
+
+// NewID returns a fresh 128-bit random identifier.
+func NewID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure means the platform is broken; there is
+		// no reasonable fallback for uniqueness.
+		panic(fmt.Sprintf("codec: crypto/rand failed: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// encodeValue gob-encodes a value via reflection so that concrete types
+// need not be gob.Registered globally.
+func encodeValue(o obvent.Obvent) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	v := reflect.ValueOf(o)
+	for v.Kind() == reflect.Pointer {
+		v = v.Elem()
+	}
+	if err := enc.EncodeValue(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

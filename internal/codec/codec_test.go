@@ -1,0 +1,275 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"govents/internal/obvent"
+)
+
+type quote struct {
+	obvent.Base
+	Company string
+	Price   float64
+	Amount  int
+}
+
+type nested struct {
+	obvent.Base
+	Inner quote
+	Tags  []string
+	Meta  map[string]int
+}
+
+type timelyQuote struct {
+	obvent.Base
+	obvent.TimelyBase
+	Price float64
+}
+
+type priorityAlert struct {
+	obvent.Base
+	obvent.PriorityBase
+	Msg string
+}
+
+type certifiedOrder struct {
+	obvent.Base
+	obvent.CertifiedBase
+	obvent.TotalOrderBase
+	N int
+}
+
+func newCodec(t *testing.T) *Codec {
+	t.Helper()
+	reg := obvent.NewRegistry()
+	reg.MustRegister(quote{})
+	reg.MustRegister(nested{})
+	reg.MustRegister(timelyQuote{})
+	reg.MustRegister(priorityAlert{})
+	reg.MustRegister(certifiedOrder{})
+	return New(reg)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := newCodec(t)
+	in := quote{Company: "Telco Mobiles", Price: 80, Amount: 10}
+	env, err := c.Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if env.ID == "" {
+		t.Error("envelope must carry an ID")
+	}
+	out, err := c.Decode(env)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	got, ok := out.(quote)
+	if !ok {
+		t.Fatalf("Decode returned %T", out)
+	}
+	if got != in {
+		t.Errorf("round trip = %+v, want %+v", got, in)
+	}
+}
+
+func TestEncodeDecodeNested(t *testing.T) {
+	c := newCodec(t)
+	in := nested{
+		Inner: quote{Company: "X", Price: 1.5, Amount: 3},
+		Tags:  []string{"a", "b"},
+		Meta:  map[string]int{"k": 7},
+	}
+	env, err := c.Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := c.Decode(env)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	got := out.(nested)
+	if got.Inner != in.Inner || len(got.Tags) != 2 || got.Meta["k"] != 7 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestEncodePointerObvent(t *testing.T) {
+	c := newCodec(t)
+	env, err := c.Encode(&quote{Company: "P", Price: 2, Amount: 1})
+	if err != nil {
+		t.Fatalf("Encode(ptr): %v", err)
+	}
+	out, err := c.Decode(env)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.(quote).Company != "P" {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestEnvelopeSemanticsStamping(t *testing.T) {
+	c := newCodec(t)
+
+	env, err := c.Encode(certifiedOrder{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Reliability != obvent.CertifiedDelivery || env.Ordering != obvent.Total {
+		t.Errorf("semantics = %v/%v", env.Reliability, env.Ordering)
+	}
+
+	env, err = c.Encode(timelyQuote{TimelyBase: obvent.TimelyBase{TTL: time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.TTL != time.Second {
+		t.Errorf("TTL = %v", env.TTL)
+	}
+	if env.Birth.IsZero() {
+		t.Error("Birth must be stamped at encode when zero")
+	}
+
+	env, err = c.Encode(priorityAlert{PriorityBase: obvent.PriorityBase{Prio: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env.HasPriority || env.Priority != 9 {
+		t.Errorf("priority = %v/%v", env.HasPriority, env.Priority)
+	}
+}
+
+func TestEnvelopeExpired(t *testing.T) {
+	now := time.Now()
+	e := &Envelope{Birth: now, TTL: 10 * time.Millisecond}
+	if e.Expired(now) {
+		t.Error("fresh envelope must not be expired")
+	}
+	if !e.Expired(now.Add(20 * time.Millisecond)) {
+		t.Error("envelope past TTL must be expired")
+	}
+	if (&Envelope{}).Expired(now.Add(time.Hour)) {
+		t.Error("no TTL means never expired")
+	}
+}
+
+func TestDecodeUnknownType(t *testing.T) {
+	c := newCodec(t)
+	if _, err := c.Decode(&Envelope{Type: "no.such.Type"}); err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+}
+
+func TestMarshalUnmarshalEnvelope(t *testing.T) {
+	c := newCodec(t)
+	env, err := c.Encode(quote{Company: "T", Price: 80, Amount: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Publisher = "node-1"
+	env.Seq = 42
+	data, err := Marshal(env)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.ID != env.ID || back.Type != env.Type || back.Seq != 42 || back.Publisher != "node-1" {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	out, err := c.Decode(back)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.(quote).Company != "T" {
+		t.Errorf("payload lost: %+v", out)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not a gob stream")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCloneIsDeepAndDistinct(t *testing.T) {
+	c := newCodec(t)
+	in := nested{Inner: quote{Company: "X"}, Tags: []string{"t"}, Meta: map[string]int{"k": 1}}
+	cl, err := c.Clone(in)
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	got := cl.(nested)
+	// Mutating the clone's reference fields must not touch the original
+	// (paper §2.1.2 obvent uniqueness).
+	got.Tags[0] = "mutated"
+	got.Meta["k"] = 99
+	if in.Tags[0] != "t" || in.Meta["k"] != 1 {
+		t.Error("Clone must deep-copy reference fields")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if len(id) != 32 {
+			t.Fatalf("ID length = %d", len(id))
+		}
+		if seen[id] {
+			t.Fatal("duplicate ID")
+		}
+		seen[id] = true
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	c := newCodec(t)
+	f := func(company string, price float64, amount int) bool {
+		in := quote{Company: company, Price: price, Amount: amount}
+		env, err := c.Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := c.Decode(env)
+		if err != nil {
+			return false
+		}
+		q := out.(quote)
+		// NaN never compares equal; compare bit-level semantics via !=
+		// only for non-NaN.
+		if price != price {
+			return q.Price != q.Price
+		}
+		return q == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeReturnsFreshClones(t *testing.T) {
+	c := newCodec(t)
+	env, err := c.Encode(nested{Tags: []string{"shared"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Decode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Decode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nb := a.(nested), b.(nested)
+	na.Tags[0] = "a-mutation"
+	if nb.Tags[0] != "shared" {
+		t.Error("two decodes of the same envelope must yield independent clones")
+	}
+}

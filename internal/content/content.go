@@ -1,0 +1,204 @@
+// Package content implements attribute-value content-based
+// publish/subscribe in the style the paper attributes to the Cambridge
+// Event Architecture and classic content-based engines (§6.1.2,
+// §2.3.2): events are viewed "as sets of attributes, forcing the
+// application to define filters based on attribute-value pairs".
+//
+// It is the baseline that type-based publish/subscribe with
+// encapsulation-preserving filters (LP2) is contrasted against: here
+// the event's representation is fully exposed — subscriptions name raw
+// attributes — and there is no typing of events beyond the attribute
+// map.
+package content
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Event is an attribute-value record (the self-describing message of
+// [OPSS93]).
+type Event map[string]any
+
+// Op is a predicate operator.
+type Op int
+
+// Predicate operators.
+const (
+	Eq Op = iota + 1
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Exists
+)
+
+// Pred is one attribute predicate.
+type Pred struct {
+	Attr string
+	Op   Op
+	Val  any
+}
+
+// Matches evaluates the predicate against an event. Missing attributes
+// and type mismatches fail the predicate.
+func (p Pred) Matches(e Event) bool {
+	v, ok := e[p.Attr]
+	if p.Op == Exists {
+		return ok
+	}
+	if !ok {
+		return false
+	}
+	cmp, ok := compare(v, p.Val)
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// compare yields a three-way comparison for numbers and strings.
+func compare(a, b any) (int, bool) {
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	as, aok := a.(string)
+	bs, bok := b.(string)
+	if aok && bok {
+		switch {
+		case as < bs:
+			return -1, true
+		case as > bs:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if reflect.DeepEqual(a, b) {
+		return 0, true
+	}
+	return 0, false
+}
+
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int:
+		return float64(n), true
+	case int8:
+		return float64(n), true
+	case int16:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint:
+		return float64(n), true
+	case uint8:
+		return float64(n), true
+	case uint16:
+		return float64(n), true
+	case uint32:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	case float32:
+		return float64(n), true
+	case float64:
+		return n, true
+	default:
+		return 0, false
+	}
+}
+
+// Handler receives matching events.
+type Handler func(Event)
+
+// Bus is a content-based publish/subscribe engine: subscriptions are
+// conjunctions of attribute predicates.
+type Bus struct {
+	mu     sync.RWMutex
+	subs   map[int]*subscription
+	nextID int
+}
+
+type subscription struct {
+	preds   []Pred
+	handler Handler
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{subs: make(map[int]*subscription)}
+}
+
+// Subscribe registers a conjunction of predicates. Returns a cancel
+// function.
+func (b *Bus) Subscribe(preds []Pred, h Handler) (cancel func(), err error) {
+	for _, p := range preds {
+		if p.Attr == "" {
+			return nil, fmt.Errorf("content: predicate with empty attribute")
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = &subscription{preds: preds, handler: h}
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.subs, id)
+	}, nil
+}
+
+// Publish delivers the event to every matching subscription
+// (synchronously; the bus is a matching baseline) and returns how many
+// matched.
+func (b *Bus) Publish(e Event) int {
+	b.mu.RLock()
+	var fire []Handler
+	for _, s := range b.subs {
+		ok := true
+		for _, p := range s.preds {
+			if !p.Matches(e) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			fire = append(fire, s.handler)
+		}
+	}
+	b.mu.RUnlock()
+	for _, h := range fire {
+		h(e)
+	}
+	return len(fire)
+}

@@ -1,0 +1,102 @@
+package content
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func quoteEvent(company string, price float64, amount int) Event {
+	return Event{"kind": "quote", "company": company, "price": price, "amount": amount}
+}
+
+func TestPredMatches(t *testing.T) {
+	e := quoteEvent("Telco", 80, 10)
+	tests := []struct {
+		name string
+		p    Pred
+		want bool
+	}{
+		{"eq string", Pred{"company", Eq, "Telco"}, true},
+		{"ne string", Pred{"company", Ne, "Acme"}, true},
+		{"lt", Pred{"price", Lt, 100.0}, true},
+		{"lt false", Pred{"price", Lt, 50.0}, false},
+		{"le boundary", Pred{"price", Le, 80.0}, true},
+		{"gt int vs float promotion", Pred{"amount", Gt, 5.0}, true},
+		{"ge", Pred{"amount", Ge, 10}, true},
+		{"exists", Pred{"kind", Exists, nil}, true},
+		{"missing attr", Pred{"ghost", Eq, 1}, false},
+		{"missing attr exists", Pred{"ghost", Exists, nil}, false},
+		{"type mismatch", Pred{"company", Lt, 10}, false},
+		{"string ordering", Pred{"company", Lt, "Z"}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Matches(e); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBusConjunction(t *testing.T) {
+	b := New()
+	var got atomic.Int32
+	cancel, err := b.Subscribe([]Pred{
+		{"kind", Eq, "quote"},
+		{"price", Lt, 100.0},
+		{"company", Eq, "Telco"},
+	}, func(Event) { got.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := b.Publish(quoteEvent("Telco", 80, 10)); n != 1 {
+		t.Errorf("matched %d", n)
+	}
+	if n := b.Publish(quoteEvent("Telco", 150, 10)); n != 0 {
+		t.Errorf("matched %d", n)
+	}
+	if n := b.Publish(quoteEvent("Acme", 80, 10)); n != 0 {
+		t.Errorf("matched %d", n)
+	}
+	if got.Load() != 1 {
+		t.Errorf("handler fired %d times", got.Load())
+	}
+
+	cancel()
+	if n := b.Publish(quoteEvent("Telco", 80, 10)); n != 0 {
+		t.Errorf("matched %d after cancel", n)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	b := New()
+	if _, err := b.Subscribe([]Pred{{Attr: ""}}, nil); err == nil {
+		t.Error("empty attribute must fail")
+	}
+}
+
+func TestEmptyConjunctionMatchesAll(t *testing.T) {
+	b := New()
+	var got atomic.Int32
+	_, _ = b.Subscribe(nil, func(Event) { got.Add(1) })
+	b.Publish(Event{"anything": 1})
+	if got.Load() != 1 {
+		t.Error("empty conjunction should match everything")
+	}
+}
+
+func TestEncapsulationContrast(t *testing.T) {
+	// Documenting the LP2 violation the paper charges this style with:
+	// the subscription names the raw attribute "price"; if the
+	// publisher renames the attribute (an implementation detail under
+	// encapsulation), existing subscriptions silently stop matching.
+	b := New()
+	var got atomic.Int32
+	_, _ = b.Subscribe([]Pred{{"price", Lt, 100.0}}, func(Event) { got.Add(1) })
+	b.Publish(Event{"price": 80.0})
+	b.Publish(Event{"priceUSD": 80.0}) // "refactored" publisher
+	if got.Load() != 1 {
+		t.Fatalf("got %d", got.Load())
+	}
+}

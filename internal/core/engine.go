@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"govents/internal/codec"
+	"govents/internal/filter"
+	"govents/internal/obvent"
+)
+
+// Disseminator abstracts the dissemination substrate beneath an Engine:
+// the local loopback (NewLocal) for single-process use, or a DACE node
+// (package dace) for distributed operation. The engine encodes obvents
+// into envelopes and hands them down; the disseminator hands arriving
+// envelopes back up through the sink installed with SetSink.
+type Disseminator interface {
+	// PublishEnvelope disseminates an encoded obvent to every process
+	// hosting matching subscriptions (possibly including this one).
+	PublishEnvelope(env *codec.Envelope) error
+	// SetSink installs the engine's delivery entry point. It must be
+	// called once before any traffic flows.
+	SetSink(sink func(env *codec.Envelope))
+	// SubscriptionChanged notifies the substrate that the set of
+	// local subscriptions changed (for advertisement to filtering
+	// hosts / membership maintenance). info lists all currently
+	// active local subscriptions.
+	SubscriptionChanged(info []SubscriptionInfo) error
+	// Close releases the substrate.
+	Close() error
+}
+
+// SubscriptionInfo is the substrate-visible description of an active
+// subscription: what the control plane advertises to other processes
+// (paper §4.2 — subscription requests are themselves disseminated as
+// obvents).
+type SubscriptionInfo struct {
+	// ID is the engine-unique subscription identifier.
+	ID string
+	// TypeName is the wire name of the subscribed type.
+	TypeName string
+	// Filter is the marshaled remote filter (nil when the subscription
+	// uses an opaque local filter, which cannot leave the process —
+	// paper §3.3.4).
+	Filter []byte
+	// DurableID is non-empty for certified subscriptions activated
+	// with an identity that outlives the process (paper §3.4.1).
+	DurableID string
+	// Certified reports whether the subscribed type requests
+	// certified delivery.
+	Certified bool
+}
+
+// Engine is one process's publish/subscribe runtime: it owns the type
+// registry, the local subscription table, and the delivery pipeline
+// that enforces the obvent semantics of §3.1.2.
+type Engine struct {
+	id    string
+	reg   *obvent.Registry
+	codec *codec.Codec
+	diss  Disseminator
+
+	mu     sync.Mutex
+	subs   map[string]*Subscription
+	nextID int
+	closed bool
+
+	// Inbound delivery: a priority-aware queue drained by one
+	// dispatcher goroutine, preserving arrival order except that
+	// Prioritary envelopes overtake lower-priority backlog (§3.1.2
+	// transmission semantics).
+	inbox *priorityInbox
+}
+
+// Option configures an Engine.
+type Option func(*engineConfig)
+
+type engineConfig struct {
+	registry *obvent.Registry
+}
+
+// WithRegistry makes the engine use a shared obvent type registry
+// (useful when several engines in one process must agree on type
+// names).
+func WithRegistry(reg *obvent.Registry) Option {
+	return func(c *engineConfig) { c.registry = reg }
+}
+
+// NewEngine creates an engine with identifier id over the given
+// dissemination substrate.
+func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
+	cfg := engineConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	reg := cfg.registry
+	if reg == nil {
+		reg = obvent.NewRegistry()
+	}
+	e := &Engine{
+		id:    id,
+		reg:   reg,
+		codec: codec.New(reg),
+		diss:  diss,
+		subs:  make(map[string]*Subscription),
+	}
+	e.inbox = newPriorityInbox(e.dispatch)
+	diss.SetSink(e.deliver)
+	return e
+}
+
+// ID returns the engine identifier.
+func (e *Engine) ID() string { return e.id }
+
+// Registry returns the engine's obvent type registry, for registering
+// application obvent classes and abstract types.
+func (e *Engine) Registry() *obvent.Registry { return e.reg }
+
+// Codec returns the engine's codec (used by substrates and tools).
+func (e *Engine) Codec() *codec.Codec { return e.codec }
+
+// Close deactivates all subscriptions and shuts the engine down.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	subs := make([]*Subscription, 0, len(e.subs))
+	for _, s := range e.subs {
+		subs = append(subs, s)
+	}
+	e.mu.Unlock()
+
+	for _, s := range subs {
+		_ = s.Deactivate() // best effort; already-inactive is fine
+		s.executor.close()
+	}
+	e.inbox.close()
+	return e.diss.Close()
+}
+
+// Publish disseminates an obvent to all subscribers with matching
+// subscriptions — the engine half of the publish primitive (§3.2).
+// It is the distributed analog of object creation: each subscriber
+// receives a distinct clone (§2.1.2).
+func (e *Engine) Publish(o obvent.Obvent) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return fmt.Errorf("%w: %w", ErrCannotPublish, ErrEngineClosed)
+	}
+	if o == nil {
+		return fmt.Errorf("%w: nil obvent", ErrCannotPublish)
+	}
+	env, err := e.codec.Encode(o)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCannotPublish, err)
+	}
+	env.Publisher = e.id
+	if err := e.diss.PublishEnvelope(env); err != nil {
+		return fmt.Errorf("%w: %v", ErrCannotPublish, err)
+	}
+	return nil
+}
+
+// deliver is the sink invoked by the disseminator for every inbound
+// envelope. It enqueues into the priority inbox; actual matching and
+// handler execution happen on the dispatcher goroutine.
+func (e *Engine) deliver(env *codec.Envelope) {
+	if env.HasPriority {
+		e.inbox.push(env, env.Priority)
+		return
+	}
+	e.inbox.push(env, 0)
+}
+
+// dispatch matches one envelope against the local subscription table
+// and hands it to each matching subscription's executor.
+func (e *Engine) dispatch(env *codec.Envelope) {
+	// Timely obvents: obsolete envelopes are dropped, not delivered
+	// (§3.1.2).
+	if env.Expired(time.Now()) {
+		return
+	}
+
+	e.mu.Lock()
+	subs := make([]*Subscription, 0, len(e.subs))
+	for _, s := range e.subs {
+		subs = append(subs, s)
+	}
+	e.mu.Unlock()
+	// Deterministic dispatch order (map iteration is random).
+	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
+
+	for _, s := range subs {
+		if !s.active() {
+			continue
+		}
+		if !e.reg.ConformsTo(env.Type, s.typeName) {
+			continue
+		}
+		// Obvent local uniqueness (§2.1.2): each subscription gets
+		// its own clone, decoded independently.
+		o, err := e.codec.Decode(env)
+		if err != nil {
+			continue
+		}
+		if s.remoteFilter != nil {
+			ok, err := filter.Evaluate(s.remoteFilter, o)
+			if err != nil || !ok {
+				continue
+			}
+		}
+		if s.localFilter != nil && !s.localFilter(o) {
+			continue
+		}
+		s.executor.submit(o, env.Ordering > obvent.NoOrder)
+	}
+}
+
+// register installs a constructed subscription (called by Subscribe).
+func (e *Engine) register(s *Subscription) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("%w: %w", ErrCannotSubscribe, ErrEngineClosed)
+	}
+	e.nextID++
+	s.id = fmt.Sprintf("%s/sub-%d", e.id, e.nextID)
+	e.subs[s.id] = s
+	return nil
+}
+
+// infoLocked snapshots all active subscriptions for the substrate.
+func (e *Engine) infoLocked() []SubscriptionInfo {
+	infos := make([]SubscriptionInfo, 0, len(e.subs))
+	for _, s := range e.subs {
+		if !s.active() {
+			continue
+		}
+		infos = append(infos, s.info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// subscriptionChanged pushes the current subscription set to the
+// substrate.
+func (e *Engine) subscriptionChanged() error {
+	e.mu.Lock()
+	infos := e.infoLocked()
+	e.mu.Unlock()
+	return e.diss.SubscriptionChanged(infos)
+}
+
+// SubscribeDynamic creates a subscription to the (possibly abstract)
+// type t with an optional remote filter and an optional opaque local
+// predicate. Most callers use the typed generic Subscribe /
+// SubscribeLocal wrappers; this entry point exists for tooling (psc
+// adapters) and tests that work with reflect.Type directly.
+//
+// The returned subscription is inactive: call Activate to start
+// receiving (paper §3.4.1).
+func (e *Engine) SubscribeDynamic(t reflect.Type, remote *filter.Expr, local func(obvent.Obvent) bool, handler func(obvent.Obvent)) (*Subscription, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("%w: nil handler", ErrCannotSubscribe)
+	}
+	if remote != nil {
+		if err := remote.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCannotSubscribe, err)
+		}
+	}
+	typeName := obvent.TypeName(t)
+	if t.Kind() == reflect.Interface {
+		if _, err := e.reg.RegisterInterface(t); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCannotSubscribe, err)
+		}
+	}
+	s := &Subscription{
+		engine:       e,
+		typeName:     typeName,
+		goType:       t,
+		remoteFilter: remote,
+		localFilter:  local,
+		handler:      handler,
+	}
+	s.executor = newExecutor(s.invoke)
+	if err := e.register(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,44 @@
+// Package core implements the paper's primary contribution: the two
+// linguistic primitives of type-based publish/subscribe — publish and
+// subscribe — as a typed Go API (paper §2.3, §3).
+//
+// The paper integrates the primitives into Java via a precompiler (psc)
+// that generates one typed adapter per obvent type (Figure 6). Go's
+// generics let this package expose the same statically typed surface
+// without code generation:
+//
+//	sub, err := core.Subscribe(engine, filter, func(q StockQuote) {
+//		fmt.Println("Got offer:", q.Price)
+//	})
+//	err = sub.Activate()
+//	...
+//	err = core.Publish(engine, StockQuote{Company: "Telco Mobiles", Price: 80})
+//
+// mirrors the paper's
+//
+//	Subscription s = subscribe (StockQuote q) {filter} {handler};
+//	s.activate();
+//	publish q;
+//
+// The cmd/psc tool additionally reproduces the paper's precompiler
+// architecture by generating explicit XxxAdapter types; both roads lead
+// to the same engine below.
+package core
+
+import "errors"
+
+// The notification errors mirror the paper's exception hierarchy
+// (Figure 3: NotificationException and subclasses).
+var (
+	// ErrCannotPublish signals a problem transmitting an obvent
+	// (CannotPublishException).
+	ErrCannotPublish = errors.New("core: cannot publish")
+	// ErrCannotSubscribe signals that a subscription cannot be issued,
+	// e.g. it is already activated (CannotSubscribeException).
+	ErrCannotSubscribe = errors.New("core: cannot subscribe")
+	// ErrCannotUnsubscribe signals that a subscription cannot be
+	// cancelled, e.g. it is not active (CannotUnsubscribeException).
+	ErrCannotUnsubscribe = errors.New("core: cannot unsubscribe")
+	// ErrEngineClosed is returned by operations on a closed engine.
+	ErrEngineClosed = errors.New("core: engine closed")
+)

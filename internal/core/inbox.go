@@ -1,0 +1,99 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+
+	"govents/internal/codec"
+)
+
+// priorityInbox is the engine's inbound envelope queue: a single
+// dispatcher goroutine drains it in priority order (higher first), with
+// FIFO order among equal priorities. This realizes the Prioritary
+// transmission semantics of §3.1.2 — "the delivery of obvents can be
+// delayed to defer to obvents with a higher priority" — at the receiving
+// process, where backlog actually forms.
+type priorityInbox struct {
+	dispatch func(*codec.Envelope)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   inboxHeap
+	nextSq uint64
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type inboxItem struct {
+	env  *codec.Envelope
+	prio int
+	seq  uint64 // arrival order tiebreaker
+}
+
+func newPriorityInbox(dispatch func(*codec.Envelope)) *priorityInbox {
+	in := &priorityInbox{dispatch: dispatch}
+	in.cond = sync.NewCond(&in.mu)
+	in.wg.Add(1)
+	go in.loop()
+	return in
+}
+
+func (in *priorityInbox) push(env *codec.Envelope, prio int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return
+	}
+	in.nextSq++
+	heap.Push(&in.heap, inboxItem{env: env, prio: prio, seq: in.nextSq})
+	in.cond.Signal()
+}
+
+func (in *priorityInbox) loop() {
+	defer in.wg.Done()
+	for {
+		in.mu.Lock()
+		for in.heap.Len() == 0 && !in.closed {
+			in.cond.Wait()
+		}
+		if in.heap.Len() == 0 && in.closed {
+			in.mu.Unlock()
+			return
+		}
+		item := heap.Pop(&in.heap).(inboxItem)
+		in.mu.Unlock()
+		in.dispatch(item.env)
+	}
+}
+
+func (in *priorityInbox) close() {
+	in.mu.Lock()
+	in.closed = true
+	in.cond.Signal()
+	in.mu.Unlock()
+	in.wg.Wait()
+}
+
+// inboxHeap orders by descending priority, then ascending arrival.
+type inboxHeap []inboxItem
+
+func (h inboxHeap) Len() int { return len(h) }
+
+func (h inboxHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h inboxHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *inboxHeap) Push(x any) { *h = append(*h, x.(inboxItem)) }
+
+func (h *inboxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"govents/internal/filter"
+	"govents/internal/obvent"
+)
+
+// Subscription is the handle returned by the subscribe primitive (paper
+// Figure 3): it uniquely identifies a subscription and controls its
+// lifecycle (activate/deactivate, §3.4) and thread semantics (§3.3.5).
+// The zero value is not usable; subscriptions are created by Subscribe.
+type Subscription struct {
+	id       string
+	engine   *Engine
+	typeName string
+	goType   reflect.Type
+
+	remoteFilter *filter.Expr
+	localFilter  func(obvent.Obvent) bool
+	handler      func(obvent.Obvent)
+	executor     *executor
+
+	mu        sync.Mutex
+	activated bool
+	durableID string
+}
+
+// ID returns the engine-unique subscription identifier.
+func (s *Subscription) ID() string { return s.id }
+
+// TypeName returns the wire name of the subscribed type.
+func (s *Subscription) TypeName() string { return s.typeName }
+
+// active reports whether the subscription currently receives obvents.
+func (s *Subscription) active() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.activated
+}
+
+// info snapshots the substrate-visible description.
+func (s *Subscription) info() SubscriptionInfo {
+	s.mu.Lock()
+	durable := s.durableID
+	s.mu.Unlock()
+	var fb []byte
+	if s.remoteFilter != nil {
+		// Validation happened at Subscribe; Marshal cannot fail then.
+		fb, _ = filter.Marshal(s.remoteFilter)
+	}
+	return SubscriptionInfo{
+		ID:        s.id,
+		TypeName:  s.typeName,
+		Filter:    fb,
+		DurableID: durable,
+		Certified: s.certifiedType(),
+	}
+}
+
+// certifiedType reports whether the subscribed type itself requests
+// certified delivery (determinable only for concrete types).
+func (s *Subscription) certifiedType() bool {
+	if s.goType.Kind() == reflect.Interface {
+		return s.goType.Implements(obvent.TypeOf[obvent.Certified]())
+	}
+	return reflect.PointerTo(s.goType).Implements(obvent.TypeOf[obvent.Certified]()) ||
+		s.goType.Implements(obvent.TypeOf[obvent.Certified]())
+}
+
+// Activate starts delivery for this subscription — the effective action
+// of subscribing (§3.4.1). Activating an already active subscription
+// fails with ErrCannotSubscribe, as the paper specifies.
+func (s *Subscription) Activate() error {
+	return s.activate("")
+}
+
+// ActivateDurable activates the subscription under a stable durable
+// identity, the analog of the paper's activate(long id) used with
+// certified obvents: the subscription's lifetime may exceed the hosting
+// process, and a recovering process reclaims it by presenting the same
+// identity (§3.4.1).
+func (s *Subscription) ActivateDurable(durableID string) error {
+	if durableID == "" {
+		return fmt.Errorf("%w: empty durable id", ErrCannotSubscribe)
+	}
+	return s.activate(durableID)
+}
+
+func (s *Subscription) activate(durableID string) error {
+	s.mu.Lock()
+	if s.activated {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: subscription %s already activated", ErrCannotSubscribe, s.id)
+	}
+	s.activated = true
+	s.durableID = durableID
+	s.mu.Unlock()
+
+	if err := s.engine.subscriptionChanged(); err != nil {
+		s.mu.Lock()
+		s.activated = false
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrCannotSubscribe, err)
+	}
+	return nil
+}
+
+// Deactivate stops delivery — the action of unsubscribing (§3.4.2).
+// Deactivating an inactive subscription fails with ErrCannotUnsubscribe.
+// Activation and deactivation can be interleaved an unlimited number of
+// times; a deactivated subscription handle stays valid.
+func (s *Subscription) Deactivate() error {
+	s.mu.Lock()
+	if !s.activated {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: subscription %s not active", ErrCannotUnsubscribe, s.id)
+	}
+	s.activated = false
+	s.mu.Unlock()
+
+	if err := s.engine.subscriptionChanged(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCannotUnsubscribe, err)
+	}
+	return nil
+}
+
+// SetSingleThreading makes the handler process at most one obvent at a
+// time (paper §3.3.5). Already-queued work is unaffected.
+func (s *Subscription) SetSingleThreading() {
+	s.executor.setLimit(1)
+}
+
+// SetMultiThreading lets the handler process up to maxNb obvents
+// concurrently; maxNb <= 0 means unlimited, the paper's default for
+// unordered obvents.
+func (s *Subscription) SetMultiThreading(maxNb int) {
+	s.executor.setLimit(maxNb)
+}
+
+// invoke runs the application handler for one obvent.
+func (s *Subscription) invoke(o obvent.Obvent) {
+	s.handler(o)
+}
+
+// executor runs a subscription's handler according to its thread policy:
+// a serial intake goroutine pulls obvents off an unbounded queue and
+// either runs the handler inline (single-threading) or spawns handler
+// goroutines gated by a semaphore (multi-threading with a cap).
+type executor struct {
+	run func(obvent.Obvent)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []submission
+	limit  int // 0 = unlimited, 1 = single, n = bounded
+	closed bool
+
+	inflight sync.WaitGroup
+	intake   sync.WaitGroup
+	sem      chan struct{} // rebuilt when the limit changes
+}
+
+// submission is one queued delivery; ordered deliveries bypass the
+// thread policy and run inline on the intake goroutine, because "multi-
+// threading ... [is] assumed by default, except in the case of ordered
+// obvents" (paper §3.3.5).
+type submission struct {
+	o       obvent.Obvent
+	ordered bool
+}
+
+func newExecutor(run func(obvent.Obvent)) *executor {
+	x := &executor{run: run}
+	x.cond = sync.NewCond(&x.mu)
+	x.intake.Add(1)
+	go x.loop()
+	return x
+}
+
+func (x *executor) setLimit(n int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	x.limit = n
+	if n > 1 {
+		x.sem = make(chan struct{}, n)
+	} else {
+		x.sem = nil
+	}
+}
+
+func (x *executor) submit(o obvent.Obvent, ordered bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return
+	}
+	x.queue = append(x.queue, submission{o: o, ordered: ordered})
+	x.cond.Signal()
+}
+
+func (x *executor) loop() {
+	defer x.intake.Done()
+	for {
+		x.mu.Lock()
+		for len(x.queue) == 0 && !x.closed {
+			x.cond.Wait()
+		}
+		if len(x.queue) == 0 && x.closed {
+			x.mu.Unlock()
+			return
+		}
+		item := x.queue[0]
+		x.queue = x.queue[1:]
+		limit := x.limit
+		sem := x.sem
+		x.mu.Unlock()
+
+		switch {
+		case item.ordered || limit == 1:
+			// Ordered obvents and single-threading: at most one
+			// obvent at a time, in arrival order. For ordered
+			// obvents we additionally wait out concurrent unordered
+			// handlers so an ordered delivery never races ahead.
+			if item.ordered {
+				x.inflight.Wait()
+			}
+			x.run(item.o)
+		case sem != nil:
+			// Bounded multi-threading.
+			sem <- struct{}{}
+			x.inflight.Add(1)
+			go func(o obvent.Obvent) {
+				defer x.inflight.Done()
+				defer func() { <-sem }()
+				x.run(o)
+			}(item.o)
+		default:
+			// Unlimited multi-threading (paper default).
+			x.inflight.Add(1)
+			go func(o obvent.Obvent) {
+				defer x.inflight.Done()
+				x.run(o)
+			}(item.o)
+		}
+	}
+}
+
+// close drains the queue, waits for the intake goroutine and all
+// in-flight handlers.
+func (x *executor) close() {
+	x.mu.Lock()
+	x.closed = true
+	x.cond.Signal()
+	x.mu.Unlock()
+	x.intake.Wait()
+	x.inflight.Wait()
+}

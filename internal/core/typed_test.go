@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"govents/internal/obvent"
+)
+
+func TestAsDirect(t *testing.T) {
+	q := StockQuote{StockObvent{Company: "X"}}
+	got, ok := As[StockQuote](q)
+	if !ok || got.Company != "X" {
+		t.Fatalf("As direct = %+v, %v", got, ok)
+	}
+}
+
+func TestAsUpcastExtractsEmbedded(t *testing.T) {
+	sp := SpotPrice{StockRequest{StockObvent{Company: "Y", Price: 5}}}
+	// One level.
+	req, ok := As[StockRequest](sp)
+	if !ok || req.Company != "Y" {
+		t.Fatalf("As parent = %+v, %v", req, ok)
+	}
+	// Two levels.
+	base, ok := As[StockObvent](sp)
+	if !ok || base.Price != 5 {
+		t.Fatalf("As grandparent = %+v, %v", base, ok)
+	}
+}
+
+func TestAsPointerObvent(t *testing.T) {
+	sp := &SpotPrice{StockRequest{StockObvent{Company: "Z"}}}
+	base, ok := As[StockObvent](sp)
+	if !ok || base.Company != "Z" {
+		t.Fatalf("As via pointer = %+v, %v", base, ok)
+	}
+}
+
+func TestAsInterface(t *testing.T) {
+	q := StockQuote{StockObvent{Price: 42}}
+	p, ok := As[Priced](q)
+	if !ok || p.GetPrice() != 42 {
+		t.Fatalf("As interface = %v, %v", p, ok)
+	}
+	// An obvent NOT implementing the interface.
+	type bare struct{ obvent.Base }
+	if _, ok := As[Priced](bare{}); ok {
+		t.Fatal("bare obvent must not convert to Priced")
+	}
+}
+
+func TestAsUnrelatedStructFails(t *testing.T) {
+	if _, ok := As[StockQuote](StockRequest{}); ok {
+		t.Fatal("sibling conversion must fail")
+	}
+	if _, ok := As[SpotPrice](StockObvent{}); ok {
+		t.Fatal("downcast must fail")
+	}
+}
+
+func TestAsUpcastIsViewOnly(t *testing.T) {
+	// The supertype view is a copy: mutating it does not affect the
+	// original (value semantics of the paper's clones).
+	sp := SpotPrice{StockRequest{StockObvent{Company: "orig"}}}
+	base, _ := As[StockObvent](sp)
+	base.Company = "mutated"
+	if sp.Company != "orig" {
+		t.Fatal("upcast view aliased the subtype value")
+	}
+}
+
+func TestSubscribeDynamicValidatesInputs(t *testing.T) {
+	e := newLocalEngine(t)
+	if _, err := e.SubscribeDynamic(obvent.TypeOf[StockQuote](), nil, nil, nil); err == nil {
+		t.Fatal("nil handler must fail")
+	}
+}

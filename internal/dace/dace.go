@@ -1,0 +1,536 @@
+// Package dace implements the Distributed Asynchronous Computing
+// Environment of the paper's §4.2: the distributed dissemination
+// substrate beneath the publish/subscribe engine.
+//
+// Its architecture follows the paper's class-based dissemination:
+//
+//   - Every obvent class is mapped to a dissemination channel (a
+//     "multicast class"), realized as a multicast.Group on a stream
+//     named after the class, with the protocol chosen by the class's
+//     resolved QoS semantics (besteffort/gossip, reliable, fifo,
+//     causal, total-order, certified).
+//
+//   - The control plane is reflexive: subscription advertisements are
+//     themselves obvents, published on a dedicated control channel,
+//     "allowing distributed processes to learn about other, possibly
+//     new, multicast classes".
+//
+//   - Remote filters travel in the advertisements; with publisher-side
+//     filter placement, a publishing node evaluates the filters of each
+//     destination before spending network bandwidth on it (paper §2.3.2
+//     and §3.3.3: filters are applied "at a more favourable stage
+//     (e.g., a remote host) to reduce network load").
+package dace
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"govents/internal/codec"
+	"govents/internal/core"
+	"govents/internal/filter"
+	"govents/internal/multicast"
+	"govents/internal/netsim"
+	"govents/internal/obvent"
+	"govents/internal/store"
+)
+
+// Placement selects where remote filters are evaluated.
+type Placement int
+
+const (
+	// AtSubscriber ships every matching-typed obvent to the
+	// subscriber's node, which filters locally (the unoptimized
+	// baseline).
+	AtSubscriber Placement = iota + 1
+	// AtPublisher evaluates migrated filters at the publishing node
+	// and sends only to nodes with at least one passing subscription,
+	// saving bandwidth (paper §2.3.2). Applies to unordered classes;
+	// ordered and certified classes always ship to all subscriber
+	// nodes to keep group membership uniform.
+	AtPublisher
+)
+
+// Config tunes a Node.
+type Config struct {
+	// Placement selects filter placement (default AtSubscriber).
+	Placement Placement
+	// GossipUnreliable routes unreliable classes through the gossip
+	// protocol instead of plain best-effort fanout.
+	GossipUnreliable bool
+	// Multicast tunes the protocol timers.
+	Multicast multicast.Options
+	// CertLog is the publisher-side durable outbox for certified
+	// classes (default: in-memory).
+	CertLog store.Log
+	// CertDedup is the subscriber-side durable delivered-set for
+	// certified classes (default: in-memory).
+	CertDedup store.Set
+	// DurableID is this node's default durable identity for certified
+	// subscriptions activated without one.
+	DurableID string
+}
+
+// Node is a DACE process: it owns the dissemination channels of one
+// address space and implements core.Disseminator.
+type Node struct {
+	mux  *multicast.Mux
+	self string
+	reg  *obvent.Registry
+	cfg  Config
+
+	mu        sync.Mutex
+	peers     []string
+	sink      func(*codec.Envelope)
+	localSubs []core.SubscriptionInfo
+	// remote subscription table: node -> advertised subscriptions.
+	remote map[string][]subEntry
+	groups map[string]multicast.Group
+	seen   map[string]bool // nodes whose ads we have witnessed
+	closed bool
+
+	adSeq   uint64            // our advertisement sequence number
+	lastAd  map[string]uint64 // newest ad sequence seen per node
+	control *multicast.Reliable
+}
+
+// subEntry is a deserialized advertised subscription.
+type subEntry struct {
+	info core.SubscriptionInfo
+	expr *filter.Expr // nil when the filter is opaque/local
+}
+
+var _ core.Disseminator = (*Node)(nil)
+
+// subscriptionAd is the reflexive control obvent: the paper's
+// subscription/unsubscription requests disseminated as obvents
+// (§4.2). A full snapshot per node keeps the protocol idempotent.
+type subscriptionAd struct {
+	obvent.Base
+	Node string
+	// Seq orders a node's snapshots: receivers apply only the newest
+	// (the reliable control channel does not order, and a late joiner
+	// must not be blocked behind snapshots it never received).
+	Seq  uint64
+	Subs []core.SubscriptionInfo
+}
+
+// NewNode creates a DACE node over a transport endpoint. The registry
+// must be shared with the engine created on top (use core.WithRegistry).
+func NewNode(tr netsim.Transport, reg *obvent.Registry, cfg Config) *Node {
+	if cfg.Placement == 0 {
+		cfg.Placement = AtSubscriber
+	}
+	if cfg.CertLog == nil {
+		cfg.CertLog = store.NewMemLog()
+	}
+	if cfg.CertDedup == nil {
+		cfg.CertDedup = store.NewMemSet()
+	}
+	mux := multicast.NewMux(tr)
+	n := &Node{
+		mux:    mux,
+		self:   mux.Addr(),
+		reg:    reg,
+		cfg:    cfg,
+		remote: make(map[string][]subEntry),
+		groups: make(map[string]multicast.Group),
+		seen:   make(map[string]bool),
+		lastAd: make(map[string]uint64),
+	}
+	reg.MustRegister(subscriptionAd{})
+	n.control = multicast.NewReliable(mux, "dace/ctrl", n.onControl, cfg.Multicast)
+	mux.SetFallback(n.onUnknownStream)
+	return n
+}
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.self }
+
+// Registry returns the node's obvent type registry.
+func (n *Node) Registry() *obvent.Registry { return n.reg }
+
+// SetPeers installs the domain membership (all node addresses,
+// including this one) and re-advertises local subscriptions to it.
+func (n *Node) SetPeers(peers []string) {
+	n.mu.Lock()
+	n.peers = append([]string(nil), peers...)
+	groups := make([]multicast.Group, 0, len(n.groups))
+	for _, g := range n.groups {
+		groups = append(groups, g)
+	}
+	n.mu.Unlock()
+	n.control.SetMembers(peers)
+	for _, g := range groups {
+		g.SetMembers(peers)
+	}
+	n.advertise()
+}
+
+// SetSink implements core.Disseminator.
+func (n *Node) SetSink(sink func(*codec.Envelope)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sink = sink
+}
+
+// Close implements core.Disseminator.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	groups := make([]multicast.Group, 0, len(n.groups))
+	for _, g := range n.groups {
+		groups = append(groups, g)
+	}
+	n.mu.Unlock()
+	for _, g := range groups {
+		_ = g.Close()
+	}
+	return n.control.Close()
+}
+
+// --- class channels ---
+
+// protoFor maps resolved semantics to a protocol tag.
+func (n *Node) protoFor(env *codec.Envelope) string {
+	switch {
+	case env.Reliability == obvent.CertifiedDelivery:
+		return "cert"
+	case env.Ordering == obvent.Total:
+		return "total"
+	case env.Ordering == obvent.Causal:
+		return "causal"
+	case env.Ordering == obvent.FIFO:
+		return "fifo"
+	case env.Reliability == obvent.ReliableDelivery:
+		return "rel"
+	case n.cfg.GossipUnreliable:
+		return "gossip"
+	default:
+		return "be"
+	}
+}
+
+// streamName builds the per-class channel name — the paper's multicast
+// class (§4.2).
+func streamName(proto, class string) string {
+	return "dace/" + proto + "/" + class
+}
+
+// group returns (creating lazily) the channel for a proto/class pair.
+func (n *Node) group(proto, class string) multicast.Group {
+	stream := streamName(proto, class)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.groupLocked(proto, stream)
+}
+
+func (n *Node) groupLocked(proto, stream string) multicast.Group {
+	if g, ok := n.groups[stream]; ok {
+		return g
+	}
+	deliver := n.onData
+	var g multicast.Group
+	switch proto {
+	case "cert":
+		g = multicast.NewCertified(n.mux, stream, n.cfg.CertLog, n.cfg.CertDedup, deliver, n.cfg.Multicast)
+		if c, ok := g.(*multicast.Certified); ok && n.cfg.DurableID != "" {
+			c.SetDurableID(n.cfg.DurableID)
+		}
+	case "total":
+		g = multicast.NewTotal(n.mux, stream, n.sequencerLocked(), deliver, n.cfg.Multicast)
+	case "causal":
+		g = multicast.NewCausal(n.mux, stream, deliver, n.cfg.Multicast)
+	case "fifo":
+		g = multicast.NewFIFO(n.mux, stream, deliver, n.cfg.Multicast)
+	case "rel":
+		g = multicast.NewReliable(n.mux, stream, deliver, n.cfg.Multicast)
+	case "gossip":
+		g = multicast.NewGossip(n.mux, stream, deliver, n.cfg.Multicast)
+	default:
+		g = multicast.NewBestEffort(n.mux, stream, deliver)
+	}
+	g.SetMembers(n.peers)
+	n.groups[stream] = g
+	return g
+}
+
+// sequencerLocked returns the domain's total-order sequencer: the
+// lexicographically smallest peer address, on which all correctly
+// configured nodes agree.
+func (n *Node) sequencerLocked() string {
+	if len(n.peers) == 0 {
+		return n.self
+	}
+	seq := n.peers[0]
+	for _, p := range n.peers[1:] {
+		if p < seq {
+			seq = p
+		}
+	}
+	return seq
+}
+
+// onUnknownStream lazily creates the group for a class channel the
+// first time a frame for it arrives, then re-dispatches the frame.
+func (n *Node) onUnknownStream(stream, from string, payload []byte) {
+	// Auxiliary streams (the total-order "!ord" request stream) belong
+	// to the group of their base stream; creating the base group also
+	// registers the auxiliary handler.
+	base := strings.TrimSuffix(stream, "!ord")
+	parts := strings.SplitN(base, "/", 3)
+	if len(parts) != 3 || parts[0] != "dace" {
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.groupLocked(parts[1], base)
+	n.mu.Unlock()
+	n.mux.Redeliver(stream, from, payload)
+}
+
+// --- publishing ---
+
+// PublishEnvelope implements core.Disseminator.
+func (n *Node) PublishEnvelope(env *codec.Envelope) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("dace: node %s closed", n.self)
+	}
+	n.mu.Unlock()
+
+	payload, err := codec.Marshal(env)
+	if err != nil {
+		return err
+	}
+	proto := n.protoFor(env)
+	g := n.group(proto, env.Type)
+
+	switch proto {
+	case "cert":
+		// Certified classes address durable subscribers explicitly.
+		cert := g.(*multicast.Certified)
+		if err := cert.SetSubscribers(n.certSubscribersFor(env.Type)); err != nil {
+			return err
+		}
+		return cert.Broadcast(payload)
+	case "be", "rel":
+		// Unordered classes support per-message destination pruning.
+		dests := n.destinationsFor(env)
+		switch t := g.(type) {
+		case *multicast.BestEffort:
+			return t.BroadcastTo(dests, payload)
+		case *multicast.Reliable:
+			return t.BroadcastTo(dests, payload)
+		default:
+			return g.Broadcast(payload)
+		}
+	default:
+		// Ordered and gossip classes broadcast to the full group;
+		// filtering happens subscriber-side to keep membership
+		// uniform.
+		return g.Broadcast(payload)
+	}
+}
+
+// destinationsFor computes the nodes owed a copy of env: nodes hosting
+// at least one active subscription whose type matches, further pruned
+// by publisher-side filter evaluation when Placement is AtPublisher.
+func (n *Node) destinationsFor(env *codec.Envelope) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	var decoded obvent.Obvent
+	decodeOnce := func() obvent.Obvent {
+		if decoded == nil {
+			o, err := codec.New(n.reg).Decode(env)
+			if err != nil {
+				return nil
+			}
+			decoded = o
+		}
+		return decoded
+	}
+
+	dests := make(map[string]bool)
+	consider := func(node string, e subEntry) {
+		if dests[node] {
+			return
+		}
+		if !n.reg.ConformsTo(env.Type, e.info.TypeName) {
+			return
+		}
+		if n.cfg.Placement == AtPublisher && e.expr != nil {
+			o := decodeOnce()
+			if o != nil {
+				ok, err := filter.Evaluate(e.expr, o)
+				if err == nil && !ok {
+					return // filtered out at the publisher
+				}
+				// Evaluation errors fail open: the subscriber's
+				// local pass decides.
+			}
+		}
+		dests[node] = true
+	}
+
+	for _, e := range n.localEntriesLocked() {
+		consider(n.self, e)
+	}
+	for node, entries := range n.remote {
+		for _, e := range entries {
+			consider(node, e)
+		}
+	}
+	out := make([]string, 0, len(dests))
+	for d := range dests {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// certSubscribersFor lists the durable subscribers of a certified
+// class across the domain.
+func (n *Node) certSubscribersFor(class string) []multicast.CertSubscriber {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var subs []multicast.CertSubscriber
+	add := func(node string, e subEntry) {
+		if !n.reg.ConformsTo(class, e.info.TypeName) {
+			return
+		}
+		id := e.info.DurableID
+		if id == "" {
+			id = node // fall back to the node address as identity
+		}
+		subs = append(subs, multicast.CertSubscriber{DurableID: id, Addr: node})
+	}
+	for _, e := range n.localEntriesLocked() {
+		add(n.self, e)
+	}
+	for node, entries := range n.remote {
+		for _, e := range entries {
+			add(node, e)
+		}
+	}
+	return subs
+}
+
+// onData receives a class-channel payload and hands the envelope to the
+// engine.
+func (n *Node) onData(_ string, payload []byte) {
+	env, err := codec.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	sink := n.sink
+	n.mu.Unlock()
+	if sink != nil {
+		sink(env)
+	}
+}
+
+// --- control plane ---
+
+// SubscriptionChanged implements core.Disseminator.
+func (n *Node) SubscriptionChanged(infos []core.SubscriptionInfo) error {
+	n.mu.Lock()
+	n.localSubs = append([]core.SubscriptionInfo(nil), infos...)
+	n.mu.Unlock()
+	n.advertise()
+	return nil
+}
+
+// localEntriesLocked adapts the local subscription snapshot to entries.
+func (n *Node) localEntriesLocked() []subEntry {
+	out := make([]subEntry, 0, len(n.localSubs))
+	for _, info := range n.localSubs {
+		out = append(out, toEntry(info))
+	}
+	return out
+}
+
+func toEntry(info core.SubscriptionInfo) subEntry {
+	e := subEntry{info: info}
+	if len(info.Filter) > 0 {
+		if expr, err := filter.Unmarshal(info.Filter); err == nil {
+			e.expr = expr
+		}
+	}
+	return e
+}
+
+// advertise broadcasts this node's full subscription snapshot on the
+// control channel — as an obvent, per the reflexive design of §4.2.
+func (n *Node) advertise() {
+	n.mu.Lock()
+	n.adSeq++
+	ad := subscriptionAd{Node: n.self, Seq: n.adSeq, Subs: append([]core.SubscriptionInfo(nil), n.localSubs...)}
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ad); err != nil {
+		return
+	}
+	_ = n.control.Broadcast(buf.Bytes())
+}
+
+// onControl processes a subscription advertisement.
+func (n *Node) onControl(_ string, payload []byte) {
+	var ad subscriptionAd
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ad); err != nil {
+		return
+	}
+	if ad.Node == n.self {
+		return // our own broadcast echoed back
+	}
+	entries := make([]subEntry, 0, len(ad.Subs))
+	for _, info := range ad.Subs {
+		entries = append(entries, toEntry(info))
+	}
+	n.mu.Lock()
+	if ad.Seq <= n.lastAd[ad.Node] {
+		// Stale snapshot overtaken by a newer one: ignore.
+		n.mu.Unlock()
+		return
+	}
+	n.lastAd[ad.Node] = ad.Seq
+	n.remote[ad.Node] = entries
+	isNew := !n.seen[ad.Node]
+	n.seen[ad.Node] = true
+	n.mu.Unlock()
+	if isNew {
+		// Anti-entropy: introduce ourselves to newly seen nodes so a
+		// late joiner learns the existing subscription tables.
+		n.advertise()
+	}
+}
+
+// RemoteSubscriptionCount reports how many remote subscriptions this
+// node currently knows (test and monitoring aid).
+func (n *Node) RemoteSubscriptionCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, entries := range n.remote {
+		total += len(entries)
+	}
+	return total
+}

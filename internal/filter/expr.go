@@ -1,0 +1,403 @@
+// Package filter implements content-based subscription filters as
+// first-class, serializable expression trees — the paper's deferred code
+// evaluation mechanism (LM4, §3.3.3–§3.3.4, §4.4.3).
+//
+// A filter produced by the paper's psc precompiler is represented by two
+// tree-like constructs: an *invocation tree* (nested method invocations /
+// attribute accesses on the filtered obvent, with leaves denoting
+// conditions on the obtained values) and an *evaluation tree* (logical
+// combinations of those leaves). This package realizes both in a single
+// Expr tree: Cond nodes carry access Paths (the invocation tree), and
+// And/Or/Not nodes form the evaluation tree above them.
+//
+// Expr values obey the paper's mobility restrictions by construction
+// (§3.3.4): the only "invocations" are accessor-method calls and field
+// reads on the filtered obvent, and the only other operands are constants
+// of primitive type. An Expr can therefore be marshaled, shipped to a
+// filtering host, factored against other subscribers' filters (package
+// matching), and evaluated there — whereas an arbitrary Go closure (a
+// LocalFilter) cannot leave the subscriber.
+//
+// Filters are built with a small DSL:
+//
+//	f := filter.And(
+//		filter.Path("Price").Lt(filter.Float(100)),
+//		filter.Path("Company").Contains(filter.Str("Telco")),
+//	)
+//
+// which corresponds to the paper's running example
+// "q.getPrice() < 100 && q.getCompany().indexOf("Telco") != -1".
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExprKind discriminates Expr nodes.
+type ExprKind int
+
+// Expr node kinds.
+const (
+	KindConstTrue ExprKind = iota + 1
+	KindConstFalse
+	KindLeaf
+	KindAnd
+	KindOr
+	KindNot
+)
+
+// Expr is a node of the evaluation tree. Expr trees are immutable after
+// construction and safe to share.
+type Expr struct {
+	Kind     ExprKind
+	Children []*Expr // And/Or (≥1), Not (exactly 1)
+	Cond     *Cond   // Leaf only
+}
+
+// CmpOp is a leaf comparison operator.
+type CmpOp int
+
+// Comparison operators. String operators apply to string-valued
+// operands only.
+const (
+	OpEq CmpOp = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpContains  // strings.Contains(lhs, rhs)
+	OpHasPrefix // strings.HasPrefix(lhs, rhs)
+	OpHasSuffix // strings.HasSuffix(lhs, rhs)
+)
+
+// String implements fmt.Stringer.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpContains:
+		return "contains"
+	case OpHasPrefix:
+		return "hasPrefix"
+	case OpHasSuffix:
+		return "hasSuffix"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Cond is a leaf condition comparing two operands: the invocation-tree
+// leaf of the paper's §4.4.3.
+type Cond struct {
+	Op  CmpOp
+	LHS Operand
+	RHS Operand
+}
+
+// Operand is either an access path into the filtered obvent or a
+// primitive constant — the only operand forms the paper's mobility
+// restrictions admit (§3.3.4).
+type Operand struct {
+	// Path, when non-empty, is the dotted accessor path evaluated
+	// against the obvent (invocation tree branch).
+	Path []string
+	// Const, when Path is empty, is the constant operand.
+	Const Constant
+}
+
+// ConstKind discriminates constants.
+type ConstKind int
+
+// Constant kinds, mirroring the primitive types the paper's filter
+// variable restrictions allow.
+const (
+	ConstInt ConstKind = iota + 1
+	ConstFloat
+	ConstString
+	ConstBool
+)
+
+// Constant is a primitive constant operand.
+type Constant struct {
+	Kind ConstKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// --- Builder DSL ---
+
+// PathExpr is an access path under construction; terminate it with a
+// comparison to obtain an Expr.
+type PathExpr struct {
+	path []string
+}
+
+// Path starts an access path on the filtered obvent. Segments are dot
+// separated; each segment names an exported niladic accessor method or
+// an exported field (tried in that order), e.g. "Market.Price".
+func Path(p string) PathExpr {
+	return PathExpr{path: strings.Split(p, ".")}
+}
+
+func (p PathExpr) operand() Operand { return Operand{Path: p.path} }
+
+// Cmp builds a comparison of the path against another operand.
+func (p PathExpr) Cmp(op CmpOp, rhs Operandable) *Expr {
+	return &Expr{Kind: KindLeaf, Cond: &Cond{Op: op, LHS: p.operand(), RHS: rhs.operand()}}
+}
+
+// Eq builds path == rhs.
+func (p PathExpr) Eq(rhs Operandable) *Expr { return p.Cmp(OpEq, rhs) }
+
+// Ne builds path != rhs.
+func (p PathExpr) Ne(rhs Operandable) *Expr { return p.Cmp(OpNe, rhs) }
+
+// Lt builds path < rhs.
+func (p PathExpr) Lt(rhs Operandable) *Expr { return p.Cmp(OpLt, rhs) }
+
+// Le builds path <= rhs.
+func (p PathExpr) Le(rhs Operandable) *Expr { return p.Cmp(OpLe, rhs) }
+
+// Gt builds path > rhs.
+func (p PathExpr) Gt(rhs Operandable) *Expr { return p.Cmp(OpGt, rhs) }
+
+// Ge builds path >= rhs.
+func (p PathExpr) Ge(rhs Operandable) *Expr { return p.Cmp(OpGe, rhs) }
+
+// Contains builds strings.Contains(path, rhs).
+func (p PathExpr) Contains(rhs Operandable) *Expr { return p.Cmp(OpContains, rhs) }
+
+// HasPrefix builds strings.HasPrefix(path, rhs).
+func (p PathExpr) HasPrefix(rhs Operandable) *Expr { return p.Cmp(OpHasPrefix, rhs) }
+
+// HasSuffix builds strings.HasSuffix(path, rhs).
+func (p PathExpr) HasSuffix(rhs Operandable) *Expr { return p.Cmp(OpHasSuffix, rhs) }
+
+// Operandable is anything usable as a comparison operand.
+type Operandable interface {
+	operand() Operand
+}
+
+// constant wraps a Constant as an Operandable.
+type constant struct{ c Constant }
+
+func (c constant) operand() Operand { return Operand{Const: c.c} }
+
+// Int builds an integer constant operand.
+func Int(v int64) Operandable { return constant{Constant{Kind: ConstInt, I: v}} }
+
+// Float builds a float constant operand.
+func Float(v float64) Operandable { return constant{Constant{Kind: ConstFloat, F: v}} }
+
+// Str builds a string constant operand.
+func Str(v string) Operandable { return constant{Constant{Kind: ConstString, S: v}} }
+
+// Bool builds a boolean constant operand.
+func Bool(v bool) Operandable { return constant{Constant{Kind: ConstBool, B: v}} }
+
+// True is the filter accepting every obvent — the paper's
+// "subscribe (T t) { return true; }".
+func True() *Expr { return &Expr{Kind: KindConstTrue} }
+
+// False is the filter rejecting every obvent.
+func False() *Expr { return &Expr{Kind: KindConstFalse} }
+
+// And combines sub-filters conjunctively.
+func And(children ...*Expr) *Expr {
+	return &Expr{Kind: KindAnd, Children: children}
+}
+
+// Or combines sub-filters disjunctively.
+func Or(children ...*Expr) *Expr {
+	return &Expr{Kind: KindOr, Children: children}
+}
+
+// Not negates a sub-filter.
+func Not(child *Expr) *Expr {
+	return &Expr{Kind: KindNot, Children: []*Expr{child}}
+}
+
+// --- Canonical form ---
+
+// Canon returns a canonical string rendering of the expression, used as
+// a common-subexpression key when factoring filters of different
+// subscribers into a compound filter (paper §2.3.2, §4.4.3). Two
+// expressions with equal Canon are semantically identical: And/Or
+// children are rendered in sorted order.
+func (e *Expr) Canon() string {
+	var b strings.Builder
+	e.canon(&b)
+	return b.String()
+}
+
+func (e *Expr) canon(b *strings.Builder) {
+	switch e.Kind {
+	case KindConstTrue:
+		b.WriteString("true")
+	case KindConstFalse:
+		b.WriteString("false")
+	case KindLeaf:
+		b.WriteString(e.Cond.Canon())
+	case KindAnd, KindOr:
+		if e.Kind == KindAnd {
+			b.WriteString("and(")
+		} else {
+			b.WriteString("or(")
+		}
+		keys := make([]string, len(e.Children))
+		for i, c := range e.Children {
+			keys[i] = c.Canon()
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k)
+		}
+		b.WriteByte(')')
+	case KindNot:
+		b.WriteString("not(")
+		e.Children[0].canon(b)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "invalid(%d)", e.Kind)
+	}
+}
+
+// Canon returns the canonical rendering of a leaf condition.
+func (c *Cond) Canon() string {
+	return c.LHS.canon() + string(rune(0)) + c.Op.String() + string(rune(0)) + c.RHS.canon()
+}
+
+func (o Operand) canon() string {
+	if len(o.Path) > 0 {
+		return "path:" + strings.Join(o.Path, ".")
+	}
+	switch o.Const.Kind {
+	case ConstInt:
+		return "i:" + strconv.FormatInt(o.Const.I, 10)
+	case ConstFloat:
+		return "f:" + strconv.FormatFloat(o.Const.F, 'g', -1, 64)
+	case ConstString:
+		return "s:" + strconv.Quote(o.Const.S)
+	case ConstBool:
+		return "b:" + strconv.FormatBool(o.Const.B)
+	default:
+		return "invalid"
+	}
+}
+
+// String renders the expression in a human-readable infix form.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case KindConstTrue:
+		return "true"
+	case KindConstFalse:
+		return "false"
+	case KindLeaf:
+		return fmt.Sprintf("%s %s %s", e.Cond.LHS, e.Cond.Op, e.Cond.RHS)
+	case KindAnd, KindOr:
+		sep := " && "
+		if e.Kind == KindOr {
+			sep = " || "
+		}
+		parts := make([]string, len(e.Children))
+		for i, c := range e.Children {
+			parts[i] = c.String()
+		}
+		return "(" + strings.Join(parts, sep) + ")"
+	case KindNot:
+		return "!" + e.Children[0].String()
+	default:
+		return fmt.Sprintf("invalid(%d)", e.Kind)
+	}
+}
+
+// String renders an operand.
+func (o Operand) String() string {
+	if len(o.Path) > 0 {
+		return strings.Join(o.Path, ".")
+	}
+	switch o.Const.Kind {
+	case ConstInt:
+		return strconv.FormatInt(o.Const.I, 10)
+	case ConstFloat:
+		return strconv.FormatFloat(o.Const.F, 'g', -1, 64)
+	case ConstString:
+		return strconv.Quote(o.Const.S)
+	case ConstBool:
+		return strconv.FormatBool(o.Const.B)
+	default:
+		return "invalid"
+	}
+}
+
+// Validate checks structural well-formedness: children arities, leaf
+// conditions present, and operands being either paths or valid
+// constants. A filter received from the wire should be validated before
+// evaluation.
+func (e *Expr) Validate() error {
+	if e == nil {
+		return fmt.Errorf("filter: nil expression")
+	}
+	switch e.Kind {
+	case KindConstTrue, KindConstFalse:
+		return nil
+	case KindLeaf:
+		if e.Cond == nil {
+			return fmt.Errorf("filter: leaf without condition")
+		}
+		for _, o := range []Operand{e.Cond.LHS, e.Cond.RHS} {
+			if len(o.Path) == 0 {
+				switch o.Const.Kind {
+				case ConstInt, ConstFloat, ConstString, ConstBool:
+				default:
+					return fmt.Errorf("filter: invalid constant kind %d", o.Const.Kind)
+				}
+			}
+			for _, seg := range o.Path {
+				if seg == "" {
+					return fmt.Errorf("filter: empty path segment")
+				}
+			}
+		}
+		if e.Cond.Op < OpEq || e.Cond.Op > OpHasSuffix {
+			return fmt.Errorf("filter: invalid operator %d", e.Cond.Op)
+		}
+		return nil
+	case KindAnd, KindOr:
+		if len(e.Children) == 0 {
+			return fmt.Errorf("filter: %v with no children", e.Kind)
+		}
+		for _, c := range e.Children {
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case KindNot:
+		if len(e.Children) != 1 {
+			return fmt.Errorf("filter: not with %d children", len(e.Children))
+		}
+		return e.Children[0].Validate()
+	default:
+		return fmt.Errorf("filter: invalid node kind %d", e.Kind)
+	}
+}

@@ -1,0 +1,378 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// stockQuote mirrors the paper's Figure 2 obvent, with unexported fields
+// behind accessors to exercise encapsulation preservation (LP2).
+type stockQuote struct {
+	company string
+	price   float64
+	amount  int
+}
+
+func (q stockQuote) Company() string { return q.company }
+func (q stockQuote) Price() float64  { return q.price }
+func (q stockQuote) Amount() int     { return q.amount }
+
+// plainQuote uses exported fields (implicit accessors).
+type plainQuote struct {
+	Company string
+	Price   float64
+	Active  bool
+}
+
+// nestedQuote exercises multi-segment paths.
+type nestedQuote struct {
+	Inner stockQuote
+}
+
+func (n nestedQuote) Quote() stockQuote { return n.Inner }
+
+// telcoFilter is the paper's §2.3.3 example filter:
+// price < 100 && company contains "Telco".
+func telcoFilter() *Expr {
+	return And(
+		Path("Price").Lt(Float(100)),
+		Path("Company").Contains(Str("Telco")),
+	)
+}
+
+func TestPaperExampleFilter(t *testing.T) {
+	f := telcoFilter()
+	tests := []struct {
+		name string
+		q    stockQuote
+		want bool
+	}{
+		{"paper's published quote", stockQuote{"Telco Mobiles", 80, 10}, true},
+		{"price too high", stockQuote{"Telco Mobiles", 150, 10}, false},
+		{"wrong company", stockQuote{"Acme", 80, 10}, false},
+		{"boundary price", stockQuote{"Telco", 100, 1}, false},
+		{"just under", stockQuote{"Telco", 99.99, 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Evaluate(f, tt.q)
+			if err != nil {
+				t.Fatalf("Evaluate: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("Evaluate = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAccessorPreferredOverField(t *testing.T) {
+	// LP2: accessors tried before fields so encapsulated state stays
+	// encapsulated.
+	got, err := Evaluate(Path("Company").Eq(Str("Telco")), stockQuote{company: "Telco"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("accessor method not used")
+	}
+}
+
+func TestFieldAccess(t *testing.T) {
+	got, err := Evaluate(Path("Price").Ge(Float(10)), plainQuote{Price: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("field access failed")
+	}
+}
+
+func TestPointerObvent(t *testing.T) {
+	got, err := Evaluate(Path("Price").Lt(Float(100)), &stockQuote{price: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("pointer obvent evaluation failed")
+	}
+}
+
+func TestNestedPath(t *testing.T) {
+	n := nestedQuote{Inner: stockQuote{company: "Telco", price: 42}}
+	for _, path := range []string{"Quote.Price", "Inner.Price"} {
+		got, err := Evaluate(Path(path).Eq(Float(42)), n)
+		if err != nil {
+			t.Fatalf("path %s: %v", path, err)
+		}
+		if !got {
+			t.Errorf("path %s did not resolve", path)
+		}
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	q := plainQuote{Company: "X", Price: 5, Active: true}
+	tests := []struct {
+		name string
+		e    *Expr
+		want bool
+	}{
+		{"true", True(), true},
+		{"false", False(), false},
+		{"not", Not(False()), true},
+		{"and short circuit", And(False(), Path("Missing").Eq(Int(1))), false},
+		{"or short circuit", Or(True(), Path("Missing").Eq(Int(1))), true},
+		{"or both false", Or(False(), Path("Price").Gt(Float(10))), false},
+		{"bool eq", Path("Active").Eq(Bool(true)), true},
+		{"bool ne", Path("Active").Ne(Bool(true)), false},
+		{"nested and/or", And(Or(False(), True()), Not(And(True(), False()))), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Evaluate(tt.e, q)
+			if err != nil {
+				t.Fatalf("Evaluate: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStringOperators(t *testing.T) {
+	q := plainQuote{Company: "Telco Mobiles"}
+	tests := []struct {
+		e    *Expr
+		want bool
+	}{
+		{Path("Company").Contains(Str("Telco")), true},
+		{Path("Company").Contains(Str("telco")), false},
+		{Path("Company").HasPrefix(Str("Telco")), true},
+		{Path("Company").HasSuffix(Str("Mobiles")), true},
+		{Path("Company").HasSuffix(Str("Telco")), false},
+		{Path("Company").Lt(Str("Z")), true},
+		{Path("Company").Eq(Str("Telco Mobiles")), true},
+	}
+	for _, tt := range tests {
+		got, err := Evaluate(tt.e, q)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.e, err)
+		}
+		if got != tt.want {
+			t.Errorf("%s = %v, want %v", tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestNumericPromotion(t *testing.T) {
+	type mixed struct {
+		I int
+		U uint16
+		F float32
+	}
+	m := mixed{I: 5, U: 7, F: 2.5}
+	tests := []struct {
+		e    *Expr
+		want bool
+	}{
+		{Path("I").Lt(Float(5.5)), true},
+		{Path("I").Eq(Int(5)), true},
+		{Path("U").Gt(Int(6)), true},
+		{Path("F").Le(Float(2.5)), true},
+		{Path("F").Gt(Int(2)), true},
+	}
+	for _, tt := range tests {
+		got, err := Evaluate(tt.e, m)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.e, err)
+		}
+		if got != tt.want {
+			t.Errorf("%s = %v, want %v", tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestEvaluationErrors(t *testing.T) {
+	q := plainQuote{}
+	tests := []struct {
+		name string
+		e    *Expr
+	}{
+		{"missing accessor", Path("NoSuch").Eq(Int(1))},
+		{"type mismatch", Path("Company").Eq(Int(1))},
+		{"string op on number", Path("Price").Contains(Str("x"))},
+		{"ordering on bool", Path("Active").Lt(Bool(false))},
+		{"path through non-struct", Path("Price.Deep").Eq(Int(1))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Evaluate(tt.e, q)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if got {
+				t.Error("errored filter must reject")
+			}
+		})
+	}
+}
+
+func TestPathToPathComparison(t *testing.T) {
+	type spread struct {
+		Bid float64
+		Ask float64
+	}
+	got, err := Evaluate(Path("Bid").Lt(Path("Ask")), spread{Bid: 99, Ask: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("path-to-path comparison failed")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := And(
+		telcoFilter(),
+		Or(Not(Path("Amount").Eq(Int(0))), Path("Company").HasPrefix(Str("T"))),
+	)
+	data, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Canon() != f.Canon() {
+		t.Errorf("canonical forms differ:\n%s\n%s", back.Canon(), f.Canon())
+	}
+	// Behavior preserved.
+	q := stockQuote{"Telco Mobiles", 80, 10}
+	a, err := Evaluate(f, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(back, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("marshaled filter behaves differently")
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	if _, err := Unmarshal([]byte("garbage")); err == nil {
+		t.Error("garbage must fail")
+	}
+	// A structurally invalid expression (leaf without cond) must fail
+	// validation even if it gob-decodes.
+	bad := &Expr{Kind: KindLeaf}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid expr must fail validation")
+	}
+	if _, err := Marshal(bad); err == nil {
+		t.Error("marshal must validate")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		e    *Expr
+		ok   bool
+	}{
+		{"true", True(), true},
+		{"paper filter", telcoFilter(), true},
+		{"empty and", And(), false},
+		{"not arity", &Expr{Kind: KindNot}, false},
+		{"bad const kind", &Expr{Kind: KindLeaf, Cond: &Cond{Op: OpEq}}, false},
+		{"empty path segment", Path("").Eq(Int(1)), false},
+		{"bad op", &Expr{Kind: KindLeaf, Cond: &Cond{Op: CmpOp(99), LHS: Operand{Path: []string{"A"}}, RHS: Operand{Path: []string{"B"}}}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.e.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestCanonOrderIndependence(t *testing.T) {
+	a := And(Path("A").Eq(Int(1)), Path("B").Eq(Int(2)))
+	b := And(Path("B").Eq(Int(2)), Path("A").Eq(Int(1)))
+	if a.Canon() != b.Canon() {
+		t.Error("And children order must not affect canonical form")
+	}
+	c := Or(Path("A").Eq(Int(1)), Path("B").Eq(Int(2)))
+	if a.Canon() == c.Canon() {
+		t.Error("And and Or must differ canonically")
+	}
+}
+
+func TestCanonDistinguishesConstants(t *testing.T) {
+	if Path("A").Eq(Int(1)).Canon() == Path("A").Eq(Float(1)).Canon() {
+		t.Error("int and float constants must differ canonically")
+	}
+	if Path("A").Eq(Str("1")).Canon() == Path("A").Eq(Int(1)).Canon() {
+		t.Error("string and int constants must differ canonically")
+	}
+}
+
+func TestEvaluatePropertyThresholdConsistency(t *testing.T) {
+	// For any price and threshold: exactly one of (p < t), (p == t),
+	// (p > t) holds via the filter evaluator.
+	f := func(price, threshold float64) bool {
+		q := stockQuote{price: price}
+		lt, err1 := Evaluate(Path("Price").Lt(Float(threshold)), q)
+		eq, err2 := Evaluate(Path("Price").Eq(Float(threshold)), q)
+		gt, err3 := Evaluate(Path("Price").Gt(Float(threshold)), q)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		n := 0
+		for _, b := range []bool{lt, eq, gt} {
+			if b {
+				n++
+			}
+		}
+		if price != price || threshold != threshold { // NaN involved
+			return n == 0 || n == 1
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateNotInvolution(t *testing.T) {
+	f := func(price float64, threshold float64) bool {
+		q := stockQuote{price: price}
+		base := Path("Price").Lt(Float(threshold))
+		a, err1 := Evaluate(base, q)
+		b, err2 := Evaluate(Not(Not(base)), q)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := telcoFilter()
+	s := f.String()
+	for _, want := range []string{"Price < 100", "Company contains", "Telco", "&&"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package filter
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Marshal serializes an expression for migration to a filtering host —
+// the mobility that motivates representing filters as trees rather than
+// opaque closures (paper §3.3.3: "the migration of such code to foreign
+// hosts" and "the factoring out of redundancies between filters of
+// different subscribers gathered on individual hosts").
+func Marshal(e *Expr) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("filter: marshal: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("filter: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reconstructs an expression received from the wire,
+// validating it before use.
+func Unmarshal(data []byte) (*Expr, error) {
+	var e Expr
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("filter: unmarshal: %w", err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("filter: unmarshal: %w", err)
+	}
+	return &e, nil
+}

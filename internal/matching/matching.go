@@ -1,0 +1,502 @@
+// Package matching implements compound filters: the factoring of many
+// subscribers' filters, gathered on a filtering host, into a single
+// matcher that exploits their redundancy (paper §2.3.2: "a compound
+// filter can be generated which factors out redundancies between these
+// individual filters. By doing so, performance can be significantly
+// improved (e.g., [ASS+99])").
+//
+// Two optimizations are applied, following Aguilera et al. [ASS+99]:
+//
+//  1. Common-subexpression elimination: syntactically identical leaf
+//     conditions (by canonical form) across all subscriptions are
+//     evaluated exactly once per event, and accessor paths shared by
+//     different conditions are resolved exactly once per event.
+//
+//  2. Threshold indexing: numeric comparisons of the same accessor path
+//     (Price < 100, Price < 250, Price >= 50, ...) are grouped and
+//     resolved with one path evaluation plus binary searches over the
+//     sorted thresholds, instead of one full evaluation per condition.
+//
+// Compound matching is semantically transparent: Match returns exactly
+// the subscriptions whose filter would individually accept the event
+// (property-tested against filter.Evaluate).
+package matching
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"govents/internal/filter"
+)
+
+// Compound is a factored matcher over a dynamic set of subscriptions.
+// It is safe for concurrent use; Match runs under a read lock so
+// subscriptions can be added or removed concurrently with matching.
+type Compound struct {
+	mu   sync.RWMutex
+	subs map[string]*filter.Expr
+	plan *plan // rebuilt on every Add/Remove
+}
+
+// New returns an empty compound matcher.
+func New() *Compound {
+	c := &Compound{subs: make(map[string]*filter.Expr)}
+	c.plan = compile(c.subs)
+	return c
+}
+
+// Add registers (or replaces) a subscription's filter.
+func (c *Compound) Add(subID string, e *filter.Expr) error {
+	if err := e.Validate(); err != nil {
+		return fmt.Errorf("matching: add %s: %w", subID, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subs[subID] = e
+	c.plan = compile(c.subs)
+	return nil
+}
+
+// Remove drops a subscription.
+func (c *Compound) Remove(subID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.subs, subID)
+	c.plan = compile(c.subs)
+}
+
+// Len returns the number of registered subscriptions.
+func (c *Compound) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.subs)
+}
+
+// Stats describes the factoring achieved by the current plan.
+type Stats struct {
+	// Subscriptions is the number of registered subscriptions.
+	Subscriptions int
+	// TotalConds is the total number of leaf conditions across all
+	// subscription filters (what a naive matcher evaluates).
+	TotalConds int
+	// UniqueConds is the number of distinct conditions after
+	// common-subexpression elimination (what the compound evaluates).
+	UniqueConds int
+	// IndexedConds is how many of the unique conditions are resolved
+	// through the numeric threshold index.
+	IndexedConds int
+	// UniquePaths is the number of distinct accessor paths resolved
+	// per event.
+	UniquePaths int
+}
+
+// Stats returns the factoring statistics of the current plan.
+func (c *Compound) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.plan.stats
+}
+
+// Match returns the sorted IDs of all subscriptions whose filter accepts
+// the event. Conditions that fail to evaluate (missing accessor, type
+// mismatch) count as false for the affected subscriptions only.
+func (c *Compound) Match(event any) []string {
+	c.mu.RLock()
+	p := c.plan
+	c.mu.RUnlock()
+	return p.match(event)
+}
+
+// MatchNaive evaluates every subscription's filter independently. It is
+// the baseline the compound matcher is benchmarked against, and the
+// reference implementation for transparency tests.
+func (c *Compound) MatchNaive(event any) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for id, e := range c.subs {
+		ok, err := filter.Evaluate(e, event)
+		if err == nil && ok {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- compilation ---
+
+// plan is an immutable compiled matcher.
+type plan struct {
+	conds   []*filter.Cond // unique conditions, by slot
+	formula map[string]*node
+
+	// paths: unique accessor paths resolved once per event.
+	paths    []pathSlot
+	pathSlot map[string]int
+
+	// direct: conditions evaluated one-by-one (referencing path slots).
+	direct []directCond
+
+	// Numeric threshold groups, keyed by path slot.
+	groups []thresholdGroup
+
+	stats Stats
+}
+
+type pathSlot struct {
+	path []string
+}
+
+// directCond is a non-indexed condition: operands are either path slots
+// or constants.
+type directCond struct {
+	slot     int // condition slot to fill
+	op       filter.CmpOp
+	lhsPath  int // -1 if constant
+	lhsConst filter.Constant
+	rhsPath  int
+	rhsConst filter.Constant
+}
+
+// thresholdGroup evaluates all `path op const-number` conditions for one
+// path with binary searches.
+type thresholdGroup struct {
+	pathIdx int
+	// Sorted ascending by threshold, one list per operator family.
+	lt, le, gt, ge []thresholdCond
+	eq             map[float64][]int // threshold -> condition slots
+	ne             []thresholdCond
+}
+
+type thresholdCond struct {
+	threshold float64
+	slot      int
+}
+
+// node is a boolean formula over condition slots.
+type node struct {
+	kind     filter.ExprKind
+	children []*node
+	slot     int // KindLeaf
+}
+
+// compile builds a plan from the current subscription set.
+func compile(subs map[string]*filter.Expr) *plan {
+	p := &plan{
+		formula:  make(map[string]*node, len(subs)),
+		pathSlot: make(map[string]int),
+	}
+	condSlot := make(map[string]int)
+
+	ids := make([]string, 0, len(subs))
+	for id := range subs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic plans
+
+	total := 0
+	for _, id := range ids {
+		p.formula[id] = p.compileExpr(subs[id], condSlot, &total)
+	}
+
+	// Partition unique conditions into indexed and direct.
+	groupByPath := make(map[int]*thresholdGroup)
+	for i, cond := range p.conds {
+		if tg := p.tryIndex(i, cond, groupByPath); tg {
+			continue
+		}
+		p.direct = append(p.direct, p.compileDirect(i, cond))
+	}
+	// Deterministic group order.
+	slots := make([]int, 0, len(groupByPath))
+	for s := range groupByPath {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	indexed := 0
+	for _, s := range slots {
+		g := groupByPath[s]
+		for _, l := range [][]thresholdCond{g.lt, g.le, g.gt, g.ge, g.ne} {
+			sort.Slice(l, func(i, j int) bool { return l[i].threshold < l[j].threshold })
+			indexed += len(l)
+		}
+		for _, cs := range g.eq {
+			indexed += len(cs)
+		}
+		p.groups = append(p.groups, *g)
+	}
+
+	p.stats = Stats{
+		Subscriptions: len(subs),
+		TotalConds:    total,
+		UniqueConds:   len(p.conds),
+		IndexedConds:  indexed,
+		UniquePaths:   len(p.paths),
+	}
+	return p
+}
+
+// compileExpr interns leaf conditions and returns the formula.
+func (p *plan) compileExpr(e *filter.Expr, condSlot map[string]int, total *int) *node {
+	switch e.Kind {
+	case filter.KindConstTrue, filter.KindConstFalse:
+		return &node{kind: e.Kind}
+	case filter.KindLeaf:
+		*total++
+		key := e.Cond.Canon()
+		slot, ok := condSlot[key]
+		if !ok {
+			slot = len(p.conds)
+			condSlot[key] = slot
+			p.conds = append(p.conds, e.Cond)
+		}
+		return &node{kind: filter.KindLeaf, slot: slot}
+	default:
+		n := &node{kind: e.Kind, children: make([]*node, len(e.Children))}
+		for i, c := range e.Children {
+			n.children[i] = p.compileExpr(c, condSlot, total)
+		}
+		return n
+	}
+}
+
+// internPath returns the slot of an accessor path, creating it if new.
+func (p *plan) internPath(path []string) int {
+	key := strings.Join(path, ".")
+	if s, ok := p.pathSlot[key]; ok {
+		return s
+	}
+	s := len(p.paths)
+	p.pathSlot[key] = s
+	p.paths = append(p.paths, pathSlot{path: path})
+	return s
+}
+
+// tryIndex adds `path op numeric-const` conditions to a threshold group.
+// Returns false when the condition does not fit the index shape.
+func (p *plan) tryIndex(slot int, c *filter.Cond, groups map[int]*thresholdGroup) bool {
+	if len(c.LHS.Path) == 0 || len(c.RHS.Path) != 0 {
+		return false
+	}
+	if c.RHS.Const.Kind != filter.ConstInt && c.RHS.Const.Kind != filter.ConstFloat {
+		return false
+	}
+	switch c.Op {
+	case filter.OpLt, filter.OpLe, filter.OpGt, filter.OpGe, filter.OpEq, filter.OpNe:
+	default:
+		return false
+	}
+	pi := p.internPath(c.LHS.Path)
+	g, ok := groups[pi]
+	if !ok {
+		g = &thresholdGroup{pathIdx: pi, eq: make(map[float64][]int)}
+		groups[pi] = g
+	}
+	th := c.RHS.Const.AsFloat()
+	tc := thresholdCond{threshold: th, slot: slot}
+	switch c.Op {
+	case filter.OpLt:
+		g.lt = append(g.lt, tc)
+	case filter.OpLe:
+		g.le = append(g.le, tc)
+	case filter.OpGt:
+		g.gt = append(g.gt, tc)
+	case filter.OpGe:
+		g.ge = append(g.ge, tc)
+	case filter.OpEq:
+		g.eq[th] = append(g.eq[th], slot)
+	case filter.OpNe:
+		g.ne = append(g.ne, tc)
+	}
+	return true
+}
+
+// compileDirect prepares a directly evaluated condition.
+func (p *plan) compileDirect(slot int, c *filter.Cond) directCond {
+	d := directCond{slot: slot, op: c.Op, lhsPath: -1, rhsPath: -1}
+	if len(c.LHS.Path) > 0 {
+		d.lhsPath = p.internPath(c.LHS.Path)
+	} else {
+		d.lhsConst = c.LHS.Const
+	}
+	if len(c.RHS.Path) > 0 {
+		d.rhsPath = p.internPath(c.RHS.Path)
+	} else {
+		d.rhsConst = c.RHS.Const
+	}
+	return d
+}
+
+// --- matching ---
+
+// Tri-state condition outcomes. A condition that fails to evaluate
+// poisons (rejects) exactly the subscriptions whose formula reaches it,
+// matching filter.Evaluate's short-circuiting error semantics.
+const (
+	rFalse uint8 = iota
+	rTrue
+	rErr
+)
+
+// match evaluates the plan against one event.
+func (p *plan) match(event any) []string {
+	// 1. Resolve every unique path once.
+	rv := reflect.ValueOf(event)
+	vals := make([]filter.Constant, len(p.paths))
+	valOK := make([]bool, len(p.paths))
+	for i, ps := range p.paths {
+		v, err := filter.ResolvePath(rv, ps.path)
+		if err != nil {
+			continue
+		}
+		c, err := filter.ValueOf(v)
+		if err != nil {
+			continue
+		}
+		vals[i], valOK[i] = c, true
+	}
+
+	// 2. Evaluate unique conditions.
+	results := make([]uint8, len(p.conds))
+
+	// 2a. Threshold groups: one comparison set per path.
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		groupErr := !valOK[g.pathIdx]
+		var v float64
+		if !groupErr {
+			c := vals[g.pathIdx]
+			if c.Kind != filter.ConstInt && c.Kind != filter.ConstFloat {
+				groupErr = true // type mismatch errors in direct evaluation
+			} else {
+				v = c.AsFloat()
+			}
+		}
+		if groupErr {
+			for _, l := range [][]thresholdCond{g.lt, g.le, g.gt, g.ge, g.ne} {
+				for _, tc := range l {
+					results[tc.slot] = rErr
+				}
+			}
+			for _, slots := range g.eq {
+				for _, slot := range slots {
+					results[slot] = rErr
+				}
+			}
+			continue
+		}
+		// path < threshold holds for every threshold strictly above v.
+		idx := sort.Search(len(g.lt), func(i int) bool { return g.lt[i].threshold > v })
+		for _, tc := range g.lt[idx:] {
+			results[tc.slot] = rTrue
+		}
+		// path <= threshold holds for thresholds >= v.
+		idx = sort.Search(len(g.le), func(i int) bool { return g.le[i].threshold >= v })
+		for _, tc := range g.le[idx:] {
+			results[tc.slot] = rTrue
+		}
+		// path > threshold holds for thresholds strictly below v.
+		idx = sort.Search(len(g.gt), func(i int) bool { return g.gt[i].threshold >= v })
+		for _, tc := range g.gt[:idx] {
+			results[tc.slot] = rTrue
+		}
+		// path >= threshold holds for thresholds <= v.
+		idx = sort.Search(len(g.ge), func(i int) bool { return g.ge[i].threshold > v })
+		for _, tc := range g.ge[:idx] {
+			results[tc.slot] = rTrue
+		}
+		for _, slot := range g.eq[v] {
+			results[slot] = rTrue
+		}
+		for _, tc := range g.ne {
+			if tc.threshold != v {
+				results[tc.slot] = rTrue
+			}
+		}
+	}
+
+	// 2b. Direct conditions.
+	for _, d := range p.direct {
+		lhs, rhs := d.lhsConst, d.rhsConst
+		if d.lhsPath >= 0 {
+			if !valOK[d.lhsPath] {
+				results[d.slot] = rErr
+				continue
+			}
+			lhs = vals[d.lhsPath]
+		}
+		if d.rhsPath >= 0 {
+			if !valOK[d.rhsPath] {
+				results[d.slot] = rErr
+				continue
+			}
+			rhs = vals[d.rhsPath]
+		}
+		ok, err := filter.Compare(d.op, lhs, rhs)
+		switch {
+		case err != nil:
+			results[d.slot] = rErr
+		case ok:
+			results[d.slot] = rTrue
+		}
+	}
+
+	// 3. Evaluate each subscription's formula over the results.
+	var out []string
+	for id, f := range p.formula {
+		if evalNode(f, results) == rTrue {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// evalNode evaluates a formula with the same child order and
+// short-circuiting as filter.Evaluate, so error propagation is
+// identical.
+func evalNode(n *node, results []uint8) uint8 {
+	switch n.kind {
+	case filter.KindConstTrue:
+		return rTrue
+	case filter.KindConstFalse:
+		return rFalse
+	case filter.KindLeaf:
+		return results[n.slot]
+	case filter.KindAnd:
+		for _, c := range n.children {
+			switch evalNode(c, results) {
+			case rErr:
+				return rErr
+			case rFalse:
+				return rFalse
+			}
+		}
+		return rTrue
+	case filter.KindOr:
+		for _, c := range n.children {
+			switch evalNode(c, results) {
+			case rErr:
+				return rErr
+			case rTrue:
+				return rTrue
+			}
+		}
+		return rFalse
+	case filter.KindNot:
+		switch evalNode(n.children[0], results) {
+		case rErr:
+			return rErr
+		case rTrue:
+			return rFalse
+		default:
+			return rTrue
+		}
+	default:
+		return rErr
+	}
+}

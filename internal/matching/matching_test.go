@@ -1,0 +1,284 @@
+package matching
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"govents/internal/filter"
+)
+
+type quote struct {
+	Company string
+	Price   float64
+	Amount  int
+}
+
+func TestMatchBasic(t *testing.T) {
+	c := New()
+	if err := c.Add("cheap", filter.Path("Price").Lt(filter.Float(100))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("telco", filter.Path("Company").Contains(filter.Str("Telco"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("both", filter.And(
+		filter.Path("Price").Lt(filter.Float(100)),
+		filter.Path("Company").Contains(filter.Str("Telco")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+
+	got := c.Match(quote{Company: "Telco Mobiles", Price: 80})
+	want := []string{"both", "cheap", "telco"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Match = %v, want %v", got, want)
+	}
+
+	got = c.Match(quote{Company: "Acme", Price: 80})
+	if !reflect.DeepEqual(got, []string{"cheap"}) {
+		t.Errorf("Match = %v", got)
+	}
+
+	got = c.Match(quote{Company: "Telco", Price: 200})
+	if !reflect.DeepEqual(got, []string{"telco"}) {
+		t.Errorf("Match = %v", got)
+	}
+}
+
+func TestMatchTrueFilter(t *testing.T) {
+	c := New()
+	_ = c.Add("all", filter.True())
+	if got := c.Match(quote{}); !reflect.DeepEqual(got, []string{"all"}) {
+		t.Errorf("Match = %v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New()
+	_ = c.Add("a", filter.True())
+	_ = c.Add("b", filter.True())
+	c.Remove("a")
+	if got := c.Match(quote{}); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("Match = %v", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	c := New()
+	_ = c.Add("s", filter.Path("Price").Lt(filter.Float(10)))
+	_ = c.Add("s", filter.Path("Price").Gt(filter.Float(10)))
+	if got := c.Match(quote{Price: 5}); len(got) != 0 {
+		t.Errorf("old filter still active: %v", got)
+	}
+	if got := c.Match(quote{Price: 15}); !reflect.DeepEqual(got, []string{"s"}) {
+		t.Errorf("Match = %v", got)
+	}
+}
+
+func TestAddRejectsInvalid(t *testing.T) {
+	c := New()
+	if err := c.Add("bad", filter.And()); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestStatsFactoring(t *testing.T) {
+	c := New()
+	// 50 subscriptions sharing one condition verbatim.
+	shared := filter.Path("Company").Contains(filter.Str("Telco"))
+	for i := 0; i < 50; i++ {
+		f := filter.And(
+			filter.Path("Company").Contains(filter.Str("Telco")),
+			filter.Path("Price").Lt(filter.Float(float64(i))),
+		)
+		if err := c.Add(fmt.Sprintf("s%d", i), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = shared
+	st := c.Stats()
+	if st.Subscriptions != 50 {
+		t.Errorf("Subscriptions = %d", st.Subscriptions)
+	}
+	if st.TotalConds != 100 {
+		t.Errorf("TotalConds = %d", st.TotalConds)
+	}
+	// 1 shared Contains + 50 distinct thresholds.
+	if st.UniqueConds != 51 {
+		t.Errorf("UniqueConds = %d, want 51", st.UniqueConds)
+	}
+	if st.IndexedConds != 50 {
+		t.Errorf("IndexedConds = %d, want 50", st.IndexedConds)
+	}
+	// Price and Company only.
+	if st.UniquePaths != 2 {
+		t.Errorf("UniquePaths = %d, want 2", st.UniquePaths)
+	}
+}
+
+func TestThresholdIndexAllOperators(t *testing.T) {
+	c := New()
+	_ = c.Add("lt", filter.Path("Price").Lt(filter.Float(100)))
+	_ = c.Add("le", filter.Path("Price").Le(filter.Float(100)))
+	_ = c.Add("gt", filter.Path("Price").Gt(filter.Float(100)))
+	_ = c.Add("ge", filter.Path("Price").Ge(filter.Float(100)))
+	_ = c.Add("eq", filter.Path("Price").Eq(filter.Float(100)))
+	_ = c.Add("ne", filter.Path("Price").Ne(filter.Float(100)))
+
+	tests := []struct {
+		price float64
+		want  []string
+	}{
+		{50, []string{"le", "lt", "ne"}},
+		{100, []string{"eq", "ge", "le"}},
+		{150, []string{"ge", "gt", "ne"}},
+	}
+	for _, tt := range tests {
+		got := c.Match(quote{Price: tt.price})
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("price %v: Match = %v, want %v", tt.price, got, tt.want)
+		}
+	}
+}
+
+func TestMixedIntFloatThresholds(t *testing.T) {
+	c := New()
+	_ = c.Add("int", filter.Path("Amount").Lt(filter.Int(10)))
+	_ = c.Add("float", filter.Path("Amount").Lt(filter.Float(9.5)))
+	got := c.Match(quote{Amount: 9})
+	if !reflect.DeepEqual(got, []string{"float", "int"}) {
+		t.Errorf("Match = %v", got)
+	}
+}
+
+func TestErrorPoisonsOnlyAffectedSubscriptions(t *testing.T) {
+	c := New()
+	_ = c.Add("good", filter.Path("Price").Ge(filter.Float(0)))
+	_ = c.Add("missing", filter.Path("NoSuchField").Eq(filter.Int(1)))
+	_ = c.Add("not-missing", filter.Not(filter.Path("NoSuchField").Eq(filter.Int(1))))
+	got := c.Match(quote{Price: 1})
+	// "missing" errors -> rejected. "not-missing" must ALSO be
+	// rejected: filter.Evaluate propagates the error through Not
+	// rather than negating an error into acceptance.
+	if !reflect.DeepEqual(got, []string{"good"}) {
+		t.Errorf("Match = %v, want [good]", got)
+	}
+}
+
+// --- transparency property: Match ≡ MatchNaive on random filters ---
+
+// randExpr builds a random filter over the quote fields.
+func randExpr(r *rand.Rand, depth int) *filter.Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return randLeaf(r)
+	}
+	switch r.Intn(4) {
+	case 0:
+		return filter.And(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 1:
+		return filter.Or(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 2:
+		return filter.Not(randExpr(r, depth-1))
+	default:
+		return randLeaf(r)
+	}
+}
+
+func randLeaf(r *rand.Rand) *filter.Expr {
+	ops := []filter.CmpOp{filter.OpEq, filter.OpNe, filter.OpLt, filter.OpLe, filter.OpGt, filter.OpGe}
+	switch r.Intn(5) {
+	case 0:
+		return filter.Path("Price").Cmp(ops[r.Intn(len(ops))], filter.Float(float64(r.Intn(20))))
+	case 1:
+		return filter.Path("Amount").Cmp(ops[r.Intn(len(ops))], filter.Int(int64(r.Intn(20))))
+	case 2:
+		return filter.Path("Company").Contains(filter.Str(string(rune('A' + r.Intn(4)))))
+	case 3:
+		// Occasionally reference a missing field to exercise error
+		// propagation.
+		return filter.Path("Ghost").Eq(filter.Int(1))
+	default:
+		return filter.Path("Company").Eq(filter.Str(string(rune('A' + r.Intn(4)))))
+	}
+}
+
+func TestCompoundTransparencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New()
+		n := 1 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			if err := c.Add(fmt.Sprintf("s%02d", i), randExpr(r, 3)); err != nil {
+				return false
+			}
+		}
+		for trial := 0; trial < 10; trial++ {
+			q := quote{
+				Company: string(rune('A' + r.Intn(5))),
+				Price:   float64(r.Intn(20)),
+				Amount:  r.Intn(20),
+			}
+			if !reflect.DeepEqual(c.Match(q), c.MatchNaive(q)) {
+				t.Logf("mismatch: seed=%d quote=%+v\n compound=%v\n naive=%v",
+					seed, q, c.Match(q), c.MatchNaive(q))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentMatchAndMutate(t *testing.T) {
+	c := New()
+	for i := 0; i < 10; i++ {
+		_ = c.Add(fmt.Sprintf("s%d", i), filter.Path("Price").Lt(filter.Float(float64(i))))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = c.Add(fmt.Sprintf("x%d", i%5), filter.Path("Amount").Gt(filter.Int(int64(i))))
+			c.Remove(fmt.Sprintf("x%d", (i+1)%5))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = c.Match(quote{Price: float64(i % 10), Amount: i})
+	}
+	<-done
+}
+
+func BenchmarkCompoundVsNaive(b *testing.B) {
+	for _, subs := range []int{10, 100, 1000} {
+		c := New()
+		r := rand.New(rand.NewSource(42))
+		for i := 0; i < subs; i++ {
+			f := filter.And(
+				filter.Path("Company").Contains(filter.Str("Telco")),
+				filter.Path("Price").Lt(filter.Float(float64(r.Intn(200)))),
+			)
+			if err := c.Add(fmt.Sprintf("s%d", i), f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		q := quote{Company: "Telco Mobiles", Price: 80}
+		b.Run(fmt.Sprintf("compound/subs=%d", subs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Match(q)
+			}
+		})
+		b.Run(fmt.Sprintf("naive/subs=%d", subs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.MatchNaive(q)
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package multicast
+
+import (
+	"fmt"
+
+	"govents/internal/codec"
+)
+
+// BestEffort is the weakest dissemination protocol: a unicast fanout with
+// no acknowledgements, retransmissions, or ordering. It models the
+// network-level multicast primitives (IP multicast and derivatives) that
+// the paper's DACE architecture uses for unreliable obvents (§4.2).
+type BestEffort struct {
+	mux    *Mux
+	stream string
+	self   string
+
+	queue   *deliveryQueue
+	members membership
+	lc      *lifecycle
+}
+
+var _ Group = (*BestEffort)(nil)
+
+// NewBestEffort creates a best-effort group on the given stream.
+func NewBestEffort(mux *Mux, stream string, deliver Deliver) *BestEffort {
+	g := &BestEffort{
+		mux:    mux,
+		stream: stream,
+		self:   mux.Addr(),
+		queue:  newDeliveryQueue(deliver),
+		lc:     newLifecycle(),
+	}
+	mux.Handle(stream, g.onMessage)
+	return g
+}
+
+// SetMembers implements Group.
+func (g *BestEffort) SetMembers(members []string) { g.members.set(members) }
+
+// Broadcast implements Group. Errors reaching individual members are
+// ignored — the protocol is best-effort by contract. The local node
+// always receives its own broadcast, whether or not it appears in the
+// membership.
+func (g *BestEffort) Broadcast(payload []byte) error {
+	return g.BroadcastTo(append(g.members.others(g.self), g.self), payload)
+}
+
+// BroadcastTo disseminates to an explicit destination set (which may
+// include the local node). It supports publisher-side filtering, where
+// the sender prunes destinations per message (paper §2.3.2).
+func (g *BestEffort) BroadcastTo(dests []string, payload []byte) error {
+	if g.lc.closed() {
+		return fmt.Errorf("multicast: besteffort %s: closed", g.stream)
+	}
+	wire, err := encodeMessage(&message{
+		Kind:    kindData,
+		Origin:  g.self,
+		ID:      codec.NewID(),
+		Payload: payload,
+	})
+	if err != nil {
+		return err
+	}
+	for _, addr := range dests {
+		if addr == g.self {
+			// Local delivery: the publishing node may itself
+			// subscribe.
+			g.queue.push(g.self, payload)
+			continue
+		}
+		_ = g.mux.Send(addr, g.stream, wire)
+	}
+	return nil
+}
+
+// Close implements Group.
+func (g *BestEffort) Close() error {
+	g.mux.Unhandle(g.stream)
+	g.lc.close()
+	g.queue.close()
+	return nil
+}
+
+func (g *BestEffort) onMessage(_ string, data []byte) {
+	m, err := decodeMessage(data)
+	if err != nil || m.Kind != kindData {
+		return
+	}
+	g.queue.push(m.Origin, m.Payload)
+}

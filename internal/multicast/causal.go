@@ -1,0 +1,135 @@
+package multicast
+
+import (
+	"sync"
+
+	"govents/internal/vclock"
+)
+
+// Causal layers vector-clock causal ordering (CBCAST-style) on top of
+// Reliable: obvents are delivered in an order consistent with the
+// happens-before relationship of their publications (paper §3.1.2,
+// [Lam78]). A message from origin j carrying clock V is deliverable at a
+// node once V[j] equals the node's clock for j plus one and V[k] is not
+// ahead of the node's clock for any other k; otherwise it is held back.
+type Causal struct {
+	inner   *Reliable
+	self    string
+	deliver Deliver
+
+	mu    sync.Mutex
+	clock vclock.VC
+	hold  []heldMsg
+}
+
+// heldMsg is a message waiting for its causal predecessors.
+type heldMsg struct {
+	origin  string
+	vc      vclock.VC
+	payload []byte
+}
+
+var _ Group = (*Causal)(nil)
+
+// NewCausal creates a causally ordered group on the given stream.
+func NewCausal(mux *Mux, stream string, deliver Deliver, opts Options) *Causal {
+	g := &Causal{
+		self:    mux.Addr(),
+		deliver: deliver,
+		clock:   vclock.New(),
+	}
+	g.inner = NewReliable(mux, stream, g.onInner, opts)
+	return g
+}
+
+// SetMembers implements Group.
+func (g *Causal) SetMembers(members []string) { g.inner.SetMembers(members) }
+
+// Broadcast implements Group.
+func (g *Causal) Broadcast(payload []byte) error {
+	g.mu.Lock()
+	g.clock.Tick(g.self)
+	vc := g.clock.Copy()
+	g.mu.Unlock()
+	wire, err := encodeMessage(&message{Kind: kindData, VC: vc, Payload: payload})
+	if err != nil {
+		return err
+	}
+	return g.inner.Broadcast(wire)
+}
+
+// Close implements Group.
+func (g *Causal) Close() error { return g.inner.Close() }
+
+// Held returns the number of messages waiting for causal predecessors
+// (test and monitoring aid).
+func (g *Causal) Held() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.hold)
+}
+
+// onInner runs on the inner group's single delivery goroutine.
+func (g *Causal) onInner(origin string, data []byte) {
+	m, err := decodeMessage(data)
+	if err != nil {
+		return
+	}
+
+	if origin == g.self {
+		// Own publications were ticked at Broadcast and are always
+		// locally deliverable in publication order.
+		g.deliver(origin, m.Payload)
+		return
+	}
+
+	g.mu.Lock()
+	g.hold = append(g.hold, heldMsg{origin: origin, vc: m.VC, payload: m.Payload})
+	ready := g.releaseLocked()
+	g.mu.Unlock()
+
+	for _, h := range ready {
+		g.deliver(h.origin, h.payload)
+	}
+}
+
+// releaseLocked repeatedly scans the hold-back queue, releasing every
+// message whose causal predecessors have been delivered, until a
+// fixpoint is reached. Caller holds g.mu.
+func (g *Causal) releaseLocked() []heldMsg {
+	var ready []heldMsg
+	for {
+		progress := false
+		for i := 0; i < len(g.hold); i++ {
+			h := g.hold[i]
+			if !g.deliverableLocked(h) {
+				continue
+			}
+			// Deliver: advance the local clock to include it.
+			g.clock.Merge(h.vc)
+			ready = append(ready, h)
+			g.hold = append(g.hold[:i], g.hold[i+1:]...)
+			i--
+			progress = true
+		}
+		if !progress {
+			return ready
+		}
+	}
+}
+
+// deliverableLocked applies the CBCAST condition.
+func (g *Causal) deliverableLocked(h heldMsg) bool {
+	for k, v := range h.vc {
+		if k == h.origin {
+			if v != g.clock.Get(k)+1 {
+				return false
+			}
+			continue
+		}
+		if v > g.clock.Get(k) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package multicast
+
+import (
+	"fmt"
+	"sync"
+
+	"govents/internal/codec"
+	"govents/internal/store"
+)
+
+// CertSubscriber identifies a durable subscriber of a certified group:
+// its stable durable ID (the paper's activate(long id), §3.4.1, which
+// lets a subscription outlive its hosting process) and its current
+// transport address, which may change across restarts.
+type CertSubscriber struct {
+	DurableID string
+	Addr      string
+}
+
+// Certified implements the paper's Certified delivery semantics
+// (§3.1.2): "even if a notifiable temporarily disconnects or fails, it
+// will eventually deliver the obvent". The publisher persists every
+// broadcast in a store.Log and retransmits to each registered durable
+// subscriber until that subscriber acknowledges; subscribers
+// deduplicate through a durable store.Set so redeliveries after a crash
+// are delivered exactly once.
+type Certified struct {
+	mux    *Mux
+	stream string
+	self   string
+	opts   Options
+
+	queue *deliveryQueue
+	lc    *lifecycle
+
+	log   store.Log // publisher-side durable outbox
+	dedup store.Set // subscriber-side durable delivered set
+
+	mu        sync.Mutex
+	subs      map[string]string // durable ID -> current address
+	durableID string            // our identity when acknowledging
+}
+
+var _ Group = (*Certified)(nil)
+
+// NewCertified creates a certified group. log is the publisher-side
+// durable outbox; dedup is the subscriber-side durable delivered set
+// (pass store.NewMemSet() when at-least-once is acceptable or the node
+// never subscribes).
+func NewCertified(mux *Mux, stream string, log store.Log, dedup store.Set, deliver Deliver, opts Options) *Certified {
+	opts = opts.withDefaults()
+	g := &Certified{
+		mux:    mux,
+		stream: stream,
+		self:   mux.Addr(),
+		opts:   opts,
+		queue:  newDeliveryQueue(deliver),
+		lc:     newLifecycle(),
+		log:    log,
+		dedup:  dedup,
+		subs:   make(map[string]string),
+	}
+	mux.Handle(stream, g.onMessage)
+	g.lc.goTick(opts.RetransmitInterval, g.redeliver)
+	return g
+}
+
+// SetSubscribers replaces the set of durable subscribers. New durable
+// IDs are registered as consumers of the outbox log and are owed every
+// entry not yet garbage-collected; a subscriber reconnecting under a new
+// address receives its pending backlog there.
+func (g *Certified) SetSubscribers(subs []CertSubscriber) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	next := make(map[string]string, len(subs))
+	for _, s := range subs {
+		next[s.DurableID] = s.Addr
+		if _, known := g.subs[s.DurableID]; !known {
+			if err := g.log.RegisterConsumer(s.DurableID); err != nil {
+				return fmt.Errorf("multicast: certified %s: register %s: %w", g.stream, s.DurableID, err)
+			}
+		}
+	}
+	// Note: durable IDs that disappear are intentionally NOT
+	// unregistered from the log — a disconnected subscriber is exactly
+	// the case certified delivery exists for. Use Unsubscribe for a
+	// permanent goodbye.
+	g.subs = next
+	return nil
+}
+
+// Unsubscribe permanently removes a durable subscriber; its pending
+// entries become garbage-collectable.
+func (g *Certified) Unsubscribe(durableID string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.subs, durableID)
+	return g.log.UnregisterConsumer(durableID)
+}
+
+// SetMembers implements Group by treating each address as a durable
+// subscriber whose ID is the address itself. Groups needing durable IDs
+// distinct from addresses use SetSubscribers.
+func (g *Certified) SetMembers(members []string) {
+	subs := make([]CertSubscriber, 0, len(members))
+	for _, addr := range members {
+		if addr == g.self {
+			continue
+		}
+		subs = append(subs, CertSubscriber{DurableID: addr, Addr: addr})
+	}
+	_ = g.SetSubscribers(subs)
+}
+
+// Broadcast implements Group: the payload is persisted before any
+// transmission (write-ahead), then pushed to all currently connected
+// subscribers. Retransmission to absent or unacknowledged subscribers is
+// driven by the redelivery tick.
+func (g *Certified) Broadcast(payload []byte) error {
+	if g.lc.closed() {
+		return fmt.Errorf("multicast: certified %s: closed", g.stream)
+	}
+	id := codec.NewID()
+	if err := g.log.Append(store.Entry{ID: id, Payload: payload}); err != nil {
+		return fmt.Errorf("multicast: certified %s: persist: %w", g.stream, err)
+	}
+	wire, err := encodeMessage(&message{Kind: kindCertData, Origin: g.self, ID: id, Payload: payload})
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	addrs := make([]string, 0, len(g.subs))
+	for _, addr := range g.subs {
+		addrs = append(addrs, addr)
+	}
+	g.mu.Unlock()
+	for _, addr := range addrs {
+		_ = g.mux.Send(addr, g.stream, wire)
+	}
+	// Local delivery for a publishing subscriber node.
+	g.queue.push(g.self, payload)
+	return nil
+}
+
+// Close implements Group.
+func (g *Certified) Close() error {
+	g.mux.Unhandle(g.stream)
+	g.lc.close()
+	g.queue.close()
+	return nil
+}
+
+// GC drops fully acknowledged entries from the outbox.
+func (g *Certified) GC() (int, error) { return g.log.GC() }
+
+// redeliver pushes each subscriber's pending backlog.
+func (g *Certified) redeliver() {
+	g.mu.Lock()
+	subs := make(map[string]string, len(g.subs))
+	for id, addr := range g.subs {
+		subs[id] = addr
+	}
+	g.mu.Unlock()
+
+	for durableID, addr := range subs {
+		pending, err := g.log.Pending(durableID)
+		if err != nil {
+			continue
+		}
+		for _, e := range pending {
+			wire, err := encodeMessage(&message{Kind: kindCertData, Origin: g.self, ID: e.ID, Payload: e.Payload})
+			if err != nil {
+				continue
+			}
+			_ = g.mux.Send(addr, g.stream, wire)
+		}
+	}
+}
+
+// DurableID returns the durable subscriber identity this node
+// acknowledges under. It defaults to the node address; override with
+// SetDurableID before subscribing durably.
+func (g *Certified) DurableID() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.durableID != "" {
+		return g.durableID
+	}
+	return g.self
+}
+
+// SetDurableID sets the durable identity used in acknowledgements.
+func (g *Certified) SetDurableID(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.durableID = id
+}
+
+func (g *Certified) onMessage(from string, data []byte) {
+	m, err := decodeMessage(data)
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case kindCertData:
+		// Acknowledge under our durable identity — after durably
+		// recording the delivery, so a crash between deliver and ack
+		// causes redelivery that the dedup set suppresses.
+		seen, err := g.dedup.Has(m.ID)
+		if err != nil {
+			return
+		}
+		if !seen {
+			if err := g.dedup.Add(m.ID); err != nil {
+				return // do not ack what we could not record
+			}
+			g.queue.push(m.Origin, m.Payload)
+		}
+		ack, err := encodeMessage(&message{Kind: kindCertAck, Origin: g.DurableID(), ID: m.ID})
+		if err == nil {
+			_ = g.mux.Send(from, g.stream, ack)
+		}
+	case kindCertAck:
+		_ = g.log.Ack(m.Origin, m.ID)
+	}
+}

@@ -1,0 +1,92 @@
+package multicast
+
+import "sync"
+
+// FIFO layers publisher-side ordering on top of Reliable: two obvents
+// published through the same publisher are delivered to every member in
+// publication order (paper §3.1.2, FIFO ordered obvents). Messages from
+// different publishers are not ordered relative to each other.
+type FIFO struct {
+	inner   *Reliable
+	deliver Deliver
+
+	mu       sync.Mutex
+	nextSeq  uint64                       // local publication counter
+	expected map[string]uint64            // origin -> next seq to deliver
+	hold     map[string]map[uint64][]byte // origin -> seq -> payload
+}
+
+var _ Group = (*FIFO)(nil)
+
+// NewFIFO creates a FIFO-ordered group on the given stream.
+func NewFIFO(mux *Mux, stream string, deliver Deliver, opts Options) *FIFO {
+	g := &FIFO{
+		deliver:  deliver,
+		expected: make(map[string]uint64),
+		hold:     make(map[string]map[uint64][]byte),
+	}
+	g.inner = NewReliable(mux, stream, g.onInner, opts)
+	return g
+}
+
+// SetMembers implements Group.
+func (g *FIFO) SetMembers(members []string) { g.inner.SetMembers(members) }
+
+// Broadcast implements Group.
+func (g *FIFO) Broadcast(payload []byte) error {
+	g.mu.Lock()
+	g.nextSeq++
+	seq := g.nextSeq
+	g.mu.Unlock()
+	wire, err := encodeMessage(&message{Kind: kindData, Seq: seq, Payload: payload})
+	if err != nil {
+		return err
+	}
+	return g.inner.Broadcast(wire)
+}
+
+// Close implements Group.
+func (g *FIFO) Close() error { return g.inner.Close() }
+
+// onInner receives reliably-delivered messages and releases them in
+// per-origin sequence order.
+func (g *FIFO) onInner(origin string, data []byte) {
+	m, err := decodeMessage(data)
+	if err != nil {
+		return
+	}
+
+	var ready [][]byte
+	g.mu.Lock()
+	if _, ok := g.expected[origin]; !ok {
+		g.expected[origin] = 1
+	}
+	switch {
+	case m.Seq == g.expected[origin]:
+		ready = append(ready, m.Payload)
+		g.expected[origin]++
+		// Release any consecutively buffered successors.
+		for {
+			q := g.hold[origin]
+			p, ok := q[g.expected[origin]]
+			if !ok {
+				break
+			}
+			delete(q, g.expected[origin])
+			ready = append(ready, p)
+			g.expected[origin]++
+		}
+	case m.Seq > g.expected[origin]:
+		if g.hold[origin] == nil {
+			g.hold[origin] = make(map[uint64][]byte)
+		}
+		g.hold[origin][m.Seq] = m.Payload
+	default:
+		// Stale duplicate below the expected sequence: drop.
+	}
+	g.mu.Unlock()
+
+	for _, p := range ready {
+		g.deliver(origin, p)
+	}
+}

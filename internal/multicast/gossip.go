@@ -1,0 +1,205 @@
+package multicast
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"govents/internal/codec"
+)
+
+// Gossip implements probabilistic broadcast in the style of lpbcast
+// ([EGH+01], which the paper's DACE architecture uses for scalable
+// dissemination with weak guarantees, §4.2). Each node buffers recently
+// seen events; every gossip period it forwards its active events to a
+// few random peers (the fanout); events age out after a fixed number of
+// rounds. Delivery is probabilistic: with adequate fanout and rounds the
+// protocol delivers to almost all members with high probability, at a
+// per-node cost independent of group size.
+type Gossip struct {
+	mux    *Mux
+	stream string
+	self   string
+	opts   Options
+
+	queue *deliveryQueue
+	lc    *lifecycle
+
+	members membership
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	seen   map[string]bool         // event IDs ever seen (dedup)
+	active map[string]*gossipEvent // events still being relayed
+}
+
+// gossipEvent is a buffered event with remaining rounds-to-live.
+type gossipEvent struct {
+	origin  string
+	rounds  int
+	payload []byte
+}
+
+var _ Group = (*Gossip)(nil)
+
+// NewGossip creates a gossip group on the given stream.
+func NewGossip(mux *Mux, stream string, deliver Deliver, opts Options) *Gossip {
+	opts = opts.withDefaults()
+	g := &Gossip{
+		mux:    mux,
+		stream: stream,
+		self:   mux.Addr(),
+		opts:   opts,
+		queue:  newDeliveryQueue(deliver),
+		lc:     newLifecycle(),
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		seen:   make(map[string]bool),
+		active: make(map[string]*gossipEvent),
+	}
+	mux.Handle(stream, g.onMessage)
+	g.lc.goTick(opts.GossipPeriod, g.round)
+	return g
+}
+
+// SetMembers implements Group.
+func (g *Gossip) SetMembers(members []string) { g.members.set(members) }
+
+// Broadcast implements Group: the event is delivered locally and enters
+// the gossip buffer; dissemination happens over subsequent rounds.
+func (g *Gossip) Broadcast(payload []byte) error {
+	if g.lc.closed() {
+		return fmt.Errorf("multicast: gossip %s: closed", g.stream)
+	}
+	id := codec.NewID()
+	g.mu.Lock()
+	g.seen[id] = true
+	g.active[id] = &gossipEvent{origin: g.self, rounds: g.opts.GossipRounds, payload: payload}
+	g.mu.Unlock()
+	g.queue.push(g.self, payload)
+	return nil
+}
+
+// Close implements Group.
+func (g *Gossip) Close() error {
+	g.mux.Unhandle(g.stream)
+	g.lc.close()
+	g.queue.close()
+	return nil
+}
+
+// round performs one gossip round: pick fanout random peers and push all
+// active events to each, then age the events.
+func (g *Gossip) round() {
+	peers := g.pickPeers()
+	if len(peers) == 0 {
+		return
+	}
+
+	g.mu.Lock()
+	batch := make([]*message, 0, len(g.active))
+	for id, ev := range g.active {
+		batch = append(batch, &message{
+			Kind:    kindGossip,
+			Origin:  ev.origin,
+			ID:      id,
+			Rounds:  uint8(ev.rounds),
+			Payload: ev.payload,
+		})
+		ev.rounds--
+		if ev.rounds <= 0 {
+			delete(g.active, id) // infect-and-die: stop relaying
+		}
+	}
+	g.mu.Unlock()
+
+	if len(batch) == 0 {
+		return
+	}
+	wire, err := encodeBatch(batch)
+	if err != nil {
+		return
+	}
+	for _, peer := range peers {
+		_ = g.mux.Send(peer, g.stream, wire)
+	}
+}
+
+// pickPeers selects up to fanout random members other than self.
+func (g *Gossip) pickPeers() []string {
+	others := g.members.others(g.self)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(others) <= g.opts.GossipFanout {
+		return others
+	}
+	g.rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+	return others[:g.opts.GossipFanout]
+}
+
+func (g *Gossip) onMessage(_ string, data []byte) {
+	batch, err := decodeBatch(data)
+	if err != nil {
+		return
+	}
+	for _, m := range batch {
+		if m.Kind != kindGossip {
+			continue
+		}
+		g.mu.Lock()
+		if g.seen[m.ID] {
+			g.mu.Unlock()
+			continue
+		}
+		g.seen[m.ID] = true
+		if rounds := int(m.Rounds) - 1; rounds > 0 {
+			g.active[m.ID] = &gossipEvent{origin: m.Origin, rounds: rounds, payload: m.Payload}
+		}
+		g.mu.Unlock()
+		g.queue.push(m.Origin, m.Payload)
+	}
+}
+
+// encodeBatch frames a slice of messages as [count u16] ([len u32][msg])*.
+func encodeBatch(batch []*message) ([]byte, error) {
+	if len(batch) > 0xFFFF {
+		return nil, fmt.Errorf("multicast: gossip batch too large (%d)", len(batch))
+	}
+	out := binary.BigEndian.AppendUint16(nil, uint16(len(batch)))
+	for _, m := range batch {
+		wire, err := encodeMessage(m)
+		if err != nil {
+			return nil, err
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(wire)))
+		out = append(out, wire...)
+	}
+	return out, nil
+}
+
+// decodeBatch parses a gossip batch.
+func decodeBatch(data []byte) ([]*message, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("multicast: short gossip batch")
+	}
+	count := int(binary.BigEndian.Uint16(data[:2]))
+	off := 2
+	out := make([]*message, 0, count)
+	for i := 0; i < count; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("multicast: truncated gossip batch")
+		}
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		if off+n > len(data) {
+			return nil, fmt.Errorf("multicast: truncated gossip event")
+		}
+		m, err := decodeMessage(data[off : off+n])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package multicast
+
+import (
+	"sync"
+	"time"
+)
+
+// Options tune the timing and fault-tolerance parameters shared by the
+// protocols. Zero values select the defaults below.
+type Options struct {
+	// RetransmitInterval is the period between retransmissions of
+	// unacknowledged messages (Reliable, Certified, Total).
+	RetransmitInterval time.Duration
+	// RetransmitLimit bounds retransmission attempts per message for
+	// the Reliable protocol; 0 means retry forever.
+	RetransmitLimit int
+	// GossipPeriod is the interval between gossip rounds.
+	GossipPeriod time.Duration
+	// GossipFanout is the number of peers gossiped to per round.
+	GossipFanout int
+	// GossipRounds is the rounds-to-live of a gossiped event.
+	GossipRounds int
+	// Seed seeds the gossip peer-selection randomness (0 = fixed
+	// default, keeping runs reproducible).
+	Seed int64
+}
+
+// Default protocol timing parameters.
+const (
+	DefaultRetransmitInterval = 20 * time.Millisecond
+	DefaultGossipPeriod       = 10 * time.Millisecond
+	DefaultGossipFanout       = 3
+	DefaultGossipRounds       = 5
+)
+
+// withDefaults fills zero fields with defaults.
+func (o Options) withDefaults() Options {
+	if o.RetransmitInterval == 0 {
+		o.RetransmitInterval = DefaultRetransmitInterval
+	}
+	if o.GossipPeriod == 0 {
+		o.GossipPeriod = DefaultGossipPeriod
+	}
+	if o.GossipFanout == 0 {
+		o.GossipFanout = DefaultGossipFanout
+	}
+	if o.GossipRounds == 0 {
+		o.GossipRounds = DefaultGossipRounds
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// membership is the shared mutable member list of a group.
+type membership struct {
+	mu      sync.RWMutex
+	members []string
+}
+
+// set replaces the membership.
+func (m *membership) set(members []string) {
+	cp := make([]string, len(members))
+	copy(cp, members)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.members = cp
+}
+
+// snapshot returns the current member list (shared slice; callers must
+// not mutate).
+func (m *membership) snapshot() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.members
+}
+
+// others returns the members excluding self.
+func (m *membership) others(self string) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.members))
+	for _, addr := range m.members {
+		if addr != self {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// queuedMsg is one pending delivery.
+type queuedMsg struct {
+	origin  string
+	payload []byte
+}
+
+// deliveryQueue serializes a group's deliveries on a single goroutine.
+// This guarantees per-group delivery order regardless of which transport
+// goroutine received the message, and prevents re-entrancy deadlocks when
+// a handler publishes from inside a delivery (paper §5.3 explicitly
+// allows obvents publishing obvents).
+type deliveryQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []queuedMsg
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newDeliveryQueue starts the drain goroutine invoking deliver for each
+// queued message in order.
+func newDeliveryQueue(deliver Deliver) *deliveryQueue {
+	q := &deliveryQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	q.wg.Add(1)
+	go func() {
+		defer q.wg.Done()
+		for {
+			q.mu.Lock()
+			for len(q.items) == 0 && !q.closed {
+				q.cond.Wait()
+			}
+			if len(q.items) == 0 && q.closed {
+				q.mu.Unlock()
+				return
+			}
+			item := q.items[0]
+			q.items = q.items[1:]
+			q.mu.Unlock()
+			deliver(item.origin, item.payload)
+		}
+	}()
+	return q
+}
+
+// push enqueues a delivery; it never blocks. Pushes after close are
+// dropped.
+func (q *deliveryQueue) push(origin string, payload []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, queuedMsg{origin: origin, payload: payload})
+	q.cond.Signal()
+}
+
+// close drains remaining items and stops the goroutine.
+func (q *deliveryQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Signal()
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// lifecycle manages the background-goroutine shutdown of a protocol.
+type lifecycle struct {
+	once sync.Once
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newLifecycle() *lifecycle {
+	return &lifecycle{done: make(chan struct{})}
+}
+
+// goTick runs fn every interval until close.
+func (l *lifecycle) goTick(interval time.Duration, fn func()) {
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-l.done:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+}
+
+// close stops the background goroutines and waits for them.
+func (l *lifecycle) close() {
+	l.once.Do(func() { close(l.done) })
+	l.wg.Wait()
+}
+
+// closed reports whether close has been requested.
+func (l *lifecycle) closed() bool {
+	select {
+	case <-l.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,102 @@
+package multicast
+
+import (
+	"sync"
+	"testing"
+
+	"govents/internal/netsim"
+)
+
+func TestMuxFallbackAndRedeliver(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	a := newTestNode(t, net, "a")
+	b := newTestNode(t, net, "b")
+
+	var mu sync.Mutex
+	var fallbackStreams []string
+	var delivered []string
+	b.mux.SetFallback(func(stream, from string, payload []byte) {
+		mu.Lock()
+		fallbackStreams = append(fallbackStreams, stream)
+		mu.Unlock()
+		// Lazily register, then re-dispatch — the dace pattern.
+		b.mux.Handle(stream, func(from string, p []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			delivered = append(delivered, string(p))
+		})
+		b.mux.Redeliver(stream, from, payload)
+	})
+
+	_ = a.mux.Send("b", "lazy/stream", []byte("first"))
+	net.Settle()
+	_ = a.mux.Send("b", "lazy/stream", []byte("second"))
+	net.Settle()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fallbackStreams) != 1 || fallbackStreams[0] != "lazy/stream" {
+		t.Errorf("fallback invocations = %v, want exactly one", fallbackStreams)
+	}
+	if len(delivered) != 2 || delivered[0] != "first" || delivered[1] != "second" {
+		t.Errorf("delivered = %v; the fallback must not lose the first frame", delivered)
+	}
+}
+
+func TestMuxRedeliverUnknownStreamIsDropped(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	a := newTestNode(t, net, "a")
+	// No handler, no panic.
+	a.mux.Redeliver("ghost", "nobody", []byte("x"))
+}
+
+func TestMuxUnhandleStopsDelivery(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	a := newTestNode(t, net, "a")
+	b := newTestNode(t, net, "b")
+	var mu sync.Mutex
+	n := 0
+	b.mux.Handle("s", func(string, []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+	})
+	_ = a.mux.Send("b", "s", []byte("1"))
+	net.Settle()
+	b.mux.Unhandle("s")
+	_ = a.mux.Send("b", "s", []byte("2"))
+	net.Settle()
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 1 {
+		t.Errorf("delivered %d, want 1", n)
+	}
+}
+
+func TestMuxMalformedFramesIgnored(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	a, _ := net.NewEndpoint("raw")
+	b := newTestNode(t, net, "b")
+	b.mux.Handle("s", func(string, []byte) { t.Error("malformed frame dispatched") })
+	// Too short, and stream-length pointing past the end.
+	_ = a.Send("b", []byte{0x00})
+	_ = a.Send("b", []byte{0xFF, 0xFF, 'x'})
+	net.Settle()
+}
+
+func TestMuxStreamNameTooLong(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	a := newTestNode(t, net, "a")
+	long := make([]byte, 0x10001)
+	for i := range long {
+		long[i] = 's'
+	}
+	if err := a.mux.Send("a", string(long), nil); err == nil {
+		t.Error("oversized stream name must fail")
+	}
+}

@@ -1,0 +1,216 @@
+package multicast
+
+import (
+	"fmt"
+	"sync"
+
+	"govents/internal/codec"
+)
+
+// Reliable is an acknowledgement-based, sender-driven reliable broadcast:
+// the publisher retransmits a message to each member until that member
+// acknowledges it (or the retransmit limit is reached). Receivers
+// deduplicate by message ID. It realizes the paper's Reliable delivery
+// semantics (§3.1.2): "once successfully published, a reliable obvent
+// will be received by any notifiable that is up for long enough".
+//
+// The protocol tolerates message loss and duplication but not publisher
+// crash (there is no relay phase); that stronger guarantee is the domain
+// of the Certified protocol backed by stable storage.
+type Reliable struct {
+	mux    *Mux
+	stream string
+	self   string
+	opts   Options
+
+	queue   *deliveryQueue
+	members membership
+	lc      *lifecycle
+
+	mu        sync.Mutex
+	nextSeq   uint64
+	outbox    map[string]*outEntry // message ID -> retransmission state
+	delivered map[string]bool      // message IDs already delivered locally
+}
+
+// outEntry tracks one unacknowledged broadcast.
+type outEntry struct {
+	wire     []byte
+	pending  map[string]bool // members that have not acked yet
+	attempts int
+}
+
+var _ Group = (*Reliable)(nil)
+
+// NewReliable creates a reliable group on the given stream.
+func NewReliable(mux *Mux, stream string, deliver Deliver, opts Options) *Reliable {
+	opts = opts.withDefaults()
+	g := &Reliable{
+		mux:       mux,
+		stream:    stream,
+		self:      mux.Addr(),
+		opts:      opts,
+		queue:     newDeliveryQueue(deliver),
+		lc:        newLifecycle(),
+		outbox:    make(map[string]*outEntry),
+		delivered: make(map[string]bool),
+	}
+	mux.Handle(stream, g.onMessage)
+	g.lc.goTick(opts.RetransmitInterval, g.retransmit)
+	return g
+}
+
+// SetMembers implements Group. Members added after a broadcast do not
+// retroactively receive it; members removed are dropped from pending
+// acknowledgement sets at the next retransmission sweep.
+func (g *Reliable) SetMembers(members []string) { g.members.set(members) }
+
+// Broadcast implements Group. The local node always receives its own
+// broadcast, whether or not it appears in the membership.
+func (g *Reliable) Broadcast(payload []byte) error {
+	return g.BroadcastTo(append(g.members.others(g.self), g.self), payload)
+}
+
+// BroadcastTo reliably disseminates to an explicit destination set
+// (which may include the local node), supporting publisher-side
+// filtering (paper §2.3.2). Destinations that subsequently leave the
+// membership stop being owed retransmissions.
+func (g *Reliable) BroadcastTo(dests []string, payload []byte) error {
+	if g.lc.closed() {
+		return fmt.Errorf("multicast: reliable %s: closed", g.stream)
+	}
+	toSelf := false
+	others := make([]string, 0, len(dests))
+	for _, addr := range dests {
+		if addr == g.self {
+			toSelf = true
+			continue
+		}
+		others = append(others, addr)
+	}
+
+	g.mu.Lock()
+	g.nextSeq++
+	m := &message{
+		Kind:    kindData,
+		Origin:  g.self,
+		Seq:     g.nextSeq,
+		ID:      codec.NewID(),
+		Payload: payload,
+	}
+	wire, err := encodeMessage(m)
+	if err != nil {
+		g.mu.Unlock()
+		return err
+	}
+	if len(others) > 0 {
+		pending := make(map[string]bool, len(others))
+		for _, addr := range others {
+			pending[addr] = true
+		}
+		g.outbox[m.ID] = &outEntry{wire: wire, pending: pending}
+	}
+	g.delivered[m.ID] = true
+	g.mu.Unlock()
+
+	for _, addr := range others {
+		_ = g.mux.Send(addr, g.stream, wire)
+	}
+	if toSelf {
+		g.queue.push(g.self, payload)
+	}
+	return nil
+}
+
+// Close implements Group.
+func (g *Reliable) Close() error {
+	g.mux.Unhandle(g.stream)
+	g.lc.close()
+	g.queue.close()
+	return nil
+}
+
+// Outstanding returns the number of broadcasts still awaiting
+// acknowledgements (test and monitoring aid).
+func (g *Reliable) Outstanding() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.outbox)
+}
+
+// retransmit resends unacknowledged messages and enforces the limit.
+func (g *Reliable) retransmit() {
+	type resend struct {
+		wire  []byte
+		addrs []string
+	}
+	current := make(map[string]bool)
+	for _, addr := range g.members.snapshot() {
+		current[addr] = true
+	}
+
+	g.mu.Lock()
+	var work []resend
+	for id, e := range g.outbox {
+		// Members that left the group no longer owe an ack.
+		for addr := range e.pending {
+			if !current[addr] {
+				delete(e.pending, addr)
+			}
+		}
+		if len(e.pending) == 0 {
+			delete(g.outbox, id)
+			continue
+		}
+		e.attempts++
+		if g.opts.RetransmitLimit > 0 && e.attempts > g.opts.RetransmitLimit {
+			delete(g.outbox, id) // give up
+			continue
+		}
+		addrs := make([]string, 0, len(e.pending))
+		for addr := range e.pending {
+			addrs = append(addrs, addr)
+		}
+		work = append(work, resend{wire: e.wire, addrs: addrs})
+	}
+	g.mu.Unlock()
+
+	for _, r := range work {
+		for _, addr := range r.addrs {
+			_ = g.mux.Send(addr, g.stream, r.wire)
+		}
+	}
+}
+
+func (g *Reliable) onMessage(from string, data []byte) {
+	m, err := decodeMessage(data)
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case kindData:
+		// Always ack, even for duplicates: the ack may have been lost.
+		ack, err := encodeMessage(&message{Kind: kindAck, Origin: g.self, ID: m.ID})
+		if err == nil {
+			_ = g.mux.Send(from, g.stream, ack)
+		}
+		g.mu.Lock()
+		dup := g.delivered[m.ID]
+		if !dup {
+			g.delivered[m.ID] = true
+		}
+		g.mu.Unlock()
+		if !dup {
+			g.queue.push(m.Origin, m.Payload)
+		}
+	case kindAck:
+		g.mu.Lock()
+		if e, ok := g.outbox[m.ID]; ok {
+			delete(e.pending, m.Origin)
+			if len(e.pending) == 0 {
+				delete(g.outbox, m.ID)
+			}
+		}
+		g.mu.Unlock()
+	}
+}

@@ -1,0 +1,169 @@
+package multicast
+
+import (
+	"fmt"
+	"sync"
+
+	"govents/internal/codec"
+)
+
+// Total implements totally ordered broadcast with a fixed sequencer: all
+// members deliver all messages in the same (subscriber-side) order, the
+// paper's TotalOrder delivery semantics (§3.1.2).
+//
+// Publications are routed to the sequencer, which assigns a global
+// sequence number and reliably broadcasts the stamped message; members
+// deliver in global-sequence order. Publishers retransmit unstamped
+// requests until they observe their own message sequenced, so the
+// protocol tolerates loss of both requests and stamped broadcasts; it
+// does not tolerate sequencer crash (sequencer election is outside the
+// paper's scope).
+type Total struct {
+	mux       *Mux
+	stream    string // sequencing-request stream
+	self      string
+	sequencer string
+	opts      Options
+	inner     *Reliable
+	deliver   Deliver
+	lc        *lifecycle
+
+	mu       sync.Mutex
+	nextGSeq uint64            // sequencer only
+	seenReqs map[string]bool   // sequencer: deduplicated request IDs
+	pending  map[string][]byte // our requests not yet observed sequenced
+	expected uint64            // next global sequence to deliver
+	hold     map[uint64]*message
+}
+
+var _ Group = (*Total)(nil)
+
+// NewTotal creates a totally ordered group on the given stream with the
+// designated sequencer address (every member must configure the same
+// sequencer).
+func NewTotal(mux *Mux, stream, sequencer string, deliver Deliver, opts Options) *Total {
+	opts = opts.withDefaults()
+	g := &Total{
+		mux:       mux,
+		stream:    stream + "!ord",
+		self:      mux.Addr(),
+		sequencer: sequencer,
+		opts:      opts,
+		deliver:   deliver,
+		lc:        newLifecycle(),
+		seenReqs:  make(map[string]bool),
+		pending:   make(map[string][]byte),
+		expected:  1,
+		hold:      make(map[uint64]*message),
+	}
+	g.inner = NewReliable(mux, stream, g.onInner, opts)
+	mux.Handle(g.stream, g.onOrderReq)
+	g.lc.goTick(opts.RetransmitInterval, g.retransmitRequests)
+	return g
+}
+
+// SetMembers implements Group.
+func (g *Total) SetMembers(members []string) { g.inner.SetMembers(members) }
+
+// Broadcast implements Group.
+func (g *Total) Broadcast(payload []byte) error {
+	if g.lc.closed() {
+		return fmt.Errorf("multicast: total %s: closed", g.stream)
+	}
+	id := codec.NewID()
+	if g.self == g.sequencer {
+		return g.sequence(id, g.self, payload)
+	}
+	req, err := encodeMessage(&message{Kind: kindOrderReq, Origin: g.self, ID: id, Payload: payload})
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.pending[id] = req
+	g.mu.Unlock()
+	return g.mux.Send(g.sequencer, g.stream, req)
+}
+
+// Close implements Group.
+func (g *Total) Close() error {
+	g.mux.Unhandle(g.stream)
+	g.lc.close()
+	return g.inner.Close()
+}
+
+// sequence stamps a message with the next global sequence number and
+// reliably broadcasts it. Sequencer only.
+func (g *Total) sequence(id, origin string, payload []byte) error {
+	g.mu.Lock()
+	if g.seenReqs[id] {
+		g.mu.Unlock()
+		return nil // duplicate request
+	}
+	g.seenReqs[id] = true
+	g.nextGSeq++
+	gseq := g.nextGSeq
+	g.mu.Unlock()
+	wire, err := encodeMessage(&message{Kind: kindData, Origin: origin, GSeq: gseq, ID: id, Payload: payload})
+	if err != nil {
+		return err
+	}
+	return g.inner.Broadcast(wire)
+}
+
+// onOrderReq handles sequencing requests (sequencer only; other nodes
+// never receive on this stream).
+func (g *Total) onOrderReq(_ string, data []byte) {
+	if g.self != g.sequencer {
+		return
+	}
+	m, err := decodeMessage(data)
+	if err != nil || m.Kind != kindOrderReq {
+		return
+	}
+	_ = g.sequence(m.ID, m.Origin, m.Payload)
+}
+
+// retransmitRequests resends sequencing requests not yet observed as
+// stamped broadcasts.
+func (g *Total) retransmitRequests() {
+	g.mu.Lock()
+	reqs := make([][]byte, 0, len(g.pending))
+	for _, req := range g.pending {
+		reqs = append(reqs, req)
+	}
+	g.mu.Unlock()
+	for _, req := range reqs {
+		_ = g.mux.Send(g.sequencer, g.stream, req)
+	}
+}
+
+// onInner receives stamped messages from the sequencer's reliable
+// broadcast and releases them in global-sequence order. Runs on the
+// inner group's single delivery goroutine.
+func (g *Total) onInner(_ string, data []byte) {
+	m, err := decodeMessage(data)
+	if err != nil || m.GSeq == 0 {
+		return
+	}
+
+	var ready []*message
+	g.mu.Lock()
+	delete(g.pending, m.ID) // our own request has been sequenced
+	if m.GSeq >= g.expected {
+		g.hold[m.GSeq] = m
+	}
+	for {
+		next, ok := g.hold[g.expected]
+		if !ok {
+			break
+		}
+		delete(g.hold, g.expected)
+		g.expected++
+		ready = append(ready, next)
+	}
+	g.mu.Unlock()
+
+	for _, r := range ready {
+		g.deliver(r.Origin, r.Payload)
+	}
+}

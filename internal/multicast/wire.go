@@ -1,0 +1,173 @@
+package multicast
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"govents/internal/vclock"
+)
+
+// msgKind enumerates protocol message types.
+type msgKind byte
+
+const (
+	kindData     msgKind = iota + 1 // broadcast payload
+	kindAck                         // reliable-broadcast acknowledgement
+	kindCertData                    // certified payload (per-consumer ack)
+	kindCertAck                     // certified acknowledgement
+	kindGossip                      // gossip event batch
+	kindOrderReq                    // total-order sequencing request
+)
+
+// message is the wire record exchanged by all protocols in this package.
+// Fields are used selectively per kind; unused fields stay zero and cost
+// almost nothing on the wire.
+type message struct {
+	Kind    msgKind
+	Origin  string // original publisher address (or durable consumer ID in cert acks)
+	Seq     uint64 // per-origin sequence number
+	GSeq    uint64 // sequencer-assigned global sequence
+	Rounds  uint8  // gossip rounds-to-live
+	ID      string // unique message ID
+	VC      vclock.VC
+	Payload []byte
+}
+
+const maxWireString = 0xFFFF
+
+// encodeMessage renders a message in a compact binary form.
+func encodeMessage(m *message) ([]byte, error) {
+	if len(m.Origin) > maxWireString || len(m.ID) > maxWireString {
+		return nil, fmt.Errorf("multicast: string field too long")
+	}
+	if len(m.VC) > maxWireString {
+		return nil, fmt.Errorf("multicast: vector clock too large")
+	}
+	size := 1 + 2 + len(m.Origin) + 8 + 8 + 1 + 2 + len(m.ID) + 2 + 4 + len(m.Payload)
+	for k := range m.VC {
+		size += 2 + len(k) + 8
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(m.Kind))
+	buf = appendString(buf, m.Origin)
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, m.GSeq)
+	buf = append(buf, m.Rounds)
+	buf = appendString(buf, m.ID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.VC)))
+	for k, v := range m.VC {
+		if len(k) > maxWireString {
+			return nil, fmt.Errorf("multicast: vector clock key too long")
+		}
+		buf = appendString(buf, k)
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	return buf, nil
+}
+
+// decodeMessage parses a message from wire bytes.
+func decodeMessage(data []byte) (*message, error) {
+	d := &decoder{buf: data}
+	m := &message{}
+	m.Kind = msgKind(d.u8())
+	m.Origin = d.str()
+	m.Seq = d.u64()
+	m.GSeq = d.u64()
+	m.Rounds = d.u8()
+	m.ID = d.str()
+	nvc := int(d.u16())
+	if nvc > 0 {
+		m.VC = make(vclock.VC, nvc)
+		for i := 0; i < nvc; i++ {
+			k := d.str()
+			v := d.u64()
+			if d.err != nil {
+				break
+			}
+			m.VC[k] = v
+		}
+	}
+	m.Payload = d.blob()
+	if d.err != nil {
+		return nil, fmt.Errorf("multicast: decode message: %w", d.err)
+	}
+	return m, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// decoder is a cursor over wire bytes with sticky error handling.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated at offset %d", d.off)
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) blob() []byte {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	n := int(binary.BigEndian.Uint32(d.buf[d.off:]))
+	d.off += 4
+	if d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:d.off+n])
+	d.off += n
+	return b
+}

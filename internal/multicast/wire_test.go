@@ -1,0 +1,106 @@
+package multicast
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"govents/internal/vclock"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		m    message
+	}{
+		{"data", message{Kind: kindData, Origin: "node-a", Seq: 7, ID: "id-1", Payload: []byte("payload")}},
+		{"ack", message{Kind: kindAck, Origin: "node-b", ID: "id-2"}},
+		{"empty payload", message{Kind: kindData, Origin: "x", ID: "y"}},
+		{"with vclock", message{Kind: kindData, Origin: "p", VC: vclock.VC{"a": 1, "b": 9}, Payload: []byte{0}}},
+		{"with gseq+rounds", message{Kind: kindGossip, GSeq: 99, Rounds: 5, ID: "z"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			wire, err := encodeMessage(&tt.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := decodeMessage(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind != tt.m.Kind || got.Origin != tt.m.Origin || got.Seq != tt.m.Seq ||
+				got.GSeq != tt.m.GSeq || got.Rounds != tt.m.Rounds || got.ID != tt.m.ID {
+				t.Errorf("header mismatch: %+v vs %+v", got, tt.m)
+			}
+			if !bytes.Equal(got.Payload, tt.m.Payload) {
+				t.Errorf("payload mismatch")
+			}
+			if !got.VC.Equal(tt.m.VC) {
+				t.Errorf("vclock mismatch: %v vs %v", got.VC, tt.m.VC)
+			}
+		})
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(origin, id string, seq, gseq uint64, rounds uint8, payload []byte) bool {
+		if len(origin) > maxWireString || len(id) > maxWireString {
+			return true // out of contract
+		}
+		m := &message{Kind: kindData, Origin: origin, Seq: seq, GSeq: gseq, Rounds: rounds, ID: id, Payload: payload}
+		wire, err := encodeMessage(m)
+		if err != nil {
+			return false
+		}
+		got, err := decodeMessage(wire)
+		if err != nil {
+			return false
+		}
+		return got.Origin == origin && got.ID == id && got.Seq == seq &&
+			got.GSeq == gseq && got.Rounds == rounds && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeMessageTruncated(t *testing.T) {
+	m := &message{Kind: kindData, Origin: "origin", ID: "id", Payload: []byte("data")}
+	wire, err := encodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(wire); cut++ {
+		if _, err := decodeMessage(wire[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes should fail", cut, len(wire))
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	batch := []*message{
+		{Kind: kindGossip, Origin: "a", ID: "1", Rounds: 3, Payload: []byte("x")},
+		{Kind: kindGossip, Origin: "b", ID: "2", Rounds: 1, Payload: nil},
+	}
+	wire, err := encodeBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeBatch(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "1" || got[1].ID != "2" || got[1].Rounds != 1 {
+		t.Errorf("batch = %+v", got)
+	}
+}
+
+func TestDecodeBatchCorrupt(t *testing.T) {
+	if _, err := decodeBatch(nil); err == nil {
+		t.Error("nil batch should fail")
+	}
+	if _, err := decodeBatch([]byte{0, 5}); err == nil {
+		t.Error("batch claiming 5 events with no bytes should fail")
+	}
+}

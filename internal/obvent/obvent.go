@@ -1,0 +1,198 @@
+// Package obvent implements the event-object ("obvent") model of
+// type-based publish/subscribe, following Eugster, Guerraoui and Damm,
+// "Linguistic Support for Large-Scale Distributed Programming" (ICDCS 2004).
+//
+// Obvents are first-class, application-defined, serializable objects
+// (paper LP2, LP3). An application type becomes an obvent by embedding
+// Base, which plays the role of subtyping java.pubsub.Obvent in the
+// paper's Figure 3:
+//
+//	type StockQuote struct {
+//		obvent.Base
+//		Company string
+//		Price   float64
+//		Amount  int
+//	}
+//
+// Quality-of-service semantics are expressed through *multiple subtyping*
+// (paper LM2, Figure 3): embedding the corresponding QoS base composes the
+// semantics onto the type. Go's struct embedding provides the multiple
+// specialization relationships the paper requires; contradictions between
+// combined semantics are resolved by Resolve according to the precedence
+// lattice of the paper's Figure 4.
+//
+//	type Trade struct {
+//		obvent.Base
+//		obvent.CertifiedBase  // delivery: certified
+//		obvent.TotalOrderBase // ordering: total
+//		...
+//	}
+//
+// Unlike the paper's Java rendering, the QoS marker interfaces here are
+// mutually independent at the method level (CertifiedBase does not embed
+// ReliableBase): Go promotes methods through embedding, and two embedded
+// bases sharing a method would make the selector ambiguous and silently
+// strip the composed type of its markers. The paper's subtype implications
+// (Certified => Reliable, CausalOrder => FIFOOrder, any order => Reliable)
+// are instead enforced by Resolve, which is the single source of truth for
+// the Figure 4 lattice.
+package obvent
+
+import "time"
+
+// Obvent is the root type of all event objects (paper Figure 3,
+// java.pubsub.Obvent). Application types satisfy it by embedding Base.
+//
+// The unexported marker method forces the embedding, mirroring the paper's
+// requirement that obvents subtype a designated serializable root rather
+// than being arbitrary objects (paper §5.3: "not every object can be an
+// obvent").
+type Obvent interface {
+	obventMarker()
+}
+
+// Base is embedded by application structs to declare them obvents.
+// The zero value is ready to use.
+type Base struct{}
+
+func (Base) obventMarker() {}
+
+// Reliable marks obvents with reliable delivery: once successfully
+// published, a reliable obvent is received by any notifiable that stays up
+// long enough (paper §3.1.2).
+type Reliable interface {
+	Obvent
+	reliableMarker()
+}
+
+// ReliableBase is embedded (together with Base) to mark a type Reliable.
+type ReliableBase struct{}
+
+func (ReliableBase) reliableMarker() {}
+
+// Certified marks obvents that survive subscriber disconnection: even if a
+// notifiable temporarily disconnects or fails, it eventually delivers the
+// obvent (paper §3.1.2). Certified implies Reliable (enforced by Resolve).
+type Certified interface {
+	Obvent
+	certifiedMarker()
+}
+
+// CertifiedBase is embedded to mark a type Certified.
+type CertifiedBase struct{}
+
+func (CertifiedBase) certifiedMarker() {}
+
+// TotalOrder marks obvents delivered in the same (subscriber-side) order by
+// all notifiables (paper §3.1.2). Implies Reliable.
+type TotalOrder interface {
+	Obvent
+	totalOrderMarker()
+}
+
+// TotalOrderBase is embedded to mark a type TotalOrder.
+type TotalOrderBase struct{}
+
+func (TotalOrderBase) totalOrderMarker() {}
+
+// FIFOOrder marks obvents delivered in publisher-side order: two obvents
+// published through the same publisher are delivered in publication order
+// to every matching subscriber (paper §3.1.2). Implies Reliable.
+type FIFOOrder interface {
+	Obvent
+	fifoOrderMarker()
+}
+
+// FIFOOrderBase is embedded to mark a type FIFOOrder.
+type FIFOOrderBase struct{}
+
+func (FIFOOrderBase) fifoOrderMarker() {}
+
+// CausalOrder marks obvents delivered in an order consistent with the
+// happens-before relationship of their publications (paper §3.1.2,
+// [Lam78]). Implies FIFOOrder and Reliable.
+type CausalOrder interface {
+	Obvent
+	causalOrderMarker()
+}
+
+// CausalOrderBase is embedded to mark a type CausalOrder.
+type CausalOrderBase struct{}
+
+func (CausalOrderBase) causalOrderMarker() {}
+
+// Timely obvents may be delayed to prioritize more recent obvents, and
+// expire once their time-to-live has elapsed (paper §3.1.2, Figure 3).
+// Unlike the pure marker interfaces, Timely carries state and therefore
+// declares accessor methods exactly as the paper's interface does.
+type Timely interface {
+	Obvent
+	// TimeToLive returns how long after Birth the obvent stays valid.
+	TimeToLive() time.Duration
+	// Birth returns the publication instant of the obvent.
+	Birth() time.Time
+}
+
+// TimelyBase is embedded to mark a type Timely. The publishing engine
+// stamps BirthTime at publication when it is left zero.
+type TimelyBase struct {
+	TTL       time.Duration
+	BirthTime time.Time
+}
+
+// TimeToLive implements Timely.
+func (t TimelyBase) TimeToLive() time.Duration { return t.TTL }
+
+// Birth implements Timely.
+func (t TimelyBase) Birth() time.Time { return t.BirthTime }
+
+// Expired reports whether the obvent is obsolete at instant now.
+// A zero TTL means the obvent never expires.
+func (t TimelyBase) Expired(now time.Time) bool {
+	if t.TTL == 0 || t.BirthTime.IsZero() {
+		return false
+	}
+	return now.After(t.BirthTime.Add(t.TTL))
+}
+
+// Prioritary obvents carry a priority: delivery of lower-priority obvents
+// can be delayed to defer to higher priorities (paper §3.1.2, Figure 3).
+type Prioritary interface {
+	Obvent
+	// Priority returns the obvent priority; higher values are more urgent.
+	Priority() int
+}
+
+// PriorityBase is embedded to mark a type Prioritary.
+type PriorityBase struct {
+	Prio int
+}
+
+// Priority implements Prioritary.
+func (p PriorityBase) Priority() int { return p.Prio }
+
+// Compile-time checks that the bases satisfy their interfaces when
+// composed with Base.
+var (
+	_ Obvent      = compositeCheck{}
+	_ Reliable    = compositeCheck{}
+	_ Certified   = compositeCheck{}
+	_ TotalOrder  = compositeCheck{}
+	_ FIFOOrder   = compositeCheck{}
+	_ CausalOrder = compositeCheck{}
+	_ Timely      = compositeCheck{}
+	_ Prioritary  = compositeCheck{}
+)
+
+// compositeCheck composes every base; it exists only for the compile-time
+// interface checks above, proving that full composition is unambiguous.
+type compositeCheck struct {
+	Base
+	ReliableBase
+	CertifiedBase
+	TotalOrderBase
+	FIFOOrderBase
+	CausalOrderBase
+	TimelyBase
+	PriorityBase
+}

@@ -1,0 +1,205 @@
+package obvent
+
+import (
+	"testing"
+	"time"
+)
+
+// Test obvent types mirroring the paper's Figure 1 hierarchy.
+
+type stockObvent struct {
+	Base
+	Company string
+	Price   float64
+	Amount  int
+}
+
+type stockQuote struct {
+	stockObvent
+}
+
+type stockRequest struct {
+	stockObvent
+}
+
+type spotPrice struct {
+	stockRequest
+}
+
+type marketPrice struct {
+	stockRequest
+}
+
+// QoS-composed types.
+
+type reliableQuote struct {
+	Base
+	ReliableBase
+	Price float64
+}
+
+type certifiedTotalTrade struct {
+	Base
+	CertifiedBase
+	TotalOrderBase
+}
+
+type causalChat struct {
+	Base
+	CausalOrderBase
+	Text string
+}
+
+type fifoTick struct {
+	Base
+	FIFOOrderBase
+	N int
+}
+
+type timelyTick struct {
+	Base
+	TimelyBase
+	N int
+}
+
+type priorityAlarm struct {
+	Base
+	PriorityBase
+}
+
+// Contradictory compositions (Figure 4 precedence).
+
+type reliableTimely struct {
+	Base
+	ReliableBase
+	TimelyBase
+}
+
+type orderedPriority struct {
+	Base
+	TotalOrderBase
+	PriorityBase
+}
+
+type certifiedTimelyPriority struct {
+	Base
+	CertifiedBase
+	CausalOrderBase
+	TimelyBase
+	PriorityBase
+}
+
+func TestBaseSatisfiesObvent(t *testing.T) {
+	var o Obvent = stockQuote{}
+	if o == nil {
+		t.Fatal("stockQuote should satisfy Obvent")
+	}
+}
+
+func TestFig4SemanticsLattice(t *testing.T) {
+	tests := []struct {
+		name        string
+		o           Obvent
+		reliability Reliability
+		ordering    Ordering
+		timely      bool
+		prioritary  bool
+		dropped     []string
+	}{
+		{"default unreliable", stockQuote{}, Unreliable, NoOrder, false, false, nil},
+		{"reliable", reliableQuote{}, ReliableDelivery, NoOrder, false, false, nil},
+		{"certified+total", certifiedTotalTrade{}, CertifiedDelivery, Total, false, false, nil},
+		{"causal implies reliable", causalChat{}, ReliableDelivery, Causal, false, false, nil},
+		{"fifo implies reliable", fifoTick{}, ReliableDelivery, FIFO, false, false, nil},
+		{"timely alone", timelyTick{TimelyBase: TimelyBase{TTL: time.Second}}, Unreliable, NoOrder, true, false, nil},
+		{"priority alone", priorityAlarm{PriorityBase: PriorityBase{Prio: 7}}, Unreliable, NoOrder, false, true, nil},
+		{"reliable beats timely", reliableTimely{}, ReliableDelivery, NoOrder, false, false, []string{"timely"}},
+		{"order beats priority", orderedPriority{}, ReliableDelivery, Total, false, false, []string{"priority"}},
+		{"certified+causal drops both", certifiedTimelyPriority{}, CertifiedDelivery, Causal, false, false, []string{"timely", "priority"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := Resolve(tt.o)
+			if s.Reliability != tt.reliability {
+				t.Errorf("reliability = %v, want %v", s.Reliability, tt.reliability)
+			}
+			if s.Ordering != tt.ordering {
+				t.Errorf("ordering = %v, want %v", s.Ordering, tt.ordering)
+			}
+			if s.Timely != tt.timely {
+				t.Errorf("timely = %v, want %v", s.Timely, tt.timely)
+			}
+			if s.Prioritary != tt.prioritary {
+				t.Errorf("prioritary = %v, want %v", s.Prioritary, tt.prioritary)
+			}
+			if len(s.Dropped) != len(tt.dropped) {
+				t.Fatalf("dropped = %v, want %v", s.Dropped, tt.dropped)
+			}
+			for i := range s.Dropped {
+				if s.Dropped[i] != tt.dropped[i] {
+					t.Errorf("dropped[%d] = %q, want %q", i, s.Dropped[i], tt.dropped[i])
+				}
+			}
+		})
+	}
+}
+
+func TestResolveIdempotentOverMarkers(t *testing.T) {
+	// Resolving twice (semantics do not change the value) yields equal
+	// results: Resolve is a pure function of the dynamic type + fields.
+	o := certifiedTimelyPriority{}
+	a := Resolve(o)
+	b := Resolve(o)
+	if a.String() != b.String() {
+		t.Fatalf("Resolve not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestStrongerThan(t *testing.T) {
+	unrel := Resolve(stockQuote{})
+	rel := Resolve(reliableQuote{})
+	cert := Resolve(certifiedTotalTrade{})
+	causal := Resolve(causalChat{})
+
+	if !rel.StrongerThan(unrel) {
+		t.Error("reliable should be stronger than unreliable")
+	}
+	if !cert.StrongerThan(rel) {
+		t.Error("certified/total should be stronger than reliable")
+	}
+	if !cert.StrongerThan(causal) {
+		t.Error("certified/total should be stronger than reliable/causal")
+	}
+	if rel.StrongerThan(rel) {
+		t.Error("StrongerThan must be irreflexive")
+	}
+	if unrel.StrongerThan(rel) {
+		t.Error("unreliable must not be stronger than reliable")
+	}
+}
+
+func TestTimelyExpiry(t *testing.T) {
+	now := time.Now()
+	tb := TimelyBase{TTL: 100 * time.Millisecond, BirthTime: now}
+	if tb.Expired(now.Add(50 * time.Millisecond)) {
+		t.Error("should not be expired before TTL")
+	}
+	if !tb.Expired(now.Add(150 * time.Millisecond)) {
+		t.Error("should be expired after TTL")
+	}
+	forever := TimelyBase{}
+	if forever.Expired(now.Add(time.Hour)) {
+		t.Error("zero TTL means never expires")
+	}
+}
+
+func TestSemanticsString(t *testing.T) {
+	s := Resolve(certifiedTotalTrade{})
+	if got := s.String(); got != "certified/total" {
+		t.Errorf("String() = %q, want certified/total", got)
+	}
+	s2 := Resolve(timelyTick{TimelyBase: TimelyBase{TTL: time.Second}})
+	if got := s2.String(); got != "unreliable/none/timely(ttl=1s)" {
+		t.Errorf("String() = %q", got)
+	}
+}

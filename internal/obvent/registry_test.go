@@ -1,0 +1,196 @@
+package obvent
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Abstract obvent types (explicit declaration, paper §2.2).
+
+type priced interface {
+	Obvent
+	GetPrice() float64
+}
+
+func (s stockObvent) GetPrice() float64 { return s.Price }
+
+func newHierarchyRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.MustRegister(stockObvent{})
+	r.MustRegister(stockQuote{})
+	r.MustRegister(stockRequest{})
+	r.MustRegister(spotPrice{})
+	r.MustRegister(marketPrice{})
+	if _, err := r.RegisterInterface(TypeOf[priced]()); err != nil {
+		t.Fatalf("RegisterInterface: %v", err)
+	}
+	return r
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	r := newHierarchyRegistry(t)
+	name, err := r.NameOf(stockQuote{})
+	if err != nil {
+		t.Fatalf("NameOf: %v", err)
+	}
+	typ, ok := r.TypeByName(name)
+	if !ok {
+		t.Fatalf("TypeByName(%q) not found", name)
+	}
+	if typ != reflect.TypeOf(stockQuote{}) {
+		t.Errorf("TypeByName = %v", typ)
+	}
+}
+
+func TestRegisterRejectsNonStruct(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register(obventFunc(nil)); err == nil {
+		t.Fatal("expected error registering non-struct obvent")
+	}
+}
+
+// obventFunc is a non-struct Obvent used to exercise the error path.
+type obventFunc func()
+
+func (obventFunc) obventMarker() {}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.MustRegister(stockQuote{})
+	b := r.MustRegister(stockQuote{})
+	if a != b {
+		t.Fatalf("names differ: %q vs %q", a, b)
+	}
+	if got := len(r.Classes()); got != 1 {
+		t.Fatalf("Classes() len = %d, want 1", got)
+	}
+}
+
+func TestFig1SubtypeClosure(t *testing.T) {
+	r := newHierarchyRegistry(t)
+	base := TypeName(reflect.TypeOf(stockObvent{}))
+	req := TypeName(reflect.TypeOf(stockRequest{}))
+	spot := TypeName(reflect.TypeOf(spotPrice{}))
+	quote := TypeName(reflect.TypeOf(stockQuote{}))
+
+	// Paper Figure 1: subscribing to StockObvent receives all instances
+	// of StockQuote, StockRequest, SpotPrice and MarketPrice.
+	for _, sub := range []string{quote, req, spot} {
+		if !r.ConformsTo(sub, base) {
+			t.Errorf("%s should conform to %s", sub, base)
+		}
+	}
+	if !r.ConformsTo(spot, req) {
+		t.Errorf("SpotPrice should conform to StockRequest")
+	}
+	if r.ConformsTo(base, spot) {
+		t.Errorf("supertype must not conform to subtype")
+	}
+	if r.ConformsTo(quote, req) {
+		t.Errorf("siblings must not conform")
+	}
+	// Reflexivity.
+	if !r.ConformsTo(spot, spot) {
+		t.Errorf("conformance must be reflexive")
+	}
+}
+
+func TestInterfaceConformance(t *testing.T) {
+	r := newHierarchyRegistry(t)
+	quote := TypeName(reflect.TypeOf(stockQuote{}))
+	pr := TypeName(TypeOf[priced]())
+	if !r.ConformsTo(quote, pr) {
+		t.Errorf("stockQuote should conform to priced interface")
+	}
+}
+
+func TestLateInterfaceRegistrationExtendsClosure(t *testing.T) {
+	r := NewRegistry()
+	quote := r.MustRegister(stockQuote{})
+	pr := TypeName(TypeOf[priced]())
+	if r.ConformsTo(quote, pr) {
+		t.Fatal("priced not yet registered; should not conform")
+	}
+	if _, err := r.RegisterInterface(TypeOf[priced]()); err != nil {
+		t.Fatalf("RegisterInterface: %v", err)
+	}
+	if !r.ConformsTo(quote, pr) {
+		t.Error("registering the interface later must extend existing classes' closures")
+	}
+}
+
+func TestLateClassRegistrationExtendsClosure(t *testing.T) {
+	r := NewRegistry()
+	spot := r.MustRegister(spotPrice{})
+	base := TypeName(reflect.TypeOf(stockObvent{}))
+	if r.ConformsTo(spot, base) {
+		t.Fatal("stockObvent not yet registered; should not conform")
+	}
+	r.MustRegister(stockObvent{})
+	if !r.ConformsTo(spot, base) {
+		t.Error("registering the embedded class later must extend the closure")
+	}
+}
+
+func TestSupertypes(t *testing.T) {
+	r := newHierarchyRegistry(t)
+	spot := TypeName(reflect.TypeOf(spotPrice{}))
+	supers := r.Supertypes(spot)
+	want := map[string]bool{
+		TypeName(reflect.TypeOf(stockObvent{})):  true,
+		TypeName(reflect.TypeOf(stockRequest{})): true,
+		TypeName(TypeOf[priced]()):               true,
+	}
+	if len(supers) != len(want) {
+		t.Fatalf("Supertypes = %v, want %d entries", supers, len(want))
+	}
+	for _, s := range supers {
+		if !want[s] {
+			t.Errorf("unexpected supertype %q", s)
+		}
+	}
+}
+
+func TestConformsGoLevel(t *testing.T) {
+	tests := []struct {
+		name   string
+		o      Obvent
+		target reflect.Type
+		want   bool
+	}{
+		{"same struct", stockQuote{}, reflect.TypeOf(stockQuote{}), true},
+		{"embedded struct", spotPrice{}, reflect.TypeOf(stockObvent{}), true},
+		{"pointer obvent embedded", &spotPrice{}, reflect.TypeOf(stockRequest{}), true},
+		{"interface", stockQuote{}, TypeOf[priced](), true},
+		{"obvent root", stockQuote{}, TypeOf[Obvent](), true},
+		{"sibling", stockQuote{}, reflect.TypeOf(stockRequest{}), false},
+		{"reverse", stockObvent{}, reflect.TypeOf(spotPrice{}), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Conforms(tt.o, tt.target); got != tt.want {
+				t.Errorf("Conforms = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRegisterInterfaceRejectsNonObvent(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.RegisterInterface(TypeOf[interface{ Foo() }]()); err == nil {
+		t.Fatal("expected error for interface not embedding Obvent")
+	}
+	if _, err := r.RegisterInterface(reflect.TypeOf(stockQuote{})); err == nil {
+		t.Fatal("expected error for non-interface type")
+	}
+}
+
+func TestTypeNameFormats(t *testing.T) {
+	if got := TypeName(reflect.TypeOf(stockQuote{})); got != "govents/internal/obvent.stockQuote" {
+		t.Errorf("TypeName = %q", got)
+	}
+	if got := TypeName(reflect.TypeOf(&stockQuote{})); got != "govents/internal/obvent.stockQuote" {
+		t.Errorf("TypeName(ptr) = %q", got)
+	}
+}

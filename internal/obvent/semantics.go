@@ -1,0 +1,172 @@
+package obvent
+
+import (
+	"fmt"
+	"time"
+)
+
+// Reliability is the delivery-reliability level of an obvent
+// (paper §3.1.2: Unreliable / Reliable / Certified).
+type Reliability int
+
+// Reliability levels, weakest first.
+const (
+	Unreliable Reliability = iota + 1
+	ReliableDelivery
+	CertifiedDelivery
+)
+
+// String implements fmt.Stringer.
+func (r Reliability) String() string {
+	switch r {
+	case Unreliable:
+		return "unreliable"
+	case ReliableDelivery:
+		return "reliable"
+	case CertifiedDelivery:
+		return "certified"
+	default:
+		return fmt.Sprintf("Reliability(%d)", int(r))
+	}
+}
+
+// Ordering is the delivery-ordering level of an obvent (paper §3.1.2).
+type Ordering int
+
+// Ordering levels, weakest first. The paper's Figure 4 shows FIFO below
+// both Causal and Total; Causal extends FIFO (Figure 3), and we place
+// Total above Causal so that combining order markers resolves to the
+// strongest requested guarantee.
+const (
+	NoOrder Ordering = iota + 1
+	FIFO
+	Causal
+	Total
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case NoOrder:
+		return "none"
+	case FIFO:
+		return "fifo"
+	case Causal:
+		return "causal"
+	case Total:
+		return "total"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Semantics is the resolved quality-of-service context of an obvent: the
+// effective combination of the delivery semantics and transmission
+// semantics its type composes (paper §3.1.2–§3.1.3). Every obvent carries
+// its semantics "such that a correct handling of the obvent can be assured
+// at every moment of the transfer".
+type Semantics struct {
+	Reliability Reliability
+	Ordering    Ordering
+
+	// Timely is true when the obvent carries an expiry; TTL and Birth
+	// are its transmission window. Dropped (per Figure 4 precedence)
+	// when the obvent is also Reliable or stronger.
+	Timely bool
+	TTL    time.Duration
+	Birth  time.Time
+
+	// Prioritary is true when the obvent carries a priority. Dropped
+	// (per Figure 4 precedence) when the obvent requests any ordering.
+	Prioritary bool
+	Priority   int
+
+	// Dropped lists the semantics that were requested by the type but
+	// suppressed by a stronger contradicting semantics, in resolution
+	// order. It allows applications and tests to observe precedence
+	// decisions (paper: "the first type takes precedence").
+	Dropped []string
+}
+
+// Resolve computes the effective Semantics of an obvent from the QoS
+// markers its type composes, applying the implications and precedence
+// rules of the paper's Figures 3 and 4:
+//
+//   - Certified, TotalOrder, FIFOOrder and CausalOrder all imply Reliable.
+//   - CausalOrder implies FIFOOrder; Total is the strongest ordering.
+//   - Reliable (or stronger) contradicts Timely: reliability wins and the
+//     timely semantics is dropped.
+//   - Any ordering contradicts Prioritary: ordering wins and the priority
+//     is dropped.
+func Resolve(o Obvent) Semantics {
+	s := Semantics{Reliability: Unreliable, Ordering: NoOrder}
+
+	if _, ok := o.(Reliable); ok {
+		s.Reliability = ReliableDelivery
+	}
+	if _, ok := o.(Certified); ok {
+		s.Reliability = CertifiedDelivery
+	}
+
+	if _, ok := o.(FIFOOrder); ok {
+		s.Ordering = FIFO
+	}
+	if _, ok := o.(CausalOrder); ok {
+		s.Ordering = Causal
+	}
+	if _, ok := o.(TotalOrder); ok {
+		s.Ordering = Total
+	}
+	// Any ordering implies reliable delivery (Figure 4: all order
+	// semantics sit above Reliable).
+	if s.Ordering > NoOrder && s.Reliability < ReliableDelivery {
+		s.Reliability = ReliableDelivery
+	}
+
+	if t, ok := o.(Timely); ok {
+		if s.Reliability >= ReliableDelivery {
+			// Contradiction between reliable and timely-limited
+			// obvents: the delivery semantics takes precedence.
+			s.Dropped = append(s.Dropped, "timely")
+		} else {
+			s.Timely = true
+			s.TTL = t.TimeToLive()
+			s.Birth = t.Birth()
+		}
+	}
+
+	if p, ok := o.(Prioritary); ok {
+		if s.Ordering > NoOrder {
+			// Contradiction between total/fifo/causal order and
+			// priorities: the order takes precedence.
+			s.Dropped = append(s.Dropped, "priority")
+		} else {
+			s.Prioritary = true
+			s.Priority = p.Priority()
+		}
+	}
+
+	return s
+}
+
+// StrongerThan reports whether s requests a strictly stronger guarantee
+// than other on at least one axis and no weaker guarantee on any axis
+// (the partial order induced by the paper's Figure 4 lattice).
+func (s Semantics) StrongerThan(other Semantics) bool {
+	if s.Reliability < other.Reliability || s.Ordering < other.Ordering {
+		return false
+	}
+	return s.Reliability > other.Reliability || s.Ordering > other.Ordering
+}
+
+// String implements fmt.Stringer.
+func (s Semantics) String() string {
+	out := fmt.Sprintf("%s/%s", s.Reliability, s.Ordering)
+	if s.Timely {
+		out += fmt.Sprintf("/timely(ttl=%s)", s.TTL)
+	}
+	if s.Prioritary {
+		out += fmt.Sprintf("/prio(%d)", s.Priority)
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// opKind enumerates the record types of the on-disk operation log.
+type opKind byte
+
+const (
+	opAppend opKind = iota + 1
+	opRegister
+	opUnregister
+	opAck
+)
+
+// op is one record of the operation log.
+type op struct {
+	kind     opKind
+	id       string // entry ID (append/ack) or consumer ID (register)
+	consumer string // consumer ID for acks
+	payload  []byte
+}
+
+// encodeOp renders a record as
+// [kind u8][idLen u32][id][consumerLen u32][consumer][payloadLen u32][payload].
+func encodeOp(o op) []byte {
+	buf := make([]byte, 0, 1+12+len(o.id)+len(o.consumer)+len(o.payload))
+	buf = append(buf, byte(o.kind))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(o.id)))
+	buf = append(buf, o.id...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(o.consumer)))
+	buf = append(buf, o.consumer...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(o.payload)))
+	buf = append(buf, o.payload...)
+	return buf
+}
+
+// readOp decodes one record from r.
+func readOp(r io.Reader) (op, error) {
+	var kind [1]byte
+	if _, err := io.ReadFull(r, kind[:]); err != nil {
+		return op{}, err // io.EOF at a record boundary is clean
+	}
+	readBlob := func() ([]byte, error) {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("store: truncated record: %w", err)
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > 64<<20 {
+			return nil, fmt.Errorf("store: corrupt record length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("store: truncated record body: %w", err)
+		}
+		return b, nil
+	}
+	id, err := readBlob()
+	if err != nil {
+		return op{}, err
+	}
+	consumer, err := readBlob()
+	if err != nil {
+		return op{}, err
+	}
+	payload, err := readBlob()
+	if err != nil {
+		return op{}, err
+	}
+	return op{kind: opKind(kind[0]), id: string(id), consumer: string(consumer), payload: payload}, nil
+}
+
+// FileLog is a Log persisted as an append-only operation log on disk.
+// Every mutation is a length-framed record appended and fsynced; Open
+// replays the log to rebuild the state, so a FileLog survives process
+// crashes.
+//
+// FileLog favors simplicity over write performance: it is the stable
+// storage backing certified obvents in examples and failure-injection
+// tests, not a general-purpose database. GC compacts the on-disk log by
+// rewriting it.
+type FileLog struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	mem  *MemLog // authoritative in-memory state
+}
+
+var _ Log = (*FileLog)(nil)
+
+// OpenFileLog opens (or creates) a file-backed log at path, replaying
+// any existing records.
+func OpenFileLog(path string) (*FileLog, error) {
+	mem := NewMemLog()
+	if f, err := os.Open(path); err == nil {
+		for {
+			o, err := readOp(f)
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				_ = f.Close()
+				return nil, fmt.Errorf("store: replay %s: %w", path, err)
+			}
+			applyOp(mem, o)
+		}
+		_ = f.Close()
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s for append: %w", path, err)
+	}
+	return &FileLog{path: path, f: f, mem: mem}, nil
+}
+
+func applyOp(mem *MemLog, o op) {
+	switch o.kind {
+	case opAppend:
+		_ = mem.Append(Entry{ID: o.id, Payload: o.payload})
+	case opRegister:
+		_ = mem.RegisterConsumer(o.id)
+	case opUnregister:
+		_ = mem.UnregisterConsumer(o.id)
+	case opAck:
+		// Ack of an unknown consumer can only appear in a corrupted
+		// log; ignore to keep replay total.
+		_ = mem.Ack(o.consumer, o.id)
+	}
+}
+
+// write appends an op record durably.
+func (l *FileLog) write(o op) error {
+	if _, err := l.f.Write(encodeOp(o)); err != nil {
+		return fmt.Errorf("store: write log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync log: %w", err)
+	}
+	return nil
+}
+
+// Append implements Log.
+func (l *FileLog) Append(e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.write(op{kind: opAppend, id: e.ID, payload: e.Payload}); err != nil {
+		return err
+	}
+	return l.mem.Append(e)
+}
+
+// RegisterConsumer implements Log.
+func (l *FileLog) RegisterConsumer(id string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.write(op{kind: opRegister, id: id}); err != nil {
+		return err
+	}
+	return l.mem.RegisterConsumer(id)
+}
+
+// UnregisterConsumer implements Log.
+func (l *FileLog) UnregisterConsumer(id string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.write(op{kind: opUnregister, id: id}); err != nil {
+		return err
+	}
+	return l.mem.UnregisterConsumer(id)
+}
+
+// Consumers implements Log.
+func (l *FileLog) Consumers() ([]string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mem.Consumers()
+}
+
+// Ack implements Log.
+func (l *FileLog) Ack(consumer, entryID string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Validate before writing so a bad ack does not pollute the log.
+	if _, err := l.mem.Pending(consumer); err != nil {
+		return err
+	}
+	if err := l.write(op{kind: opAck, id: entryID, consumer: consumer}); err != nil {
+		return err
+	}
+	return l.mem.Ack(consumer, entryID)
+}
+
+// Pending implements Log.
+func (l *FileLog) Pending(consumer string) ([]Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mem.Pending(consumer)
+}
+
+// GC implements Log. It compacts the on-disk log by rewriting the
+// surviving state to a temporary file and atomically renaming it over
+// the old log.
+func (l *FileLog) GC() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	dropped, err := l.mem.GC()
+	if err != nil {
+		return 0, err
+	}
+
+	tmp := l.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return dropped, fmt.Errorf("store: gc: %w", err)
+	}
+	werr := func() error {
+		l.mem.mu.Lock()
+		defer l.mem.mu.Unlock()
+		for c := range l.mem.consumers {
+			if _, err := f.Write(encodeOp(op{kind: opRegister, id: c})); err != nil {
+				return err
+			}
+		}
+		for _, id := range l.mem.order {
+			e := l.mem.entries[id]
+			if _, err := f.Write(encodeOp(op{kind: opAppend, id: e.ID, payload: e.Payload})); err != nil {
+				return err
+			}
+		}
+		for c, acked := range l.mem.consumers {
+			for id := range acked {
+				if _, err := f.Write(encodeOp(op{kind: opAck, id: id, consumer: c})); err != nil {
+					return err
+				}
+			}
+		}
+		return f.Sync()
+	}()
+	if werr != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return dropped, fmt.Errorf("store: gc rewrite: %w", werr)
+	}
+	if err := f.Close(); err != nil {
+		return dropped, fmt.Errorf("store: gc close: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return dropped, fmt.Errorf("store: gc rename: %w", err)
+	}
+	_ = l.f.Close()
+	nf, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return dropped, fmt.Errorf("store: gc reopen: %w", err)
+	}
+	l.f = nf
+	return dropped, nil
+}
+
+// Close implements Log.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

@@ -1,0 +1,317 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// logFactory builds a fresh Log for the shared conformance tests.
+type logFactory func(t *testing.T) Log
+
+func factories() map[string]logFactory {
+	return map[string]logFactory{
+		"MemLog": func(t *testing.T) Log { return NewMemLog() },
+		"FileLog": func(t *testing.T) Log {
+			l, err := OpenFileLog(filepath.Join(t.TempDir(), "log"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return l
+		},
+	}
+}
+
+func TestLogConformance(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			t.Run("AppendAndPending", func(t *testing.T) {
+				l := mk(t)
+				defer l.Close()
+				if err := l.RegisterConsumer("c1"); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 3; i++ {
+					if err := l.Append(Entry{ID: fmt.Sprintf("e%d", i), Payload: []byte{byte(i)}}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				pend, err := l.Pending("c1")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(pend) != 3 {
+					t.Fatalf("pending = %d, want 3", len(pend))
+				}
+				for i, e := range pend {
+					if e.ID != fmt.Sprintf("e%d", i) {
+						t.Errorf("pending[%d] = %q; order must be append order", i, e.ID)
+					}
+				}
+			})
+
+			t.Run("AppendIdempotent", func(t *testing.T) {
+				l := mk(t)
+				defer l.Close()
+				_ = l.RegisterConsumer("c")
+				_ = l.Append(Entry{ID: "x", Payload: []byte("1")})
+				_ = l.Append(Entry{ID: "x", Payload: []byte("2")})
+				pend, _ := l.Pending("c")
+				if len(pend) != 1 {
+					t.Fatalf("pending = %d, want 1", len(pend))
+				}
+				if string(pend[0].Payload) != "1" {
+					t.Error("duplicate append must not overwrite")
+				}
+			})
+
+			t.Run("AckRemovesFromPending", func(t *testing.T) {
+				l := mk(t)
+				defer l.Close()
+				_ = l.RegisterConsumer("c")
+				_ = l.Append(Entry{ID: "a"})
+				_ = l.Append(Entry{ID: "b"})
+				if err := l.Ack("c", "a"); err != nil {
+					t.Fatal(err)
+				}
+				pend, _ := l.Pending("c")
+				if len(pend) != 1 || pend[0].ID != "b" {
+					t.Fatalf("pending = %v", pend)
+				}
+			})
+
+			t.Run("EntriesOwedToLateConsumers", func(t *testing.T) {
+				l := mk(t)
+				defer l.Close()
+				_ = l.Append(Entry{ID: "before"})
+				_ = l.RegisterConsumer("late")
+				pend, err := l.Pending("late")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(pend) != 1 {
+					t.Fatal("entries appended before registration must be owed")
+				}
+			})
+
+			t.Run("UnknownConsumer", func(t *testing.T) {
+				l := mk(t)
+				defer l.Close()
+				if _, err := l.Pending("ghost"); !errors.Is(err, ErrUnknownConsumer) {
+					t.Errorf("Pending err = %v", err)
+				}
+				if err := l.Ack("ghost", "x"); !errors.Is(err, ErrUnknownConsumer) {
+					t.Errorf("Ack err = %v", err)
+				}
+			})
+
+			t.Run("GC", func(t *testing.T) {
+				l := mk(t)
+				defer l.Close()
+				_ = l.RegisterConsumer("c1")
+				_ = l.RegisterConsumer("c2")
+				_ = l.Append(Entry{ID: "a"})
+				_ = l.Append(Entry{ID: "b"})
+				_ = l.Ack("c1", "a")
+				n, err := l.GC()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != 0 {
+					t.Fatalf("GC dropped %d; entry a not acked by c2", n)
+				}
+				_ = l.Ack("c2", "a")
+				n, err = l.GC()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != 1 {
+					t.Fatalf("GC dropped %d, want 1", n)
+				}
+				pend, _ := l.Pending("c1")
+				if len(pend) != 1 || pend[0].ID != "b" {
+					t.Fatalf("after GC pending = %v", pend)
+				}
+			})
+
+			t.Run("GCWithNoConsumersRetains", func(t *testing.T) {
+				l := mk(t)
+				defer l.Close()
+				_ = l.Append(Entry{ID: "a"})
+				n, err := l.GC()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != 0 {
+					t.Error("GC must not drop entries when no consumer is registered")
+				}
+			})
+
+			t.Run("UnregisterConsumer", func(t *testing.T) {
+				l := mk(t)
+				defer l.Close()
+				_ = l.RegisterConsumer("c")
+				_ = l.UnregisterConsumer("c")
+				if _, err := l.Pending("c"); !errors.Is(err, ErrUnknownConsumer) {
+					t.Error("unregistered consumer should be unknown")
+				}
+			})
+
+			t.Run("Consumers", func(t *testing.T) {
+				l := mk(t)
+				defer l.Close()
+				_ = l.RegisterConsumer("b")
+				_ = l.RegisterConsumer("a")
+				got, err := l.Consumers()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+					t.Fatalf("Consumers = %v", got)
+				}
+			})
+
+			t.Run("ConcurrentAppendAck", func(t *testing.T) {
+				l := mk(t)
+				defer l.Close()
+				_ = l.RegisterConsumer("c")
+				var wg sync.WaitGroup
+				for g := 0; g < 4; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for i := 0; i < 25; i++ {
+							id := fmt.Sprintf("g%d-%d", g, i)
+							if err := l.Append(Entry{ID: id}); err != nil {
+								t.Errorf("append: %v", err)
+							}
+							if err := l.Ack("c", id); err != nil {
+								t.Errorf("ack: %v", err)
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				pend, _ := l.Pending("c")
+				if len(pend) != 0 {
+					t.Fatalf("pending = %d after all acked", len(pend))
+				}
+			})
+		})
+	}
+}
+
+func TestFileLogSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.RegisterConsumer("sub-1")
+	_ = l.Append(Entry{ID: "m1", Payload: []byte("hello")})
+	_ = l.Append(Entry{ID: "m2", Payload: []byte("world")})
+	_ = l.Ack("sub-1", "m1")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: state must be fully recovered.
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	pend, err := l2.Pending("sub-1")
+	if err != nil {
+		t.Fatalf("consumer lost on reopen: %v", err)
+	}
+	if len(pend) != 1 || pend[0].ID != "m2" || string(pend[0].Payload) != "world" {
+		t.Fatalf("recovered pending = %+v", pend)
+	}
+}
+
+func TestFileLogReopenAppendReopen(t *testing.T) {
+	// Multiple open/append/close cycles must yield a replayable log
+	// (regression: framed records, not a single gob stream).
+	path := filepath.Join(t.TempDir(), "log")
+	for i := 0; i < 3; i++ {
+		l, err := OpenFileLog(path)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		_ = l.Append(Entry{ID: fmt.Sprintf("m%d", i), Payload: []byte{byte(i)}})
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	_ = l.RegisterConsumer("c")
+	pend, _ := l.Pending("c")
+	if len(pend) != 3 {
+		t.Fatalf("recovered %d entries, want 3", len(pend))
+	}
+}
+
+func TestFileLogGCCompactsDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.RegisterConsumer("c")
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("m%d", i)
+		_ = l.Append(Entry{ID: id, Payload: make([]byte, 1024)})
+		_ = l.Ack("c", id)
+	}
+	n, err := l.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("GC dropped %d, want 10", n)
+	}
+	// Log still usable after compaction.
+	_ = l.Append(Entry{ID: "after"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("reopen after GC: %v", err)
+	}
+	defer l2.Close()
+	pend, err := l2.Pending("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pend) != 1 || pend[0].ID != "after" {
+		t.Fatalf("after GC+reopen pending = %v", pend)
+	}
+}
+
+func TestOpRoundTripProperty(t *testing.T) {
+	ops := []op{
+		{kind: opAppend, id: "id", payload: []byte("payload")},
+		{kind: opRegister, id: "consumer"},
+		{kind: opAck, id: "entry", consumer: "consumer"},
+		{kind: opAppend, id: "", payload: nil},
+	}
+	for _, o := range ops {
+		buf := encodeOp(o)
+		got, err := readOp(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("readOp(%v): %v", o.kind, err)
+		}
+		if got.kind != o.kind || got.id != o.id || got.consumer != o.consumer || string(got.payload) != string(o.payload) {
+			t.Errorf("round trip: got %+v, want %+v", got, o)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package topics implements topic-based (subject-based) publish/
+// subscribe, the "pure static subscription scheme" the paper describes
+// as the original publish/subscribe variant with "only limited
+// expressiveness" (§2.3.2, citing TIB/Rendezvous, iBus, Vitria).
+//
+// Topics are dot-separated hierarchies ("stocks.telco.quotes"), the
+// transposition of Linda's multi-name elements into containment
+// relationships (§6.3.2). Subscriptions may use "*" to match exactly
+// one level and "#" to match any remaining levels.
+//
+// The package serves as a baseline for the expressiveness and
+// performance comparisons (experiment C4): topic matching is very
+// cheap, but selecting on event *content* requires encoding content
+// into topic names, which type-based publish/subscribe avoids.
+package topics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Handler receives the payload of a matching publication.
+type Handler func(topic string, payload any)
+
+// Bus is a topic-based publish/subscribe engine.
+type Bus struct {
+	mu     sync.RWMutex
+	subs   map[int]*subscription
+	nextID int
+}
+
+type subscription struct {
+	pattern []string
+	handler Handler
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{subs: make(map[int]*subscription)}
+}
+
+// Subscribe registers a handler for a topic pattern. Patterns are dot
+// separated; "*" matches one level, "#" (only at the end) matches any
+// number of remaining levels. Returns a cancel function.
+func (b *Bus) Subscribe(pattern string, h Handler) (cancel func(), err error) {
+	segs := strings.Split(pattern, ".")
+	for i, s := range segs {
+		if s == "" {
+			return nil, fmt.Errorf("topics: empty segment in pattern %q", pattern)
+		}
+		if s == "#" && i != len(segs)-1 {
+			return nil, fmt.Errorf("topics: # only allowed as final segment in %q", pattern)
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = &subscription{pattern: segs, handler: h}
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.subs, id)
+	}, nil
+}
+
+// Publish delivers payload to every subscription whose pattern matches
+// the topic. Handlers run synchronously on the caller's goroutine (the
+// bus is a matching baseline, not a delivery substrate). It returns the
+// number of subscriptions matched.
+func (b *Bus) Publish(topic string, payload any) int {
+	segs := strings.Split(topic, ".")
+	b.mu.RLock()
+	var fire []Handler
+	for _, s := range b.subs {
+		if matchPattern(s.pattern, segs) {
+			fire = append(fire, s.handler)
+		}
+	}
+	b.mu.RUnlock()
+	for _, h := range fire {
+		h(topic, payload)
+	}
+	return len(fire)
+}
+
+// Match reports whether a pattern matches a topic (exposed for tests
+// and benchmarks).
+func Match(pattern, topic string) bool {
+	return matchPattern(strings.Split(pattern, "."), strings.Split(topic, "."))
+}
+
+func matchPattern(pattern, topic []string) bool {
+	for i, p := range pattern {
+		if p == "#" {
+			return true // matches all remaining levels (even zero)
+		}
+		if i >= len(topic) {
+			return false
+		}
+		if p != "*" && p != topic[i] {
+			return false
+		}
+	}
+	return len(pattern) == len(topic)
+}

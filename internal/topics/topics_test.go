@@ -1,0 +1,92 @@
+package topics
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMatch(t *testing.T) {
+	tests := []struct {
+		pattern, topic string
+		want           bool
+	}{
+		{"stocks.telco.quotes", "stocks.telco.quotes", true},
+		{"stocks.telco.quotes", "stocks.telco.requests", false},
+		{"stocks.*.quotes", "stocks.telco.quotes", true},
+		{"stocks.*.quotes", "stocks.acme.quotes", true},
+		{"stocks.*.quotes", "stocks.quotes", false},
+		{"stocks.#", "stocks.telco.quotes", true},
+		{"stocks.#", "stocks", true}, // '#' matches zero or more levels
+		{"stocks.#", "stocks.x", true},
+		{"#", "anything.at.all", true},
+		{"stocks", "stocks", true},
+		{"stocks", "stocks.telco", false},
+		{"*.telco.*", "stocks.telco.quotes", true},
+		{"*.telco.*", "stocks.acme.quotes", false},
+	}
+	for _, tt := range tests {
+		if got := Match(tt.pattern, tt.topic); got != tt.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", tt.pattern, tt.topic, got, tt.want)
+		}
+	}
+}
+
+func TestPublishSubscribe(t *testing.T) {
+	b := New()
+	var telco, all atomic.Int32
+	cancelTelco, err := b.Subscribe("stocks.telco.*", func(string, any) { telco.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe("stocks.#", func(string, any) { all.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := b.Publish("stocks.telco.quotes", 80.0); n != 2 {
+		t.Errorf("matched %d, want 2", n)
+	}
+	if n := b.Publish("stocks.acme.quotes", 10.0); n != 1 {
+		t.Errorf("matched %d, want 1", n)
+	}
+	if n := b.Publish("weather.zurich", nil); n != 0 {
+		t.Errorf("matched %d, want 0", n)
+	}
+	if telco.Load() != 1 || all.Load() != 2 {
+		t.Errorf("telco=%d all=%d", telco.Load(), all.Load())
+	}
+
+	cancelTelco()
+	if n := b.Publish("stocks.telco.quotes", 81.0); n != 1 {
+		t.Errorf("after cancel matched %d, want 1", n)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	b := New()
+	if _, err := b.Subscribe("a..b", nil); err == nil {
+		t.Error("empty segment must fail")
+	}
+	if _, err := b.Subscribe("a.#.b", nil); err == nil {
+		t.Error("non-final # must fail")
+	}
+}
+
+func TestExpressivenessGap(t *testing.T) {
+	// The paper's §2.3.2 point: topics cannot express content
+	// predicates like "price < 100" — the application must bucket
+	// content into topic levels, losing precision. This test documents
+	// the workaround's imprecision: a subscriber to the "cheap" bucket
+	// misses an 80-priced quote published under another bucket and has
+	// no way to express the exact threshold.
+	b := New()
+	var got atomic.Int32
+	_, _ = b.Subscribe("stocks.telco.cheap", func(string, any) { got.Add(1) })
+	// Publisher buckets 99.99 as cheap (<100) but 100.01 as mid.
+	b.Publish("stocks.telco.cheap", 99.99)
+	b.Publish("stocks.telco.mid", 100.01)
+	if got.Load() != 1 {
+		t.Fatalf("got %d", got.Load())
+	}
+	// A subscriber wanting "price < 120" cannot: the bucket boundary
+	// is fixed by the publisher's topic scheme.
+}

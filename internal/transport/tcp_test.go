@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newPair(t *testing.T) (*TCP, *TCP) {
+	t.Helper()
+	a, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
+	return a, b
+}
+
+// waitFor polls cond until it returns true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not met before deadline")
+}
+
+func TestSendReceive(t *testing.T) {
+	a, b := newPair(t)
+	var mu sync.Mutex
+	var gotFrom string
+	var gotPayload []byte
+	b.SetHandler(func(from string, p []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		gotFrom, gotPayload = from, p
+	})
+	if err := a.Send(b.Addr(), []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return gotPayload != nil
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if gotFrom != a.Addr() {
+		t.Errorf("from = %q, want %q", gotFrom, a.Addr())
+	}
+	if string(gotPayload) != "over tcp" {
+		t.Errorf("payload = %q", gotPayload)
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	a, b := newPair(t)
+	var fromB, fromA atomic.Int32
+	a.SetHandler(func(string, []byte) { fromB.Add(1) })
+	b.SetHandler(func(string, []byte) { fromA.Add(1) })
+	if err := a.Send(b.Addr(), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(a.Addr(), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return fromA.Load() == 1 && fromB.Load() == 1 })
+}
+
+func TestManyMessagesInOrderPerConnection(t *testing.T) {
+	a, b := newPair(t)
+	const n = 500
+	var mu sync.Mutex
+	var got []string
+	b.SetHandler(func(_ string, p []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, string(p))
+	})
+	for i := 0; i < n; i++ {
+		if err := a.Send(b.Addr(), []byte(fmt.Sprintf("m%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == n
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, m := range got {
+		if want := fmt.Sprintf("m%04d", i); m != want {
+			t.Fatalf("message %d = %q, want %q (TCP stream must preserve order)", i, m, want)
+		}
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	a, b := newPair(t)
+	payload := bytes.Repeat([]byte{0xAB}, 1<<20) // 1 MiB
+	got := make(chan []byte, 1)
+	b.SetHandler(func(_ string, p []byte) { got <- p })
+	if err := a.Send(b.Addr(), payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if !bytes.Equal(p, payload) {
+			t.Error("large payload corrupted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	a, b := newPair(t)
+	if err := a.Send(b.Addr(), make([]byte, maxFrame)); err == nil {
+		t.Fatal("expected frame-too-large error")
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	a, b := newPair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.Addr(), []byte("x")); err == nil {
+		t.Fatal("send after close should fail")
+	}
+	// Close is idempotent.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendToDeadPeerFails(t *testing.T) {
+	a, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := b.Addr()
+	_ = b.Close()
+	if err := a.Send(dead, []byte("x")); err == nil {
+		t.Fatal("send to closed peer should eventually fail")
+	}
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	a, b := newPair(t)
+	var count atomic.Int32
+	b.SetHandler(func(string, []byte) { count.Add(1) })
+	if err := a.Send(b.Addr(), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return count.Load() == 1 })
+
+	// Restart b on the same port.
+	addr := b.Addr()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Listen(addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	defer b2.Close()
+	var count2 atomic.Int32
+	b2.SetHandler(func(string, []byte) { count2.Add(1) })
+
+	// The cached connection is dead. The first write may succeed
+	// locally (TCP buffers it; the RST arrives later), so the transport
+	// is only guaranteed to recover on a subsequent send — it is
+	// best-effort by contract, and reliability is layered above.
+	// Send until the restarted peer receives something.
+	waitFor(t, 5*time.Second, func() bool {
+		_ = a.Send(addr, []byte("2"))
+		return count2.Load() >= 1
+	})
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	a, b := newPair(t)
+	c, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const per = 200
+	var count atomic.Int32
+	b.SetHandler(func(string, []byte) { count.Add(1) })
+	var wg sync.WaitGroup
+	for _, src := range []*TCP{a, c} {
+		wg.Add(1)
+		go func(s *TCP) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := s.Send(b.Addr(), []byte("m")); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(src)
+	}
+	wg.Wait()
+	waitFor(t, 5*time.Second, func() bool { return count.Load() == 2*per })
+}
+
+func TestFrameCodecRoundTrip(t *testing.T) {
+	frame, err := encodeFrame("1.2.3.4:5", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, payload, err := readFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "1.2.3.4:5" || string(payload) != "payload" {
+		t.Errorf("round trip = %q %q", from, payload)
+	}
+}
+
+func TestReadFrameRejectsCorruptLength(t *testing.T) {
+	// A frame claiming more than maxFrame.
+	if _, _, err := readFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0})); err == nil {
+		t.Fatal("expected error for oversized frame")
+	}
+	// A frame whose address length exceeds the body.
+	frame, _ := encodeFrame("ab", nil)
+	frame[5] = 200 // corrupt addrLen
+	if _, _, err := readFrame(bytes.NewReader(frame)); err == nil {
+		t.Fatal("expected error for corrupt address length")
+	}
+}

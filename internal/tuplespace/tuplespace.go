@@ -1,0 +1,228 @@
+// Package tuplespace implements the Linda tuple space ([Gel85]), the
+// paper's §6.3 "spiritual ancestor" baseline of publish/subscribe, plus
+// the JavaSpaces-style notify extension the paper cites as a late
+// callback addition (§6.3.4).
+//
+// A tuple is an ordered sequence of values; templates match tuples
+// field-wise with actuals (exact values) and formals (type
+// placeholders), reproducing Linda's exact-type matching. The original
+// three primitives are provided — Out (cf. publish), Rd (read without
+// removing), In (withdraw) — in blocking and non-blocking variants, and
+// Notify adds the asynchronous callback that turns the space into a
+// weakly typed publish/subscribe engine (the contrast the paper draws
+// with its strongly typed obvents, §5.5.2).
+package tuplespace
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Tuple is an ordered sequence of values.
+type Tuple []any
+
+// Field is one template position.
+type Field struct {
+	actual  any
+	formal  reflect.Type
+	anyType bool
+}
+
+// Val builds an actual: the field matches only an equal value.
+func Val(v any) Field { return Field{actual: v} }
+
+// Type builds a formal: the field matches any value of exactly type T
+// (Linda's exact type equivalence, which the paper contrasts with
+// subtyping, §6.3.4).
+func Type[T any]() Field { return Field{formal: reflect.TypeOf((*T)(nil)).Elem()} }
+
+// Any builds a wildcard matching any value.
+func Any() Field { return Field{anyType: true} }
+
+// Template is an ordered sequence of fields.
+type Template []Field
+
+// Matches reports whether the template matches the tuple.
+func (tpl Template) Matches(t Tuple) bool {
+	if len(tpl) != len(t) {
+		return false
+	}
+	for i, f := range tpl {
+		v := t[i]
+		switch {
+		case f.anyType:
+			continue
+		case f.formal != nil:
+			if reflect.TypeOf(v) != f.formal {
+				return false
+			}
+		default:
+			if !reflect.DeepEqual(f.actual, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Space is a tuple space. The zero value is not usable; create with New.
+type Space struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tuples  []Tuple
+	watches map[int]*watch
+	nextID  int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type watch struct {
+	tpl     Template
+	handler func(Tuple)
+}
+
+// New returns an empty tuple space.
+func New() *Space {
+	s := &Space{watches: make(map[int]*watch)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Close releases the space; blocked Rd/In calls return false.
+func (s *Space) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Out inserts a tuple into the space (the analog of publish).
+func (s *Space) Out(t Tuple) error {
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("tuplespace: closed")
+	}
+	s.tuples = append(s.tuples, cp)
+	var fire []*watch
+	for _, w := range s.watches {
+		if w.tpl.Matches(cp) {
+			fire = append(fire, w)
+		}
+	}
+	s.cond.Broadcast()
+	s.wg.Add(len(fire))
+	s.mu.Unlock()
+	for _, w := range fire {
+		go func(w *watch) {
+			defer s.wg.Done()
+			w.handler(cp)
+		}(w)
+	}
+	return nil
+}
+
+// RdP reads (without removing) a matching tuple, non-blocking.
+func (s *Space) RdP(tpl Template) (Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i := s.findLocked(tpl); i >= 0 {
+		return s.copyLocked(i), true
+	}
+	return nil, false
+}
+
+// Rd blocks until a matching tuple exists, then reads it without
+// removing. Returns false if the space closes first.
+func (s *Space) Rd(tpl Template) (Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if i := s.findLocked(tpl); i >= 0 {
+			return s.copyLocked(i), true
+		}
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// InP withdraws a matching tuple, non-blocking.
+func (s *Space) InP(tpl Template) (Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i := s.findLocked(tpl); i >= 0 {
+		return s.removeLocked(i), true
+	}
+	return nil, false
+}
+
+// In blocks until a matching tuple exists, then withdraws it. Each
+// tuple is withdrawn by exactly one caller. Returns false if the space
+// closes first.
+func (s *Space) In(tpl Template) (Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if i := s.findLocked(tpl); i >= 0 {
+			return s.removeLocked(i), true
+		}
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// Notify registers an asynchronous callback fired for every tuple
+// subsequently inserted that matches the template — the
+// JavaSpaces-style publish/subscribe extension. It returns a cancel
+// function. Note the weak typing: handlers receive a raw Tuple, in
+// contrast to the typed obvent handlers of package core (paper §6.3.4:
+// such systems "promote publish/subscribe interaction through some
+// weakly typed reified bus").
+func (s *Space) Notify(tpl Template, handler func(Tuple)) (cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	s.watches[id] = &watch{tpl: tpl, handler: handler}
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.watches, id)
+	}
+}
+
+// Len returns the number of stored tuples.
+func (s *Space) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tuples)
+}
+
+func (s *Space) findLocked(tpl Template) int {
+	for i, t := range s.tuples {
+		if tpl.Matches(t) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *Space) copyLocked(i int) Tuple {
+	out := make(Tuple, len(s.tuples[i]))
+	copy(out, s.tuples[i])
+	return out
+}
+
+func (s *Space) removeLocked(i int) Tuple {
+	t := s.tuples[i]
+	s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+	return t
+}

@@ -1,0 +1,180 @@
+package tuplespace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOutAndRdP(t *testing.T) {
+	s := New()
+	defer s.Close()
+	if err := s.Out(Tuple{"stock", "Telco", 80.0, 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		tpl  Template
+		want bool
+	}{
+		{"exact actuals", Template{Val("stock"), Val("Telco"), Val(80.0), Val(10)}, true},
+		{"formals by type", Template{Val("stock"), Type[string](), Type[float64](), Type[int]()}, true},
+		{"wildcards", Template{Any(), Any(), Any(), Any()}, true},
+		{"wrong value", Template{Val("stock"), Val("Acme"), Any(), Any()}, false},
+		{"wrong type formal", Template{Val("stock"), Type[int](), Any(), Any()}, false},
+		{"wrong arity", Template{Val("stock")}, false},
+		// Linda's exact type equivalence: int does not match float64.
+		{"no numeric promotion", Template{Val("stock"), Any(), Type[int](), Any()}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, ok := s.RdP(tt.tpl)
+			if ok != tt.want {
+				t.Errorf("RdP = %v, want %v", ok, tt.want)
+			}
+		})
+	}
+	if s.Len() != 1 {
+		t.Errorf("Rd must not remove; len = %d", s.Len())
+	}
+}
+
+func TestInRemoves(t *testing.T) {
+	s := New()
+	defer s.Close()
+	_ = s.Out(Tuple{"a", 1})
+	got, ok := s.InP(Template{Val("a"), Any()})
+	if !ok || got[1] != 1 {
+		t.Fatalf("InP = %v, %v", got, ok)
+	}
+	if _, ok := s.InP(Template{Val("a"), Any()}); ok {
+		t.Error("tuple withdrawn twice")
+	}
+	if s.Len() != 0 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestBlockingRdWakesOnOut(t *testing.T) {
+	s := New()
+	defer s.Close()
+	got := make(chan Tuple, 1)
+	go func() {
+		tp, ok := s.Rd(Template{Val("key"), Any()})
+		if ok {
+			got <- tp
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the reader block
+	_ = s.Out(Tuple{"key", 42})
+	select {
+	case tp := <-got:
+		if tp[1] != 42 {
+			t.Errorf("got %v", tp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Rd never woke")
+	}
+}
+
+func TestInExactlyOnceUnderConcurrency(t *testing.T) {
+	// The core tuple-space invariant: each tuple is withdrawn by
+	// exactly one of many concurrent In callers.
+	s := New()
+	const tuples, workers = 100, 8
+	var withdrawn atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := s.In(Template{Val("job"), Any()}); ok {
+					withdrawn.Add(1)
+				} else {
+					return // closed
+				}
+			}
+		}()
+	}
+	for i := 0; i < tuples; i++ {
+		_ = s.Out(Tuple{"job", i})
+	}
+	// Wait until all withdrawn, then close to release workers.
+	deadline := time.Now().Add(5 * time.Second)
+	for withdrawn.Load() < tuples && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	wg.Wait()
+	if withdrawn.Load() != tuples {
+		t.Fatalf("withdrawn %d of %d", withdrawn.Load(), tuples)
+	}
+	if s.Len() != 0 {
+		t.Errorf("len = %d after all In", s.Len())
+	}
+}
+
+func TestNotify(t *testing.T) {
+	s := New()
+	var cheap, all atomic.Int32
+	cancel, _ := func() (func(), error) {
+		return s.Notify(Template{Val("quote"), Any(), Type[float64]()}, func(tp Tuple) {
+			all.Add(1)
+			if tp[2].(float64) < 100 {
+				cheap.Add(1)
+			}
+		}), nil
+	}()
+	_ = s.Out(Tuple{"quote", "Telco", 80.0})
+	_ = s.Out(Tuple{"quote", "Acme", 150.0})
+	_ = s.Out(Tuple{"other", "x"}) // no match
+	deadline := time.Now().Add(2 * time.Second)
+	for all.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if all.Load() != 2 || cheap.Load() != 1 {
+		t.Errorf("all=%d cheap=%d", all.Load(), cheap.Load())
+	}
+	cancel()
+	_ = s.Out(Tuple{"quote", "Telco", 10.0})
+	time.Sleep(20 * time.Millisecond)
+	if all.Load() != 2 {
+		t.Error("handler fired after cancel")
+	}
+	s.Close()
+}
+
+func TestNotifyOnlyFutureTuples(t *testing.T) {
+	s := New()
+	defer s.Close()
+	_ = s.Out(Tuple{"past"})
+	var n atomic.Int32
+	_ = s.Notify(Template{Val("past")}, func(Tuple) { n.Add(1) })
+	time.Sleep(20 * time.Millisecond)
+	if n.Load() != 0 {
+		t.Error("Notify must only see tuples inserted after registration")
+	}
+}
+
+func TestOutAfterCloseFails(t *testing.T) {
+	s := New()
+	s.Close()
+	if err := s.Out(Tuple{"x"}); err == nil {
+		t.Error("Out after Close should fail")
+	}
+}
+
+func TestTupleIsolation(t *testing.T) {
+	s := New()
+	defer s.Close()
+	orig := Tuple{"k", 1}
+	_ = s.Out(orig)
+	orig[1] = 999 // mutate after Out
+	got, _ := s.RdP(Template{Val("k"), Any()})
+	if got[1] != 1 {
+		t.Error("space aliased the caller's tuple")
+	}
+}

@@ -1,0 +1,174 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTickAndGet(t *testing.T) {
+	v := New()
+	if v.Get("a") != 0 {
+		t.Fatal("fresh clock should be zero")
+	}
+	v.Tick("a").Tick("a").Tick("b")
+	if v.Get("a") != 2 || v.Get("b") != 1 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	a := VC{"p": 1}
+	b := VC{"p": 2}
+	if !a.Before(b) {
+		t.Error("a should happen before b")
+	}
+	if b.Before(a) {
+		t.Error("b should not happen before a")
+	}
+	if a.Before(a) {
+		t.Error("Before must be irreflexive")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	a := VC{"p": 1}
+	b := VC{"q": 1}
+	if !a.Concurrent(b) || !b.Concurrent(a) {
+		t.Error("a and b should be concurrent")
+	}
+	if a.Concurrent(a) {
+		t.Error("a clock is not concurrent with itself")
+	}
+}
+
+func TestMergeBasics(t *testing.T) {
+	a := VC{"p": 3, "q": 1}
+	b := VC{"q": 5, "r": 2}
+	m := Merged(a, b)
+	want := VC{"p": 3, "q": 5, "r": 2}
+	if !m.Equal(want) {
+		t.Fatalf("Merged = %v, want %v", m, want)
+	}
+	// Inputs unchanged.
+	if !a.Equal(VC{"p": 3, "q": 1}) || !b.Equal(VC{"q": 5, "r": 2}) {
+		t.Error("Merged must not mutate inputs")
+	}
+}
+
+func TestNilClockIsEmpty(t *testing.T) {
+	var v VC
+	if !v.LessEqual(VC{"a": 1}) {
+		t.Error("nil clock should be ≤ everything")
+	}
+	if !v.Equal(New()) {
+		t.Error("nil clock should equal empty clock")
+	}
+	if v.String() != "{}" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestZeroComponentsIgnoredInEquality(t *testing.T) {
+	a := VC{"p": 0, "q": 2}
+	b := VC{"q": 2}
+	if !a.Equal(b) {
+		t.Error("explicit zero components must not affect equality")
+	}
+}
+
+// randVC generates a small random clock for property tests.
+func randVC(r *rand.Rand) VC {
+	ids := []string{"a", "b", "c", "d"}
+	v := New()
+	for _, id := range ids {
+		if r.Intn(2) == 0 {
+			v[id] = uint64(r.Intn(5))
+		}
+	}
+	return v
+}
+
+func TestMergePropertyCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r), randVC(r)
+		return Merged(a, b).Equal(Merged(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergePropertyAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r), randVC(r), randVC(r)
+		return Merged(Merged(a, b), c).Equal(Merged(a, Merged(b, c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergePropertyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randVC(r)
+		return Merged(a, a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBeforeIsStrictPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r), randVC(r), randVC(r)
+		// Irreflexive.
+		if a.Before(a) {
+			return false
+		}
+		// Asymmetric.
+		if a.Before(b) && b.Before(a) {
+			return false
+		}
+		// Transitive.
+		if a.Before(b) && b.Before(c) && !a.Before(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r), randVC(r)
+		m := Merged(a, b)
+		return a.LessEqual(m) && b.LessEqual(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := VC{"p": 1}
+	b := a.Copy()
+	b.Tick("p")
+	if a.Get("p") != 1 {
+		t.Error("Copy must be independent of the original")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := VC{"b": 2, "a": 1}
+	if got := v.String(); got != "{a:1 b:2}" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Package workload provides the synthetic workloads driving the
+// benchmark harness: stock-quote streams in the mold of the paper's
+// recurring stock-trade example (§2.1.3), Zipf-distributed subscriber
+// interests, and obvent types spanning the full QoS lattice for the
+// delivery-semantics experiments.
+//
+// The paper reports no quantitative workloads of its own (its
+// evaluation is qualitative); these generators are the synthetic
+// substitute, with seeds fixed so every run is reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"govents/internal/filter"
+	"govents/internal/obvent"
+)
+
+// StockObvent is the root of the benchmark obvent hierarchy (paper
+// Figure 2), with accessor methods so that migratable filters preserve
+// encapsulation (LP2).
+type StockObvent struct {
+	obvent.Base
+	Company string
+	Price   float64
+	Amount  int
+}
+
+// GetCompany returns the quoted company.
+func (s StockObvent) GetCompany() string { return s.Company }
+
+// GetPrice returns the quoted price.
+func (s StockObvent) GetPrice() float64 { return s.Price }
+
+// GetAmount returns the quoted amount.
+func (s StockObvent) GetAmount() int { return s.Amount }
+
+// StockQuote is a published quote (unreliable delivery by default).
+type StockQuote struct {
+	StockObvent
+}
+
+// StockRequest is a purchase request (paper Figure 1).
+type StockRequest struct {
+	StockObvent
+}
+
+// SpotPrice is a request to be satisfied immediately.
+type SpotPrice struct {
+	StockRequest
+}
+
+// MarketPrice is a request pending until a criterion is met.
+type MarketPrice struct {
+	StockRequest
+}
+
+// QoS-composed variants of the quote, one per delivery semantics, for
+// the C2 experiment (cost of semantics).
+
+// QuoteReliable requests reliable delivery.
+type QuoteReliable struct {
+	obvent.Base
+	obvent.ReliableBase
+	StockObvent
+}
+
+// QuoteFIFO requests FIFO order.
+type QuoteFIFO struct {
+	obvent.Base
+	obvent.FIFOOrderBase
+	StockObvent
+}
+
+// QuoteCausal requests causal order.
+type QuoteCausal struct {
+	obvent.Base
+	obvent.CausalOrderBase
+	StockObvent
+}
+
+// QuoteTotal requests total order.
+type QuoteTotal struct {
+	obvent.Base
+	obvent.TotalOrderBase
+	StockObvent
+}
+
+// QuoteCertified requests certified delivery.
+type QuoteCertified struct {
+	obvent.Base
+	obvent.CertifiedBase
+	StockObvent
+}
+
+// RegisterTypes registers the full benchmark hierarchy in a registry.
+func RegisterTypes(reg *obvent.Registry) {
+	reg.MustRegister(StockObvent{})
+	reg.MustRegister(StockQuote{})
+	reg.MustRegister(StockRequest{})
+	reg.MustRegister(SpotPrice{})
+	reg.MustRegister(MarketPrice{})
+	reg.MustRegister(QuoteReliable{})
+	reg.MustRegister(QuoteFIFO{})
+	reg.MustRegister(QuoteCausal{})
+	reg.MustRegister(QuoteTotal{})
+	reg.MustRegister(QuoteCertified{})
+}
+
+// QuoteGen produces a deterministic quote stream.
+type QuoteGen struct {
+	rng       *rand.Rand
+	companies []string
+	zipf      *rand.Zipf
+}
+
+// NewQuoteGen returns a generator over nCompanies tickers with a Zipf
+// popularity skew (s=1.2), seeded for reproducibility.
+func NewQuoteGen(seed int64, nCompanies int) *QuoteGen {
+	if nCompanies < 1 {
+		nCompanies = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	companies := make([]string, nCompanies)
+	for i := range companies {
+		companies[i] = fmt.Sprintf("Company-%03d", i)
+	}
+	return &QuoteGen{
+		rng:       rng,
+		companies: companies,
+		zipf:      rand.NewZipf(rng, 1.2, 1, uint64(nCompanies-1)),
+	}
+}
+
+// Companies returns the ticker universe.
+func (g *QuoteGen) Companies() []string {
+	out := make([]string, len(g.companies))
+	copy(out, g.companies)
+	return out
+}
+
+// Next produces the next quote: Zipf-popular company, log-uniform-ish
+// price in [1, 1000), amount in [1, 100].
+func (g *QuoteGen) Next() StockQuote {
+	c := g.companies[g.zipf.Uint64()]
+	price := 1 + g.rng.Float64()*999
+	return StockQuote{StockObvent{
+		Company: c,
+		Price:   float64(int(price*100)) / 100,
+		Amount:  1 + g.rng.Intn(100),
+	}}
+}
+
+// InterestSpec describes one subscriber's interest: a company and a
+// price ceiling (the paper's §2.3.3 example filter shape).
+type InterestSpec struct {
+	Company  string
+	MaxPrice float64
+}
+
+// Interests draws n subscriber interests: Zipf-popular companies (so
+// filters overlap heavily, the factoring-friendly regime of [ASS+99])
+// and uniformly random price ceilings.
+func (g *QuoteGen) Interests(n int) []InterestSpec {
+	out := make([]InterestSpec, n)
+	for i := range out {
+		out[i] = InterestSpec{
+			Company:  g.companies[g.zipf.Uint64()],
+			MaxPrice: 50 + g.rng.Float64()*950,
+		}
+	}
+	return out
+}
+
+// Filter renders an interest as a migratable filter expression:
+// GetPrice < MaxPrice && GetCompany == Company.
+func (s InterestSpec) Filter() *filter.Expr {
+	return filter.And(
+		filter.Path("GetPrice").Lt(filter.Float(s.MaxPrice)),
+		filter.Path("GetCompany").Eq(filter.Str(s.Company)),
+	)
+}
+
+// Matches reports whether a quote satisfies the interest (the oracle
+// used to validate deliveries in benches).
+func (s InterestSpec) Matches(q StockQuote) bool {
+	return q.Price < s.MaxPrice && q.Company == s.Company
+}

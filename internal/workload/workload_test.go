@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"govents/internal/filter"
+	"govents/internal/obvent"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, b := NewQuoteGen(7, 50), NewQuoteGen(7, 50)
+	for i := 0; i < 100; i++ {
+		qa, qb := a.Next(), b.Next()
+		if qa != qb {
+			t.Fatalf("iteration %d: %+v vs %+v", i, qa, qb)
+		}
+	}
+}
+
+func TestQuoteRanges(t *testing.T) {
+	g := NewQuoteGen(1, 20)
+	for i := 0; i < 1000; i++ {
+		q := g.Next()
+		if q.Price < 1 || q.Price >= 1000 {
+			t.Fatalf("price out of range: %v", q.Price)
+		}
+		if q.Amount < 1 || q.Amount > 100 {
+			t.Fatalf("amount out of range: %v", q.Amount)
+		}
+		if q.Company == "" {
+			t.Fatal("empty company")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewQuoteGen(3, 100)
+	counts := make(map[string]int)
+	for i := 0; i < 5000; i++ {
+		counts[g.Next().Company]++
+	}
+	// The most popular company must dominate a uniform share by far.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5000/100*5 {
+		t.Errorf("top company count %d suggests no Zipf skew", max)
+	}
+}
+
+func TestInterestFilterAgreesWithOracle(t *testing.T) {
+	g := NewQuoteGen(11, 30)
+	specs := g.Interests(20)
+	for _, spec := range specs {
+		f := spec.Filter()
+		if err := f.Validate(); err != nil {
+			t.Fatalf("invalid filter: %v", err)
+		}
+		for i := 0; i < 50; i++ {
+			q := g.Next()
+			got, err := filter.Evaluate(f, q)
+			if err != nil {
+				t.Fatalf("Evaluate: %v", err)
+			}
+			if got != spec.Matches(q) {
+				t.Fatalf("filter and oracle disagree on %+v for %+v", q, spec)
+			}
+		}
+	}
+}
+
+func TestQoSVariantsResolve(t *testing.T) {
+	tests := []struct {
+		o   obvent.Obvent
+		rel obvent.Reliability
+		ord obvent.Ordering
+	}{
+		{StockQuote{}, obvent.Unreliable, obvent.NoOrder},
+		{QuoteReliable{}, obvent.ReliableDelivery, obvent.NoOrder},
+		{QuoteFIFO{}, obvent.ReliableDelivery, obvent.FIFO},
+		{QuoteCausal{}, obvent.ReliableDelivery, obvent.Causal},
+		{QuoteTotal{}, obvent.ReliableDelivery, obvent.Total},
+		{QuoteCertified{}, obvent.CertifiedDelivery, obvent.NoOrder},
+	}
+	for _, tt := range tests {
+		s := obvent.Resolve(tt.o)
+		if s.Reliability != tt.rel || s.Ordering != tt.ord {
+			t.Errorf("%T resolved to %v", tt.o, s)
+		}
+	}
+}
+
+func TestRegisterTypesSubtypeClosure(t *testing.T) {
+	reg := obvent.NewRegistry()
+	RegisterTypes(reg)
+	spot := obvent.TypeName(obvent.TypeOf[SpotPrice]())
+	base := obvent.TypeName(obvent.TypeOf[StockObvent]())
+	if !reg.ConformsTo(spot, base) {
+		t.Error("SpotPrice should conform to StockObvent")
+	}
+}
