@@ -442,6 +442,77 @@ type benchSink struct{}
 // Notify accepts a notification.
 func (s *benchSink) Notify(what string, price float64) {}
 
+// --- C7: engine dispatch pipeline (indexed vs naive) ---
+
+// BenchmarkDispatch measures the engine's per-envelope delivery cost
+// end to end (publish → inbox → match → clone → handler) for the naive
+// per-subscription path (the seed's dispatch loop, kept behind
+// WithNaiveDispatch) against the indexed pipeline (type bucket +
+// compound matcher + clone-per-match). Subscriptions hold distinct
+// GetPrice thresholds spread over [0, 1000); selectivity is the
+// fraction of subscriptions the published quote matches.
+func BenchmarkDispatch(b *testing.B) {
+	modes := []struct {
+		name string
+		opts []core.Option
+	}{
+		{"naive", []core.Option{core.WithNaiveDispatch()}},
+		{"indexed", nil},
+	}
+	for _, subs := range []int{10, 100, 1000} {
+		for _, sel := range []struct {
+			name string
+			frac float64
+		}{{"sel=1pct", 0.01}, {"sel=10pct", 0.10}} {
+			for _, mode := range modes {
+				b.Run(fmt.Sprintf("%s/subs=%d/%s", mode.name, subs, sel.name), func(b *testing.B) {
+					benchDispatch(b, subs, sel.frac, mode.opts...)
+				})
+			}
+		}
+	}
+}
+
+func benchDispatch(b *testing.B, nSubs int, frac float64, opts ...core.Option) {
+	e := core.NewEngine("bench-dispatch", core.NewLocal(), opts...)
+	defer func() { _ = e.Close() }()
+	workload.RegisterTypes(e.Registry())
+
+	var got atomic.Int64
+	// Thresholds sit at (i+0.5)*1000/n; placing the price on a grid
+	// boundary makes exactly `matches` of them exceed it (at least one,
+	// so low-subscriber cells never degenerate to an empty workload).
+	matches := int(frac * float64(nSubs))
+	if matches < 1 {
+		matches = 1
+	}
+	price := float64(nSubs-matches) * 1000 / float64(nSubs)
+	for i := 0; i < nSubs; i++ {
+		threshold := (float64(i) + 0.5) * 1000 / float64(nSubs)
+		f := filter.Path("GetPrice").Lt(filter.Float(threshold))
+		sub, err := core.Subscribe(e, f, func(q workload.StockQuote) { got.Add(1) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sub.Activate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := workload.StockQuote{StockObvent: workload.StockObvent{Company: "Telco Mobiles", Price: price, Amount: 1}}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.Publish(e, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	want := int64(b.N * matches)
+	waitUntil(b, time.Minute, func() bool { return got.Load() >= want })
+	b.StopTimer()
+	b.ReportMetric(float64(matches), "matches/op")
+}
+
 // --- micro: primitive costs ---
 
 // BenchmarkPublishLocal measures the publish primitive on the loopback

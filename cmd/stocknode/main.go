@@ -107,6 +107,9 @@ func run() error {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
+		st := engine.Stats()
+		fmt.Printf("dispatch: in=%d matched=%d delivered=%d expired=%d decode-errors=%d\n",
+			st.EventsIn, st.Matched, st.Delivered, st.Expired, st.DecodeErrors)
 		return sub.Deactivate()
 
 	default:

@@ -1,0 +1,3 @@
+module govents
+
+go 1.24

@@ -126,20 +126,45 @@ func (c *Codec) Encode(o obvent.Obvent) (*Envelope, error) {
 // returns a fresh, distinct value: decoding is the paper's "distributed
 // object creation" (§2.1.2) — every subscriber receives a new clone.
 func (c *Codec) Decode(e *Envelope) (obvent.Obvent, error) {
+	s, err := c.Source(e)
+	if err != nil {
+		return nil, err
+	}
+	return s.Clone()
+}
+
+// A CloneSource produces per-subscriber clones of one envelope. It
+// front-loads the registry lookup so that a dispatcher delivering one
+// publication to many local subscriptions pays the (read-locked) type
+// resolution once and only the gob decode per clone.
+type CloneSource struct {
+	typ     reflect.Type
+	name    string
+	payload []byte
+}
+
+// Source resolves the envelope's obvent class for repeated cloning.
+func (c *Codec) Source(e *Envelope) (*CloneSource, error) {
 	t, ok := c.reg.TypeByName(e.Type)
 	if !ok {
 		return nil, fmt.Errorf("codec: decode: unknown obvent class %q", e.Type)
 	}
-	v := reflect.New(t)
-	dec := gob.NewDecoder(bytes.NewReader(e.Payload))
+	return &CloneSource{typ: t, name: e.Type, payload: e.Payload}, nil
+}
+
+// Clone decodes one fresh obvent value — the paper's distributed object
+// creation (§2.1.2): every call yields a distinct object.
+func (s *CloneSource) Clone() (obvent.Obvent, error) {
+	v := reflect.New(s.typ)
+	dec := gob.NewDecoder(bytes.NewReader(s.payload))
 	if err := dec.DecodeValue(v); err != nil {
-		return nil, fmt.Errorf("codec: decode %s: %w", e.Type, err)
+		return nil, fmt.Errorf("codec: decode %s: %w", s.name, err)
 	}
 	o, ok := v.Elem().Interface().(obvent.Obvent)
 	if !ok {
 		// The registry only holds Obvent types, so this indicates a
 		// registry/codec mismatch, not user error.
-		return nil, fmt.Errorf("codec: decode: %s is not an obvent", e.Type)
+		return nil, fmt.Errorf("codec: decode: %s is not an obvent", s.name)
 	}
 	return o, nil
 }

@@ -273,3 +273,42 @@ func TestDecodeReturnsFreshClones(t *testing.T) {
 		t.Error("two decodes of the same envelope must yield independent clones")
 	}
 }
+
+func TestCloneSourceProducesDistinctClones(t *testing.T) {
+	c := newCodec(t)
+	in := nested{Inner: quote{Company: "Acme", Price: 10}, Tags: []string{"a"}, Meta: map[string]int{"k": 1}}
+	env, err := c.Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	src, err := c.Source(env)
+	if err != nil {
+		t.Fatalf("Source: %v", err)
+	}
+	a, err := src.Clone()
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	b, err := src.Clone()
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	na, nb := a.(nested), b.(nested)
+	if na.Inner != in.Inner || nb.Inner != in.Inner {
+		t.Errorf("clones differ from original: %+v / %+v", na, nb)
+	}
+	// Obvent local uniqueness: mutating one clone's reference state must
+	// not affect the other.
+	na.Meta["k"] = 99
+	na.Tags[0] = "mutated"
+	if nb.Meta["k"] != 1 || nb.Tags[0] != "a" {
+		t.Errorf("clones share state: %+v", nb)
+	}
+}
+
+func TestSourceUnknownType(t *testing.T) {
+	c := newCodec(t)
+	if _, err := c.Source(&Envelope{Type: "no.such.Class"}); err == nil {
+		t.Fatal("Source on unknown class should fail")
+	}
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"govents/internal/codec"
+	"govents/internal/filter"
+	"govents/internal/matching"
+	"govents/internal/obvent"
+)
+
+// This file implements the engine's indexed delivery pipeline:
+//
+//	wire type name ──► dispatchTable ──► typeBucket ──► compound match
+//	                   (atomic COW)      (per class)    ──► clone per match
+//
+// The table is an immutable snapshot of the active subscription set,
+// republished through an atomic pointer on every activate/deactivate, so
+// the per-envelope hot path never takes the engine mutex and never sorts.
+// Each concrete obvent class gets a lazily compiled bucket holding its
+// candidate subscriptions (expanded through the registry's conformance
+// relation) and a compound matcher (package matching) that factors all
+// their remote filters, so an event's conditions are evaluated once
+// across all subscribers instead of once per subscription. The envelope
+// is decoded once into a canonical value used only for remote-filter
+// matching; the per-subscriber clones required by obvent local
+// uniqueness (§2.1.2) are produced only for the subscriptions whose
+// remote matching passed, and opaque local filters run on the
+// subscriber's own clone (as in the naive path), so filters can never
+// observe another subscriber's state.
+
+// DispatchStats are the engine's cumulative delivery counters. They make
+// silently dropped traffic (expired envelopes, undecodable payloads)
+// observable instead of vanishing in the dispatch loop.
+type DispatchStats struct {
+	// EventsIn counts envelopes entering dispatch.
+	EventsIn uint64
+	// Expired counts timely envelopes dropped as obsolete (§3.1.2).
+	Expired uint64
+	// Matched counts (subscription, event) pairs that passed type,
+	// activation, remote-filter and local-filter matching.
+	Matched uint64
+	// Delivered counts clones actually handed to subscription
+	// executors. A clone that fails to decode surfaces in DecodeErrors
+	// before it can match, so Matched and Delivered currently coincide;
+	// they are kept separate for future delivery-side drop reasons
+	// (e.g. bounded executor queues).
+	Delivered uint64
+	// DecodeErrors counts envelopes or clones that failed to decode.
+	DecodeErrors uint64
+}
+
+// dispatchCounters is the engine-internal atomic form of DispatchStats.
+type dispatchCounters struct {
+	eventsIn     atomic.Uint64
+	expired      atomic.Uint64
+	matched      atomic.Uint64
+	delivered    atomic.Uint64
+	decodeErrors atomic.Uint64
+}
+
+func (c *dispatchCounters) snapshot() DispatchStats {
+	return DispatchStats{
+		EventsIn:     c.eventsIn.Load(),
+		Expired:      c.expired.Load(),
+		Matched:      c.matched.Load(),
+		Delivered:    c.delivered.Load(),
+		DecodeErrors: c.decodeErrors.Load(),
+	}
+}
+
+// Stats returns a snapshot of the engine's delivery counters.
+func (e *Engine) Stats() DispatchStats { return e.stats.snapshot() }
+
+// dispatchTable is an immutable snapshot of the active subscriptions,
+// grouped by subscribed (target) type name. It is published via
+// Engine.table; dispatch loads it lock-free. Buckets for concrete
+// classes are compiled on first use and cached in a sync.Map — the cache
+// is monotone per table (a bucket is only ever replaced by an equivalent
+// recompilation after a registry mutation), so racing compilations are
+// harmless.
+type dispatchTable struct {
+	reg *obvent.Registry
+	// byTarget maps each subscribed type name to its active
+	// subscriptions, each group sorted by subscription ID.
+	byTarget map[string][]*Subscription
+	// targets is the sorted key set of byTarget, for deterministic
+	// bucket compilation order.
+	targets []string
+	// buckets caches concrete wire type name -> *typeBucket.
+	buckets sync.Map
+}
+
+// typeBucket is the precompiled dispatch state for one concrete obvent
+// class: every active subscription the class conforms to, with all
+// remote filters factored into one compound matcher.
+type typeBucket struct {
+	// gen is the registry generation the bucket was compiled under; a
+	// later registration (e.g. of an abstract type) invalidates it.
+	gen uint64
+	// subs is every candidate subscription, sorted by ID — the
+	// deterministic dispatch order.
+	subs []*Subscription
+	// unfiltered are the candidates without a remote filter (always
+	// match, modulo local predicates), sorted by ID.
+	unfiltered []*Subscription
+	// compound factors the remote filters of the remaining candidates;
+	// nil when no candidate has a remote filter — then no canonical
+	// decode is needed at all.
+	compound *matching.Compound
+	// byID resolves compound match results back to subscriptions.
+	byID map[string]*Subscription
+}
+
+// newDispatchTable snapshots the active subscription set. Caller must
+// not hold subscription mutexes.
+func newDispatchTable(reg *obvent.Registry, subs map[string]*Subscription) *dispatchTable {
+	t := &dispatchTable{reg: reg, byTarget: make(map[string][]*Subscription)}
+	for _, s := range subs {
+		if !s.active() {
+			continue
+		}
+		t.byTarget[s.typeName] = append(t.byTarget[s.typeName], s)
+	}
+	for name, group := range t.byTarget {
+		sort.Slice(group, func(i, j int) bool { return group[i].id < group[j].id })
+		t.targets = append(t.targets, name)
+	}
+	sort.Strings(t.targets)
+	return t
+}
+
+// bucket returns the compiled dispatch state for a concrete class,
+// compiling and caching it on first use (and recompiling when the type
+// registry has grown since, which can extend conformance). Wire names
+// the registry does not know are never cached: env.Type comes off the
+// wire, and caching arbitrary peer-supplied strings would grow the
+// table without bound.
+func (t *dispatchTable) bucket(concrete string) *typeBucket {
+	gen := t.reg.Gen()
+	if v, ok := t.buckets.Load(concrete); ok {
+		b := v.(*typeBucket)
+		if b.gen == gen {
+			return b
+		}
+	}
+	b := t.compileBucket(concrete, gen)
+	if _, known := t.reg.TypeByName(concrete); known {
+		t.buckets.Store(concrete, b)
+	}
+	return b
+}
+
+// compileBucket gathers the candidates for one concrete class and
+// factors their remote filters into a compound matcher.
+func (t *dispatchTable) compileBucket(concrete string, gen uint64) *typeBucket {
+	var cands []*Subscription
+	for _, target := range t.targets {
+		if t.reg.ConformsTo(concrete, target) {
+			cands = append(cands, t.byTarget[target]...)
+		}
+	}
+	if len(cands) == 0 {
+		return &typeBucket{gen: gen}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+
+	b := &typeBucket{gen: gen, subs: cands}
+	var filters map[string]*filter.Expr
+	for _, s := range cands {
+		if s.remoteFilter == nil {
+			b.unfiltered = append(b.unfiltered, s)
+			continue
+		}
+		if filters == nil {
+			filters = make(map[string]*filter.Expr)
+			b.byID = make(map[string]*Subscription)
+		}
+		filters[s.id] = s.remoteFilter
+		b.byID[s.id] = s
+	}
+	if filters != nil {
+		b.compound = matching.New()
+		// One batch add = one plan compilation (per-Add compilation
+		// would be quadratic in candidates, on the dispatcher
+		// goroutine). Validated at Subscribe; AddBatch cannot fail.
+		_ = b.compound.AddBatch(filters)
+	}
+	return b
+}
+
+// dispatchScratch is the dispatcher goroutine's reusable working state.
+// The engine has exactly one dispatcher, so no pooling or locking is
+// needed; the slices just survive across envelopes.
+type dispatchScratch struct {
+	ids     []string        // compound match output buffer
+	deliver []*Subscription // delivery list for the current envelope
+}
+
+// dispatch matches one envelope against the indexed subscription table
+// and hands a fresh clone to each matching subscription's executor.
+func (e *Engine) dispatch(env *codec.Envelope) {
+	e.stats.eventsIn.Add(1)
+	// Timely obvents: obsolete envelopes are dropped, not delivered
+	// (§3.1.2).
+	if env.Expired(time.Now()) {
+		e.stats.expired.Add(1)
+		return
+	}
+	if e.naiveDispatch {
+		e.dispatchNaive(env)
+		return
+	}
+
+	b := e.table.Load().bucket(env.Type)
+	if len(b.subs) == 0 {
+		return
+	}
+
+	// Decode once: one canonical value drives all remote-filter
+	// evaluation; buckets without remote filters skip the decode.
+	src, err := e.codec.Source(env)
+	if err != nil {
+		e.stats.decodeErrors.Add(1)
+		return
+	}
+	sc := &e.scratch
+	matched := sc.ids[:0]
+	if b.compound != nil {
+		canonical, err := src.Clone()
+		if err != nil {
+			e.stats.decodeErrors.Add(1)
+			return
+		}
+		matched = b.compound.MatchAppend(canonical, matched)
+	}
+
+	// Merge the unfiltered candidates with the compound matches in
+	// subscription-ID order (both lists are sorted), dropping inactive
+	// members.
+	deliver := sc.deliver[:0]
+	ui, mi := 0, 0
+	for ui < len(b.unfiltered) || mi < len(matched) {
+		var s *Subscription
+		if mi >= len(matched) || (ui < len(b.unfiltered) && b.unfiltered[ui].id < matched[mi]) {
+			s = b.unfiltered[ui]
+			ui++
+		} else {
+			s = b.byID[matched[mi]]
+			mi++
+		}
+		if !s.active() {
+			continue
+		}
+		deliver = append(deliver, s)
+	}
+
+	// Clone per match (§2.1.2): only subscriptions whose remote
+	// matching passed pay a decode, O(matches)+1 instead of
+	// O(subscriptions). Opaque local filters run on the subscriber's
+	// own clone — exactly as in the naive path — so a mutating local
+	// filter can never leak state across subscriptions.
+	ordered := env.Ordering > obvent.NoOrder
+	decodeFailed := false // count decode errors once per envelope
+	for _, s := range deliver {
+		o, err := src.Clone()
+		if err != nil {
+			if !decodeFailed {
+				decodeFailed = true
+				e.stats.decodeErrors.Add(1)
+			}
+			continue
+		}
+		if s.localFilter != nil && !s.localFilter(o) {
+			continue
+		}
+		if s.executor.submit(o, ordered) {
+			e.stats.matched.Add(1)
+			e.stats.delivered.Add(1)
+		}
+	}
+	// Retain any buffer growth for the next envelope.
+	sc.ids = matched[:0]
+	sc.deliver = deliver[:0]
+}
+
+// dispatchNaive is the pre-index delivery path: snapshot and sort the
+// whole subscription table, then decode and evaluate per subscription.
+// It is retained, behind WithNaiveDispatch, as the transparency oracle
+// for tests and the baseline for BenchmarkDispatch.
+func (e *Engine) dispatchNaive(env *codec.Envelope) {
+	e.mu.Lock()
+	subs := make([]*Subscription, 0, len(e.subs))
+	for _, s := range e.subs {
+		subs = append(subs, s)
+	}
+	e.mu.Unlock()
+	// Deterministic dispatch order (map iteration is random).
+	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
+
+	ordered := env.Ordering > obvent.NoOrder
+	decodeFailed := false // count decode errors once per envelope, as the indexed path does
+	for _, s := range subs {
+		if !s.active() {
+			continue
+		}
+		if !e.reg.ConformsTo(env.Type, s.typeName) {
+			continue
+		}
+		// Obvent local uniqueness (§2.1.2): each subscription gets
+		// its own clone, decoded independently.
+		o, err := e.codec.Decode(env)
+		if err != nil {
+			if !decodeFailed {
+				decodeFailed = true
+				e.stats.decodeErrors.Add(1)
+			}
+			continue
+		}
+		if s.remoteFilter != nil {
+			ok, err := filter.Evaluate(s.remoteFilter, o)
+			if err != nil || !ok {
+				continue
+			}
+		}
+		if s.localFilter != nil && !s.localFilter(o) {
+			continue
+		}
+		if s.executor.submit(o, ordered) {
+			e.stats.matched.Add(1)
+			e.stats.delivered.Add(1)
+		}
+	}
+}
+
+// rebuildTable republishes the dispatch table from the current
+// subscription set. Called whenever the active set changes. Snapshot
+// and Store happen under the engine mutex so concurrent
+// activate/deactivate calls cannot publish tables out of snapshot
+// order (a stale table overwriting a newer one would silently drop an
+// active subscription from dispatch until the next change).
+func (e *Engine) rebuildTable() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.table.Store(newDispatchTable(e.reg, e.subs))
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"govents/internal/codec"
+	"govents/internal/filter"
+	"govents/internal/obvent"
+)
+
+// subSpec describes one subscription for the transparency reference
+// loop: everything the naive per-subscription matching rule needs.
+type subSpec struct {
+	target reflect.Type
+	remote *filter.Expr
+	local  func(obvent.Obvent) bool
+	active bool
+}
+
+// randLeaf draws a leaf filter from a pool that exercises the threshold
+// index (shared and distinct numeric thresholds), string operators,
+// direct conditions, and the error paths (missing accessors, type
+// mismatches) whose poisoning semantics must match filter.Evaluate.
+func randLeaf(rng *rand.Rand) *filter.Expr {
+	switch rng.Intn(12) {
+	case 0:
+		return filter.Path("GetPrice").Lt(filter.Float(float64(rng.Intn(10)) * 25))
+	case 1:
+		return filter.Path("GetPrice").Ge(filter.Float(float64(rng.Intn(10)) * 25))
+	case 2:
+		return filter.Path("Price").Gt(filter.Float(float64(rng.Intn(200))))
+	case 3:
+		return filter.Path("GetAmount").Le(filter.Int(int64(rng.Intn(50))))
+	case 4:
+		return filter.Path("GetCompany").Contains(filter.Str("Telco"))
+	case 5:
+		return filter.Path("Company").Eq(filter.Str("Acme"))
+	case 6:
+		return filter.Path("Company").HasPrefix(filter.Str("Ba"))
+	case 7:
+		return filter.Path("GetPrice").Eq(filter.Float(float64(rng.Intn(8)) * 50))
+	case 8:
+		return filter.Path("Missing").Eq(filter.Int(1)) // evaluation error
+	case 9:
+		return filter.Path("GetCompany").Lt(filter.Int(5)) // type mismatch
+	case 10:
+		return filter.True()
+	default:
+		return filter.False()
+	}
+}
+
+// randFilter draws a random expression tree of bounded depth.
+func randFilter(rng *rand.Rand, depth int) *filter.Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return randLeaf(rng)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		n := 2 + rng.Intn(2)
+		kids := make([]*filter.Expr, n)
+		for i := range kids {
+			kids[i] = randFilter(rng, depth-1)
+		}
+		return filter.And(kids...)
+	case 1:
+		n := 2 + rng.Intn(2)
+		kids := make([]*filter.Expr, n)
+		for i := range kids {
+			kids[i] = randFilter(rng, depth-1)
+		}
+		return filter.Or(kids...)
+	default:
+		return filter.Not(randFilter(rng, depth-1))
+	}
+}
+
+// TestDispatchTransparency is the delivery-set equivalence property:
+// for a randomized population of subscriptions — concrete, supertype
+// (embedding) and abstract (interface) targets, remote filters, opaque
+// local filters, inactive members — the engine delivers exactly the
+// (subscription, event) pairs that the naive reference rule
+// (Registry.ConformsTo + filter.Evaluate + local predicate) produces.
+// It runs against both the indexed pipeline and the retained naive
+// path, so WithNaiveDispatch stays a valid oracle.
+func TestDispatchTransparency(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"indexed", nil},
+		{"naive", []Option{WithNaiveDispatch()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			testDispatchTransparency(t, tc.opts...)
+		})
+	}
+}
+
+func testDispatchTransparency(t *testing.T, opts ...Option) {
+	rng := rand.New(rand.NewSource(42))
+	e := NewEngine("transparency", NewLocal(), opts...)
+	t.Cleanup(func() { _ = e.Close() })
+	reg := e.Registry()
+	reg.MustRegister(StockObvent{})
+	reg.MustRegister(StockQuote{})
+	reg.MustRegister(StockRequest{})
+	reg.MustRegister(SpotPrice{})
+	reg.MustRegister(MarketPrice{})
+
+	targets := []reflect.Type{
+		reflect.TypeOf(StockQuote{}),
+		reflect.TypeOf(StockObvent{}),
+		reflect.TypeOf(StockRequest{}),
+		reflect.TypeOf(SpotPrice{}),
+		obvent.TypeOf[Priced](), // abstract (interface) subscription
+	}
+
+	const nSubs = 40
+	specs := make([]*subSpec, nSubs)
+	var mu sync.Mutex
+	got := make(map[[2]int]int) // (sub index, event tag) -> deliveries
+
+	for i := 0; i < nSubs; i++ {
+		spec := &subSpec{target: targets[rng.Intn(len(targets))]}
+		if rng.Intn(10) < 7 {
+			spec.remote = randFilter(rng, 2)
+		}
+		if rng.Intn(10) < 3 {
+			parity := rng.Intn(2)
+			spec.local = func(o obvent.Obvent) bool {
+				v, ok := As[StockObvent](o)
+				return ok && v.Amount%2 == parity
+			}
+		}
+		spec.active = rng.Intn(10) < 8
+		specs[i] = spec
+
+		idx := i
+		sub, err := e.SubscribeDynamic(spec.target, spec.remote, spec.local, func(o obvent.Obvent) {
+			v, ok := As[StockObvent](o)
+			if !ok {
+				t.Errorf("sub %d: delivered obvent %T lacks StockObvent view", idx, o)
+				return
+			}
+			mu.Lock()
+			got[[2]int{idx, v.Amount}]++
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+		if spec.active {
+			if err := sub.Activate(); err != nil {
+				t.Fatalf("activate %d: %v", i, err)
+			}
+		} else if rng.Intn(2) == 0 {
+			// Half of the inactive members were live once: activate and
+			// deactivate so stale table entries would be caught.
+			if err := sub.Activate(); err != nil {
+				t.Fatalf("activate %d: %v", i, err)
+			}
+			if err := sub.Deactivate(); err != nil {
+				t.Fatalf("deactivate %d: %v", i, err)
+			}
+		}
+	}
+
+	// Publish a mixed event stream; Amount is the unique event tag.
+	companies := []string{"Telco Mobiles", "Acme", "Banco", "Telco Fixed", "Zeta"}
+	const nEvents = 150
+	events := make([]obvent.Obvent, nEvents)
+	for i := 0; i < nEvents; i++ {
+		base := StockObvent{
+			Company: companies[rng.Intn(len(companies))],
+			Price:   float64(rng.Intn(10)) * 25,
+			Amount:  i,
+		}
+		switch rng.Intn(5) {
+		case 0:
+			events[i] = StockQuote{StockObvent: base}
+		case 1:
+			events[i] = base
+		case 2:
+			events[i] = StockRequest{StockObvent: base}
+		case 3:
+			events[i] = SpotPrice{StockRequest: StockRequest{StockObvent: base}}
+		default:
+			events[i] = MarketPrice{StockRequest: StockRequest{StockObvent: base}}
+		}
+		if err := e.Publish(events[i]); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+
+	// Reference delivery set: the naive per-subscription rule.
+	want := make(map[[2]int]int)
+	for i, ev := range events {
+		evName := obvent.TypeName(reflect.TypeOf(ev))
+		for si, spec := range specs {
+			if !spec.active {
+				continue
+			}
+			if !reg.ConformsTo(evName, obvent.TypeName(spec.target)) {
+				continue
+			}
+			if spec.remote != nil {
+				ok, err := filter.Evaluate(spec.remote, ev)
+				if err != nil || !ok {
+					continue
+				}
+			}
+			if spec.local != nil && !spec.local(ev) {
+				continue
+			}
+			want[[2]int{si, i}]++
+		}
+	}
+
+	expected := 0
+	for _, n := range want {
+		expected += n
+	}
+	waitFor(t, 10*time.Second, "all deliveries", func() bool {
+		if e.Stats().EventsIn < nEvents {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		total := 0
+		for _, n := range got {
+			total += n
+		}
+		return total >= expected
+	})
+	time.Sleep(20 * time.Millisecond) // catch spurious extra deliveries
+
+	mu.Lock()
+	defer mu.Unlock()
+	for pair, n := range want {
+		if got[pair] != n {
+			t.Errorf("sub %d event %d: delivered %d times, want %d", pair[0], pair[1], got[pair], n)
+		}
+	}
+	for pair, n := range got {
+		if want[pair] == 0 {
+			t.Errorf("sub %d event %d: delivered %d times, want none", pair[0], pair[1], n)
+		}
+	}
+	st := e.Stats()
+	if st.DecodeErrors != 0 {
+		t.Errorf("DecodeErrors = %d, want 0", st.DecodeErrors)
+	}
+	if st.Delivered != uint64(expected) {
+		t.Errorf("Delivered = %d, want %d", st.Delivered, expected)
+	}
+}
+
+// TestDispatchStats checks every counter of the DispatchStats satellite:
+// events in, matches, deliveries, expired drops and decode errors (which
+// the seed engine used to swallow silently).
+func TestDispatchStats(t *testing.T) {
+	e := newLocalEngine(t)
+	c := subscribeCollector[StockQuote](t, e, filter.Path("GetPrice").Lt(filter.Float(100)))
+
+	_ = Publish(e, StockQuote{StockObvent: StockObvent{Company: "Acme", Price: 50}})
+	_ = Publish(e, StockQuote{StockObvent: StockObvent{Company: "Acme", Price: 150}})
+	_ = Publish(e, StockQuote{StockObvent: StockObvent{Company: "Acme", Price: 60}})
+	// Born long ago with a tiny TTL: dropped as expired at dispatch.
+	_ = Publish(e, timelyTick{TimelyBase: obvent.TimelyBase{TTL: time.Millisecond, BirthTime: time.Now().Add(-time.Second)}, N: 1})
+	// A corrupt payload for a class with live candidates: decode error.
+	e.deliver(&codec.Envelope{
+		ID:      codec.NewID(),
+		Type:    obvent.TypeName(reflect.TypeOf(StockQuote{})),
+		Payload: []byte{0xff, 0x00, 0xba, 0xad},
+	})
+
+	waitFor(t, 5*time.Second, "stats settled", func() bool {
+		st := e.Stats()
+		return st.EventsIn == 5 && st.DecodeErrors == 1 && c.count() == 2
+	})
+	st := e.Stats()
+	if st.Expired != 1 {
+		t.Errorf("Expired = %d, want 1", st.Expired)
+	}
+	if st.Matched != 2 || st.Delivered != 2 {
+		t.Errorf("Matched/Delivered = %d/%d, want 2/2", st.Matched, st.Delivered)
+	}
+}
+
+// TestLateRegistrationExtendsConformance pins the bucket-invalidation
+// rule: a dispatch bucket compiled before a supertype was registered is
+// recompiled once the registry generation moves, so conformance answers
+// never go stale. (The naive path gets this for free by querying
+// ConformsTo per event; the indexed path must invalidate its cache.)
+func TestLateRegistrationExtendsConformance(t *testing.T) {
+	e := NewEngine("late-reg", NewLocal())
+	t.Cleanup(func() { _ = e.Close() })
+	reg := e.Registry()
+	reg.MustRegister(SpotPrice{}) // StockObvent deliberately unregistered
+
+	c := &collector[obvent.Obvent]{}
+	sub, err := e.SubscribeDynamic(reflect.TypeOf(StockObvent{}), nil, nil, func(o obvent.Obvent) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.got = append(c.got, o)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Activate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// While StockObvent is unregistered, SpotPrice does not conform to it.
+	mk := func(n int) SpotPrice {
+		return SpotPrice{StockRequest: StockRequest{StockObvent: StockObvent{Company: "Acme", Amount: n}}}
+	}
+	if err := e.Publish(mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "first event dispatched", func() bool { return e.Stats().EventsIn >= 1 })
+	time.Sleep(10 * time.Millisecond)
+	if n := c.count(); n != 0 {
+		t.Fatalf("delivered %d obvents before supertype registration, want 0", n)
+	}
+
+	// Registering the embedded supertype extends the subtype closure;
+	// the cached bucket must be recompiled, not reused.
+	reg.MustRegister(StockObvent{})
+	if err := e.Publish(mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "post-registration delivery", func() bool { return c.count() == 1 })
+}
+
+// TestConcurrentActivationTablePublication is the regression test for
+// the copy-on-write table's lost-update hazard: concurrent
+// activate/deactivate calls must publish tables in snapshot order, or a
+// stale table could overwrite a newer one and silently drop an active
+// subscription from dispatch. After the churn settles with every
+// subscription active, a final event must reach all of them.
+func TestConcurrentActivationTablePublication(t *testing.T) {
+	e := newLocalEngine(t)
+	const nSubs = 8
+	counts := make([]atomic.Int64, nSubs)
+	subs := make([]*Subscription, nSubs)
+	for i := 0; i < nSubs; i++ {
+		i := i
+		sub, err := Subscribe(e, nil, func(q StockQuote) {
+			if q.Amount == -1 {
+				counts[i].Add(1)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = sub
+	}
+
+	var wg sync.WaitGroup
+	for _, sub := range subs {
+		wg.Add(1)
+		go func(s *Subscription) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := s.Activate(); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Deactivate(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := s.Activate(); err != nil {
+				t.Error(err)
+			}
+		}(sub)
+	}
+	wg.Wait()
+
+	// All subscriptions are now active; the published table must
+	// contain every one of them.
+	if err := Publish(e, StockQuote{StockObvent: StockObvent{Company: "Acme", Amount: -1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "final event reaches all subscriptions", func() bool {
+		for i := range counts {
+			if counts[i].Load() == 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestUnknownWireTypeNotCached pins the bucket-cache admission rule:
+// env.Type comes off the wire, so names the registry does not know must
+// not be cached (a peer sending unique garbage names would otherwise
+// grow the table without bound), while registered classes are.
+func TestUnknownWireTypeNotCached(t *testing.T) {
+	e := newLocalEngine(t)
+	c := subscribeCollector[StockQuote](t, e, nil)
+
+	for i := 0; i < 3; i++ {
+		e.deliver(&codec.Envelope{ID: codec.NewID(), Type: fmt.Sprintf("garbage.Type%d", i), Payload: []byte{1}})
+	}
+	_ = Publish(e, StockQuote{StockObvent: StockObvent{Company: "Acme", Price: 1}})
+	waitFor(t, 5*time.Second, "traffic dispatched", func() bool {
+		return e.Stats().EventsIn >= 4 && c.count() == 1
+	})
+
+	cached := map[string]bool{}
+	e.table.Load().buckets.Range(func(k, v any) bool {
+		cached[k.(string)] = true
+		return true
+	})
+	for name := range cached {
+		if len(name) >= 7 && name[:7] == "garbage" {
+			t.Errorf("bucket cached for unknown wire type %q", name)
+		}
+	}
+	if !cached[obvent.TypeName(reflect.TypeOf(StockQuote{}))] {
+		t.Errorf("bucket not cached for registered class; cache = %v", cached)
+	}
+}
+
+// TestStatsAccessorConcurrent exercises Stats() under live traffic so
+// the counters run under -race.
+func TestStatsAccessorConcurrent(t *testing.T) {
+	e := newLocalEngine(t)
+	c := subscribeCollector[StockQuote](t, e, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = e.Stats()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if err := Publish(e, StockQuote{StockObvent: StockObvent{Company: fmt.Sprintf("c%d", i), Price: float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	waitFor(t, 5*time.Second, "all delivered", func() bool { return c.count() == 50 })
+	if st := e.Stats(); st.Delivered != 50 {
+		t.Errorf("Delivered = %d, want 50", st.Delivered)
+	}
+}

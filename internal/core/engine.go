@@ -5,7 +5,7 @@ import (
 	"reflect"
 	"sort"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"govents/internal/codec"
 	"govents/internal/filter"
@@ -73,6 +73,18 @@ type Engine struct {
 	// Prioritary envelopes overtake lower-priority backlog (§3.1.2
 	// transmission semantics).
 	inbox *priorityInbox
+
+	// table is the copy-on-write dispatch index (see dispatch.go):
+	// republished on every activation change, loaded lock-free per
+	// envelope.
+	table atomic.Pointer[dispatchTable]
+	// scratch is the dispatcher goroutine's reusable buffers.
+	scratch dispatchScratch
+	// stats are the cumulative delivery counters behind Stats().
+	stats dispatchCounters
+	// naiveDispatch routes envelopes through the unindexed
+	// per-subscription path (WithNaiveDispatch).
+	naiveDispatch bool
 }
 
 // Option configures an Engine.
@@ -80,6 +92,7 @@ type Option func(*engineConfig)
 
 type engineConfig struct {
 	registry *obvent.Registry
+	naive    bool
 }
 
 // WithRegistry makes the engine use a shared obvent type registry
@@ -87,6 +100,16 @@ type engineConfig struct {
 // names).
 func WithRegistry(reg *obvent.Registry) Option {
 	return func(c *engineConfig) { c.registry = reg }
+}
+
+// WithNaiveDispatch disables the indexed dispatch pipeline: every
+// envelope is matched by iterating the whole subscription table and
+// evaluating each remote filter independently with filter.Evaluate.
+// Delivery semantics are identical to the indexed path (property-tested);
+// this exists as the transparency oracle and benchmark baseline, not for
+// production use.
+func WithNaiveDispatch() Option {
+	return func(c *engineConfig) { c.naive = true }
 }
 
 // NewEngine creates an engine with identifier id over the given
@@ -101,12 +124,14 @@ func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
 		reg = obvent.NewRegistry()
 	}
 	e := &Engine{
-		id:    id,
-		reg:   reg,
-		codec: codec.New(reg),
-		diss:  diss,
-		subs:  make(map[string]*Subscription),
+		id:            id,
+		reg:           reg,
+		codec:         codec.New(reg),
+		diss:          diss,
+		subs:          make(map[string]*Subscription),
+		naiveDispatch: cfg.naive,
 	}
+	e.table.Store(newDispatchTable(reg, nil))
 	e.inbox = newPriorityInbox(e.dispatch)
 	diss.SetSink(e.deliver)
 	return e
@@ -180,50 +205,6 @@ func (e *Engine) deliver(env *codec.Envelope) {
 	e.inbox.push(env, 0)
 }
 
-// dispatch matches one envelope against the local subscription table
-// and hands it to each matching subscription's executor.
-func (e *Engine) dispatch(env *codec.Envelope) {
-	// Timely obvents: obsolete envelopes are dropped, not delivered
-	// (§3.1.2).
-	if env.Expired(time.Now()) {
-		return
-	}
-
-	e.mu.Lock()
-	subs := make([]*Subscription, 0, len(e.subs))
-	for _, s := range e.subs {
-		subs = append(subs, s)
-	}
-	e.mu.Unlock()
-	// Deterministic dispatch order (map iteration is random).
-	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
-
-	for _, s := range subs {
-		if !s.active() {
-			continue
-		}
-		if !e.reg.ConformsTo(env.Type, s.typeName) {
-			continue
-		}
-		// Obvent local uniqueness (§2.1.2): each subscription gets
-		// its own clone, decoded independently.
-		o, err := e.codec.Decode(env)
-		if err != nil {
-			continue
-		}
-		if s.remoteFilter != nil {
-			ok, err := filter.Evaluate(s.remoteFilter, o)
-			if err != nil || !ok {
-				continue
-			}
-		}
-		if s.localFilter != nil && !s.localFilter(o) {
-			continue
-		}
-		s.executor.submit(o, env.Ordering > obvent.NoOrder)
-	}
-}
-
 // register installs a constructed subscription (called by Subscribe).
 func (e *Engine) register(s *Subscription) error {
 	e.mu.Lock()
@@ -250,9 +231,10 @@ func (e *Engine) infoLocked() []SubscriptionInfo {
 	return infos
 }
 
-// subscriptionChanged pushes the current subscription set to the
-// substrate.
+// subscriptionChanged recompiles the dispatch index and pushes the
+// current subscription set to the substrate.
 func (e *Engine) subscriptionChanged() error {
+	e.rebuildTable()
 	e.mu.Lock()
 	infos := e.infoLocked()
 	e.mu.Unlock()

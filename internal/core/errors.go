@@ -23,6 +23,35 @@
 // The cmd/psc tool additionally reproduces the paper's precompiler
 // architecture by generating explicit XxxAdapter types; both roads lead
 // to the same engine below.
+//
+// # Dispatch architecture
+//
+// Inbound envelopes flow through an indexed, allocation-light pipeline
+// (see dispatch.go):
+//
+//	envelope ──► priority inbox ──► type index ──► compound match ──► clone per match
+//
+//  1. Type index: every activation change compiles an immutable
+//     dispatchTable published through an atomic pointer; the dispatcher
+//     resolves the envelope's wire type to a pre-sorted candidate bucket
+//     (expanded through the registry's conformance relation) with a
+//     lock-free load, instead of snapshotting and sorting the
+//     subscription table per envelope.
+//  2. Compound match: each bucket factors its candidates' remote filters
+//     into one matching.Compound (paper §2.3.2, [ASS+99]), so an event's
+//     conditions are evaluated once across all subscribers — shared path
+//     resolution, common-subexpression elimination, threshold binary
+//     search — rather than once per subscription.
+//  3. Clone per match: the envelope is decoded once into a canonical
+//     value used only for remote-filter matching; the distinct
+//     per-subscriber clones required by obvent local uniqueness (§2.1.2)
+//     are produced only for subscriptions whose remote matching passed
+//     (opaque local filters run on the subscriber's own clone), cutting
+//     decode work from O(subscriptions) to O(matches)+1.
+//
+// Engine.Stats exposes the pipeline's cumulative delivery counters;
+// WithNaiveDispatch retains the unindexed reference path as the
+// transparency oracle and benchmark baseline.
 package core
 
 import "errors"

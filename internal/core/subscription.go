@@ -195,14 +195,18 @@ func (x *executor) setLimit(n int) {
 	}
 }
 
-func (x *executor) submit(o obvent.Obvent, ordered bool) {
+// submit enqueues one delivery; it reports false when the executor is
+// already closed and the obvent will never reach the handler (so the
+// engine's delivery counters stay truthful during shutdown).
+func (x *executor) submit(o obvent.Obvent, ordered bool) bool {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.closed {
-		return
+		return false
 	}
 	x.queue = append(x.queue, submission{o: o, ordered: ordered})
 	x.cond.Signal()
+	return true
 }
 
 func (x *executor) loop() {

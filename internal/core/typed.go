@@ -79,9 +79,11 @@ func Publish[T obvent.Obvent](e *Engine, o T) error {
 //
 // The filter is a first-class expression tree (package filter), the Go
 // rendering of the paper's deferred code evaluation: it can be shipped
-// to filtering hosts and factored with other subscribers' filters. Pass
-// nil (or filter.True()) to receive every instance of T, the paper's
-// "subscribe (T t) { return true; } {...}".
+// to filtering hosts and factored with other subscribers' filters.
+// Accessors it names must be pure — the engine evaluates all remote
+// filters of one event against a single shared clone (see package
+// filter). Pass nil (or filter.True()) to receive every instance of T,
+// the paper's "subscribe (T t) { return true; } {...}".
 //
 // The returned Subscription is inactive until Activate is called.
 func Subscribe[T obvent.Obvent](e *Engine, f *filter.Expr, handler func(T)) (*Subscription, error) {

@@ -18,6 +18,13 @@
 // matching), and evaluated there — whereas an arbitrary Go closure (a
 // LocalFilter) cannot leave the subscriber.
 //
+// Accessor methods named in a filter must be pure: a filtering host may
+// resolve each accessor path once per event against a single shared
+// clone and reuse the value across many subscriptions' conditions (the
+// compound matcher does exactly that), so an accessor with observable
+// side effects — advancing a cursor, mutating reachable state — yields
+// unspecified matching results.
+//
 // Filters are built with a small DSL:
 //
 //	f := filter.And(

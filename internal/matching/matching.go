@@ -60,6 +60,26 @@ func (c *Compound) Add(subID string, e *filter.Expr) error {
 	return nil
 }
 
+// AddBatch registers many subscriptions' filters at once, compiling the
+// plan a single time. Add recompiles per call, which is O(n²) across a
+// bulk load — callers assembling a matcher from a whole subscription
+// table (the engine's dispatch buckets) must use AddBatch. On a
+// validation error nothing is registered.
+func (c *Compound) AddBatch(filters map[string]*filter.Expr) error {
+	for id, e := range filters {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("matching: add %s: %w", id, err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, e := range filters {
+		c.subs[id] = e
+	}
+	c.plan = compile(c.subs)
+	return nil
+}
+
 // Remove drops a subscription.
 func (c *Compound) Remove(subID string) {
 	c.mu.Lock()
@@ -104,10 +124,19 @@ func (c *Compound) Stats() Stats {
 // the event. Conditions that fail to evaluate (missing accessor, type
 // mismatch) count as false for the affected subscriptions only.
 func (c *Compound) Match(event any) []string {
+	return c.MatchAppend(event, nil)
+}
+
+// MatchAppend is Match appending into dst (which may be nil), for
+// callers on a hot path that reuse one output buffer across events: the
+// engine dispatch loop matches thousands of envelopes per second and
+// must not allocate a fresh result slice per envelope. The appended IDs
+// are sorted; dst's existing contents are preserved.
+func (c *Compound) MatchAppend(event any, dst []string) []string {
 	c.mu.RLock()
 	p := c.plan
 	c.mu.RUnlock()
-	return p.match(event)
+	return p.match(event, dst)
 }
 
 // MatchNaive evaluates every subscription's filter independently. It is
@@ -131,8 +160,12 @@ func (c *Compound) MatchNaive(event any) []string {
 
 // plan is an immutable compiled matcher.
 type plan struct {
-	conds   []*filter.Cond // unique conditions, by slot
-	formula map[string]*node
+	conds []*filter.Cond // unique conditions, by slot
+
+	// Per-subscription formulas, aligned by index and sorted by ID so
+	// match emits sorted output without a per-event sort.
+	ids   []string
+	progs [][]finstr
 
 	// paths: unique accessor paths resolved once per event.
 	paths    []pathSlot
@@ -143,6 +176,14 @@ type plan struct {
 
 	// Numeric threshold groups, keyed by path slot.
 	groups []thresholdGroup
+
+	// maxStack bounds the evaluation stack any program needs.
+	maxStack int
+
+	// scratch pools per-match working state (path values, condition
+	// results, evaluation stack) so steady-state matching does not
+	// allocate. Pooled per plan because slice sizes are plan-specific.
+	scratch sync.Pool
 
 	stats Stats
 }
@@ -177,19 +218,23 @@ type thresholdCond struct {
 	slot      int
 }
 
-// node is a boolean formula over condition slots.
-type node struct {
-	kind     filter.ExprKind
-	children []*node
-	slot     int // KindLeaf
+// finstr is one postfix instruction of a flattened boolean formula.
+// Formulas are evaluated iteratively over a small value stack instead of
+// recursing through a pointer tree: the instruction array is contiguous
+// (cache-friendly) and evaluation needs no call-frame allocation.
+type finstr struct {
+	op filter.ExprKind
+	// arg is the condition slot for KindLeaf and the child count for
+	// KindAnd/KindOr.
+	arg int
 }
 
 // compile builds a plan from the current subscription set.
 func compile(subs map[string]*filter.Expr) *plan {
 	p := &plan{
-		formula:  make(map[string]*node, len(subs)),
 		pathSlot: make(map[string]int),
 	}
+	p.scratch.New = func() any { return &matchScratch{} }
 	condSlot := make(map[string]int)
 
 	ids := make([]string, 0, len(subs))
@@ -199,8 +244,14 @@ func compile(subs map[string]*filter.Expr) *plan {
 	sort.Strings(ids) // deterministic plans
 
 	total := 0
-	for _, id := range ids {
-		p.formula[id] = p.compileExpr(subs[id], condSlot, &total)
+	p.ids = ids
+	p.progs = make([][]finstr, len(ids))
+	for i, id := range ids {
+		prog := p.compileExpr(subs[id], condSlot, &total, nil)
+		p.progs[i] = prog
+		if d := stackDepth(prog); d > p.maxStack {
+			p.maxStack = d
+		}
 	}
 
 	// Partition unique conditions into indexed and direct.
@@ -240,11 +291,13 @@ func compile(subs map[string]*filter.Expr) *plan {
 	return p
 }
 
-// compileExpr interns leaf conditions and returns the formula.
-func (p *plan) compileExpr(e *filter.Expr, condSlot map[string]int, total *int) *node {
+// compileExpr interns leaf conditions and appends the expression's
+// postfix program to prog: children first, then the combining operator
+// carrying its child count.
+func (p *plan) compileExpr(e *filter.Expr, condSlot map[string]int, total *int, prog []finstr) []finstr {
 	switch e.Kind {
 	case filter.KindConstTrue, filter.KindConstFalse:
-		return &node{kind: e.Kind}
+		return append(prog, finstr{op: e.Kind})
 	case filter.KindLeaf:
 		*total++
 		key := e.Cond.Canon()
@@ -254,14 +307,33 @@ func (p *plan) compileExpr(e *filter.Expr, condSlot map[string]int, total *int) 
 			condSlot[key] = slot
 			p.conds = append(p.conds, e.Cond)
 		}
-		return &node{kind: filter.KindLeaf, slot: slot}
-	default:
-		n := &node{kind: e.Kind, children: make([]*node, len(e.Children))}
-		for i, c := range e.Children {
-			n.children[i] = p.compileExpr(c, condSlot, total)
+		return append(prog, finstr{op: filter.KindLeaf, arg: slot})
+	case filter.KindNot:
+		prog = p.compileExpr(e.Children[0], condSlot, total, prog)
+		return append(prog, finstr{op: filter.KindNot})
+	default: // And/Or
+		for _, c := range e.Children {
+			prog = p.compileExpr(c, condSlot, total, prog)
 		}
-		return n
+		return append(prog, finstr{op: e.Kind, arg: len(e.Children)})
 	}
+}
+
+// stackDepth computes the peak evaluation-stack depth of a program.
+func stackDepth(prog []finstr) int {
+	depth, max := 0, 0
+	for _, in := range prog {
+		switch in.op {
+		case filter.KindConstTrue, filter.KindConstFalse, filter.KindLeaf:
+			depth++
+		case filter.KindAnd, filter.KindOr:
+			depth -= in.arg - 1
+		}
+		if depth > max {
+			max = depth
+		}
+	}
+	return max
 }
 
 // internPath returns the slot of an accessor path, creating it if new.
@@ -342,12 +414,49 @@ const (
 	rErr
 )
 
-// match evaluates the plan against one event.
-func (p *plan) match(event any) []string {
+// matchScratch is the pooled per-match working state.
+type matchScratch struct {
+	vals    []filter.Constant
+	valOK   []bool
+	results []uint8
+	stack   []uint8
+}
+
+// getScratch returns a scratch sized for this plan, with results and
+// valOK zeroed (rFalse / not-resolved).
+func (p *plan) getScratch() *matchScratch {
+	sc := p.scratch.Get().(*matchScratch)
+	if cap(sc.vals) < len(p.paths) {
+		sc.vals = make([]filter.Constant, len(p.paths))
+		sc.valOK = make([]bool, len(p.paths))
+	}
+	sc.vals = sc.vals[:len(p.paths)]
+	sc.valOK = sc.valOK[:len(p.paths)]
+	clear(sc.valOK)
+	if cap(sc.results) < len(p.conds) {
+		sc.results = make([]uint8, len(p.conds))
+	}
+	sc.results = sc.results[:len(p.conds)]
+	clear(sc.results)
+	if cap(sc.stack) < p.maxStack {
+		sc.stack = make([]uint8, 0, p.maxStack)
+	}
+	sc.stack = sc.stack[:0]
+	return sc
+}
+
+// match evaluates the plan against one event, appending matches to dst.
+func (p *plan) match(event any, dst []string) []string {
+	if len(p.ids) == 0 {
+		return dst
+	}
+	sc := p.getScratch()
+	defer p.scratch.Put(sc)
+
 	// 1. Resolve every unique path once.
 	rv := reflect.ValueOf(event)
-	vals := make([]filter.Constant, len(p.paths))
-	valOK := make([]bool, len(p.paths))
+	vals := sc.vals
+	valOK := sc.valOK
 	for i, ps := range p.paths {
 		v, err := filter.ResolvePath(rv, ps.path)
 		if err != nil {
@@ -361,7 +470,7 @@ func (p *plan) match(event any) []string {
 	}
 
 	// 2. Evaluate unique conditions.
-	results := make([]uint8, len(p.conds))
+	results := sc.results
 
 	// 2a. Threshold groups: one comparison set per path.
 	for gi := range p.groups {
@@ -445,58 +554,62 @@ func (p *plan) match(event any) []string {
 		}
 	}
 
-	// 3. Evaluate each subscription's formula over the results.
-	var out []string
-	for id, f := range p.formula {
-		if evalNode(f, results) == rTrue {
-			out = append(out, id)
+	// 3. Evaluate each subscription's formula over the results. IDs are
+	// pre-sorted, so the appended output is sorted without a per-event
+	// sort.
+	for i, prog := range p.progs {
+		if evalProg(prog, results, sc.stack[:0]) == rTrue {
+			dst = append(dst, p.ids[i])
 		}
 	}
-	sort.Strings(out)
-	return out
+	return dst
 }
 
-// evalNode evaluates a formula with the same child order and
-// short-circuiting as filter.Evaluate, so error propagation is
-// identical.
-func evalNode(n *node, results []uint8) uint8 {
-	switch n.kind {
-	case filter.KindConstTrue:
-		return rTrue
-	case filter.KindConstFalse:
-		return rFalse
-	case filter.KindLeaf:
-		return results[n.slot]
-	case filter.KindAnd:
-		for _, c := range n.children {
-			switch evalNode(c, results) {
-			case rErr:
-				return rErr
-			case rFalse:
-				return rFalse
-			}
-		}
-		return rTrue
-	case filter.KindOr:
-		for _, c := range n.children {
-			switch evalNode(c, results) {
-			case rErr:
-				return rErr
+// evalProg runs a postfix program over the condition results. Although
+// all conditions are pre-evaluated (so nothing is skipped), the
+// combining rules reproduce filter.Evaluate's in-order short-circuiting
+// exactly: an And yields the first non-true child outcome in child
+// order (so a false child hides a later error, but an error before the
+// first false poisons the formula), an Or the first non-false one.
+func evalProg(prog []finstr, results []uint8, stack []uint8) uint8 {
+	for _, in := range prog {
+		switch in.op {
+		case filter.KindConstTrue:
+			stack = append(stack, rTrue)
+		case filter.KindConstFalse:
+			stack = append(stack, rFalse)
+		case filter.KindLeaf:
+			stack = append(stack, results[in.arg])
+		case filter.KindNot:
+			switch stack[len(stack)-1] {
 			case rTrue:
-				return rTrue
+				stack[len(stack)-1] = rFalse
+			case rFalse:
+				stack[len(stack)-1] = rTrue
 			}
-		}
-		return rFalse
-	case filter.KindNot:
-		switch evalNode(n.children[0], results) {
-		case rErr:
-			return rErr
-		case rTrue:
-			return rFalse
+		case filter.KindAnd:
+			base := len(stack) - in.arg
+			v := rTrue
+			for _, r := range stack[base:] {
+				if r != rTrue {
+					v = r
+					break
+				}
+			}
+			stack = append(stack[:base], v)
+		case filter.KindOr:
+			base := len(stack) - in.arg
+			v := rFalse
+			for _, r := range stack[base:] {
+				if r != rFalse {
+					v = r
+					break
+				}
+			}
+			stack = append(stack[:base], v)
 		default:
-			return rTrue
+			return rErr
 		}
-	default:
-		return rErr
 	}
+	return stack[len(stack)-1]
 }

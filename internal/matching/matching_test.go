@@ -282,3 +282,136 @@ func BenchmarkCompoundVsNaive(b *testing.B) {
 		})
 	}
 }
+
+func TestMatchAppendReusesBuffer(t *testing.T) {
+	c := New()
+	_ = c.Add("cheap", filter.Path("Price").Lt(filter.Float(100)))
+	_ = c.Add("telco", filter.Path("Company").Contains(filter.Str("Telco")))
+	_ = c.Add("big", filter.Path("Amount").Gt(filter.Int(50)))
+
+	events := []quote{
+		{Company: "Telco Mobiles", Price: 80, Amount: 10},
+		{Company: "Acme", Price: 200, Amount: 100},
+		{Company: "Telco Fixed", Price: 120, Amount: 60},
+		{Company: "Zeta", Price: 10, Amount: 1},
+	}
+	buf := make([]string, 0, 4)
+	for _, ev := range events {
+		buf = c.MatchAppend(ev, buf[:0])
+		if want := c.MatchNaive(ev); !reflect.DeepEqual(append([]string(nil), buf...), want) {
+			// MatchNaive returns nil for no matches; normalize.
+			if !(len(buf) == 0 && len(want) == 0) {
+				t.Errorf("MatchAppend(%+v) = %v, want %v", ev, buf, want)
+			}
+		}
+	}
+}
+
+func TestMatchAppendPreservesPrefix(t *testing.T) {
+	c := New()
+	_ = c.Add("all", filter.True())
+	out := c.MatchAppend(quote{}, []string{"sentinel"})
+	if !reflect.DeepEqual(out, []string{"sentinel", "all"}) {
+		t.Errorf("MatchAppend = %v, want [sentinel all]", out)
+	}
+}
+
+// TestMatchSteadyStateAllocs pins the allocation-light property of the
+// pooled scratch + flattened evaluator: with field-access paths (no
+// reflect method calls) and a reused output buffer, steady-state
+// matching performs zero heap allocations per event.
+func TestMatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	c := New()
+	for i := 0; i < 100; i++ {
+		c2 := float64((i % 10) * 30)
+		_ = c.Add(fmt.Sprintf("s%03d", i), filter.And(
+			filter.Path("Price").Lt(filter.Float(c2+100)),
+			filter.Path("Amount").Ge(filter.Int(int64(i%7))),
+		))
+	}
+	var ev any = quote{Company: "Telco", Price: 75, Amount: 5}
+	buf := make([]string, 0, 128)
+	buf = c.MatchAppend(ev, buf[:0]) // warm scratch pool and caches
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = c.MatchAppend(ev, buf[:0])
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state MatchAppend allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestEvalProgShortCircuitOrder pins the in-order short-circuit
+// semantics of the flattened evaluator against filter.Evaluate for the
+// tricky error-interaction shapes: a false conjunct hides a later
+// error, an error before the first false poisons the formula, and
+// symmetrically for disjunctions.
+func TestEvalProgShortCircuitOrder(t *testing.T) {
+	errCond := filter.Path("Missing").Eq(filter.Int(1))
+	cases := []struct {
+		name string
+		e    *filter.Expr
+	}{
+		{"and-false-then-err", filter.And(filter.False(), errCond)},
+		{"and-err-then-false", filter.And(errCond, filter.False())},
+		{"or-true-then-err", filter.Or(filter.True(), errCond)},
+		{"or-err-then-true", filter.Or(errCond, filter.True())},
+		{"not-err", filter.Not(errCond)},
+		{"nested", filter.Or(filter.And(filter.True(), errCond), filter.True())},
+	}
+	ev := quote{Company: "Acme", Price: 10, Amount: 1}
+	for _, tc := range cases {
+		c := New()
+		if err := c.Add("s", tc.e); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := len(c.Match(ev)) == 1
+		want, err := filter.Evaluate(tc.e, ev)
+		want = want && err == nil
+		if got != want {
+			t.Errorf("%s: compound=%v, Evaluate=%v", tc.name, got, want)
+		}
+	}
+}
+
+func TestAddBatchMatchesIncrementalAdd(t *testing.T) {
+	filters := map[string]*filter.Expr{
+		"cheap": filter.Path("Price").Lt(filter.Float(100)),
+		"telco": filter.Path("Company").Contains(filter.Str("Telco")),
+		"both": filter.And(
+			filter.Path("Price").Lt(filter.Float(100)),
+			filter.Path("Company").Contains(filter.Str("Telco")),
+		),
+	}
+	batch := New()
+	if err := batch.AddBatch(filters); err != nil {
+		t.Fatal(err)
+	}
+	incr := New()
+	for id, f := range filters {
+		if err := incr.Add(id, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ev := range []quote{
+		{Company: "Telco Mobiles", Price: 80},
+		{Company: "Acme", Price: 80},
+		{Company: "Telco", Price: 200},
+	} {
+		if got, want := batch.Match(ev), incr.Match(ev); !reflect.DeepEqual(got, want) {
+			t.Errorf("AddBatch Match(%+v) = %v, incremental = %v", ev, got, want)
+		}
+	}
+	if batch.Stats() != incr.Stats() {
+		t.Errorf("Stats diverge: batch %+v, incremental %+v", batch.Stats(), incr.Stats())
+	}
+
+	if err := batch.AddBatch(map[string]*filter.Expr{"bad": {}}); err == nil {
+		t.Error("AddBatch with invalid filter should fail")
+	}
+	if batch.Len() != 3 {
+		t.Errorf("failed AddBatch mutated the set: Len = %d", batch.Len())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // A Registry tracks the obvent types known to a process and the subtype
@@ -28,6 +29,11 @@ type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]entry
 	ifaces map[string]reflect.Type // registered abstract types
+
+	// gen counts mutations of the type universe. Caches derived from
+	// conformance queries (e.g. the engine's per-class dispatch buckets)
+	// key on it to detect staleness without taking the registry lock.
+	gen atomic.Uint64
 }
 
 type entry struct {
@@ -84,6 +90,7 @@ func (r *Registry) Register(sample Obvent) (string, error) {
 	// that embed it, and vice versa; recompute everything. Registration
 	// is rare (startup time), so O(n^2) here is irrelevant.
 	r.recomputeLocked()
+	r.gen.Add(1)
 	return name, nil
 }
 
@@ -114,8 +121,14 @@ func (r *Registry) RegisterInterface(t reflect.Type) (string, error) {
 	defer r.mu.Unlock()
 	r.ifaces[name] = t
 	r.recomputeLocked()
+	r.gen.Add(1)
 	return name, nil
 }
+
+// Gen returns the registry's mutation generation: it changes whenever a
+// class or abstract type is registered, so lock-free consumers can
+// detect that previously computed conformance answers may be stale.
+func (r *Registry) Gen() uint64 { return r.gen.Load() }
 
 // recomputeLocked rebuilds the supertype closure of every registered class.
 func (r *Registry) recomputeLocked() {
