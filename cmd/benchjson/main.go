@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON map (benchmark name -> metric -> value), so CI
+// can archive per-PR performance trajectories as artifacts:
+//
+//	go test -run='^$' -bench='^BenchmarkDispatch' -benchmem . | benchjson -out BENCH_dispatch.json
+//
+// Every input line is echoed to stdout, so the human-readable log
+// survives in CI; only the parsed results go to the -out file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := flag.String("out", "", "JSON output file (default stdout, after the echoed log)")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// benchResult is the parsed form of one benchmark output line.
+type benchResult struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// parseBench reads `go test -bench` output from r, echoing every line to
+// echo, and returns the benchmark lines parsed into name -> result. A
+// benchmark line looks like
+//
+//	BenchmarkName/sub-8   1234   5678 ns/op   90 B/op   12 allocs/op
+//
+// i.e. a name, an iteration count, then value/unit pairs. Units become
+// the metric keys ("ns/op", "allocs/op", custom ReportMetric units).
+// Duplicate names (e.g. -count > 1) keep the last occurrence.
+func parseBench(r io.Reader, echo io.Writer) (map[string]benchResult, error) {
+	results := make(map[string]benchResult)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX ... FAIL" status lines
+		}
+		metrics := make(map[string]float64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		results[fields[0]] = benchResult{Iterations: iters, Metrics: metrics}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return results, nil
+}
+
+// sortedNames is a debugging aid kept exported-in-package for tests.
+func sortedNames(m map[string]benchResult) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

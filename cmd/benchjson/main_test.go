@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: govents
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDispatch/indexed/subs=1000/sel=1pct-8         	     200	   2712345 ns/op	        10.00 matches/op	 1490800 B/op	   14908 allocs/op
+BenchmarkDispatchParallel/lanes=4-8                    	     500	     67757 ns/op	        10.00 matches/op	   13487 B/op	     255 allocs/op
+PASS
+ok  	govents	62.943s
+`
+
+func TestParseBench(t *testing.T) {
+	var echoed strings.Builder
+	got, err := parseBench(strings.NewReader(sampleOutput), &echoed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks (%v), want 2", len(got), sortedNames(got))
+	}
+	r, ok := got["BenchmarkDispatch/indexed/subs=1000/sel=1pct-8"]
+	if !ok {
+		t.Fatalf("missing dispatch benchmark; got %v", sortedNames(got))
+	}
+	if r.Iterations != 200 {
+		t.Errorf("iterations = %d, want 200", r.Iterations)
+	}
+	want := map[string]float64{"ns/op": 2712345, "matches/op": 10, "B/op": 1490800, "allocs/op": 14908}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("metric %q = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+	if !strings.Contains(echoed.String(), "PASS") {
+		t.Error("input not echoed through")
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok govents 1s\n"), nil); err == nil {
+		t.Fatal("expected an error when no benchmark lines are present")
+	}
+}

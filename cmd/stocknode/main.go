@@ -44,6 +44,7 @@ func run() error {
 	maxPrice := flag.Float64("max-price", 0, "sub: only quotes cheaper than this (0 = all)")
 	company := flag.String("company", "", "sub: only quotes for this company (empty = all)")
 	seed := flag.Int64("seed", 42, "pub: workload seed")
+	lanes := flag.Int("lanes", 0, "parallel dispatch lanes (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	tr, err := transport.Listen(*listen)
@@ -55,7 +56,11 @@ func run() error {
 	reg := obvent.NewRegistry()
 	workload.RegisterTypes(reg)
 	node := dace.NewNode(tr, reg, dace.Config{Placement: dace.AtPublisher})
-	engine := core.NewEngine(tr.Addr(), node, core.WithRegistry(reg))
+	opts := []core.Option{core.WithRegistry(reg)}
+	if *lanes > 0 {
+		opts = append(opts, core.WithDispatchLanes(*lanes))
+	}
+	engine := core.NewEngine(tr.Addr(), node, opts...)
 	defer engine.Close()
 
 	peers := []string{tr.Addr()}
@@ -108,8 +113,16 @@ func run() error {
 		signal.Notify(sig, os.Interrupt)
 		<-sig
 		st := engine.Stats()
-		fmt.Printf("dispatch: in=%d matched=%d delivered=%d expired=%d decode-errors=%d\n",
-			st.EventsIn, st.Matched, st.Delivered, st.Expired, st.DecodeErrors)
+		fmt.Printf("dispatch: lanes=%d in=%d matched=%d delivered=%d expired=%d decode-errors=%d\n",
+			engine.DispatchLanes(), st.EventsIn, st.Matched, st.Delivered, st.Expired, st.DecodeErrors)
+		for _, l := range engine.LaneStats() {
+			name := fmt.Sprintf("lane %d ", l.Lane)
+			if l.Serial {
+				name = "serial "
+			}
+			fmt.Printf("  %-8s routed=%-6d dispatched=%-6d delivered=%-6d queued=%d\n",
+				name, l.Enqueued, l.Stats.EventsIn, l.Stats.Delivered, l.Queued)
+		}
 		return sub.Deactivate()
 
 	default:

@@ -19,6 +19,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"reflect"
+	"sync"
 	"time"
 
 	"govents/internal/obvent"
@@ -77,6 +78,12 @@ func (e *Envelope) Expired(now time.Time) bool {
 // Codec is safe for concurrent use.
 type Codec struct {
 	reg *obvent.Registry
+
+	// flat caches, per concrete class (reflect.Type -> bool), whether a
+	// plain value copy of the struct is already a deep copy — i.e. the
+	// type transitively contains no reference kinds. A type's layout
+	// never changes once registered, so entries are valid forever.
+	flat sync.Map
 }
 
 // New returns a Codec over the given registry.
@@ -136,11 +143,22 @@ func (c *Codec) Decode(e *Envelope) (obvent.Obvent, error) {
 // A CloneSource produces per-subscriber clones of one envelope. It
 // front-loads the registry lookup so that a dispatcher delivering one
 // publication to many local subscriptions pays the (read-locked) type
-// resolution once and only the gob decode per clone.
+// resolution once and only the clone cost per clone. For pointer-free
+// ("flat") classes the payload is gob-decoded once into a prototype and
+// every clone is a single reflect value copy, which is already a deep
+// copy; classes with reference kinds pay the full gob decode per clone.
+//
+// A CloneSource is not safe for concurrent use: it belongs to the one
+// dispatch invocation that created it.
 type CloneSource struct {
 	typ     reflect.Type
 	name    string
 	payload []byte
+
+	// flat marks the fastpath; proto is the decoded prototype, valid
+	// once the first flat Clone succeeded.
+	flat  bool
+	proto reflect.Value
 }
 
 // Source resolves the envelope's obvent class for repeated cloning.
@@ -149,12 +167,15 @@ func (c *Codec) Source(e *Envelope) (*CloneSource, error) {
 	if !ok {
 		return nil, fmt.Errorf("codec: decode: unknown obvent class %q", e.Type)
 	}
-	return &CloneSource{typ: t, name: e.Type, payload: e.Payload}, nil
+	return &CloneSource{typ: t, name: e.Type, payload: e.Payload, flat: c.flatType(t)}, nil
 }
 
 // Clone decodes one fresh obvent value — the paper's distributed object
 // creation (§2.1.2): every call yields a distinct object.
 func (s *CloneSource) Clone() (obvent.Obvent, error) {
+	if s.flat {
+		return s.cloneFlat()
+	}
 	v := reflect.New(s.typ)
 	dec := gob.NewDecoder(bytes.NewReader(s.payload))
 	if err := dec.DecodeValue(v); err != nil {
@@ -167,6 +188,68 @@ func (s *CloneSource) Clone() (obvent.Obvent, error) {
 		return nil, fmt.Errorf("codec: decode: %s is not an obvent", s.name)
 	}
 	return o, nil
+}
+
+// cloneFlat is the pointer-free fastpath: decode the payload once, then
+// every clone is a value copy (Interface boxes a fresh copy of the
+// prototype). With no reference kinds anywhere in the struct — strings
+// are immutable, so sharing their backing bytes is safe — a value copy
+// gives exactly the independence the gob round trip gives, without the
+// per-clone decode.
+func (s *CloneSource) cloneFlat() (obvent.Obvent, error) {
+	if !s.proto.IsValid() {
+		v := reflect.New(s.typ)
+		dec := gob.NewDecoder(bytes.NewReader(s.payload))
+		if err := dec.DecodeValue(v); err != nil {
+			return nil, fmt.Errorf("codec: decode %s: %w", s.name, err)
+		}
+		s.proto = v.Elem()
+	}
+	o, ok := s.proto.Interface().(obvent.Obvent)
+	if !ok {
+		return nil, fmt.Errorf("codec: decode: %s is not an obvent", s.name)
+	}
+	return o, nil
+}
+
+// flatType reports (and caches) whether t can use the value-copy clone
+// fastpath.
+func (c *Codec) flatType(t reflect.Type) bool {
+	if v, ok := c.flat.Load(t); ok {
+		return v.(bool)
+	}
+	f := isFlat(t)
+	c.flat.Store(t, f)
+	return f
+}
+
+// isFlat reports whether a value copy of type t is a deep copy: t
+// contains, transitively, no kind through which two copies could share
+// mutable state. Strings count as flat because their backing bytes are
+// immutable. Struct recursion terminates: Go structs cannot contain
+// themselves by value.
+func isFlat(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128,
+		reflect.String:
+		return true
+	case reflect.Array:
+		return isFlat(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !isFlat(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		// Pointer, slice, map, chan, func, interface, unsafe.Pointer:
+		// a value copy would alias the referent.
+		return false
+	}
 }
 
 // Clone deep-copies an obvent through an encode/decode round trip. It

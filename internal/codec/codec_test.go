@@ -312,3 +312,172 @@ func TestSourceUnknownType(t *testing.T) {
 		t.Fatal("Source on unknown class should fail")
 	}
 }
+
+// flatArrayQuote composes every flat kind the fastpath must accept:
+// scalars, strings, a fixed array, and a nested flat struct.
+type flatArrayQuote struct {
+	obvent.Base
+	Inner  quote
+	Window [4]float64
+	Label  string
+}
+
+func TestFlatTypeDetection(t *testing.T) {
+	c := newCodec(t)
+	cases := []struct {
+		name string
+		o    obvent.Obvent
+		want bool
+	}{
+		{"scalar+string struct", quote{}, true},
+		{"nested flat struct+array", flatArrayQuote{}, true},
+		{"slice and map fields", nested{}, false},
+		{"timely (time.Time holds a pointer)", timelyQuote{}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			name, err := c.Registry().NameOf(tc.o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			typ, _ := c.Registry().TypeByName(name)
+			if got := c.flatType(typ); got != tc.want {
+				t.Errorf("flatType(%s) = %v, want %v", name, got, tc.want)
+			}
+			// The cached second answer agrees.
+			if got := c.flatType(typ); got != tc.want {
+				t.Errorf("cached flatType(%s) = %v, want %v", name, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCloneFlatFastpathIndependence proves clone independence on the
+// pointer-free fastpath: every Clone yields a value equal to the
+// original, and clones are fully independent objects (mutating one —
+// possible once the receiver holds its own copy — never shows through
+// another).
+func TestCloneFlatFastpathIndependence(t *testing.T) {
+	c := newCodec(t)
+	c.Registry().MustRegister(flatArrayQuote{})
+	in := flatArrayQuote{
+		Inner:  quote{Company: "Acme", Price: 10, Amount: 3},
+		Window: [4]float64{1, 2, 3, 4},
+		Label:  "spot",
+	}
+	env, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := c.Source(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.flat {
+		t.Fatal("flat class did not take the value-copy fastpath")
+	}
+	a, err := src.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := src.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := a.(flatArrayQuote), b.(flatArrayQuote)
+	if fa != in || fb != in {
+		t.Errorf("flat clones differ from original: %+v / %+v", fa, fb)
+	}
+	// Value semantics: each assertion above copied the boxed value, and
+	// mutating one copy (including its array) leaves the others intact.
+	fa.Window[0] = -1
+	fa.Inner.Price = -1
+	if fb != in {
+		t.Errorf("clone mutated through sibling: %+v", fb)
+	}
+	cAgain, err := src.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cAgain.(flatArrayQuote) != in {
+		t.Errorf("later clone saw earlier mutation: %+v", cAgain)
+	}
+}
+
+func TestCloneFlatFastpathAllocs(t *testing.T) {
+	c := newCodec(t)
+	env, err := c.Encode(quote{Company: "Acme", Price: 10, Amount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := c.Source(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Clone(); err != nil { // decode the prototype
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := src.Clone(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One boxed value copy per clone; a full gob decode costs dozens.
+	if allocs > 2 {
+		t.Errorf("flat Clone allocates %.1f per call, want <= 2", allocs)
+	}
+}
+
+func TestCloneFlatCorruptPayload(t *testing.T) {
+	c := newCodec(t)
+	env, err := c.Encode(quote{Company: "Acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Payload = []byte{0xff, 0x00, 0xba, 0xad}
+	src, err := c.Source(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // the error must repeat, not be cached away
+		if _, err := src.Clone(); err == nil {
+			t.Fatalf("clone %d of corrupt payload succeeded", i)
+		}
+	}
+}
+
+// BenchmarkCloneSource pins the satellite's benchmark delta: value-copy
+// cloning for flat classes vs the full gob decode for reference-bearing
+// ones.
+func BenchmarkCloneSource(b *testing.B) {
+	reg := obvent.NewRegistry()
+	reg.MustRegister(quote{})
+	reg.MustRegister(nested{})
+	c := New(reg)
+	cases := []struct {
+		name string
+		o    obvent.Obvent
+	}{
+		{"flat", quote{Company: "Telco Mobiles", Price: 80, Amount: 10}},
+		{"gob", nested{Inner: quote{Company: "Telco"}, Tags: []string{"a", "b"}, Meta: map[string]int{"k": 1}}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			env, err := c.Encode(tc.o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, err := c.Source(env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := src.Clone(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -72,8 +72,26 @@ func (c *dispatchCounters) snapshot() DispatchStats {
 	}
 }
 
-// Stats returns a snapshot of the engine's delivery counters.
-func (e *Engine) Stats() DispatchStats { return e.stats.snapshot() }
+// add folds another snapshot into s (used to aggregate per-lane counters).
+func (s *DispatchStats) add(o DispatchStats) {
+	s.EventsIn += o.EventsIn
+	s.Expired += o.Expired
+	s.Matched += o.Matched
+	s.Delivered += o.Delivered
+	s.DecodeErrors += o.DecodeErrors
+}
+
+// Stats returns a snapshot of the engine's delivery counters, folded
+// across all dispatch lanes.
+func (e *Engine) Stats() DispatchStats { return e.lanes.stats() }
+
+// LaneStats returns a per-lane snapshot of the dispatcher: the serial
+// (ordered/prioritary) lane first, then each parallel lane.
+func (e *Engine) LaneStats() []LaneStat { return e.lanes.laneStats() }
+
+// DispatchLanes returns the number of parallel dispatch lanes (the
+// serial lane is additional).
+func (e *Engine) DispatchLanes() int { return len(e.lanes.par) }
 
 // dispatchTable is an immutable snapshot of the active subscriptions,
 // grouped by subscribed (target) type name. It is published via
@@ -192,26 +210,29 @@ func (t *dispatchTable) compileBucket(concrete string, gen uint64) *typeBucket {
 	return b
 }
 
-// dispatchScratch is the dispatcher goroutine's reusable working state.
-// The engine has exactly one dispatcher, so no pooling or locking is
-// needed; the slices just survive across envelopes.
+// dispatchScratch is one dispatch lane's reusable working state. Each
+// lane has exactly one drain goroutine, so no pooling or locking is
+// needed; the slices just survive across that lane's envelopes.
 type dispatchScratch struct {
 	ids     []string        // compound match output buffer
 	deliver []*Subscription // delivery list for the current envelope
 }
 
 // dispatch matches one envelope against the indexed subscription table
-// and hands a fresh clone to each matching subscription's executor.
-func (e *Engine) dispatch(env *codec.Envelope) {
-	e.stats.eventsIn.Add(1)
+// and hands a fresh clone to each matching subscription's executor. It
+// runs on a lane goroutine with that lane's private state ln; lanes
+// dispatch concurrently, sharing only the immutable table snapshot, the
+// codec and the (internally synchronized) executors.
+func (e *Engine) dispatch(env *codec.Envelope, ln *laneState) {
+	ln.counters.eventsIn.Add(1)
 	// Timely obvents: obsolete envelopes are dropped, not delivered
 	// (§3.1.2).
 	if env.Expired(time.Now()) {
-		e.stats.expired.Add(1)
+		ln.counters.expired.Add(1)
 		return
 	}
 	if e.naiveDispatch {
-		e.dispatchNaive(env)
+		e.dispatchNaive(env, ln)
 		return
 	}
 
@@ -224,15 +245,15 @@ func (e *Engine) dispatch(env *codec.Envelope) {
 	// evaluation; buckets without remote filters skip the decode.
 	src, err := e.codec.Source(env)
 	if err != nil {
-		e.stats.decodeErrors.Add(1)
+		ln.counters.decodeErrors.Add(1)
 		return
 	}
-	sc := &e.scratch
+	sc := &ln.scratch
 	matched := sc.ids[:0]
 	if b.compound != nil {
 		canonical, err := src.Clone()
 		if err != nil {
-			e.stats.decodeErrors.Add(1)
+			ln.counters.decodeErrors.Add(1)
 			return
 		}
 		matched = b.compound.MatchAppend(canonical, matched)
@@ -263,14 +284,14 @@ func (e *Engine) dispatch(env *codec.Envelope) {
 	// O(subscriptions). Opaque local filters run on the subscriber's
 	// own clone — exactly as in the naive path — so a mutating local
 	// filter can never leak state across subscriptions.
-	ordered := env.Ordering > obvent.NoOrder
+	ordered := e.orderedDelivery(env)
 	decodeFailed := false // count decode errors once per envelope
 	for _, s := range deliver {
 		o, err := src.Clone()
 		if err != nil {
 			if !decodeFailed {
 				decodeFailed = true
-				e.stats.decodeErrors.Add(1)
+				ln.counters.decodeErrors.Add(1)
 			}
 			continue
 		}
@@ -278,20 +299,41 @@ func (e *Engine) dispatch(env *codec.Envelope) {
 			continue
 		}
 		if s.executor.submit(o, ordered) {
-			e.stats.matched.Add(1)
-			e.stats.delivered.Add(1)
+			ln.counters.matched.Add(1)
+			ln.counters.delivered.Add(1)
 		}
 	}
-	// Retain any buffer growth for the next envelope.
+	// Retain any buffer growth for this lane's next envelope.
 	sc.ids = matched[:0]
 	sc.deliver = deliver[:0]
+}
+
+// orderedDelivery reports whether this envelope's deliveries must run
+// in order on the subscriber executors: stamped wire ordering, or the
+// envelope's class resolving to an ordering. It mirrors the ordering
+// half of the lane router's rule (lanes.go routeSerial), so an envelope
+// steered to the serial lane because its class is ordered — e.g. a peer
+// that forgot to stamp the wire metadata — is also executed serially,
+// not just queued serially. Deliberately narrower than routeSerial:
+// Prioritary envelopes are queued serially (so they can overtake
+// backlog) but execute under the normal thread policy — priority and
+// ordering cannot combine (Figure 4), and forcing inline execution here
+// would change Prioritary handler concurrency from the paper's default.
+func (e *Engine) orderedDelivery(env *codec.Envelope) bool {
+	if env.Ordering > obvent.NoOrder {
+		return true
+	}
+	if sem, ok := e.reg.ClassSemantics(env.Type); ok {
+		return sem.Ordering > obvent.NoOrder
+	}
+	return false
 }
 
 // dispatchNaive is the pre-index delivery path: snapshot and sort the
 // whole subscription table, then decode and evaluate per subscription.
 // It is retained, behind WithNaiveDispatch, as the transparency oracle
 // for tests and the baseline for BenchmarkDispatch.
-func (e *Engine) dispatchNaive(env *codec.Envelope) {
+func (e *Engine) dispatchNaive(env *codec.Envelope, ln *laneState) {
 	e.mu.Lock()
 	subs := make([]*Subscription, 0, len(e.subs))
 	for _, s := range e.subs {
@@ -301,7 +343,7 @@ func (e *Engine) dispatchNaive(env *codec.Envelope) {
 	// Deterministic dispatch order (map iteration is random).
 	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
 
-	ordered := env.Ordering > obvent.NoOrder
+	ordered := e.orderedDelivery(env)
 	decodeFailed := false // count decode errors once per envelope, as the indexed path does
 	for _, s := range subs {
 		if !s.active() {
@@ -316,7 +358,7 @@ func (e *Engine) dispatchNaive(env *codec.Envelope) {
 		if err != nil {
 			if !decodeFailed {
 				decodeFailed = true
-				e.stats.decodeErrors.Add(1)
+				ln.counters.decodeErrors.Add(1)
 			}
 			continue
 		}
@@ -330,8 +372,8 @@ func (e *Engine) dispatchNaive(env *codec.Envelope) {
 			continue
 		}
 		if s.executor.submit(o, ordered) {
-			e.stats.matched.Add(1)
-			e.stats.delivered.Add(1)
+			ln.counters.matched.Add(1)
+			ln.counters.delivered.Add(1)
 		}
 	}
 }

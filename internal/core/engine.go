@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -68,20 +69,18 @@ type Engine struct {
 	nextID int
 	closed bool
 
-	// Inbound delivery: a priority-aware queue drained by one
-	// dispatcher goroutine, preserving arrival order except that
+	// Inbound delivery: the sharded multi-lane dispatcher (lanes.go).
+	// Ordered and Prioritary envelopes drain through one serial
+	// priority-aware lane — preserving arrival order except that
 	// Prioritary envelopes overtake lower-priority backlog (§3.1.2
-	// transmission semantics).
-	inbox *priorityInbox
+	// transmission semantics) — while unordered envelopes fan out
+	// across parallel lanes hashed by publisher.
+	lanes *laneSet
 
 	// table is the copy-on-write dispatch index (see dispatch.go):
 	// republished on every activation change, loaded lock-free per
 	// envelope.
 	table atomic.Pointer[dispatchTable]
-	// scratch is the dispatcher goroutine's reusable buffers.
-	scratch dispatchScratch
-	// stats are the cumulative delivery counters behind Stats().
-	stats dispatchCounters
 	// naiveDispatch routes envelopes through the unindexed
 	// per-subscription path (WithNaiveDispatch).
 	naiveDispatch bool
@@ -93,6 +92,7 @@ type Option func(*engineConfig)
 type engineConfig struct {
 	registry *obvent.Registry
 	naive    bool
+	lanes    int
 }
 
 // WithRegistry makes the engine use a shared obvent type registry
@@ -100,6 +100,15 @@ type engineConfig struct {
 // names).
 func WithRegistry(reg *obvent.Registry) Option {
 	return func(c *engineConfig) { c.registry = reg }
+}
+
+// WithDispatchLanes sets the number of parallel dispatch lanes for
+// unordered traffic. Zero (or leaving the option unset) means
+// GOMAXPROCS; negative values are clamped to 1. Ordered and Prioritary
+// envelopes always drain through one additional serial lane regardless
+// of n, so their delivery semantics are unaffected by the lane count.
+func WithDispatchLanes(n int) Option {
+	return func(c *engineConfig) { c.lanes = n }
 }
 
 // WithNaiveDispatch disables the indexed dispatch pipeline: every
@@ -123,6 +132,10 @@ func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
 	if reg == nil {
 		reg = obvent.NewRegistry()
 	}
+	lanes := cfg.lanes
+	if lanes == 0 {
+		lanes = runtime.GOMAXPROCS(0)
+	}
 	e := &Engine{
 		id:            id,
 		reg:           reg,
@@ -132,7 +145,7 @@ func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
 		naiveDispatch: cfg.naive,
 	}
 	e.table.Store(newDispatchTable(reg, nil))
-	e.inbox = newPriorityInbox(e.dispatch)
+	e.lanes = newLaneSet(reg, lanes, e.dispatch)
 	diss.SetSink(e.deliver)
 	return e
 }
@@ -165,7 +178,7 @@ func (e *Engine) Close() error {
 		_ = s.Deactivate() // best effort; already-inactive is fine
 		s.executor.close()
 	}
-	e.inbox.close()
+	e.lanes.close()
 	return e.diss.Close()
 }
 
@@ -195,14 +208,11 @@ func (e *Engine) Publish(o obvent.Obvent) error {
 }
 
 // deliver is the sink invoked by the disseminator for every inbound
-// envelope. It enqueues into the priority inbox; actual matching and
-// handler execution happen on the dispatcher goroutine.
+// envelope. It routes the envelope to its dispatch lane (serial for
+// ordered/prioritary semantics, hashed-parallel otherwise); actual
+// matching and handler execution happen on the lane goroutines.
 func (e *Engine) deliver(env *codec.Envelope) {
-	if env.HasPriority {
-		e.inbox.push(env, env.Priority)
-		return
-	}
-	e.inbox.push(env, 0)
+	e.lanes.route(env)
 }
 
 // register installs a constructed subscription (called by Subscribe).

@@ -26,10 +26,40 @@
 //
 // # Dispatch architecture
 //
-// Inbound envelopes flow through an indexed, allocation-light pipeline
-// (see dispatch.go):
+// Inbound envelopes flow through a sharded, indexed, allocation-light
+// pipeline (see lanes.go and dispatch.go). A semantics-aware router
+// first shards every envelope across dispatch lanes; each lane then
+// runs the indexed matching pipeline with its own private scratch and
+// counters:
 //
-//	envelope ──► priority inbox ──► type index ──► compound match ──► clone per match
+//	           ┌► serial lane (priority heap) ─┐
+//	           │   ordered / prioritary        │
+//	envelope ─►│                               ├─► type index ──► compound match ──► clone per match
+//	           └► lane[hash(publisher) % N] ───┘
+//	               unordered (parallel)
+//
+// Lane routing realizes the transmission semantics of §3.1.2 with the
+// least serialization they permit:
+//
+//   - FIFO, Causal and Total ordered obvents, and Prioritary obvents,
+//     drain through the single serial lane: a priority heap (higher
+//     priority first, FIFO among equals) whose one goroutine preserves
+//     arrival order for ordered traffic and lets Prioritary envelopes
+//     overtake lower-priority backlog. Ordering and priority cannot
+//     combine (Figure 4 drops priority under any ordering), so the two
+//     semantics share the lane without interfering.
+//   - Unordered obvents — bound by no delivery-order contract — fan out
+//     across N parallel lanes (WithDispatchLanes, default GOMAXPROCS),
+//     hashed by publisher so one publisher's envelopes keep their
+//     arrival order relative to each other.
+//
+// The serial-or-parallel decision reads the envelope's wire metadata
+// and, for unordered metadata, a per-class semantics lookup cached in
+// the type registry (Registry.ClassSemantics, invalidated by the
+// registry generation counter) — a lock-free map hit, never a payload
+// decode, with zero steady-state allocations.
+//
+// Within a lane, matching is indexed:
 //
 //  1. Type index: every activation change compiles an immutable
 //     dispatchTable published through an atomic pointer; the dispatcher
@@ -49,7 +79,8 @@
 //     (opaque local filters run on the subscriber's own clone), cutting
 //     decode work from O(subscriptions) to O(matches)+1.
 //
-// Engine.Stats exposes the pipeline's cumulative delivery counters;
+// Engine.Stats exposes the pipeline's cumulative delivery counters
+// (folded across lanes; Engine.LaneStats breaks them out per lane);
 // WithNaiveDispatch retains the unindexed reference path as the
 // transparency oracle and benchmark baseline.
 package core

@@ -7,14 +7,22 @@ import (
 	"govents/internal/codec"
 )
 
-// priorityInbox is the engine's inbound envelope queue: a single
-// dispatcher goroutine drains it in priority order (higher first), with
-// FIFO order among equal priorities. This realizes the Prioritary
-// transmission semantics of §3.1.2 — "the delivery of obvents can be
-// delayed to defer to obvents with a higher priority" — at the receiving
-// process, where backlog actually forms.
+// laneShrinkMin is the queue capacity below which lanes never bother
+// shrinking their backing arrays: reclaiming a few hundred pointers is
+// not worth the copy, and a small warm buffer avoids re-growing under
+// ordinary jitter.
+const laneShrinkMin = 64
+
+// priorityInbox is the engine's serial dispatch lane: one goroutine
+// drains a heap in priority order (higher first), with FIFO order among
+// equal priorities. This realizes the Prioritary transmission semantics
+// of §3.1.2 — "the delivery of obvents can be delayed to defer to
+// obvents with a higher priority" — at the receiving process, where
+// backlog actually forms. Because it is strictly serial it also
+// preserves arrival order for the ordered semantics (FIFO/Causal/Total),
+// whose envelopes the lane router (lanes.go) steers here.
 type priorityInbox struct {
-	dispatch func(*codec.Envelope)
+	dispatch func(*codec.Envelope, *laneState)
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -22,6 +30,10 @@ type priorityInbox struct {
 	nextSq uint64
 	closed bool
 	wg     sync.WaitGroup
+
+	// st is the lane's private dispatch working set (scratch buffers and
+	// delivery counters); only the lane goroutine touches the scratch.
+	st laneState
 }
 
 type inboxItem struct {
@@ -30,7 +42,7 @@ type inboxItem struct {
 	seq  uint64 // arrival order tiebreaker
 }
 
-func newPriorityInbox(dispatch func(*codec.Envelope)) *priorityInbox {
+func newPriorityInbox(dispatch func(*codec.Envelope, *laneState)) *priorityInbox {
 	in := &priorityInbox{dispatch: dispatch}
 	in.cond = sync.NewCond(&in.mu)
 	in.wg.Add(1)
@@ -44,9 +56,17 @@ func (in *priorityInbox) push(env *codec.Envelope, prio int) {
 	if in.closed {
 		return
 	}
+	in.st.enqueued.Add(1)
 	in.nextSq++
 	heap.Push(&in.heap, inboxItem{env: env, prio: prio, seq: in.nextSq})
 	in.cond.Signal()
+}
+
+// queued returns the instantaneous backlog length.
+func (in *priorityInbox) queued() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.heap.Len()
 }
 
 func (in *priorityInbox) loop() {
@@ -61,15 +81,28 @@ func (in *priorityInbox) loop() {
 			return
 		}
 		item := heap.Pop(&in.heap).(inboxItem)
+		// A burst must not pin its high-water memory for the engine's
+		// lifetime: once the backlog occupies under a quarter of the
+		// backing array, move it to a right-sized one. A straight copy
+		// preserves the heap invariant.
+		if c := cap(in.heap); c > laneShrinkMin && c > 4*in.heap.Len() {
+			shrunk := make(inboxHeap, in.heap.Len())
+			copy(shrunk, in.heap)
+			in.heap = shrunk
+		}
 		in.mu.Unlock()
-		in.dispatch(item.env)
+		in.dispatch(item.env, &in.st)
 	}
 }
 
+// close marks the lane closed and waits for the backlog to drain.
+// Broadcast, not Signal: Signal wakes a single waiter, which would leave
+// the remaining ones blocked forever if the condvar ever has more than
+// one (several drainers sharing one lane, or a future close/flush waiter).
 func (in *priorityInbox) close() {
 	in.mu.Lock()
 	in.closed = true
-	in.cond.Signal()
+	in.cond.Broadcast()
 	in.mu.Unlock()
 	in.wg.Wait()
 }
@@ -94,6 +127,7 @@ func (h *inboxHeap) Pop() any {
 	old := *h
 	n := len(old)
 	item := old[n-1]
+	old[n-1] = inboxItem{} // drop the envelope reference for the GC
 	*h = old[:n-1]
 	return item
 }

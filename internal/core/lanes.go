@@ -1,0 +1,282 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"govents/internal/codec"
+	"govents/internal/obvent"
+)
+
+// This file implements the engine's sharded multi-lane dispatcher.
+//
+// The paper's transmission semantics (§3.1.2) only constrain delivery
+// order for obvents whose type requests ordering (FIFO/Causal/Total) or
+// priority. Everything else is embarrassingly parallel once per-envelope
+// matching is cheap, so the engine fans unordered traffic out across N
+// parallel lanes and reserves one strictly serial lane for the traffic
+// whose semantics demand it:
+//
+//	              ┌► serial lane (priority heap) ── ordered / prioritary
+//	deliver ─► route
+//	              └► lane[hash(publisher) % N]  ── everything else
+//
+// Routing rules, in order:
+//
+//   - env.HasPriority or env.Ordering > NoOrder (stamped by the
+//     publishing codec) → serial lane. The heap preserves today's
+//     Prioritary-overtaking behavior exactly; ordered envelopes share
+//     priority 0 and therefore drain in arrival order.
+//   - the envelope's class resolves (Registry.ClassSemantics, a cached
+//     lock-free lookup — never a decode) to an ordering or priority →
+//     serial lane. This catches peers that forgot to stamp the wire
+//     metadata.
+//   - otherwise → parallel lane chosen by hashing the publisher ID (the
+//     publication ID when there is none), so one publisher's envelopes
+//     always share a lane and per-publisher arrival order stays stable.
+//
+// Each lane owns its queue, its dispatchScratch and its dispatchCounters,
+// so lanes never contend on dispatch state; Engine.Stats folds the
+// per-lane counters, Engine.LaneStats exposes them individually.
+
+// laneState is one lane's private dispatch working set. The scratch is
+// touched only by the lane's goroutine; the counters are atomic so
+// Stats() can read them live.
+type laneState struct {
+	scratch  dispatchScratch
+	counters dispatchCounters
+	enqueued atomic.Uint64
+}
+
+// LaneStat is one dispatch lane's observable state (Engine.LaneStats).
+type LaneStat struct {
+	// Lane is the parallel lane index; -1 identifies the serial lane.
+	Lane int
+	// Serial reports whether this is the serial (ordered/prioritary) lane.
+	Serial bool
+	// Enqueued counts envelopes ever routed to this lane.
+	Enqueued uint64
+	// Queued is the instantaneous backlog length.
+	Queued int
+	// Stats are the lane's cumulative dispatch counters.
+	Stats DispatchStats
+}
+
+// laneSet is the engine's dispatcher: one serial priority lane plus N
+// parallel FIFO lanes.
+type laneSet struct {
+	reg    *obvent.Registry
+	serial *priorityInbox
+	par    []*fifoLane
+}
+
+func newLaneSet(reg *obvent.Registry, n int, dispatch func(*codec.Envelope, *laneState)) *laneSet {
+	if n < 1 {
+		n = 1
+	}
+	ls := &laneSet{
+		reg:    reg,
+		serial: newPriorityInbox(dispatch),
+		par:    make([]*fifoLane, n),
+	}
+	for i := range ls.par {
+		ls.par[i] = newFifoLane(dispatch)
+	}
+	return ls
+}
+
+// route steers one envelope to its lane. Safe for concurrent use: the
+// dissemination substrate may deliver from many goroutines.
+func (ls *laneSet) route(env *codec.Envelope) {
+	if ls.routeSerial(env) {
+		prio := 0
+		if env.HasPriority {
+			prio = env.Priority
+		}
+		ls.serial.push(env, prio)
+		return
+	}
+	ls.par[ls.laneFor(env)].push(env)
+}
+
+// routeSerial is the semantics-aware routing decision. It costs two
+// envelope field reads and, for unordered wire metadata, one lock-free
+// cached class-semantics lookup — never a payload decode and zero
+// steady-state allocations (pinned by TestLaneRoutingZeroAlloc).
+func (ls *laneSet) routeSerial(env *codec.Envelope) bool {
+	if env.HasPriority || env.Ordering > obvent.NoOrder {
+		return true
+	}
+	if sem, ok := ls.reg.ClassSemantics(env.Type); ok {
+		return sem.Prioritary || sem.Ordering > obvent.NoOrder
+	}
+	return false
+}
+
+// laneFor hashes the envelope's publisher (or, lacking one, its
+// publication ID) onto a parallel lane: one publisher's unordered
+// envelopes always share a lane, keeping per-publisher arrival order
+// stable. FNV-1a, inlined to stay allocation-free.
+func (ls *laneSet) laneFor(env *codec.Envelope) int {
+	key := env.Publisher
+	if key == "" {
+		key = env.ID
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(ls.par)))
+}
+
+// stats folds every lane's counters into one engine-wide snapshot.
+func (ls *laneSet) stats() DispatchStats {
+	total := ls.serial.st.counters.snapshot()
+	for _, l := range ls.par {
+		total.add(l.st.counters.snapshot())
+	}
+	return total
+}
+
+// laneStats snapshots each lane individually, serial lane first.
+func (ls *laneSet) laneStats() []LaneStat {
+	out := make([]LaneStat, 0, len(ls.par)+1)
+	out = append(out, LaneStat{
+		Lane:     -1,
+		Serial:   true,
+		Enqueued: ls.serial.st.enqueued.Load(),
+		Queued:   ls.serial.queued(),
+		Stats:    ls.serial.st.counters.snapshot(),
+	})
+	for i, l := range ls.par {
+		out = append(out, LaneStat{
+			Lane:     i,
+			Enqueued: l.st.enqueued.Load(),
+			Queued:   l.queued(),
+			Stats:    l.st.counters.snapshot(),
+		})
+	}
+	return out
+}
+
+// close shuts every lane down, draining their backlogs first.
+func (ls *laneSet) close() {
+	var wg sync.WaitGroup
+	wg.Add(1 + len(ls.par))
+	go func() {
+		defer wg.Done()
+		ls.serial.close()
+	}()
+	for _, l := range ls.par {
+		go func(l *fifoLane) {
+			defer wg.Done()
+			l.close()
+		}(l)
+	}
+	wg.Wait()
+}
+
+// fifoLane is one parallel dispatch lane: a single goroutine draining an
+// unbounded FIFO queue in arrival order.
+type fifoLane struct {
+	dispatch func(*codec.Envelope, *laneState)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*codec.Envelope
+	head   int // index of the next envelope to pop
+	closed bool
+	wg     sync.WaitGroup
+
+	st laneState
+}
+
+func newFifoLane(dispatch func(*codec.Envelope, *laneState)) *fifoLane {
+	l := &fifoLane{dispatch: dispatch}
+	l.cond = sync.NewCond(&l.mu)
+	l.wg.Add(1)
+	go l.loop()
+	return l
+}
+
+func (l *fifoLane) push(env *codec.Envelope) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.st.enqueued.Add(1)
+	l.queue = append(l.queue, env)
+	l.cond.Signal()
+}
+
+// queued returns the instantaneous backlog length.
+func (l *fifoLane) queued() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue) - l.head
+}
+
+func (l *fifoLane) loop() {
+	defer l.wg.Done()
+	for {
+		l.mu.Lock()
+		for l.head == len(l.queue) && !l.closed {
+			l.cond.Wait()
+		}
+		if l.head == len(l.queue) && l.closed {
+			l.mu.Unlock()
+			return
+		}
+		env := l.queue[l.head]
+		l.queue[l.head] = nil // drop the reference for the GC
+		l.head++
+		l.compactLocked()
+		l.mu.Unlock()
+		l.dispatch(env, &l.st)
+	}
+}
+
+// compactLocked keeps the queue's memory proportional to its live
+// backlog. Without it, append would grow the slice forever (head only
+// advances) and a one-time burst would pin its high-water array for the
+// engine's lifetime.
+func (l *fifoLane) compactLocked() {
+	live := len(l.queue) - l.head
+	switch {
+	case live == 0:
+		// Empty: restart at the front; release a burst-sized array.
+		if cap(l.queue) > laneShrinkMin {
+			l.queue = nil
+		} else {
+			l.queue = l.queue[:0]
+		}
+		l.head = 0
+	case cap(l.queue) > laneShrinkMin && cap(l.queue) > 4*live:
+		// Backlog occupies under a quarter of the array: right-size it.
+		shrunk := make([]*codec.Envelope, live)
+		copy(shrunk, l.queue[l.head:])
+		l.queue = shrunk
+		l.head = 0
+	case l.head >= laneShrinkMin && 2*l.head >= len(l.queue):
+		// Mostly dead prefix: slide the live tail down in place so
+		// append reuses the front instead of growing.
+		copy(l.queue, l.queue[l.head:])
+		for i := live; i < len(l.queue); i++ {
+			l.queue[i] = nil
+		}
+		l.queue = l.queue[:live]
+		l.head = 0
+	}
+}
+
+// close marks the lane closed and waits for the backlog to drain.
+// Broadcast for the same reason as priorityInbox.close.
+func (l *fifoLane) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.wg.Wait()
+}

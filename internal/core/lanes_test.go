@@ -1,0 +1,582 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"govents/internal/codec"
+	"govents/internal/filter"
+	"govents/internal/obvent"
+)
+
+// Ordered tick types spanning the ordering lattice, plus an unordered
+// one, for the lane routing and ordering stress tests. Pub/N identify
+// the logical publisher and its per-type publication sequence.
+
+type fifoTick struct {
+	obvent.Base
+	obvent.FIFOOrderBase
+	Pub string
+	N   int
+}
+
+type causalTick struct {
+	obvent.Base
+	obvent.CausalOrderBase
+	Pub string
+	N   int
+}
+
+type totalTick struct {
+	obvent.Base
+	obvent.TotalOrderBase
+	Pub string
+	N   int
+}
+
+type freeTick struct {
+	obvent.Base
+	Pub string
+	N   int
+}
+
+func registerTickTypes(reg *obvent.Registry) {
+	reg.MustRegister(fifoTick{})
+	reg.MustRegister(causalTick{})
+	reg.MustRegister(totalTick{})
+	reg.MustRegister(freeTick{})
+}
+
+// encodeFrom encodes an obvent and stamps it with a publisher identity,
+// as a remote peer's envelope would arrive.
+func encodeFrom(t *testing.T, e *Engine, o obvent.Obvent, pub string) *codec.Envelope {
+	t.Helper()
+	env, err := e.codec.Encode(o)
+	if err != nil {
+		t.Fatalf("encode %T: %v", o, err)
+	}
+	env.Publisher = pub
+	return env
+}
+
+// TestLaneRoutingSemantics pins the routing rules: ordered and
+// prioritary envelopes go serial (whether identified by wire metadata
+// or by the cached class semantics), unordered envelopes go parallel,
+// and one publisher's unordered envelopes always share a lane.
+func TestLaneRoutingSemantics(t *testing.T) {
+	e := NewEngine("routing", NewLocal(), WithDispatchLanes(4))
+	t.Cleanup(func() { _ = e.Close() })
+	reg := e.Registry()
+	reg.MustRegister(StockQuote{})
+	reg.MustRegister(prioAlert{})
+	registerTickTypes(reg)
+
+	ordered := []obvent.Obvent{
+		fifoTick{Pub: "p", N: 1},
+		causalTick{Pub: "p", N: 1},
+		totalTick{Pub: "p", N: 1},
+	}
+	for _, o := range ordered {
+		env := encodeFrom(t, e, o, "p")
+		if !e.lanes.routeSerial(env) {
+			t.Errorf("%T: stamped ordered envelope not routed serial", o)
+		}
+		// A peer that forgot to stamp the ordering metadata must still
+		// be caught by the class-semantics lookup.
+		env.Ordering = obvent.NoOrder
+		if !e.lanes.routeSerial(env) {
+			t.Errorf("%T: unstamped ordered envelope not routed serial", o)
+		}
+	}
+
+	prio := encodeFrom(t, e, prioAlert{Msg: "x", PriorityBase: obvent.PriorityBase{Prio: 3}}, "p")
+	if !e.lanes.routeSerial(prio) {
+		t.Error("prioritary envelope not routed serial")
+	}
+	prio.HasPriority = false
+	prio.Priority = 0
+	if !e.lanes.routeSerial(prio) {
+		t.Error("unstamped prioritary envelope not routed serial (class semantics)")
+	}
+
+	free := encodeFrom(t, e, StockQuote{StockObvent: StockObvent{Company: "A"}}, "p")
+	if e.lanes.routeSerial(free) {
+		t.Error("unordered envelope routed serial")
+	}
+
+	// Per-publisher lane stability, and a spread across lanes overall.
+	lanesSeen := map[int]bool{}
+	for p := 0; p < 16; p++ {
+		pub := fmt.Sprintf("pub-%d", p)
+		env := encodeFrom(t, e, StockQuote{}, pub)
+		lane := e.lanes.laneFor(env)
+		for i := 0; i < 5; i++ {
+			if got := e.lanes.laneFor(env); got != lane {
+				t.Fatalf("publisher %s: lane flapped %d -> %d", pub, lane, got)
+			}
+		}
+		lanesSeen[lane] = true
+	}
+	if len(lanesSeen) < 2 {
+		t.Errorf("16 publishers hashed onto %d lane(s), want a spread", len(lanesSeen))
+	}
+
+	// A publisher-less envelope falls back to its publication ID.
+	anon := encodeFrom(t, e, StockQuote{}, "")
+	_ = e.lanes.laneFor(anon) // must not panic; distribution covered above
+}
+
+// TestLaneRoutingZeroAlloc pins the acceptance criterion that the
+// routing decision adds zero steady-state allocations: wire-metadata
+// routing, cached class-semantics routing, and lane hashing.
+func TestLaneRoutingZeroAlloc(t *testing.T) {
+	e := NewEngine("route-alloc", NewLocal(), WithDispatchLanes(4))
+	t.Cleanup(func() { _ = e.Close() })
+	reg := e.Registry()
+	reg.MustRegister(StockQuote{})
+	registerTickTypes(reg)
+
+	free := encodeFrom(t, e, StockQuote{}, "pub-7")
+	ordered := encodeFrom(t, e, fifoTick{Pub: "p", N: 1}, "p")
+	unstamped := encodeFrom(t, e, totalTick{Pub: "p", N: 1}, "p")
+	unstamped.Ordering = obvent.NoOrder
+
+	// Warm the class-semantics cache.
+	e.lanes.routeSerial(free)
+	e.lanes.routeSerial(unstamped)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if e.lanes.routeSerial(free) {
+			t.Fatal("unordered routed serial")
+		}
+		if !e.lanes.routeSerial(ordered) || !e.lanes.routeSerial(unstamped) {
+			t.Fatal("ordered not routed serial")
+		}
+		_ = e.lanes.laneFor(free)
+	})
+	if allocs != 0 {
+		t.Errorf("routing decision allocates %.1f times per envelope, want 0", allocs)
+	}
+}
+
+// TestSerialLanePriorityOvertaking is the deterministic lane-level
+// overtaking test: with the lane goroutine blocked on a first envelope,
+// later high-priority arrivals must be dispatched before earlier
+// low-priority backlog, FIFO among equals.
+func TestSerialLanePriorityOvertaking(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	started := make(chan struct{})
+	release := make(chan struct{})
+	in := newPriorityInbox(func(env *codec.Envelope, _ *laneState) {
+		if env.ID == "blocker" {
+			started <- struct{}{}
+			<-release
+		}
+		mu.Lock()
+		order = append(order, env.ID)
+		mu.Unlock()
+	})
+
+	in.push(&codec.Envelope{ID: "blocker"}, 0)
+	<-started // lane goroutine is now inside dispatch; pushes below queue up
+	in.push(&codec.Envelope{ID: "low-1"}, 1)
+	in.push(&codec.Envelope{ID: "high"}, 9)
+	in.push(&codec.Envelope{ID: "low-2"}, 1)
+	close(release)
+	in.close() // drains the backlog before returning
+
+	want := []string{"blocker", "high", "low-1", "low-2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("dispatch order = %v, want %v", order, want)
+	}
+	if got := in.st.enqueued.Load(); got != 4 {
+		t.Errorf("enqueued = %d, want 4", got)
+	}
+}
+
+// TestLaneQueuesShrinkAfterBurst pins the memory satellite: a one-time
+// backlog spike must not pin its high-water backing array for the
+// engine's lifetime, on either lane flavor.
+func TestLaneQueuesShrinkAfterBurst(t *testing.T) {
+	const burst = 5000
+	t.Run("serial", func(t *testing.T) {
+		started := make(chan struct{})
+		release := make(chan struct{})
+		in := newPriorityInbox(func(env *codec.Envelope, _ *laneState) {
+			if env.ID == "blocker" {
+				started <- struct{}{}
+				<-release
+			}
+		})
+		in.push(&codec.Envelope{ID: "blocker"}, 0)
+		<-started
+		for i := 0; i < burst; i++ {
+			in.push(&codec.Envelope{}, i%5)
+		}
+		in.mu.Lock()
+		grown := cap(in.heap)
+		in.mu.Unlock()
+		if grown < burst {
+			t.Fatalf("burst did not accumulate: cap = %d", grown)
+		}
+		close(release)
+		in.close()
+		if c := cap(in.heap); c > laneShrinkMin {
+			t.Errorf("heap capacity after drain = %d, want <= %d", c, laneShrinkMin)
+		}
+	})
+	t.Run("fifo", func(t *testing.T) {
+		started := make(chan struct{})
+		release := make(chan struct{})
+		l := newFifoLane(func(env *codec.Envelope, _ *laneState) {
+			if env.ID == "blocker" {
+				started <- struct{}{}
+				<-release
+			}
+		})
+		l.push(&codec.Envelope{ID: "blocker"})
+		<-started
+		for i := 0; i < burst; i++ {
+			l.push(&codec.Envelope{})
+		}
+		l.mu.Lock()
+		grown := cap(l.queue)
+		l.mu.Unlock()
+		if grown < burst {
+			t.Fatalf("burst did not accumulate: cap = %d", grown)
+		}
+		close(release)
+		l.close()
+		if c := cap(l.queue); c > laneShrinkMin {
+			t.Errorf("queue capacity after drain = %d, want <= %d", c, laneShrinkMin)
+		}
+	})
+}
+
+// TestFifoLaneSteadyStateMemory: a lane alternating one push and one pop
+// must not grow its queue without bound (the head index only advances;
+// compaction must reclaim the dead prefix).
+func TestFifoLaneSteadyStateMemory(t *testing.T) {
+	var n atomic.Int64
+	l := newFifoLane(func(*codec.Envelope, *laneState) { n.Add(1) })
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < 5000; i++ {
+		l.push(&codec.Envelope{})
+		for n.Load() != int64(i+1) {
+			if time.Now().After(deadline) {
+				t.Fatalf("lane stalled at %d/%d", n.Load(), i+1)
+			}
+			runtime.Gosched()
+		}
+	}
+	l.mu.Lock()
+	c := cap(l.queue)
+	l.mu.Unlock()
+	l.close()
+	if c > laneShrinkMin {
+		t.Errorf("steady-state queue capacity = %d, want <= %d", c, laneShrinkMin)
+	}
+}
+
+// TestOrderingStress is the multi-lane semantics stress test: several
+// concurrent publishers interleave FIFO/Causal/Total and unordered
+// envelopes into a multi-lane engine (and, mirrored, into a single-lane
+// WithNaiveDispatch oracle). Ordered types must preserve per-publisher
+// delivery order; unordered types must reach exactly the same
+// (subscription, event) delivery set as the oracle.
+func TestOrderingStress(t *testing.T) {
+	const (
+		nPubs   = 8
+		nEvents = 120
+	)
+	reg := obvent.NewRegistry()
+	registerTickTypes(reg)
+
+	indexed := NewEngine("indexed", NewLocal(), WithRegistry(reg), WithDispatchLanes(4))
+	t.Cleanup(func() { _ = indexed.Close() })
+	naive := NewEngine("naive", NewLocal(), WithRegistry(reg), WithNaiveDispatch(), WithDispatchLanes(1))
+	t.Cleanup(func() { _ = naive.Close() })
+
+	// Ordered collectors (indexed engine): per-type append-only logs.
+	type rec struct {
+		pub string
+		n   int
+	}
+	var logMu sync.Mutex
+	logs := map[string][]rec{}
+	appendLog := func(kind, pub string, n int) {
+		logMu.Lock()
+		logs[kind] = append(logs[kind], rec{pub, n})
+		logMu.Unlock()
+	}
+	mustActivate := func(sub *Subscription, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sub.Activate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustActivate(Subscribe(indexed, nil, func(o fifoTick) { appendLog("fifo", o.Pub, o.N) }))
+	mustActivate(Subscribe(indexed, nil, func(o causalTick) { appendLog("causal", o.Pub, o.N) }))
+	mustActivate(Subscribe(indexed, nil, func(o totalTick) { appendLog("total", o.Pub, o.N) }))
+
+	// Unordered delivery sets, mirrored on both engines: one unfiltered
+	// subscription, one remote-filtered, one with an opaque local filter.
+	type key struct {
+		sub int
+		pub string
+		n   int
+	}
+	sets := map[string]map[key]int{"indexed": {}, "naive": {}}
+	counts := map[string]*atomic.Int64{"indexed": {}, "naive": {}}
+	subscribeSet := func(e *Engine, which string) {
+		count := counts[which]
+		collect := func(idx int) func(o freeTick) {
+			return func(o freeTick) {
+				logMu.Lock()
+				sets[which][key{idx, o.Pub, o.N}]++
+				logMu.Unlock()
+				count.Add(1)
+			}
+		}
+		mustActivate(Subscribe(e, nil, collect(0)))
+		mustActivate(Subscribe(e, filter.Path("N").Lt(filter.Int(nEvents/2)), collect(1)))
+		mustActivate(SubscribeFiltered(e, nil, func(o freeTick) bool { return o.N%3 == 0 }, collect(2)))
+	}
+	subscribeSet(indexed, "indexed")
+	subscribeSet(naive, "naive")
+
+	// Publishers: each goroutine is one logical publisher, delivering
+	// the same envelope stream to both engines, as a dissemination
+	// substrate would from its receive goroutines.
+	var wg sync.WaitGroup
+	for p := 0; p < nPubs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pub := fmt.Sprintf("pub-%d", p)
+			for n := 0; n < nEvents; n++ {
+				events := []obvent.Obvent{freeTick{Pub: pub, N: n}}
+				switch n % 3 {
+				case 0:
+					events = append(events, fifoTick{Pub: pub, N: n})
+				case 1:
+					events = append(events, causalTick{Pub: pub, N: n})
+				default:
+					events = append(events, totalTick{Pub: pub, N: n})
+				}
+				for _, o := range events {
+					env, err := indexed.codec.Encode(o)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					env.Publisher = pub
+					indexed.deliver(env)
+					naive.deliver(env)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	const total = nPubs * nEvents * 2 // one free + one ordered per event
+	// Expected unordered deliveries per engine: the unfiltered sub gets
+	// every freeTick, the remote filter passes N < nEvents/2, the local
+	// filter passes every third N.
+	const wantFree = nPubs*nEvents + nPubs*(nEvents/2) + nPubs*((nEvents+2)/3)
+	cond := func() bool {
+		return indexed.Stats().EventsIn == total && naive.Stats().EventsIn == total &&
+			counts["indexed"].Load() == wantFree && counts["naive"].Load() == wantFree
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: indexed in=%d naive in=%d (want %d) indexed free=%d naive free=%d (want %d)\nindexed lanes=%+v",
+				indexed.Stats().EventsIn, naive.Stats().EventsIn, total,
+				counts["indexed"].Load(), counts["naive"].Load(), wantFree, indexed.LaneStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // catch stragglers / extra deliveries
+
+	logMu.Lock()
+	defer logMu.Unlock()
+
+	// Ordered types: per-publisher delivery order == publication order.
+	for kind, log := range logs {
+		last := map[string]int{}
+		for i, r := range log {
+			if prev, seen := last[r.pub]; seen && r.n <= prev {
+				t.Fatalf("%s: publisher %s delivered out of order at %d: %d after %d", kind, r.pub, i, r.n, prev)
+			}
+			last[r.pub] = r.n
+		}
+		if len(log) != nPubs*nEvents/3 {
+			t.Errorf("%s: delivered %d, want %d", kind, len(log), nPubs*nEvents/3)
+		}
+	}
+
+	// Unordered type: exact delivery-set equivalence with the oracle.
+	if len(sets["indexed"]) != len(sets["naive"]) {
+		t.Fatalf("delivery sets differ in size: indexed %d, naive %d", len(sets["indexed"]), len(sets["naive"]))
+	}
+	for k, n := range sets["naive"] {
+		if sets["indexed"][k] != n {
+			t.Errorf("delivery %+v: indexed %d, naive %d", k, sets["indexed"][k], n)
+		}
+	}
+
+	// The serial lane carried exactly the ordered traffic, the parallel
+	// lanes the rest.
+	for _, l := range indexed.LaneStats() {
+		if l.Serial && l.Enqueued != nPubs*nEvents {
+			t.Errorf("serial lane carried %d envelopes, want %d", l.Enqueued, nPubs*nEvents)
+		}
+		if l.Queued != 0 {
+			t.Errorf("lane %d: backlog %d after drain", l.Lane, l.Queued)
+		}
+	}
+}
+
+// TestUnstampedOrderedExecutesSerially: an ordered-class envelope whose
+// wire metadata was not stamped must not only be routed to the serial
+// lane but also executed in order on the subscriber executor (ordered
+// deliveries run inline; unordered ones fan out to handler goroutines,
+// which would let a slow early delivery be overtaken).
+func TestUnstampedOrderedExecutesSerially(t *testing.T) {
+	e := NewEngine("unstamped", NewLocal(), WithDispatchLanes(4))
+	t.Cleanup(func() { _ = e.Close() })
+	registerTickTypes(e.Registry())
+
+	var mu sync.Mutex
+	var order []int
+	sub, err := Subscribe(e, nil, func(o totalTick) {
+		if o.N == 0 {
+			// Give later deliveries every chance to overtake if they
+			// were (incorrectly) run on their own goroutines.
+			time.Sleep(20 * time.Millisecond)
+		}
+		mu.Lock()
+		order = append(order, o.N)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Activate(); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		env := encodeFrom(t, e, totalTick{Pub: "p", N: i}, "p")
+		env.Ordering = 0 // the peer forgot to stamp the wire metadata
+		e.deliver(env)
+	}
+	waitFor(t, 10*time.Second, "all delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == n
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("delivery order = %v, want ascending", order)
+		}
+	}
+}
+
+// TestEngineCloseDrainsLanes: closing an engine with backlog on several
+// lanes must terminate (the Broadcast-on-close regression) and leave
+// every lane drained.
+func TestEngineCloseDrainsLanes(t *testing.T) {
+	e := NewEngine("close-drain", NewLocal(), WithDispatchLanes(4))
+	reg := e.Registry()
+	reg.MustRegister(StockQuote{})
+	registerTickTypes(reg)
+
+	for p := 0; p < 8; p++ {
+		pub := fmt.Sprintf("pub-%d", p)
+		for n := 0; n < 50; n++ {
+			env := encodeFrom(t, e, freeTick{Pub: pub, N: n}, pub)
+			e.deliver(env)
+			env = encodeFrom(t, e, totalTick{Pub: pub, N: n}, pub)
+			e.deliver(env)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = e.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine close hung with lane backlog")
+	}
+	if st := e.Stats(); st.EventsIn != 800 {
+		t.Errorf("EventsIn = %d, want 800 (lanes must drain before close returns)", st.EventsIn)
+	}
+}
+
+// TestLaneStatsFold: Engine.Stats must equal the fold of LaneStats.
+func TestLaneStatsFold(t *testing.T) {
+	e := NewEngine("fold", NewLocal(), WithDispatchLanes(3))
+	t.Cleanup(func() { _ = e.Close() })
+	e.Registry().MustRegister(StockQuote{})
+	registerTickTypes(e.Registry())
+	var got atomic.Int64
+	sub, err := Subscribe(e, nil, func(freeTick) { got.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Activate(); err != nil {
+		t.Fatal(err)
+	}
+
+	for p := 0; p < 6; p++ {
+		pub := fmt.Sprintf("pub-%d", p)
+		for n := 0; n < 20; n++ {
+			e.deliver(encodeFrom(t, e, freeTick{Pub: pub, N: n}, pub))
+		}
+	}
+	e.deliver(encodeFrom(t, e, totalTick{Pub: "pub-0", N: 0}, "pub-0"))
+
+	waitFor(t, 10*time.Second, "all dispatched", func() bool {
+		return e.Stats().EventsIn == 121 && got.Load() == 120
+	})
+	var fold DispatchStats
+	var routed uint64
+	serialSeen := false
+	for _, l := range e.LaneStats() {
+		fold.add(l.Stats)
+		routed += l.Enqueued
+		if l.Serial {
+			serialSeen = true
+			if l.Enqueued != 1 {
+				t.Errorf("serial lane enqueued = %d, want 1", l.Enqueued)
+			}
+		}
+	}
+	if !serialSeen {
+		t.Fatal("no serial lane in LaneStats")
+	}
+	if got := e.Stats(); got != fold {
+		t.Errorf("Stats() = %+v, fold of LaneStats = %+v", got, fold)
+	}
+	if routed != 121 {
+		t.Errorf("sum of lane Enqueued = %d, want 121", routed)
+	}
+	if n := e.DispatchLanes(); n != 3 {
+		t.Errorf("DispatchLanes() = %d, want 3", n)
+	}
+}

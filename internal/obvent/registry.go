@@ -34,6 +34,17 @@ type Registry struct {
 	// conformance queries (e.g. the engine's per-class dispatch buckets)
 	// key on it to detect staleness without taking the registry lock.
 	gen atomic.Uint64
+
+	// semCache caches ClassSemantics answers (wire name -> *classSem),
+	// stamped with the generation they were computed under. Lookups are
+	// lock-free; entries are recomputed lazily after a registry mutation.
+	semCache sync.Map
+}
+
+// classSem is one cached ClassSemantics answer.
+type classSem struct {
+	gen uint64
+	sem Semantics
 }
 
 type entry struct {
@@ -171,6 +182,36 @@ func (r *Registry) computeSupersLocked(t reflect.Type) map[string]bool {
 	}
 	walkEmbedded(t)
 	return supers
+}
+
+// ClassSemantics returns the type-level Semantics of the registered
+// class named name: the QoS resolution of a zero value of the class, so
+// the value-dependent fields (Priority, TTL, Birth) are zero while the
+// type-derived ones (Reliability, Ordering, Timely, Prioritary, Dropped)
+// are exact. It is the cheap per-class lookup behind semantics-aware
+// routing decisions (e.g. the engine's dispatch lanes): after the first
+// call for a class the answer is a single lock-free map hit, invalidated
+// by the registry generation counter. Unknown names report ok == false
+// and are never cached (they may be registered later).
+func (r *Registry) ClassSemantics(name string) (sem Semantics, ok bool) {
+	gen := r.gen.Load()
+	if v, hit := r.semCache.Load(name); hit {
+		cs := v.(*classSem)
+		if cs.gen == gen {
+			return cs.sem, true
+		}
+	}
+	t, known := r.TypeByName(name)
+	if !known {
+		return Semantics{}, false
+	}
+	zero, isObvent := reflect.New(t).Elem().Interface().(Obvent)
+	if !isObvent {
+		return Semantics{}, false
+	}
+	sem = Resolve(zero)
+	r.semCache.Store(name, &classSem{gen: gen, sem: sem})
+	return sem, true
 }
 
 // NameOf returns the wire name of o's dynamic type, registering it if

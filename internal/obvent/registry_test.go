@@ -194,3 +194,78 @@ func TestTypeNameFormats(t *testing.T) {
 		t.Errorf("TypeName(ptr) = %q", got)
 	}
 }
+
+// QoS-composed fixtures for ClassSemantics.
+
+type totalQuote struct {
+	Base
+	TotalOrderBase
+	stockObvent
+}
+
+type prioQuote struct {
+	Base
+	PriorityBase
+	stockObvent
+}
+
+func TestClassSemantics(t *testing.T) {
+	r := newHierarchyRegistry(t)
+	plain := r.MustRegister(stockQuote{})
+	total := r.MustRegister(totalQuote{})
+	prio := r.MustRegister(prioQuote{})
+
+	if sem, ok := r.ClassSemantics(plain); !ok || sem.Ordering != NoOrder || sem.Prioritary {
+		t.Errorf("plain class semantics = %v ok=%v, want unordered/non-prioritary", sem, ok)
+	}
+	if sem, ok := r.ClassSemantics(total); !ok || sem.Ordering != Total || sem.Reliability != ReliableDelivery {
+		t.Errorf("total class semantics = %v ok=%v, want total/reliable", sem, ok)
+	}
+	if sem, ok := r.ClassSemantics(prio); !ok || !sem.Prioritary {
+		t.Errorf("prioritary class semantics = %v ok=%v, want prioritary", sem, ok)
+	}
+	if _, ok := r.ClassSemantics("no.such.Class"); ok {
+		t.Error("unknown class reported semantics")
+	}
+
+	// Cached answers stay correct across a registry mutation (the cache
+	// keys on the generation counter), and a class unknown at first
+	// lookup is found once registered — unknowns must not be cached.
+	before := r.Gen()
+	if _, err := r.RegisterInterface(TypeOf[Obvent]()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Gen() == before {
+		t.Fatal("RegisterInterface did not bump the generation")
+	}
+	if sem, ok := r.ClassSemantics(total); !ok || sem.Ordering != Total {
+		t.Errorf("post-mutation semantics = %v ok=%v, want total", sem, ok)
+	}
+	type lateQuote struct {
+		Base
+		FIFOOrderBase
+		stockObvent
+	}
+	lateName := TypeName(reflect.TypeOf(lateQuote{}))
+	if _, ok := r.ClassSemantics(lateName); ok {
+		t.Fatal("unregistered class reported semantics")
+	}
+	r.MustRegister(lateQuote{})
+	if sem, ok := r.ClassSemantics(lateName); !ok || sem.Ordering != FIFO {
+		t.Errorf("late-registered semantics = %v ok=%v, want fifo", sem, ok)
+	}
+}
+
+func TestClassSemanticsZeroAllocWhenCached(t *testing.T) {
+	r := newHierarchyRegistry(t)
+	total := r.MustRegister(totalQuote{})
+	r.ClassSemantics(total) // warm
+	allocs := testing.AllocsPerRun(1000, func() {
+		if sem, ok := r.ClassSemantics(total); !ok || sem.Ordering != Total {
+			t.Fatal("cached lookup failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached ClassSemantics allocates %.1f per call, want 0", allocs)
+	}
+}
