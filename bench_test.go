@@ -22,6 +22,7 @@ import (
 	"govents/internal/netsim"
 	"govents/internal/obvent"
 	"govents/internal/rmi"
+	"govents/internal/routing"
 	"govents/internal/topics"
 	"govents/internal/tuplespace"
 	"govents/internal/workload"
@@ -596,6 +597,72 @@ func BenchmarkDispatchParallel(b *testing.B) {
 			waitUntil(b, 5*time.Minute, func() bool { return got.Load() >= want })
 			b.StopTimer()
 			b.ReportMetric(float64(matches), "matches/op")
+		})
+	}
+}
+
+// --- C8: publisher-side routing plane (paper §2.3.2 at the dissemination layer) ---
+
+// BenchmarkPublisherRouting measures the publisher's per-event
+// destination decision with 1000 remote subscriptions spread across 16
+// nodes: the per-entry baseline (one filter.Evaluate per advertised
+// subscription until its node matches — the pre-routing-plane
+// destinationsFor loop) against the compiled routing plan (one compound
+// evaluation per event, match IDs are nodes). Part of the dispatch CI
+// family; cmd/benchjson archives it into BENCH_dispatch.json.
+func BenchmarkPublisherRouting(b *testing.B) {
+	const (
+		nNodes = 16
+		nSubs  = 1000
+	)
+	for _, sel := range []struct {
+		name string
+		frac float64
+	}{{"sel=1pct", 0.01}, {"sel=10pct", 0.10}} {
+		reg := obvent.NewRegistry()
+		workload.RegisterTypes(reg)
+		class := obvent.TypeName(obvent.TypeOf[workload.StockQuote]())
+		tbl := routing.NewTable(reg)
+		for n := 0; n < nNodes; n++ {
+			var infos []core.SubscriptionInfo
+			// Round-robin threshold spread, as in BenchmarkDispatch.
+			for i := n; i < nSubs; i += nNodes {
+				threshold := (float64(i) + 0.5) * 1000 / nSubs
+				data, err := filter.MarshalCanonical(filter.Path("GetPrice").Lt(filter.Float(threshold)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				infos = append(infos, core.SubscriptionInfo{
+					ID:       fmt.Sprintf("node-%02d/sub-%04d", n, i),
+					TypeName: class,
+					Filter:   data,
+				})
+			}
+			tbl.ApplySnapshot(fmt.Sprintf("node-%02d", n), 1, infos)
+		}
+		matches := int(sel.frac * nSubs)
+		price := float64(nSubs-matches) * 1000 / nSubs
+		var ev any = workload.StockQuote{StockObvent: workload.StockObvent{Company: "Telco Mobiles", Price: price, Amount: 1}}
+
+		b.Run(fmt.Sprintf("per-entry/subs=%d/%s", nSubs, sel.name), func(b *testing.B) {
+			b.ReportAllocs()
+			var nDests int
+			for i := 0; i < b.N; i++ {
+				nDests = len(tbl.DestinationsNaive(class, ev))
+			}
+			b.ReportMetric(float64(nDests), "dests/op")
+		})
+		b.Run(fmt.Sprintf("compound/subs=%d/%s", nSubs, sel.name), func(b *testing.B) {
+			b.ReportAllocs()
+			decode := func() any { return ev }
+			dst := make([]string, 0, nNodes)
+			var nDests int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = tbl.Destinations(class, decode, dst[:0])
+				nDests = len(dst)
+			}
+			b.ReportMetric(float64(nDests), "dests/op")
 		})
 	}
 }

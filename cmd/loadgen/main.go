@@ -28,14 +28,30 @@ import (
 	"govents/internal/netsim"
 	"govents/internal/obvent"
 	"govents/internal/rmi"
+	"govents/internal/routing"
 	"govents/internal/topics"
 	"govents/internal/tuplespace"
 	"govents/internal/workload"
 )
 
+// defaultPlacement is the filter placement experiments use unless they
+// pin one explicitly (set by -placement).
+var defaultPlacement = dace.AtSubscriber
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: C1, C2, C3, C4, C5, C6 or all")
+	placement := flag.String("placement", "subscriber", "default remote filter placement: subscriber or publisher")
 	flag.Parse()
+
+	switch *placement {
+	case "subscriber":
+		defaultPlacement = dace.AtSubscriber
+	case "publisher":
+		defaultPlacement = dace.AtPublisher
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -placement %q (want subscriber or publisher)\n", *placement)
+		os.Exit(2)
+	}
 
 	experiments := map[string]func(){
 		"C1": expC1, "C2": expC2, "C3": expC3,
@@ -66,6 +82,9 @@ func fastOpts() multicast.Options {
 
 // domain builds n dace nodes + engines over a netsim network.
 func domain(net *netsim.Network, n int, cfg dace.Config) (nodes []*dace.Node, engines []*core.Engine) {
+	if cfg.Placement == 0 {
+		cfg.Placement = defaultPlacement
+	}
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
 		addr := fmt.Sprintf("node-%02d", i)
@@ -106,7 +125,7 @@ func expC1() {
 	fmt.Printf("%-12s %14s %14s %8s\n", "selectivity", "msgs@subscr", "msgs@publshr", "saving")
 
 	for _, selectivity := range []float64{0.01, 0.10, 0.50, 1.00} {
-		run := func(p dace.Placement) int64 {
+		run := func(p dace.Placement) (int64, routing.Stats) {
 			net := netsim.New(netsim.Config{})
 			defer net.Close()
 			cfg := dace.Config{Placement: p, Multicast: fastOpts()}
@@ -141,11 +160,13 @@ func expC1() {
 			waitUntil(10*time.Second, func() bool { return got.Load() == want })
 			net.Settle()
 			sent, _, _, _ := net.Stats()
-			return sent
+			return sent, nodes[0].RoutingStats()
 		}
-		atSub := run(dace.AtSubscriber)
-		atPub := run(dace.AtPublisher)
+		atSub, _ := run(dace.AtSubscriber)
+		atPub, rst := run(dace.AtPublisher)
 		fmt.Printf("%-12.2f %14d %14d %7.1f%%\n", selectivity, atSub, atPub, 100*(1-float64(atPub)/float64(atSub)))
+		fmt.Printf("             routing@publisher: events=%d compound-evals=%d pruned=%d fallback=%d plans=%d ads=%d\n",
+			rst.EventsRouted, rst.CompoundEvals, rst.NodesPruned, rst.FallbackEvals, rst.PlansCompiled, rst.AdsApplied)
 	}
 
 	fmt.Println("\n== C1b: compound filter factoring ([ASS+99]) ==")

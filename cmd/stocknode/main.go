@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
@@ -45,7 +46,18 @@ func run() error {
 	company := flag.String("company", "", "sub: only quotes for this company (empty = all)")
 	seed := flag.Int64("seed", 42, "pub: workload seed")
 	lanes := flag.Int("lanes", 0, "parallel dispatch lanes (0 = GOMAXPROCS)")
+	placementFlag := flag.String("placement", "publisher", "remote filter placement: subscriber or publisher")
 	flag.Parse()
+
+	var placement dace.Placement
+	switch *placementFlag {
+	case "publisher":
+		placement = dace.AtPublisher
+	case "subscriber":
+		placement = dace.AtSubscriber
+	default:
+		return fmt.Errorf("unknown -placement %q (want subscriber or publisher)", *placementFlag)
+	}
 
 	tr, err := transport.Listen(*listen)
 	if err != nil {
@@ -55,7 +67,7 @@ func run() error {
 
 	reg := obvent.NewRegistry()
 	workload.RegisterTypes(reg)
-	node := dace.NewNode(tr, reg, dace.Config{Placement: dace.AtPublisher})
+	node := dace.NewNode(tr, reg, dace.Config{Placement: placement})
 	opts := []core.Option{core.WithRegistry(reg)}
 	if *lanes > 0 {
 		opts = append(opts, core.WithDispatchLanes(*lanes))
@@ -85,6 +97,7 @@ func run() error {
 		}
 		// Let retransmissions drain.
 		time.Sleep(300 * time.Millisecond)
+		printRoutingStats(node)
 		return nil
 
 	case "sub":
@@ -123,9 +136,33 @@ func run() error {
 			fmt.Printf("  %-8s routed=%-6d dispatched=%-6d delivered=%-6d queued=%d\n",
 				name, l.Enqueued, l.Stats.EventsIn, l.Stats.Delivered, l.Queued)
 		}
+		printRoutingStats(node)
 		return sub.Deactivate()
 
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// printRoutingStats dumps the node's routing-plane counters, overall
+// and broken out per obvent class.
+func printRoutingStats(node *dace.Node) {
+	st := node.RoutingStats()
+	fmt.Printf("routing: ads-applied=%d ads-stale=%d ads-deferred=%d plans=%d events=%d compound-evals=%d pruned=%d fallback=%d\n",
+		st.AdsApplied, st.AdsStale, st.AdsDeferred, st.PlansCompiled,
+		st.EventsRouted, st.CompoundEvals, st.NodesPruned, st.FallbackEvals)
+	byClass := node.RoutingStatsByClass()
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		cs := byClass[c]
+		if cs.EventsRouted == 0 {
+			continue
+		}
+		fmt.Printf("  %-40s events=%-6d compound-evals=%-6d pruned=%-6d fallback=%d\n",
+			c, cs.EventsRouted, cs.CompoundEvals, cs.NodesPruned, cs.FallbackEvals)
 	}
 }

@@ -50,7 +50,10 @@ func (s *Subscription) info() SubscriptionInfo {
 	var fb []byte
 	if s.remoteFilter != nil {
 		// Validation happened at Subscribe; Marshal cannot fail then.
-		fb, _ = filter.Marshal(s.remoteFilter)
+		// The canonical form makes semantically identical filters of
+		// different subscribers byte-identical on the wire, so filtering
+		// hosts can deduplicate them by bytes alone (routing plan keys).
+		fb, _ = filter.MarshalCanonical(s.remoteFilter)
 	}
 	return SubscriptionInfo{
 		ID:        s.id,

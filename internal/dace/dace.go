@@ -13,29 +13,51 @@
 //   - The control plane is reflexive: subscription advertisements are
 //     themselves obvents, published on a dedicated control channel,
 //     "allowing distributed processes to learn about other, possibly
-//     new, multicast classes".
+//     new, multicast classes". Advertisements are versioned and come in
+//     two forms: idempotent full snapshots and deltas (add/remove per
+//     subscription ID) reconciled by per-node sequence numbers.
 //
 //   - Remote filters travel in the advertisements; with publisher-side
 //     filter placement, a publishing node evaluates the filters of each
 //     destination before spending network bandwidth on it (paper §2.3.2
 //     and §3.3.3: filters are applied "at a more favourable stage
 //     (e.g., a remote host) to reduce network load").
+//
+// The advertisement stream feeds the node's routing plane (package
+// routing), which compiles it into per-class compound matchers whose
+// match IDs are destination nodes:
+//
+//	control channel (subscription ads: snapshots + deltas)
+//	        │ onControl (decode outside locks)
+//	        ▼
+//	routing.Table ── per-node snapshots, seq-reconciled
+//	        │ compiled lazily per published class
+//	        ▼
+//	classPlan: always-match nodes + one matching.Compound
+//	        │ one evaluation per published event
+//	        ▼
+//	destination fan-out: BroadcastTo(prunedNodes, payload)
+//
+// so publishing an unordered event costs one indexed compound
+// evaluation total instead of one filter interpretation per remote
+// subscription. Ordered and certified classes still broadcast to the
+// full group to keep membership uniform; their filtering remains
+// subscriber-side.
 package dace
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 
 	"govents/internal/codec"
 	"govents/internal/core"
-	"govents/internal/filter"
 	"govents/internal/multicast"
 	"govents/internal/netsim"
 	"govents/internal/obvent"
+	"govents/internal/routing"
 	"govents/internal/store"
 )
 
@@ -81,42 +103,81 @@ type Node struct {
 	mux  *multicast.Mux
 	self string
 	reg  *obvent.Registry
+	cdc  *codec.Codec
 	cfg  Config
+
+	// routes is the routing plane: every node's advertised
+	// subscriptions (including our own, under our address) compiled
+	// into per-class destination matchers. It has its own internal
+	// locking and is never touched under n.mu.
+	routes *routing.Table
 
 	mu        sync.Mutex
 	peers     []string
 	sink      func(*codec.Envelope)
 	localSubs []core.SubscriptionInfo
-	// remote subscription table: node -> advertised subscriptions.
-	remote map[string][]subEntry
-	groups map[string]multicast.Group
-	seen   map[string]bool // nodes whose ads we have witnessed
-	closed bool
+	groups    map[string]multicast.Group
+	closed    bool
 
-	adSeq   uint64            // our advertisement sequence number
-	lastAd  map[string]uint64 // newest ad sequence seen per node
+	adSeq        uint64                           // our advertisement sequence number
+	lastAdv      map[string]core.SubscriptionInfo // snapshot described by ad adSeq (delta base)
+	adsSinceSnap int                              // deltas sent since the last full snapshot
+	peerVer      map[string]int                   // newest ad schema version witnessed per node
+
 	control *multicast.Reliable
-}
 
-// subEntry is a deserialized advertised subscription.
-type subEntry struct {
-	info core.SubscriptionInfo
-	expr *filter.Expr // nil when the filter is opaque/local
+	// destBuf pools destination scratch so routing a publication does
+	// not allocate per event.
+	destBuf sync.Pool
 }
 
 var _ core.Disseminator = (*Node)(nil)
 
+// adSchemaVersion is the advertisement wire-format version this node
+// speaks. Version 0 (the zero value, what older nodes encode) knows
+// only full snapshots; version 1 adds delta advertisements. A node
+// sends deltas only once every current peer has been witnessed
+// advertising version >= 1 — a version-0 peer (or one not heard from
+// yet, which might be one) would gob-decode a delta into the old
+// struct, silently drop the unknown fields and misapply it as a full
+// snapshot.
+const adSchemaVersion = 1
+
+// snapshotEvery bounds how many consecutive delta ads may be sent
+// before a full snapshot is forced, so a node that somehow lost the
+// chain resynchronizes within a bounded number of changes.
+const snapshotEvery = 8
+
 // subscriptionAd is the reflexive control obvent: the paper's
-// subscription/unsubscription requests disseminated as obvents
-// (§4.2). A full snapshot per node keeps the protocol idempotent.
+// subscription/unsubscription requests disseminated as obvents (§4.2).
+// Two forms travel on the control channel, distinguished by Delta:
+//
+//   - A full snapshot (Delta false): Subs is the node's complete
+//     subscription set at Seq. Idempotent; receivers apply the newest.
+//   - A delta (Delta true, Ver >= 1): Subs are additions and Removed
+//     are removals relative to the snapshot described by BaseSeq.
+//     Receivers apply a delta only on top of exactly BaseSeq and park
+//     it otherwise (the reliable control channel does not order).
+//
+// Advertised filters are canonical filter.Marshal bytes
+// (filter.MarshalCanonical), so identical filters of different
+// subscribers are byte-identical and deduplicate as routing plan keys.
 type subscriptionAd struct {
 	obvent.Base
 	Node string
-	// Seq orders a node's snapshots: receivers apply only the newest
-	// (the reliable control channel does not order, and a late joiner
-	// must not be blocked behind snapshots it never received).
+	// Seq orders a node's advertisements: receivers apply only newer
+	// ones (a late joiner must not be blocked behind ads it never
+	// received).
 	Seq  uint64
 	Subs []core.SubscriptionInfo
+	// Ver is the ad schema version (adSchemaVersion); 0 identifies a
+	// legacy snapshot-only sender.
+	Ver int
+	// Delta marks a delta advertisement; BaseSeq is the sequence it
+	// applies on top of and Removed the subscription IDs it retires.
+	Delta   bool
+	BaseSeq uint64
+	Removed []string
 }
 
 // NewNode creates a DACE node over a transport endpoint. The registry
@@ -133,15 +194,17 @@ func NewNode(tr netsim.Transport, reg *obvent.Registry, cfg Config) *Node {
 	}
 	mux := multicast.NewMux(tr)
 	n := &Node{
-		mux:    mux,
-		self:   mux.Addr(),
-		reg:    reg,
-		cfg:    cfg,
-		remote: make(map[string][]subEntry),
-		groups: make(map[string]multicast.Group),
-		seen:   make(map[string]bool),
-		lastAd: make(map[string]uint64),
+		mux:     mux,
+		self:    mux.Addr(),
+		reg:     reg,
+		cdc:     codec.New(reg),
+		cfg:     cfg,
+		routes:  routing.NewTable(reg),
+		groups:  make(map[string]multicast.Group),
+		lastAdv: make(map[string]core.SubscriptionInfo),
+		peerVer: make(map[string]int),
 	}
+	n.destBuf.New = func() any { return &destScratch{} }
 	reg.MustRegister(subscriptionAd{})
 	n.control = multicast.NewReliable(mux, "dace/ctrl", n.onControl, cfg.Multicast)
 	mux.SetFallback(n.onUnknownStream)
@@ -156,19 +219,35 @@ func (n *Node) Registry() *obvent.Registry { return n.reg }
 
 // SetPeers installs the domain membership (all node addresses,
 // including this one) and re-advertises local subscriptions to it.
+// Nodes no longer in the membership are dropped from the routing table:
+// a departed node must stop being owed events and certified deliveries.
 func (n *Node) SetPeers(peers []string) {
 	n.mu.Lock()
 	n.peers = append([]string(nil), peers...)
+	for node := range n.peerVer {
+		found := node == n.self
+		for _, p := range peers {
+			if p == node {
+				found = true
+				break
+			}
+		}
+		if !found {
+			delete(n.peerVer, node)
+		}
+	}
 	groups := make([]multicast.Group, 0, len(n.groups))
 	for _, g := range n.groups {
 		groups = append(groups, g)
 	}
 	n.mu.Unlock()
+	n.routes.RetainNodes(append([]string{n.self}, peers...))
 	n.control.SetMembers(peers)
 	for _, g := range groups {
 		g.SetMembers(peers)
 	}
-	n.advertise()
+	// Full snapshot: a joiner gaining membership has no delta base.
+	n.advertise(true)
 }
 
 // SetSink implements core.Disseminator.
@@ -328,15 +407,21 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 		return cert.Broadcast(payload)
 	case "be", "rel":
 		// Unordered classes support per-message destination pruning.
-		dests := n.destinationsFor(env)
+		buf := n.destBuf.Get().(*destScratch)
+		dests := n.destinationsFor(env, buf.ids[:0])
+		var err error
 		switch t := g.(type) {
 		case *multicast.BestEffort:
-			return t.BroadcastTo(dests, payload)
+			err = t.BroadcastTo(dests, payload)
 		case *multicast.Reliable:
-			return t.BroadcastTo(dests, payload)
+			err = t.BroadcastTo(dests, payload)
 		default:
-			return g.Broadcast(payload)
+			err = g.Broadcast(payload)
 		}
+		// BroadcastTo copies what it keeps; the scratch can be reused.
+		buf.ids = dests[:0]
+		n.destBuf.Put(buf)
+		return err
 	default:
 		// Ordered and gossip classes broadcast to the full group;
 		// filtering happens subscriber-side to keep membership
@@ -345,87 +430,51 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 	}
 }
 
-// destinationsFor computes the nodes owed a copy of env: nodes hosting
-// at least one active subscription whose type matches, further pruned
-// by publisher-side filter evaluation when Placement is AtPublisher.
-func (n *Node) destinationsFor(env *codec.Envelope) []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-
-	var decoded obvent.Obvent
-	decodeOnce := func() obvent.Obvent {
-		if decoded == nil {
-			o, err := codec.New(n.reg).Decode(env)
-			if err != nil {
-				return nil
-			}
-			decoded = o
-		}
-		return decoded
-	}
-
-	dests := make(map[string]bool)
-	consider := func(node string, e subEntry) {
-		if dests[node] {
-			return
-		}
-		if !n.reg.ConformsTo(env.Type, e.info.TypeName) {
-			return
-		}
-		if n.cfg.Placement == AtPublisher && e.expr != nil {
-			o := decodeOnce()
-			if o != nil {
-				ok, err := filter.Evaluate(e.expr, o)
-				if err == nil && !ok {
-					return // filtered out at the publisher
-				}
-				// Evaluation errors fail open: the subscriber's
-				// local pass decides.
-			}
-		}
-		dests[node] = true
-	}
-
-	for _, e := range n.localEntriesLocked() {
-		consider(n.self, e)
-	}
-	for node, entries := range n.remote {
-		for _, e := range entries {
-			consider(node, e)
-		}
-	}
-	out := make([]string, 0, len(dests))
-	for d := range dests {
-		out = append(out, d)
-	}
-	sort.Strings(out)
-	return out
+// destScratch is the pooled per-publication destination buffer.
+type destScratch struct {
+	ids []string
 }
+
+// destinationsFor appends the nodes owed a copy of env: nodes hosting
+// at least one active subscription whose type matches, further pruned
+// by publisher-side compound-filter evaluation when Placement is
+// AtPublisher — one indexed evaluation per event against the class's
+// compiled routing plan, not one interpretation per remote
+// subscription. The event is decoded at most once, and only when some
+// candidate node actually advertised filters; an undecodable event
+// fails open to all candidates (each subscriber's local pass decides).
+func (n *Node) destinationsFor(env *codec.Envelope, dst []string) []string {
+	if n.cfg.Placement != AtPublisher {
+		return n.routes.NodesFor(env.Type, dst)
+	}
+	return n.routes.Destinations(env.Type, func() any {
+		o, err := n.cdc.Decode(env)
+		if err != nil {
+			return nil
+		}
+		return o
+	}, dst)
+}
+
+// RoutingStats returns the node's cumulative routing-plane counters
+// (advertisement ingestion plus per-event routing, folded over all
+// classes).
+func (n *Node) RoutingStats() routing.Stats { return n.routes.Stats() }
+
+// RoutingStatsByClass breaks the routing counters out per obvent class.
+func (n *Node) RoutingStatsByClass() map[string]routing.Stats { return n.routes.StatsByClass() }
 
 // certSubscribersFor lists the durable subscribers of a certified
 // class across the domain.
 func (n *Node) certSubscribersFor(class string) []multicast.CertSubscriber {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	var subs []multicast.CertSubscriber
-	add := func(node string, e subEntry) {
-		if !n.reg.ConformsTo(class, e.info.TypeName) {
-			return
-		}
-		id := e.info.DurableID
+	n.routes.ForEachConforming(class, func(node string, info core.SubscriptionInfo) {
+		id := info.DurableID
 		if id == "" {
 			id = node // fall back to the node address as identity
 		}
 		subs = append(subs, multicast.CertSubscriber{DurableID: id, Addr: node})
-	}
-	for _, e := range n.localEntriesLocked() {
-		add(n.self, e)
-	}
-	for node, entries := range n.remote {
-		for _, e := range entries {
-			add(node, e)
-		}
-	}
+	})
 	return subs
 }
 
@@ -451,37 +500,62 @@ func (n *Node) SubscriptionChanged(infos []core.SubscriptionInfo) error {
 	n.mu.Lock()
 	n.localSubs = append([]core.SubscriptionInfo(nil), infos...)
 	n.mu.Unlock()
-	n.advertise()
+	n.advertise(false)
 	return nil
 }
 
-// localEntriesLocked adapts the local subscription snapshot to entries.
-func (n *Node) localEntriesLocked() []subEntry {
-	out := make([]subEntry, 0, len(n.localSubs))
-	for _, info := range n.localSubs {
-		out = append(out, toEntry(info))
-	}
-	return out
-}
-
-func toEntry(info core.SubscriptionInfo) subEntry {
-	e := subEntry{info: info}
-	if len(info.Filter) > 0 {
-		if expr, err := filter.Unmarshal(info.Filter); err == nil {
-			e.expr = expr
-		}
-	}
-	return e
-}
-
-// advertise broadcasts this node's full subscription snapshot on the
-// control channel — as an obvent, per the reflexive design of §4.2.
-func (n *Node) advertise() {
+// advertise publishes this node's subscription state on the control
+// channel — as an obvent, per the reflexive design of §4.2 — and
+// mirrors it into the local routing table under our own address. When
+// the change against the previously advertised snapshot is small, the
+// wire carries a delta (add/remove per subscription ID) instead of the
+// full set; a full snapshot is forced by forceSnapshot (membership
+// changes, anti-entropy introductions), every snapshotEvery deltas,
+// and whenever a legacy (snapshot-only) peer has been witnessed.
+//
+// Only the sequence bump and diff run under n.mu; gob encoding and the
+// control broadcast happen outside every lock.
+func (n *Node) advertise(forceSnapshot bool) {
 	n.mu.Lock()
 	n.adSeq++
-	ad := subscriptionAd{Node: n.self, Seq: n.adSeq, Subs: append([]core.SubscriptionInfo(nil), n.localSubs...)}
+	ad := subscriptionAd{Node: n.self, Seq: n.adSeq, Ver: adSchemaVersion}
+	cur := append([]core.SubscriptionInfo(nil), n.localSubs...)
+
+	var added []core.SubscriptionInfo
+	var removed []string
+	curByID := make(map[string]core.SubscriptionInfo, len(cur))
+	for _, info := range cur {
+		curByID[info.ID] = info
+		prev, ok := n.lastAdv[info.ID]
+		if !ok || !sameInfo(prev, info) {
+			added = append(added, info)
+		}
+	}
+	for id := range n.lastAdv {
+		if _, ok := curByID[id]; !ok {
+			removed = append(removed, id)
+		}
+	}
+	n.lastAdv = curByID
+
+	useDelta := !forceSnapshot && n.allPeersSpeakDeltasLocked() && n.adSeq > 1 &&
+		n.adsSinceSnap < snapshotEvery && len(added)+len(removed) < len(cur)
+	if useDelta {
+		n.adsSinceSnap++
+		ad.Delta = true
+		ad.BaseSeq = n.adSeq - 1
+		ad.Subs = added
+		ad.Removed = removed
+	} else {
+		n.adsSinceSnap = 0
+		ad.Subs = cur
+	}
 	closed := n.closed
 	n.mu.Unlock()
+
+	// Our own state enters the routing table directly (the control
+	// echo of our broadcast is discarded in onControl).
+	n.routes.ApplySnapshot(n.self, ad.Seq, cur)
 	if closed {
 		return
 	}
@@ -492,45 +566,63 @@ func (n *Node) advertise() {
 	_ = n.control.Broadcast(buf.Bytes())
 }
 
-// onControl processes a subscription advertisement.
+// allPeersSpeakDeltasLocked reports whether every current peer has been
+// witnessed advertising schema version >= 1. Until then full snapshots
+// are sent: an unheard-from peer might be a legacy node that would
+// misread a delta as a snapshot.
+func (n *Node) allPeersSpeakDeltasLocked() bool {
+	for _, p := range n.peers {
+		if p == n.self {
+			continue
+		}
+		if n.peerVer[p] < adSchemaVersion {
+			return false
+		}
+	}
+	return true
+}
+
+// sameInfo reports whether two advertised descriptions are identical
+// (filters compare by their canonical wire bytes).
+func sameInfo(a, b core.SubscriptionInfo) bool {
+	return a.ID == b.ID && a.TypeName == b.TypeName && a.DurableID == b.DurableID &&
+		a.Certified == b.Certified && bytes.Equal(a.Filter, b.Filter)
+}
+
+// onControl processes a subscription advertisement. The gob decode,
+// filter parsing and plan bookkeeping all happen outside n.mu — a
+// slow, huge or corrupt advertisement must never stall the publish
+// path (PublishEnvelope briefly takes n.mu); the routing table has its
+// own short-held lock.
 func (n *Node) onControl(_ string, payload []byte) {
 	var ad subscriptionAd
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ad); err != nil {
-		return
+		return // corrupt advertisement: ignore
 	}
 	if ad.Node == n.self {
 		return // our own broadcast echoed back
 	}
-	entries := make([]subEntry, 0, len(ad.Subs))
-	for _, info := range ad.Subs {
-		entries = append(entries, toEntry(info))
-	}
 	n.mu.Lock()
-	if ad.Seq <= n.lastAd[ad.Node] {
-		// Stale snapshot overtaken by a newer one: ignore.
-		n.mu.Unlock()
-		return
+	if ad.Ver > n.peerVer[ad.Node] {
+		n.peerVer[ad.Node] = ad.Ver
 	}
-	n.lastAd[ad.Node] = ad.Seq
-	n.remote[ad.Node] = entries
-	isNew := !n.seen[ad.Node]
-	n.seen[ad.Node] = true
 	n.mu.Unlock()
-	if isNew {
+	var res routing.ApplyResult
+	if ad.Delta {
+		res = n.routes.ApplyDelta(ad.Node, ad.Seq, ad.BaseSeq, ad.Subs, ad.Removed)
+	} else {
+		res = n.routes.ApplySnapshot(ad.Node, ad.Seq, ad.Subs)
+	}
+	if res.NewNode {
 		// Anti-entropy: introduce ourselves to newly seen nodes so a
-		// late joiner learns the existing subscription tables.
-		n.advertise()
+		// late joiner learns the existing subscription tables. Full
+		// snapshot — the joiner has no delta base of ours.
+		n.advertise(true)
 	}
 }
 
 // RemoteSubscriptionCount reports how many remote subscriptions this
 // node currently knows (test and monitoring aid).
 func (n *Node) RemoteSubscriptionCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	total := 0
-	for _, entries := range n.remote {
-		total += len(entries)
-	}
-	return total
+	return n.routes.SubscriptionCount(n.self)
 }

@@ -1,12 +1,16 @@
 package dace
 
 import (
+	"fmt"
+	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"govents/internal/core"
+	"govents/internal/filter"
 	"govents/internal/netsim"
 )
 
@@ -139,4 +143,181 @@ func TestSubscriptionChangedWhileTrafficFlows(t *testing.T) {
 	}
 	<-done
 	_ = wrong.Load() // racing deliveries around the edge are tolerated; the test asserts liveness
+}
+
+// TestDeliverySetEquivalenceAcrossPlacements is the routing plane's
+// transparency property test: under interleaved subscription churn and
+// netsim partitions/heals, the exact set of (subscription, event)
+// deliveries with publisher-side routing (AtPublisher + routing.Table)
+// must equal the subscriber-side baseline — and both must equal the
+// locally computed expectation. Filter placement is an optimization,
+// never a semantic change.
+func TestDeliverySetEquivalenceAcrossPlacements(t *testing.T) {
+	type wave struct {
+		partitioned bool // published while {0,1} | {2,3} are split
+	}
+	run := func(placement Placement) map[string]bool {
+		net := netsim.New(netsim.Config{Seed: 21})
+		defer net.Close()
+		cfg := fastCfg()
+		cfg.Placement = placement
+		nodes := newDomain(t, net, 4, cfg)
+		pub := nodes[0]
+		rng := rand.New(rand.NewSource(1234))
+
+		var mu sync.Mutex
+		got := make(map[string]bool) // "label@event"
+		type subState struct {
+			label  string
+			node   int
+			sub    *core.Subscription
+			pred   func(StockQuote) bool
+			active bool
+		}
+		var subs []*subState
+		for n := 1; n <= 3; n++ {
+			for j := 0; j < 4; j++ {
+				st := &subState{label: fmt.Sprintf("n%d-s%d", n, j), node: n}
+				var f *filter.Expr
+				switch j % 3 {
+				case 0:
+					th := float64(rng.Intn(900) + 50)
+					f = filter.Path("GetPrice").Lt(filter.Float(th))
+					st.pred = func(q StockQuote) bool { return q.Price < th }
+				case 1: // filterless
+					st.pred = func(StockQuote) bool { return true }
+				default:
+					th := float64(rng.Intn(900) + 50)
+					f = filter.Or(
+						filter.Path("GetPrice").Ge(filter.Float(th)),
+						filter.Path("GetCompany").Contains(filter.Str("Tel")),
+					)
+					st.pred = func(q StockQuote) bool {
+						return q.Price >= th || strings.Contains(q.Company, "Tel")
+					}
+				}
+				label := st.label
+				s, err := core.Subscribe(nodes[n].engine, f, func(q StockQuote) {
+					mu.Lock()
+					got[label+"@"+q.Company] = true
+					mu.Unlock()
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				st.sub = s
+				subs = append(subs, st)
+			}
+		}
+
+		expected := make(map[string]bool)
+		waves := []wave{{false}, {true}, {false}, {true}, {false}}
+		for w, cfgW := range waves {
+			// Churn while fully connected: toggle a random subset.
+			for _, st := range subs {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				if st.active {
+					if err := st.sub.Deactivate(); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					if err := st.sub.Activate(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				st.active = !st.active
+			}
+			// Converge: the publisher must know exactly the active set
+			// before the wave, so routing decisions are deterministic.
+			activeCount := 0
+			for _, st := range subs {
+				if st.active {
+					activeCount++
+				}
+			}
+			waitFor(t, 10*time.Second, fmt.Sprintf("wave %d ad convergence", w), func() bool {
+				return pub.node.RemoteSubscriptionCount() == activeCount
+			})
+			net.Settle()
+
+			if cfgW.partitioned {
+				net.Partition([]string{"node-0", "node-1"}, []string{"node-2", "node-3"})
+			}
+			waveExpected := make(map[string]bool)
+			for e := 0; e < 6; e++ {
+				q := StockQuote{StockObvent{
+					Company: fmt.Sprintf("w%d-e%d-%s", w, e, []string{"Telco", "Acme"}[rng.Intn(2)]),
+					Price:   float64(rng.Intn(1000)),
+					Amount:  1 + rng.Intn(5),
+				}}
+				if err := core.Publish(pub.engine, q); err != nil {
+					t.Fatal(err)
+				}
+				for _, st := range subs {
+					if !st.active || !st.pred(q) {
+						continue
+					}
+					if cfgW.partitioned && st.node != 1 {
+						continue // unreachable: best-effort events are lost
+					}
+					waveExpected[st.label+"@"+q.Company] = true
+				}
+			}
+			waitFor(t, 10*time.Second, fmt.Sprintf("wave %d deliveries", w), func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				for k := range waveExpected {
+					if !got[k] {
+						return false
+					}
+				}
+				return true
+			})
+			for k := range waveExpected {
+				expected[k] = true
+			}
+			if cfgW.partitioned {
+				net.Heal()
+			}
+			net.Settle()
+		}
+
+		mu.Lock()
+		defer mu.Unlock()
+		if len(got) != len(expected) {
+			for k := range got {
+				if !expected[k] {
+					t.Errorf("placement %v: unexpected delivery %s", placement, k)
+				}
+			}
+			for k := range expected {
+				if !got[k] {
+					t.Errorf("placement %v: missing delivery %s", placement, k)
+				}
+			}
+		}
+		out := make(map[string]bool, len(got))
+		for k := range got {
+			out[k] = true
+		}
+		return out
+	}
+
+	atSub := run(AtSubscriber)
+	atPub := run(AtPublisher)
+	if len(atSub) == 0 {
+		t.Fatal("baseline run delivered nothing; workload broken")
+	}
+	for k := range atSub {
+		if !atPub[k] {
+			t.Errorf("delivered at-subscriber but not at-publisher: %s", k)
+		}
+	}
+	for k := range atPub {
+		if !atSub[k] {
+			t.Errorf("delivered at-publisher but not at-subscriber: %s", k)
+		}
+	}
 }

@@ -288,6 +288,50 @@ func (e *Expr) canon(b *strings.Builder) {
 	}
 }
 
+// Normalize returns an expression semantically equivalent to e in
+// canonical shape: And/Or child lists are sorted by canonical form with
+// exact duplicates dropped. Two filters that differ only in the order
+// (or repetition) of their conjuncts/disjuncts normalize to structurally
+// identical trees, which therefore marshal to identical bytes
+// (MarshalCanonical) — the property the routing plane's plan keys rely
+// on. The input is never mutated: reordered nodes are rebuilt, and
+// subtrees that are already canonical are shared.
+//
+// Reordering can change which non-delivering outcome (false vs
+// evaluation error) a formula reports, but never whether it delivers:
+// true requires every And child true / some Or child true with all
+// earlier children false, and those child outcomes are order-independent.
+func Normalize(e *Expr) *Expr {
+	switch e.Kind {
+	case KindAnd, KindOr:
+		type keyed struct {
+			key   string
+			child *Expr
+		}
+		ks := make([]keyed, 0, len(e.Children))
+		for _, c := range e.Children {
+			// Key on the normalized child so that terms that differ only
+			// pre-normalization (e.g. or(a,a) vs or(a)) still deduplicate.
+			n := Normalize(c)
+			ks = append(ks, keyed{key: n.Canon(), child: n})
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+		children := make([]*Expr, 0, len(ks))
+		for i, k := range ks {
+			if i > 0 && k.key == ks[i-1].key {
+				continue // exact duplicate term
+			}
+			children = append(children, k.child)
+		}
+		return &Expr{Kind: e.Kind, Children: children}
+	case KindNot:
+		return &Expr{Kind: KindNot, Children: []*Expr{Normalize(e.Children[0])}}
+	default:
+		// Leaves and constants are already canonical and immutable.
+		return e
+	}
+}
+
 // Canon returns the canonical rendering of a leaf condition.
 func (c *Cond) Canon() string {
 	return c.LHS.canon() + string(rune(0)) + c.Op.String() + string(rune(0)) + c.RHS.canon()

@@ -376,3 +376,79 @@ func TestStringRendering(t *testing.T) {
 		}
 	}
 }
+
+func TestNormalizeOrderAndDuplicateInsensitive(t *testing.T) {
+	a := Path("Price").Lt(Float(100))
+	b := Path("Company").Contains(Str("Telco"))
+	c := Path("Amount").Ge(Int(5))
+
+	f1 := And(a, Or(b, c))
+	f2 := And(Or(c, b, b), a, a)
+	m1, err := MarshalCanonical(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MarshalCanonical(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m1) != string(m2) {
+		t.Errorf("canonical bytes differ for reordered/duplicated terms:\n%x\n%x", m1, m2)
+	}
+	if m3, _ := MarshalCanonical(And(a, b)); string(m3) == string(m1) {
+		t.Error("distinct filters share canonical bytes")
+	}
+}
+
+func TestNormalizeDoesNotMutateInput(t *testing.T) {
+	a := Path("Price").Lt(Float(100))
+	b := Path("Amount").Ge(Int(5))
+	f := Or(b, a) // canonical order would swap the children
+	_ = Normalize(f)
+	if f.Children[0] != b || f.Children[1] != a {
+		t.Error("Normalize mutated its input's child order")
+	}
+}
+
+func TestNormalizePreservesDelivery(t *testing.T) {
+	quotes := []plainQuote{
+		{Company: "Telco Mobiles", Price: 80, Active: true},
+		{Company: "Acme", Price: 80},
+		{Company: "Telco", Price: 200},
+		{Company: "", Price: 0},
+	}
+	exprs := []*Expr{
+		telcoFilter(),
+		Or(Path("Price").Lt(Float(100)), Path("Price").Gt(Float(150)), Path("Company").Eq(Str("Acme"))),
+		Not(And(Path("Active").Eq(Bool(true)), Path("Price").Ge(Float(50)))),
+		And(Or(Path("Company").HasPrefix(Str("Tel")), Path("Company").HasSuffix(Str("me"))), True()),
+	}
+	for i, e := range exprs {
+		n := Normalize(e)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("expr %d: normalized form invalid: %v", i, err)
+		}
+		for _, q := range quotes {
+			gotOK, gotErr := Evaluate(n, q)
+			wantOK, wantErr := Evaluate(e, q)
+			if (gotOK && gotErr == nil) != (wantOK && wantErr == nil) {
+				t.Errorf("expr %d on %+v: normalized delivers %v, original %v", i, q, gotOK && gotErr == nil, wantOK && wantErr == nil)
+			}
+		}
+	}
+}
+
+func TestMarshalCanonicalRoundTrips(t *testing.T) {
+	f := And(Path("Price").Lt(Float(100)), Path("Company").Contains(Str("Telco")))
+	data, err := MarshalCanonical(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Canon() != f.Canon() {
+		t.Errorf("round trip changed semantics: %q vs %q", got.Canon(), f.Canon())
+	}
+}

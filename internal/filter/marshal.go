@@ -22,6 +22,19 @@ func Marshal(e *Expr) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// MarshalCanonical serializes Normalize(e): semantically identical
+// filters — regardless of the order subscribers wrote their And/Or
+// terms in — produce byte-identical encodings. Advertised filters use
+// this form so that filtering hosts can deduplicate equal filters of
+// different subscribers by comparing wire bytes alone (the routing
+// plane's plan keys), without parsing.
+func MarshalCanonical(e *Expr) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("filter: marshal: %w", err)
+	}
+	return Marshal(Normalize(e))
+}
+
 // Unmarshal reconstructs an expression received from the wire,
 // validating it before use.
 func Unmarshal(data []byte) (*Expr, error) {

@@ -35,10 +35,18 @@ import (
 // Compound is a factored matcher over a dynamic set of subscriptions.
 // It is safe for concurrent use; Match runs under a read lock so
 // subscriptions can be added or removed concurrently with matching.
+//
+// Compilation is lazy: mutations (Add/AddBatch/Remove/RemoveBatch) only
+// mark the plan dirty, and the next Match (or Stats) call recompiles it
+// once. A burst of mutations — a routing-table ad application removing
+// and adding many subscriptions — therefore costs a single compilation,
+// not one per call.
 type Compound struct {
-	mu   sync.RWMutex
-	subs map[string]*filter.Expr
-	plan *plan // rebuilt on every Add/Remove
+	mu         sync.RWMutex
+	subs       map[string]*filter.Expr
+	plan       *plan // valid while !dirty; recompiled lazily on demand
+	dirty      bool
+	recompiles uint64 // plan compilations performed (Stats observability)
 }
 
 // New returns an empty compound matcher.
@@ -56,15 +64,14 @@ func (c *Compound) Add(subID string, e *filter.Expr) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.subs[subID] = e
-	c.plan = compile(c.subs)
+	c.dirty = true
 	return nil
 }
 
-// AddBatch registers many subscriptions' filters at once, compiling the
-// plan a single time. Add recompiles per call, which is O(n²) across a
-// bulk load — callers assembling a matcher from a whole subscription
-// table (the engine's dispatch buckets) must use AddBatch. On a
-// validation error nothing is registered.
+// AddBatch registers many subscriptions' filters at once. On a
+// validation error nothing is registered. (With lazy compilation Add is
+// no longer quadratic across a bulk load, but AddBatch remains the
+// idiomatic bulk entry point and validates all-or-nothing.)
 func (c *Compound) AddBatch(filters map[string]*filter.Expr) error {
 	for id, e := range filters {
 		if err := e.Validate(); err != nil {
@@ -76,7 +83,9 @@ func (c *Compound) AddBatch(filters map[string]*filter.Expr) error {
 	for id, e := range filters {
 		c.subs[id] = e
 	}
-	c.plan = compile(c.subs)
+	if len(filters) > 0 {
+		c.dirty = true
+	}
 	return nil
 }
 
@@ -84,8 +93,48 @@ func (c *Compound) AddBatch(filters map[string]*filter.Expr) error {
 func (c *Compound) Remove(subID string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.subs[subID]; !ok {
+		return
+	}
 	delete(c.subs, subID)
-	c.plan = compile(c.subs)
+	c.dirty = true
+}
+
+// RemoveBatch drops many subscriptions at once — AddBatch's removal
+// counterpart for callers maintaining one long-lived matcher across
+// subscription churn. Like all mutations it costs at most one
+// recompilation (deferred to the next Match) regardless of how many
+// IDs it drops. (The routing and dispatch tables currently rebuild
+// their compounds from scratch per plan instead of mutating them
+// incrementally, so today this is API surface for external callers.)
+func (c *Compound) RemoveBatch(subIDs []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range subIDs {
+		if _, ok := c.subs[id]; ok {
+			delete(c.subs, id)
+			c.dirty = true
+		}
+	}
+}
+
+// currentPlan returns the up-to-date plan, recompiling it first if
+// mutations are pending. The fast path is a read lock and two loads.
+func (c *Compound) currentPlan() *plan {
+	c.mu.RLock()
+	p, dirty := c.plan, c.dirty
+	c.mu.RUnlock()
+	if !dirty {
+		return p
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dirty {
+		c.plan = compile(c.subs)
+		c.dirty = false
+		c.recompiles++
+	}
+	return c.plan
 }
 
 // Len returns the number of registered subscriptions.
@@ -111,13 +160,21 @@ type Stats struct {
 	// UniquePaths is the number of distinct accessor paths resolved
 	// per event.
 	UniquePaths int
+	// Recompiles is the number of plan compilations this matcher has
+	// performed over its lifetime. With lazy compilation it counts
+	// mutation bursts, not individual mutations.
+	Recompiles uint64
 }
 
-// Stats returns the factoring statistics of the current plan.
+// Stats returns the factoring statistics of the current plan, forcing a
+// pending recompilation first so the figures describe the live set.
 func (c *Compound) Stats() Stats {
+	p := c.currentPlan()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.plan.stats
+	st := p.stats
+	st.Recompiles = c.recompiles
+	return st
 }
 
 // Match returns the sorted IDs of all subscriptions whose filter accepts
@@ -133,10 +190,18 @@ func (c *Compound) Match(event any) []string {
 // must not allocate a fresh result slice per envelope. The appended IDs
 // are sorted; dst's existing contents are preserved.
 func (c *Compound) MatchAppend(event any, dst []string) []string {
-	c.mu.RLock()
-	p := c.plan
-	c.mu.RUnlock()
-	return p.match(event, dst)
+	return c.currentPlan().match(event, dst, false)
+}
+
+// MatchAppendFailOpen is MatchAppend with fail-open error semantics: a
+// subscription whose formula cannot be evaluated (missing accessor,
+// type mismatch) is appended alongside the true matches instead of
+// being rejected. Publisher-side filtering hosts use this mode — an
+// unevaluable remote filter must not suppress the send, because the
+// subscriber's own evaluation is the authoritative pass (paper §2.3.2:
+// remote filtering is an optimization, never a semantic change).
+func (c *Compound) MatchAppendFailOpen(event any, dst []string) []string {
+	return c.currentPlan().match(event, dst, true)
 }
 
 // MatchNaive evaluates every subscription's filter independently. It is
@@ -446,7 +511,9 @@ func (p *plan) getScratch() *matchScratch {
 }
 
 // match evaluates the plan against one event, appending matches to dst.
-func (p *plan) match(event any, dst []string) []string {
+// With failOpen, formulas whose outcome is an evaluation error count as
+// matches (the caller ships and lets the subscriber decide).
+func (p *plan) match(event any, dst []string, failOpen bool) []string {
 	if len(p.ids) == 0 {
 		return dst
 	}
@@ -558,8 +625,13 @@ func (p *plan) match(event any, dst []string) []string {
 	// pre-sorted, so the appended output is sorted without a per-event
 	// sort.
 	for i, prog := range p.progs {
-		if evalProg(prog, results, sc.stack[:0]) == rTrue {
+		switch evalProg(prog, results, sc.stack[:0]) {
+		case rTrue:
 			dst = append(dst, p.ids[i])
+		case rErr:
+			if failOpen {
+				dst = append(dst, p.ids[i])
+			}
 		}
 	}
 	return dst

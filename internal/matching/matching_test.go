@@ -415,3 +415,101 @@ func TestAddBatchMatchesIncrementalAdd(t *testing.T) {
 		t.Errorf("failed AddBatch mutated the set: Len = %d", batch.Len())
 	}
 }
+
+func TestRemoveBatch(t *testing.T) {
+	c := New()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		_ = c.Add(id, filter.True())
+	}
+	c.RemoveBatch([]string{"a", "c", "zzz-absent"})
+	if got := c.Match(quote{}); !reflect.DeepEqual(got, []string{"b", "d"}) {
+		t.Errorf("Match = %v", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestLazyRecompileOncePerBurst(t *testing.T) {
+	c := New()
+	for i := 0; i < 50; i++ {
+		_ = c.Add(fmt.Sprintf("s%02d", i), filter.Path("Price").Lt(filter.Float(float64(i))))
+	}
+	if got := c.Stats().Recompiles; got != 1 {
+		t.Fatalf("recompiles after 50 Adds + Stats = %d, want 1", got)
+	}
+	// A mixed burst — batch removal plus individual add/removes — must
+	// also compile exactly once, at the next Match.
+	ids := make([]string, 0, 25)
+	for i := 0; i < 25; i++ {
+		ids = append(ids, fmt.Sprintf("s%02d", i))
+	}
+	c.RemoveBatch(ids)
+	c.Remove("s30")
+	_ = c.Add("extra", filter.True())
+	_ = c.Match(quote{Price: 10})
+	_ = c.Match(quote{Price: 20})
+	if got := c.Stats().Recompiles; got != 2 {
+		t.Errorf("recompiles after mutation burst = %d, want 2", got)
+	}
+	if got := c.Len(); got != 25 {
+		t.Errorf("Len = %d, want 25", got)
+	}
+	// No-op mutations (removing absent IDs) must not dirty the plan.
+	c.Remove("never-there")
+	c.RemoveBatch([]string{"also-absent"})
+	_ = c.Match(quote{})
+	if got := c.Stats().Recompiles; got != 2 {
+		t.Errorf("recompiles after no-op removals = %d, want 2", got)
+	}
+}
+
+func TestRemoveBatchMatchesIterativeRemove(t *testing.T) {
+	build := func() *Compound {
+		c := New()
+		for i := 0; i < 20; i++ {
+			_ = c.Add(fmt.Sprintf("s%02d", i), filter.Path("Price").Lt(filter.Float(float64(i*50))))
+		}
+		return c
+	}
+	var drop []string
+	for i := 0; i < 20; i += 2 {
+		drop = append(drop, fmt.Sprintf("s%02d", i))
+	}
+	batch := build()
+	batch.RemoveBatch(drop)
+	iter := build()
+	for _, id := range drop {
+		iter.Remove(id)
+	}
+	for _, price := range []float64{25, 425, 975} {
+		ev := quote{Price: price}
+		if got, want := batch.Match(ev), iter.Match(ev); !reflect.DeepEqual(got, want) {
+			t.Errorf("price %v: RemoveBatch Match = %v, iterative = %v", price, got, want)
+		}
+	}
+}
+
+func TestMatchAppendFailOpen(t *testing.T) {
+	c := New()
+	_ = c.Add("ok", filter.Path("Price").Lt(filter.Float(100)))
+	_ = c.Add("broken", filter.Path("NoSuchField").Lt(filter.Float(100)))
+	// An erroring term inside a disjunction poisons the formula in
+	// strict mode but fails open here, even when it precedes a true term.
+	_ = c.Add("mixed", filter.Or(
+		filter.Path("NoSuchField").Lt(filter.Float(1)),
+		filter.Path("Price").Lt(filter.Float(100)),
+	))
+	ev := quote{Company: "Acme", Price: 50}
+	if got := c.Match(ev); !reflect.DeepEqual(got, []string{"ok"}) {
+		t.Errorf("strict Match = %v, want [ok] (mixed's Or yields the leading error)", got)
+	}
+	if got := c.MatchAppendFailOpen(ev, nil); !reflect.DeepEqual(got, []string{"broken", "mixed", "ok"}) {
+		t.Errorf("MatchAppendFailOpen = %v, want [broken mixed ok]", got)
+	}
+	// A formula that is plainly false stays excluded in both modes.
+	_ = c.Add("no", filter.Path("Price").Gt(filter.Float(100)))
+	if got := c.MatchAppendFailOpen(ev, nil); !reflect.DeepEqual(got, []string{"broken", "mixed", "ok"}) {
+		t.Errorf("fail-open must not include false formulas: %v", got)
+	}
+}

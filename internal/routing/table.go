@@ -1,0 +1,662 @@
+// Package routing implements the publisher-side routing plane: the
+// layer between DACE's reflexive control plane and its data plane that
+// turns the stream of subscription advertisements into compiled,
+// per-(class, node) compound matchers hosted at every publisher.
+//
+// The paper argues filters should run "at a more favourable stage
+// (e.g., a remote host) to reduce network load" (§2.3.2, §3.3.3) and
+// disseminates subscriptions as obvents (§4.2). A Table is the
+// publisher-side materialization of that advertisement stream:
+//
+//	subscription ads ──► Table (per-node snapshots, seq-reconciled)
+//	                       │ lazily, per published class
+//	                       ▼
+//	                 classPlan: always-match nodes + one
+//	                 matching.Compound whose match IDs are nodes
+//	                       │ per published event
+//	                       ▼
+//	               Destinations: one compound evaluation total,
+//	               instead of one filter.Evaluate per remote sub
+//
+// A node passes the class's compound when at least one of its
+// advertised filters passes; a node advertising any filterless
+// subscription for the class short-circuits to always-match and its
+// filters never evaluate. Identical filters from different subscribers
+// are deduplicated per node by their canonical wire bytes
+// (filter.MarshalCanonical). Plans carry the table and registry
+// generations they were compiled under and are recompiled lazily after
+// any advertisement or type registration, mirroring the subscriber-side
+// dispatchTable.
+//
+// Advertisement ingestion is idempotent and sequence-reconciled: full
+// snapshots replace a node's state when newer, deltas (add/remove by
+// subscription ID) apply only on top of the exact base sequence they
+// were diffed against and are otherwise parked until the chain closes —
+// the control channel is reliable but unordered.
+package routing
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"govents/internal/core"
+	"govents/internal/filter"
+	"govents/internal/matching"
+	"govents/internal/obvent"
+)
+
+// Table is one publisher's view of the domain's advertised
+// subscriptions, indexed for per-event destination routing. It is safe
+// for concurrent use: ad application takes a mutex, routing reads
+// immutable compiled plans.
+type Table struct {
+	reg *obvent.Registry
+
+	mu    sync.Mutex
+	nodes map[string]*nodeState
+	gen   atomic.Uint64 // bumped on every applied mutation
+
+	// plans caches class name -> *classPlan, invalidated by generation.
+	plans sync.Map
+
+	// match pools the compound-output scratch of Destinations so
+	// steady-state routing does not allocate.
+	match sync.Pool
+
+	adsApplied  atomic.Uint64
+	adsStale    atomic.Uint64
+	adsDeferred atomic.Uint64
+
+	// classStats maps class name -> *classCounters. Only registered
+	// classes get entries; events of unknown wire names fold into
+	// unknownStats so arbitrary off-the-wire strings cannot grow the
+	// map (mirroring plan()'s caching rule).
+	classStats   sync.Map
+	unknownStats classCounters
+}
+
+// nodeState is the applied advertisement state of one node.
+type nodeState struct {
+	seq  uint64
+	subs map[string]subRecord // by subscription ID; nil until a snapshot applied
+	// pending parks deltas whose base sequence has not been applied
+	// yet, keyed by that base.
+	pending map[uint64]*delta
+}
+
+// subRecord is one advertised subscription with its filter compiled.
+type subRecord struct {
+	info core.SubscriptionInfo
+	// expr is nil for filterless subscriptions — and for filters that
+	// fail to parse, which fail open: the subscriber's local evaluation
+	// decides, the publisher just ships.
+	expr *filter.Expr
+}
+
+// maxPendingDeltas bounds how many out-of-order deltas are parked per
+// node. Senders force a full snapshot at least every 8 deltas, so
+// legitimate chains never need more; anything beyond is a buggy or
+// hostile peer.
+const maxPendingDeltas = 16
+
+// delta is a parked delta advertisement.
+type delta struct {
+	seq    uint64
+	add    []subRecord
+	remove []string
+}
+
+// ApplyResult reports how an advertisement was ingested.
+type ApplyResult struct {
+	// Applied is true when the table changed (the ad, and possibly a
+	// chain of parked deltas behind it, took effect).
+	Applied bool
+	// NewNode is true the first time any advertisement (applied,
+	// deferred or stale) is witnessed from this node — the trigger for
+	// anti-entropy re-advertisement.
+	NewNode bool
+	// Deferred is true when a delta was parked awaiting its base.
+	Deferred bool
+}
+
+// classCounters is the per-class atomic form of Stats' routing half.
+type classCounters struct {
+	plansCompiled atomic.Uint64
+	eventsRouted  atomic.Uint64
+	compoundEvals atomic.Uint64
+	nodesPruned   atomic.Uint64
+	fallbackEvals atomic.Uint64
+}
+
+// Stats are a Table's cumulative routing-plane counters.
+type Stats struct {
+	// AdsApplied counts advertisements (snapshots and deltas, including
+	// drained parked deltas) that changed the table.
+	AdsApplied uint64
+	// AdsStale counts advertisements discarded as overtaken by a newer
+	// sequence.
+	AdsStale uint64
+	// AdsDeferred counts deltas parked because their base had not been
+	// applied yet.
+	AdsDeferred uint64
+	// PlansCompiled counts per-class plan compilations.
+	PlansCompiled uint64
+	// EventsRouted counts routing decisions (Destinations/NodesFor calls).
+	EventsRouted uint64
+	// CompoundEvals counts compound matcher evaluations — exactly one
+	// per Destinations call that had conditional nodes and a decodable
+	// event, regardless of subscription count.
+	CompoundEvals uint64
+	// NodesPruned counts candidate nodes not sent to because none of
+	// their filters passed (the bandwidth the routing plane saves).
+	NodesPruned uint64
+	// FallbackEvals counts fail-open routings where the event could not
+	// be decoded and every conditional node was included.
+	FallbackEvals uint64
+}
+
+// classPlan is the immutable compiled routing state for one class.
+type classPlan struct {
+	gen    uint64 // table generation the plan was compiled under
+	regGen uint64 // registry generation the plan was compiled under
+
+	// always are nodes owed every event of the class (some filterless
+	// conforming subscription), sorted.
+	always []string
+	// condNodes are nodes whose inclusion depends on their filters,
+	// sorted. Disjoint from always.
+	condNodes []string
+	// compound factors the conditional nodes' filters; match IDs are
+	// node addresses. Nil when condNodes is empty.
+	compound *matching.Compound
+}
+
+// matchScratch is the pooled compound-output buffer of Destinations.
+type matchScratch struct {
+	ids []string
+}
+
+// NewTable returns an empty routing table over a type registry (shared
+// with the node's engine, so conformance agrees with dispatch).
+func NewTable(reg *obvent.Registry) *Table {
+	t := &Table{
+		reg:   reg,
+		nodes: make(map[string]*nodeState),
+	}
+	t.match.New = func() any { return &matchScratch{} }
+	return t
+}
+
+// --- advertisement ingestion ---
+
+// toRecords compiles advertised filters outside any lock.
+func toRecords(infos []core.SubscriptionInfo) []subRecord {
+	recs := make([]subRecord, 0, len(infos))
+	for _, info := range infos {
+		r := subRecord{info: info}
+		if len(info.Filter) > 0 {
+			if expr, err := filter.Unmarshal(info.Filter); err == nil {
+				r.expr = expr
+			}
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// ApplySnapshot ingests a full snapshot advertisement: node's complete
+// subscription set at sequence seq. Snapshots are idempotent and
+// newest-wins; a snapshot additionally drains any parked deltas that
+// chain directly onto it.
+func (t *Table) ApplySnapshot(node string, seq uint64, subs []core.SubscriptionInfo) ApplyResult {
+	recs := toRecords(subs) // parse filters before taking the lock
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, res := t.nodeLocked(node)
+	if st.subs != nil && seq <= st.seq {
+		t.adsStale.Add(1)
+		return res
+	}
+	st.subs = make(map[string]subRecord, len(recs))
+	for _, r := range recs {
+		st.subs[r.info.ID] = r
+	}
+	st.seq = seq
+	t.adsApplied.Add(1)
+	t.drainLocked(st)
+	t.gen.Add(1)
+	res.Applied = true
+	return res
+}
+
+// ApplyDelta ingests a delta advertisement: adds and removals relative
+// to the node's state at baseSeq. A delta whose base is not the
+// currently applied sequence is parked (the control channel does not
+// order) and applied when the chain closes; one already overtaken is
+// discarded.
+func (t *Table) ApplyDelta(node string, seq, baseSeq uint64, add []core.SubscriptionInfo, remove []string) ApplyResult {
+	recs := toRecords(add)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, res := t.nodeLocked(node)
+	if st.subs != nil && seq <= st.seq {
+		t.adsStale.Add(1)
+		return res
+	}
+	d := &delta{seq: seq, add: recs, remove: remove}
+	if st.subs == nil || st.seq != baseSeq {
+		// Base not applied yet: park until the chain closes. The park
+		// is bounded — a peer forces a snapshot every snapshotEvery
+		// deltas, so chains longer than that cannot be required, and an
+		// unbounded park would let a buggy or malicious peer grow the
+		// table without limit. When full, the farthest-future delta is
+		// dropped; the sender's next snapshot resynchronizes.
+		if st.pending == nil {
+			st.pending = make(map[uint64]*delta)
+		}
+		if prev, ok := st.pending[baseSeq]; !ok || d.seq > prev.seq {
+			st.pending[baseSeq] = d
+		}
+		if len(st.pending) > maxPendingDeltas {
+			var maxBase uint64
+			for base := range st.pending {
+				if base > maxBase {
+					maxBase = base
+				}
+			}
+			delete(st.pending, maxBase)
+		}
+		t.adsDeferred.Add(1)
+		res.Deferred = true
+		return res
+	}
+	t.applyDeltaLocked(st, d)
+	t.drainLocked(st)
+	t.gen.Add(1)
+	res.Applied = true
+	return res
+}
+
+// nodeLocked returns (creating if first witnessed) a node's state.
+func (t *Table) nodeLocked(node string) (*nodeState, ApplyResult) {
+	var res ApplyResult
+	st, ok := t.nodes[node]
+	if !ok {
+		st = &nodeState{}
+		t.nodes[node] = st
+		res.NewNode = true
+	}
+	return st, res
+}
+
+func (t *Table) applyDeltaLocked(st *nodeState, d *delta) {
+	for _, id := range d.remove {
+		delete(st.subs, id)
+	}
+	for _, r := range d.add {
+		st.subs[r.info.ID] = r
+	}
+	st.seq = d.seq
+	t.adsApplied.Add(1)
+}
+
+// drainLocked applies every parked delta that now chains onto the
+// applied sequence, and drops those overtaken by it.
+func (t *Table) drainLocked(st *nodeState) {
+	for base := range st.pending {
+		if base < st.seq {
+			delete(st.pending, base)
+		}
+	}
+	for {
+		d, ok := st.pending[st.seq]
+		if !ok {
+			return
+		}
+		delete(st.pending, st.seq)
+		t.applyDeltaLocked(st, d)
+	}
+}
+
+// RemoveNode forgets a node entirely (membership departure).
+func (t *Table) RemoveNode(node string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.nodes[node]; !ok {
+		return
+	}
+	delete(t.nodes, node)
+	t.gen.Add(1)
+}
+
+// RetainNodes forgets every node not in members — the membership-change
+// hook: a departed node must stop receiving events and stop being owed
+// certified deliveries, and its state must not pin table memory.
+func (t *Table) RetainNodes(members []string) {
+	keep := make(map[string]bool, len(members))
+	for _, m := range members {
+		keep[m] = true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	changed := false
+	for node := range t.nodes {
+		if !keep[node] {
+			delete(t.nodes, node)
+			changed = true
+		}
+	}
+	if changed {
+		t.gen.Add(1)
+	}
+}
+
+// SubscriptionCount reports the number of applied subscriptions,
+// excluding those of node exclude (the caller's own, for a
+// "remote subscriptions known" reading).
+func (t *Table) SubscriptionCount(exclude string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0
+	for node, st := range t.nodes {
+		if node == exclude {
+			continue
+		}
+		total += len(st.subs)
+	}
+	return total
+}
+
+// ForEachConforming calls fn for every applied subscription whose
+// target type the class conforms to (the certified-delivery subscriber
+// enumeration). fn must not call back into the table.
+func (t *Table) ForEachConforming(class string, fn func(node string, info core.SubscriptionInfo)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for node, st := range t.nodes {
+		for _, r := range st.subs {
+			if t.reg.ConformsTo(class, r.info.TypeName) {
+				fn(node, r.info)
+			}
+		}
+	}
+}
+
+// --- plan compilation ---
+
+// plan returns the compiled routing state for a class, compiling and
+// caching it on first use and recompiling when the table or the type
+// registry changed since. Classes the registry does not know are never
+// cached (class names come off the wire; caching arbitrary strings
+// would grow the map without bound).
+func (t *Table) plan(class string) *classPlan {
+	gen, regGen := t.gen.Load(), t.reg.Gen()
+	if v, ok := t.plans.Load(class); ok {
+		p := v.(*classPlan)
+		if p.gen == gen && p.regGen == regGen {
+			return p
+		}
+	}
+	p := t.compile(class)
+	if _, known := t.reg.TypeByName(class); known {
+		t.plans.Store(class, p)
+	}
+	return p
+}
+
+// compile builds the class plan from the current node states: group
+// each node's conforming subscriptions, short-circuit filterless nodes,
+// and factor the rest into one compound whose IDs are node addresses.
+func (t *Table) compile(class string) *classPlan {
+	type nodeAgg struct {
+		always bool
+		exprs  []*filter.Expr
+		seen   map[string]bool // canonical filter bytes -> present
+	}
+
+	t.mu.Lock()
+	// Generations are captured under the lock, before reading state: a
+	// mutation racing with compilation at worst stamps the plan with an
+	// older generation, which re-triggers compilation on the next event.
+	gen := t.gen.Load()
+	regGen := t.reg.Gen()
+	aggs := make(map[string]*nodeAgg)
+	for node, st := range t.nodes {
+		for _, r := range st.subs {
+			if !t.reg.ConformsTo(class, r.info.TypeName) {
+				continue
+			}
+			a := aggs[node]
+			if a == nil {
+				a = &nodeAgg{}
+				aggs[node] = a
+			}
+			if a.always {
+				continue
+			}
+			if r.expr == nil {
+				// Filterless (or unparsable, failing open): the node
+				// always matches; its other filters need not evaluate.
+				a.always = true
+				a.exprs = nil
+				continue
+			}
+			key := string(r.info.Filter)
+			if a.seen[key] {
+				continue // identical filter from another subscriber
+			}
+			if a.seen == nil {
+				a.seen = make(map[string]bool)
+			}
+			a.seen[key] = true
+			a.exprs = append(a.exprs, r.expr)
+		}
+	}
+	t.mu.Unlock()
+
+	p := &classPlan{gen: gen, regGen: regGen}
+	var filters map[string]*filter.Expr
+	for node, a := range aggs {
+		if a.always {
+			p.always = append(p.always, node)
+			continue
+		}
+		p.condNodes = append(p.condNodes, node)
+		if filters == nil {
+			filters = make(map[string]*filter.Expr)
+		}
+		if len(a.exprs) == 1 {
+			filters[node] = a.exprs[0]
+		} else {
+			filters[node] = filter.Or(a.exprs...)
+		}
+	}
+	sort.Strings(p.always)
+	sort.Strings(p.condNodes)
+	if filters != nil {
+		p.compound = matching.New()
+		// Validated on the subscriber at Subscribe and re-validated by
+		// filter.Unmarshal on ingestion; AddBatch cannot fail here.
+		_ = p.compound.AddBatch(filters)
+	}
+	t.counters(class).plansCompiled.Add(1)
+	return p
+}
+
+// --- routing ---
+
+// Destinations appends the sorted node set owed an event of the given
+// class: every always-match node plus every conditional node with at
+// least one passing filter — decided by a single compound evaluation.
+// decode supplies the decoded event on demand; it is invoked at most
+// once, and only when some candidate node actually has filters. A nil
+// decode result fails open to all conditional nodes (the subscriber's
+// local evaluation decides).
+func (t *Table) Destinations(class string, decode func() any, dst []string) []string {
+	p := t.plan(class)
+	cc := t.counters(class)
+	cc.eventsRouted.Add(1)
+	if p.compound == nil {
+		return append(dst, p.always...)
+	}
+	var ev any
+	if decode != nil {
+		ev = decode()
+	}
+	if ev == nil {
+		cc.fallbackEvals.Add(1)
+		return mergeSorted(dst, p.always, p.condNodes)
+	}
+	cc.compoundEvals.Add(1)
+	sc := t.match.Get().(*matchScratch)
+	// Fail-open matching: a node whose Or-of-filters errors (some
+	// advertised filter cannot evaluate against this event) is included,
+	// exactly as the per-entry baseline includes a node whose filter
+	// evaluation errors — the subscriber's local pass decides. The Or
+	// yields true or error whenever any term is true or errored, and
+	// false only when every term is false, so node-level fail-open
+	// composes correctly from per-subscription fail-open.
+	matched := p.compound.MatchAppendFailOpen(ev, sc.ids[:0])
+	if pruned := len(p.condNodes) - len(matched); pruned > 0 {
+		cc.nodesPruned.Add(uint64(pruned))
+	}
+	dst = mergeSorted(dst, p.always, matched)
+	sc.ids = matched[:0]
+	t.match.Put(sc)
+	return dst
+}
+
+// NodesFor appends the sorted set of all candidate nodes for a class —
+// every node hosting at least one conforming subscription, filters
+// ignored. This is the subscriber-side-placement routing decision (and
+// the membership question "who subscribes to this class at all?").
+func (t *Table) NodesFor(class string, dst []string) []string {
+	p := t.plan(class)
+	t.counters(class).eventsRouted.Add(1)
+	return mergeSorted(dst, p.always, p.condNodes)
+}
+
+// DestinationsNaive computes the same destination set by evaluating
+// every subscription's filter independently, skipping a node's
+// remaining entries once it matched — the pre-routing-plane publisher
+// loop. It is the transparency oracle for tests and the baseline
+// BenchmarkPublisherRouting measures the compound plan against.
+func (t *Table) DestinationsNaive(class string, event any) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dests := make(map[string]bool)
+	for node, st := range t.nodes {
+		for _, r := range st.subs {
+			if dests[node] {
+				break
+			}
+			if !t.reg.ConformsTo(class, r.info.TypeName) {
+				continue
+			}
+			if r.expr != nil {
+				ok, err := filter.Evaluate(r.expr, event)
+				if err == nil && !ok {
+					continue
+				}
+				// Evaluation errors fail open.
+			}
+			dests[node] = true
+		}
+	}
+	out := make([]string, 0, len(dests))
+	for d := range dests {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mergeSorted appends the merge of two sorted, disjoint slices to dst.
+func mergeSorted(dst []string, a, b []string) []string {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// --- stats ---
+
+// counters returns (creating on first use) a class's counters. Classes
+// the registry does not know share one sink: their names come off the
+// wire, and one map entry per arbitrary peer-supplied string would grow
+// the table without bound.
+func (t *Table) counters(class string) *classCounters {
+	if v, ok := t.classStats.Load(class); ok {
+		return v.(*classCounters)
+	}
+	if _, known := t.reg.TypeByName(class); !known {
+		return &t.unknownStats
+	}
+	v, _ := t.classStats.LoadOrStore(class, &classCounters{})
+	return v.(*classCounters)
+}
+
+func (c *classCounters) snapshot() Stats {
+	return Stats{
+		PlansCompiled: c.plansCompiled.Load(),
+		EventsRouted:  c.eventsRouted.Load(),
+		CompoundEvals: c.compoundEvals.Load(),
+		NodesPruned:   c.nodesPruned.Load(),
+		FallbackEvals: c.fallbackEvals.Load(),
+	}
+}
+
+// add folds another snapshot into s.
+func (s *Stats) add(o Stats) {
+	s.PlansCompiled += o.PlansCompiled
+	s.EventsRouted += o.EventsRouted
+	s.CompoundEvals += o.CompoundEvals
+	s.NodesPruned += o.NodesPruned
+	s.FallbackEvals += o.FallbackEvals
+}
+
+// Stats returns the table's cumulative counters, folded across classes.
+func (t *Table) Stats() Stats {
+	s := Stats{
+		AdsApplied:  t.adsApplied.Load(),
+		AdsStale:    t.adsStale.Load(),
+		AdsDeferred: t.adsDeferred.Load(),
+	}
+	s.add(t.unknownStats.snapshot())
+	t.classStats.Range(func(_, v any) bool {
+		s.add(v.(*classCounters).snapshot())
+		return true
+	})
+	return s
+}
+
+// ClassStats returns one class's routing counters (the advertisement
+// counters are table-wide and stay zero here).
+func (t *Table) ClassStats(class string) Stats {
+	if v, ok := t.classStats.Load(class); ok {
+		return v.(*classCounters).snapshot()
+	}
+	return Stats{}
+}
+
+// StatsByClass returns the per-class routing counters for every class
+// that has routed at least one event or compiled a plan.
+func (t *Table) StatsByClass() map[string]Stats {
+	out := make(map[string]Stats)
+	t.classStats.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*classCounters).snapshot()
+		return true
+	})
+	return out
+}

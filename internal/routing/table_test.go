@@ -1,0 +1,470 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"govents/internal/core"
+	"govents/internal/filter"
+	"govents/internal/obvent"
+)
+
+// Test obvent hierarchy.
+
+type stockObvent struct {
+	obvent.Base
+	Company string
+	Price   float64
+	Amount  int
+}
+
+func (s stockObvent) GetCompany() string { return s.Company }
+func (s stockObvent) GetPrice() float64  { return s.Price }
+
+type stockQuote struct {
+	stockObvent
+}
+
+type otherObvent struct {
+	obvent.Base
+	N int
+}
+
+// flatQuote declares Price directly (not promoted through embedding):
+// reflect resolves direct fields without allocating, so the alloc-pin
+// test measures the routing plane, not reflect's promoted-field path.
+type flatQuote struct {
+	obvent.Base
+	Company string
+	Price   float64
+}
+
+func newReg(t testing.TB) *obvent.Registry {
+	t.Helper()
+	reg := obvent.NewRegistry()
+	reg.MustRegister(stockObvent{})
+	reg.MustRegister(stockQuote{})
+	reg.MustRegister(otherObvent{})
+	return reg
+}
+
+func quoteClass() string { return obvent.TypeName(obvent.TypeOf[stockQuote]()) }
+func stockClass() string { return obvent.TypeName(obvent.TypeOf[stockObvent]()) }
+
+// info builds a SubscriptionInfo with an optional filter.
+func info(t testing.TB, id, typeName string, f *filter.Expr) core.SubscriptionInfo {
+	t.Helper()
+	si := core.SubscriptionInfo{ID: id, TypeName: typeName}
+	if f != nil {
+		data, err := filter.MarshalCanonical(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		si.Filter = data
+	}
+	return si
+}
+
+func priceLt(v float64) *filter.Expr { return filter.Path("GetPrice").Lt(filter.Float(v)) }
+
+func dests(t *Table, class string, ev any) []string {
+	return t.Destinations(class, func() any { return ev }, nil)
+}
+
+func TestSnapshotRoutesByFilter(t *testing.T) {
+	tb := NewTable(newReg(t))
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", quoteClass(), priceLt(100))})
+	tb.ApplySnapshot("node-b", 1, []core.SubscriptionInfo{info(t, "b1", quoteClass(), priceLt(500))})
+	tb.ApplySnapshot("node-c", 1, []core.SubscriptionInfo{info(t, "c1", quoteClass(), nil)})
+
+	cheap := stockQuote{stockObvent{Price: 50}}
+	mid := stockQuote{stockObvent{Price: 300}}
+	dear := stockQuote{stockObvent{Price: 900}}
+	if got := dests(tb, quoteClass(), cheap); !reflect.DeepEqual(got, []string{"node-a", "node-b", "node-c"}) {
+		t.Errorf("cheap: %v", got)
+	}
+	if got := dests(tb, quoteClass(), mid); !reflect.DeepEqual(got, []string{"node-b", "node-c"}) {
+		t.Errorf("mid: %v", got)
+	}
+	if got := dests(tb, quoteClass(), dear); !reflect.DeepEqual(got, []string{"node-c"}) {
+		t.Errorf("dear: %v", got)
+	}
+}
+
+func TestConformanceExpandsToSupertypeSubscriptions(t *testing.T) {
+	tb := NewTable(newReg(t))
+	// node-a subscribes to the base type; a published subtype must route
+	// to it.
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", stockClass(), nil)})
+	if got := dests(tb, quoteClass(), stockQuote{}); !reflect.DeepEqual(got, []string{"node-a"}) {
+		t.Errorf("subtype routing: %v", got)
+	}
+	// The reverse does not hold: a base-class event does not conform to
+	// a subtype subscription.
+	tb2 := NewTable(newReg(t))
+	tb2.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", quoteClass(), nil)})
+	if got := dests(tb2, stockClass(), stockObvent{}); len(got) != 0 {
+		t.Errorf("base class routed to subtype subscription: %v", got)
+	}
+}
+
+func TestFilterlessSubscriptionShortCircuitsNode(t *testing.T) {
+	tb := NewTable(newReg(t))
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{
+		info(t, "a1", quoteClass(), priceLt(10)), // would reject
+		info(t, "a2", quoteClass(), nil),         // filterless: node always matches
+	})
+	ev := stockQuote{stockObvent{Price: 999}}
+	if got := dests(tb, quoteClass(), ev); !reflect.DeepEqual(got, []string{"node-a"}) {
+		t.Errorf("Destinations = %v", got)
+	}
+	// The short-circuited node must not even cost a compound evaluation.
+	st := tb.ClassStats(quoteClass())
+	if st.CompoundEvals != 0 {
+		t.Errorf("CompoundEvals = %d for an always-match-only plan", st.CompoundEvals)
+	}
+}
+
+func TestSnapshotIdempotentAndNewestWins(t *testing.T) {
+	tb := NewTable(newReg(t))
+	subs2 := []core.SubscriptionInfo{info(t, "a1", quoteClass(), nil)}
+	if res := tb.ApplySnapshot("node-a", 2, subs2); !res.Applied || !res.NewNode {
+		t.Fatalf("first snapshot: %+v", res)
+	}
+	// A stale snapshot (older seq) must not regress the state.
+	if res := tb.ApplySnapshot("node-a", 1, nil); res.Applied || res.NewNode {
+		t.Fatalf("stale snapshot applied: %+v", res)
+	}
+	if got := dests(tb, quoteClass(), stockQuote{}); !reflect.DeepEqual(got, []string{"node-a"}) {
+		t.Errorf("state regressed: %v", got)
+	}
+	// Re-applying the same seq is a no-op.
+	if res := tb.ApplySnapshot("node-a", 2, nil); res.Applied {
+		t.Fatalf("duplicate snapshot applied: %+v", res)
+	}
+	if tb.Stats().AdsStale != 2 {
+		t.Errorf("AdsStale = %d, want 2", tb.Stats().AdsStale)
+	}
+}
+
+func TestDeltaChainsInAndOutOfOrder(t *testing.T) {
+	tb := NewTable(newReg(t))
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", quoteClass(), nil)})
+
+	// Delta 3 (base 2) arrives before delta 2 (base 1): parked.
+	if res := tb.ApplyDelta("node-a", 3, 2, nil, []string{"a2"}); !res.Deferred || res.Applied {
+		t.Fatalf("out-of-order delta: %+v", res)
+	}
+	if got := tb.SubscriptionCount(""); got != 1 {
+		t.Fatalf("parked delta mutated state: %d subs", got)
+	}
+	// Delta 2 closes the chain; both apply.
+	if res := tb.ApplyDelta("node-a", 2, 1, []core.SubscriptionInfo{info(t, "a2", quoteClass(), nil), info(t, "a3", quoteClass(), nil)}, nil); !res.Applied {
+		t.Fatalf("chaining delta: %+v", res)
+	}
+	// a2 added by delta 2, removed by delta 3; a1 and a3 remain.
+	if got := tb.SubscriptionCount(""); got != 2 {
+		t.Errorf("after chain: %d subs, want 2", got)
+	}
+	st := tb.Stats()
+	if st.AdsApplied != 3 || st.AdsDeferred != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDeltaBeforeSnapshotIsParked(t *testing.T) {
+	tb := NewTable(newReg(t))
+	// A delta from a never-seen node cannot apply (no base) but marks
+	// the node as witnessed.
+	res := tb.ApplyDelta("node-a", 2, 1, []core.SubscriptionInfo{info(t, "a2", quoteClass(), nil)}, nil)
+	if !res.Deferred || !res.NewNode || res.Applied {
+		t.Fatalf("delta before snapshot: %+v", res)
+	}
+	if got := dests(tb, quoteClass(), stockQuote{}); len(got) != 0 {
+		t.Fatalf("unbased delta routed: %v", got)
+	}
+	// The base snapshot arrives late; the parked delta drains onto it.
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", quoteClass(), nil)})
+	if got := tb.SubscriptionCount(""); got != 2 {
+		t.Errorf("after snapshot+drain: %d subs, want 2", got)
+	}
+}
+
+func TestSnapshotOvertakesParkedDeltas(t *testing.T) {
+	tb := NewTable(newReg(t))
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", quoteClass(), nil)})
+	tb.ApplyDelta("node-a", 3, 2, []core.SubscriptionInfo{info(t, "a3", quoteClass(), nil)}, nil)
+	// A full snapshot at seq 4 overtakes the parked chain; the stale
+	// delta must be dropped, not applied on top.
+	tb.ApplySnapshot("node-a", 4, []core.SubscriptionInfo{info(t, "a9", quoteClass(), nil)})
+	tb.ApplyDelta("node-a", 5, 4, nil, []string{"a9"})
+	if got := tb.SubscriptionCount(""); got != 0 {
+		t.Errorf("after overtaking snapshot: %d subs, want 0", got)
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	tb := NewTable(newReg(t))
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", quoteClass(), nil)})
+	tb.ApplySnapshot("node-b", 1, []core.SubscriptionInfo{info(t, "b1", quoteClass(), nil)})
+	if got := dests(tb, quoteClass(), stockQuote{}); len(got) != 2 {
+		t.Fatalf("before removal: %v", got)
+	}
+	tb.RemoveNode("node-a")
+	if got := dests(tb, quoteClass(), stockQuote{}); !reflect.DeepEqual(got, []string{"node-b"}) {
+		t.Errorf("after removal: %v", got)
+	}
+}
+
+func TestFailOpenOnUndecodableEvent(t *testing.T) {
+	tb := NewTable(newReg(t))
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", quoteClass(), priceLt(10))})
+	tb.ApplySnapshot("node-b", 1, []core.SubscriptionInfo{info(t, "b1", quoteClass(), nil)})
+	got := tb.Destinations(quoteClass(), func() any { return nil }, nil)
+	if !reflect.DeepEqual(got, []string{"node-a", "node-b"}) {
+		t.Errorf("fail-open destinations = %v", got)
+	}
+	st := tb.ClassStats(quoteClass())
+	if st.FallbackEvals != 1 || st.CompoundEvals != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUnparsableFilterFailsOpen(t *testing.T) {
+	tb := NewTable(newReg(t))
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{{ID: "a1", TypeName: quoteClass(), Filter: []byte("not a filter")}})
+	if got := dests(tb, quoteClass(), stockQuote{stockObvent{Price: 999}}); !reflect.DeepEqual(got, []string{"node-a"}) {
+		t.Errorf("unparsable filter should fail open to the node: %v", got)
+	}
+}
+
+func TestOneCompoundEvalPerEventRegardlessOfSubCount(t *testing.T) {
+	tb := NewTable(newReg(t))
+	const nodes, per = 8, 50
+	for n := 0; n < nodes; n++ {
+		var subs []core.SubscriptionInfo
+		for i := 0; i < per; i++ {
+			id := fmt.Sprintf("n%d-s%03d", n, i)
+			subs = append(subs, info(t, id, quoteClass(), priceLt(float64((i+1)*20))))
+		}
+		tb.ApplySnapshot(fmt.Sprintf("node-%d", n), 1, subs)
+	}
+	ev := stockQuote{stockObvent{Price: 500}}
+	for i := 0; i < 10; i++ {
+		dests(tb, quoteClass(), ev)
+	}
+	st := tb.ClassStats(quoteClass())
+	if st.CompoundEvals != 10 {
+		t.Errorf("CompoundEvals = %d for 10 events over %d subscriptions, want 10", st.CompoundEvals, nodes*per)
+	}
+	if st.EventsRouted != 10 {
+		t.Errorf("EventsRouted = %d, want 10", st.EventsRouted)
+	}
+	if st.PlansCompiled != 1 {
+		t.Errorf("PlansCompiled = %d, want 1 (no ads between events)", st.PlansCompiled)
+	}
+}
+
+func TestPlanInvalidationOnAdAndRegistryChange(t *testing.T) {
+	reg := newReg(t)
+	tb := NewTable(reg)
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", quoteClass(), nil)})
+	ev := stockQuote{}
+	dests(tb, quoteClass(), ev)
+	if st := tb.ClassStats(quoteClass()); st.PlansCompiled != 1 {
+		t.Fatalf("PlansCompiled = %d", st.PlansCompiled)
+	}
+	// A new ad invalidates the plan...
+	tb.ApplySnapshot("node-b", 1, []core.SubscriptionInfo{info(t, "b1", quoteClass(), nil)})
+	if got := dests(tb, quoteClass(), ev); !reflect.DeepEqual(got, []string{"node-a", "node-b"}) {
+		t.Errorf("after new ad: %v", got)
+	}
+	if st := tb.ClassStats(quoteClass()); st.PlansCompiled != 2 {
+		t.Errorf("PlansCompiled = %d after ad, want 2", st.PlansCompiled)
+	}
+	// ...and so does a registry registration (conformance may widen).
+	type lateQuote struct{ stockQuote }
+	reg.MustRegister(lateQuote{})
+	dests(tb, quoteClass(), ev)
+	if st := tb.ClassStats(quoteClass()); st.PlansCompiled != 3 {
+		t.Errorf("PlansCompiled = %d after registration, want 3", st.PlansCompiled)
+	}
+}
+
+func TestNodesPrunedCounter(t *testing.T) {
+	tb := NewTable(newReg(t))
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", quoteClass(), priceLt(100))})
+	tb.ApplySnapshot("node-b", 1, []core.SubscriptionInfo{info(t, "b1", quoteClass(), priceLt(100))})
+	dests(tb, quoteClass(), stockQuote{stockObvent{Price: 500}}) // both pruned
+	dests(tb, quoteClass(), stockQuote{stockObvent{Price: 50}})  // none pruned
+	if st := tb.ClassStats(quoteClass()); st.NodesPruned != 2 {
+		t.Errorf("NodesPruned = %d, want 2", st.NodesPruned)
+	}
+}
+
+func TestNodesForIgnoresFilters(t *testing.T) {
+	tb := NewTable(newReg(t))
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", quoteClass(), priceLt(1))})
+	tb.ApplySnapshot("node-b", 1, []core.SubscriptionInfo{info(t, "b1", quoteClass(), nil)})
+	tb.ApplySnapshot("node-c", 1, []core.SubscriptionInfo{info(t, "c1", stockClass(), priceLt(1))})
+	if got := tb.NodesFor(quoteClass(), nil); !reflect.DeepEqual(got, []string{"node-a", "node-b", "node-c"}) {
+		t.Errorf("NodesFor = %v", got)
+	}
+	if got := tb.NodesFor(obvent.TypeName(obvent.TypeOf[otherObvent]()), nil); len(got) != 0 {
+		t.Errorf("NodesFor unrelated class = %v", got)
+	}
+}
+
+func TestForEachConforming(t *testing.T) {
+	tb := NewTable(newReg(t))
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{
+		info(t, "a1", quoteClass(), nil),
+		info(t, "a2", stockClass(), nil),
+	})
+	tb.ApplySnapshot("node-b", 1, []core.SubscriptionInfo{
+		{ID: "b1", TypeName: obvent.TypeName(obvent.TypeOf[otherObvent]()), DurableID: "dur-b"},
+	})
+	var got []string
+	tb.ForEachConforming(quoteClass(), func(node string, inf core.SubscriptionInfo) {
+		got = append(got, node+"/"+inf.ID)
+	})
+	want := map[string]bool{"node-a/a1": true, "node-a/a2": true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("ForEachConforming = %v", got)
+	}
+}
+
+// TestDestinationsEquivalenceProperty checks the compound routing
+// decision against the per-entry oracle across randomized tables.
+func TestDestinationsEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 60; round++ {
+		tb := NewTable(newReg(t))
+		nNodes := 1 + rng.Intn(5)
+		for n := 0; n < nNodes; n++ {
+			var subs []core.SubscriptionInfo
+			for i := 0; i < rng.Intn(6); i++ {
+				id := fmt.Sprintf("n%d-s%d", n, i)
+				typeName := quoteClass()
+				if rng.Intn(3) == 0 {
+					typeName = stockClass()
+				}
+				var f *filter.Expr
+				switch rng.Intn(5) {
+				case 0: // filterless
+				case 1:
+					f = priceLt(float64(rng.Intn(1000)))
+				case 2:
+					f = filter.And(priceLt(float64(rng.Intn(1000))), filter.Path("GetCompany").Contains(filter.Str("Tel")))
+				case 3:
+					// Unevaluable path: exercises node-level fail-open.
+					f = filter.Or(filter.Path("Ghost").Eq(filter.Int(1)), priceLt(float64(rng.Intn(500))))
+				default:
+					f = filter.Or(priceLt(float64(rng.Intn(500))), filter.Path("Amount").Ge(filter.Int(int64(rng.Intn(10)))))
+				}
+				subs = append(subs, info(t, id, typeName, f))
+			}
+			tb.ApplySnapshot(fmt.Sprintf("node-%d", n), 1, subs)
+		}
+		for e := 0; e < 10; e++ {
+			ev := stockQuote{stockObvent{
+				Company: []string{"Telco Mobiles", "Acme", "Telstar"}[rng.Intn(3)],
+				Price:   float64(rng.Intn(1000)),
+				Amount:  rng.Intn(12),
+			}}
+			got := dests(tb, quoteClass(), ev)
+			want := tb.DestinationsNaive(quoteClass(), ev)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d event %+v: compound %v, per-entry %v", round, ev, got, want)
+			}
+		}
+	}
+}
+
+func TestDestinationsSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	reg := obvent.NewRegistry()
+	reg.MustRegister(flatQuote{})
+	class := obvent.TypeName(obvent.TypeOf[flatQuote]())
+	tb := NewTable(reg)
+	for n := 0; n < 16; n++ {
+		var subs []core.SubscriptionInfo
+		for i := 0; i < 16; i++ {
+			// Direct-field path, not accessor method: reflective method
+			// calls and promoted-field lookups allocate on their own
+			// (see ROADMAP's path-resolution cache item); this test pins
+			// the routing plane's allocations.
+			f := filter.Path("Price").Lt(filter.Float(float64((i + 1) * 60)))
+			subs = append(subs, info(t, fmt.Sprintf("n%d-s%d", n, i), class, f))
+		}
+		tb.ApplySnapshot(fmt.Sprintf("node-%02d", n), 1, subs)
+	}
+	var ev any = flatQuote{Company: "Telco", Price: 400}
+	decode := func() any { return ev }
+	buf := make([]string, 0, 32)
+	buf = tb.Destinations(class, decode, buf[:0]) // warm plan + pools
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = tb.Destinations(class, decode, buf[:0])
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Destinations allocates %.1f objects/op, want 0", allocs)
+	}
+	if len(buf) == 0 {
+		t.Fatal("no destinations matched; workload broken")
+	}
+}
+
+// TestErroringFilterFailsOpenAtNodeLevel guards the per-subscription
+// fail-open semantics through the per-node Or: a subscription whose
+// filter cannot evaluate against the event must not suppress the node,
+// neither alone nor by poisoning a sibling subscription's disjunct.
+func TestErroringFilterFailsOpenAtNodeLevel(t *testing.T) {
+	tb := NewTable(newReg(t))
+	errFilter := filter.Path("NoSuchAccessor").Lt(filter.Float(1))
+	// node-a: an erroring filter next to a passing one ("a0" sorts
+	// before "a1", so the error term leads the Or).
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{
+		info(t, "a0", quoteClass(), errFilter),
+		info(t, "a1", quoteClass(), priceLt(100)),
+	})
+	// node-b: only an erroring filter.
+	tb.ApplySnapshot("node-b", 1, []core.SubscriptionInfo{info(t, "b0", quoteClass(), errFilter)})
+	// node-c: only a rejecting filter.
+	tb.ApplySnapshot("node-c", 1, []core.SubscriptionInfo{info(t, "c0", quoteClass(), priceLt(1))})
+
+	ev := stockQuote{stockObvent{Price: 50}}
+	got := dests(tb, quoteClass(), ev)
+	want := tb.DestinationsNaive(quoteClass(), ev)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("compound %v, per-entry oracle %v", got, want)
+	}
+	if !reflect.DeepEqual(got, []string{"node-a", "node-b"}) {
+		t.Errorf("Destinations = %v, want [node-a node-b]", got)
+	}
+}
+
+func TestPendingDeltasBounded(t *testing.T) {
+	tb := NewTable(newReg(t))
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{info(t, "a1", quoteClass(), nil)})
+	// A hostile peer parks deltas under bases that never close.
+	for i := uint64(0); i < 500; i++ {
+		tb.ApplyDelta("node-a", 1000+i, 900+i, []core.SubscriptionInfo{info(t, "x", quoteClass(), nil)}, nil)
+	}
+	tb.mu.Lock()
+	pending := len(tb.nodes["node-a"].pending)
+	tb.mu.Unlock()
+	if pending > maxPendingDeltas {
+		t.Errorf("pending deltas = %d, want <= %d", pending, maxPendingDeltas)
+	}
+	// Applied state is untouched and the table still routes.
+	if got := tb.SubscriptionCount(""); got != 1 {
+		t.Errorf("SubscriptionCount = %d, want 1", got)
+	}
+}
