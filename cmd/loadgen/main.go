@@ -4,6 +4,10 @@
 // measurement tables); these experiments validate each of its
 // performance claims on the simulated substrate — see DESIGN.md §4.
 //
+// The whole harness runs on the public govents API: domains over the
+// simulated network, public filter/workload/matching packages, and the
+// baseline abstractions (topics, content, tuple space, RMI).
+//
 // Usage:
 //
 //	loadgen            # run all experiments
@@ -11,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,24 +24,21 @@ import (
 	"sync/atomic"
 	"time"
 
-	"govents/internal/content"
-	"govents/internal/core"
-	"govents/internal/dace"
-	"govents/internal/filter"
-	"govents/internal/matching"
-	"govents/internal/multicast"
-	"govents/internal/netsim"
-	"govents/internal/obvent"
-	"govents/internal/rmi"
-	"govents/internal/routing"
-	"govents/internal/topics"
-	"govents/internal/tuplespace"
-	"govents/internal/workload"
+	"govents"
+	"govents/content"
+	"govents/filter"
+	"govents/matching"
+	"govents/netsim"
+	"govents/rmi"
+	"govents/tuplespace"
+	"govents/workload"
 )
+
+var ctx = context.Background()
 
 // defaultPlacement is the filter placement experiments use unless they
 // pin one explicitly (set by -placement).
-var defaultPlacement = dace.AtSubscriber
+var defaultPlacement = govents.AtSubscriber
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: C1, C2, C3, C4, C5, C6 or all")
@@ -45,9 +47,9 @@ func main() {
 
 	switch *placement {
 	case "subscriber":
-		defaultPlacement = dace.AtSubscriber
+		defaultPlacement = govents.AtSubscriber
 	case "publisher":
-		defaultPlacement = dace.AtPublisher
+		defaultPlacement = govents.AtPublisher
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown -placement %q (want subscriber or publisher)\n", *placement)
 		os.Exit(2)
@@ -76,34 +78,46 @@ func main() {
 	fn()
 }
 
-func fastOpts() multicast.Options {
-	return multicast.Options{RetransmitInterval: 5 * time.Millisecond, GossipPeriod: 3 * time.Millisecond}
+func fastTuning() govents.Tuning {
+	return govents.Tuning{RetransmitInterval: 5 * time.Millisecond, GossipPeriod: 3 * time.Millisecond}
 }
 
-// domain builds n dace nodes + engines over a netsim network.
-func domain(net *netsim.Network, n int, cfg dace.Config) (nodes []*dace.Node, engines []*core.Engine) {
-	if cfg.Placement == 0 {
-		cfg.Placement = defaultPlacement
-	}
+// domain builds n connected govents domains over a netsim network.
+func domain(net *netsim.Network, n int, opts ...govents.Option) []*govents.Domain {
 	addrs := make([]string, n)
-	for i := 0; i < n; i++ {
-		addr := fmt.Sprintf("node-%02d", i)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("node-%02d", i)
+	}
+	domains := make([]*govents.Domain, n)
+	for i, addr := range addrs {
 		ep, err := net.NewEndpoint(addr)
 		if err != nil {
 			panic(err)
 		}
-		reg := obvent.NewRegistry()
-		workload.RegisterTypes(reg)
-		dn := dace.NewNode(ep, reg, cfg)
-		eng := core.NewEngine(addr, dn, core.WithRegistry(reg))
-		nodes = append(nodes, dn)
-		engines = append(engines, eng)
-		addrs[i] = addr
+		all := append([]govents.Option{
+			govents.WithTransport(ep),
+			govents.WithPlacement(defaultPlacement),
+			govents.WithTuning(fastTuning()),
+		}, opts...)
+		d, err := govents.Open(ctx, addr, all...)
+		if err != nil {
+			panic(err)
+		}
+		workload.RegisterTypes(d.Registry())
+		domains[i] = d
 	}
-	for _, dn := range nodes {
-		dn.SetPeers(addrs)
+	for _, d := range domains {
+		if err := d.SetPeers(addrs...); err != nil {
+			panic(err)
+		}
 	}
-	return nodes, engines
+	return domains
+}
+
+func closeAll(domains []*govents.Domain) {
+	for _, d := range domains {
+		_ = d.Close(ctx)
+	}
 }
 
 func waitUntil(timeout time.Duration, cond func() bool) bool {
@@ -125,25 +139,19 @@ func expC1() {
 	fmt.Printf("%-12s %14s %14s %8s\n", "selectivity", "msgs@subscr", "msgs@publshr", "saving")
 
 	for _, selectivity := range []float64{0.01, 0.10, 0.50, 1.00} {
-		run := func(p dace.Placement) (int64, routing.Stats) {
+		run := func(p govents.Placement) (int64, govents.RoutingStats) {
 			net := netsim.New(netsim.Config{})
 			defer net.Close()
-			cfg := dace.Config{Placement: p, Multicast: fastOpts()}
-			nodes, engines := domain(net, 2, cfg)
-			defer engines[0].Close()
-			defer engines[1].Close()
+			domains := domain(net, 2, govents.WithPlacement(p))
+			defer closeAll(domains)
 
 			var got atomic.Int64
 			threshold := 1000 * selectivity // prices uniform in [1,1000)
 			f := filter.Path("GetPrice").Lt(filter.Float(threshold))
-			sub, err := core.Subscribe(engines[1], f, func(q workload.StockQuote) { got.Add(1) })
-			if err != nil {
+			if _, err := govents.Subscribe(domains[1], f, func(q workload.StockQuote) { got.Add(1) }); err != nil {
 				panic(err)
 			}
-			if err := sub.Activate(); err != nil {
-				panic(err)
-			}
-			waitUntil(5*time.Second, func() bool { return nodes[0].RemoteSubscriptionCount() >= 1 })
+			waitUntil(5*time.Second, func() bool { return domains[0].RemoteSubscriptionCount() >= 1 })
 			net.Settle()
 			net.ResetStats()
 
@@ -155,15 +163,15 @@ func expC1() {
 				if q.Price < threshold {
 					want++
 				}
-				_ = core.Publish(engines[0], q)
+				_ = domains[0].Publish(ctx, q)
 			}
 			waitUntil(10*time.Second, func() bool { return got.Load() == want })
 			net.Settle()
 			sent, _, _, _ := net.Stats()
-			return sent, nodes[0].RoutingStats()
+			return sent, domains[0].RoutingStats()
 		}
-		atSub, _ := run(dace.AtSubscriber)
-		atPub, rst := run(dace.AtPublisher)
+		atSub, _ := run(govents.AtSubscriber)
+		atPub, rst := run(govents.AtPublisher)
 		fmt.Printf("%-12.2f %14d %14d %7.1f%%\n", selectivity, atSub, atPub, 100*(1-float64(atPub)/float64(atSub)))
 		fmt.Printf("             routing@publisher: events=%d compound-evals=%d pruned=%d fallback=%d plans=%d ads=%d\n",
 			rst.EventsRouted, rst.CompoundEvals, rst.NodesPruned, rst.FallbackEvals, rst.PlansCompiled, rst.AdsApplied)
@@ -205,42 +213,39 @@ func expC2() {
 	fmt.Println("claim: stronger semantics cost more; the application pays only for what the type requests")
 	fmt.Printf("%-12s %14s %14s\n", "semantics", "events/sec", "wire msgs/ev")
 
-	publish := map[string]func(e *core.Engine, q workload.StockObvent) error{
-		"unreliable": func(e *core.Engine, q workload.StockObvent) error {
-			return core.Publish(e, workload.StockQuote{StockObvent: q})
+	publish := map[string]func(d *govents.Domain, q workload.StockObvent) error{
+		"unreliable": func(d *govents.Domain, q workload.StockObvent) error {
+			return d.Publish(ctx, workload.StockQuote{StockObvent: q})
 		},
-		"reliable": func(e *core.Engine, q workload.StockObvent) error {
-			return core.Publish(e, workload.QuoteReliable{StockObvent: q})
+		"reliable": func(d *govents.Domain, q workload.StockObvent) error {
+			return d.Publish(ctx, workload.QuoteReliable{StockObvent: q})
 		},
-		"fifo": func(e *core.Engine, q workload.StockObvent) error {
-			return core.Publish(e, workload.QuoteFIFO{StockObvent: q})
+		"fifo": func(d *govents.Domain, q workload.StockObvent) error {
+			return d.Publish(ctx, workload.QuoteFIFO{StockObvent: q})
 		},
-		"causal": func(e *core.Engine, q workload.StockObvent) error {
-			return core.Publish(e, workload.QuoteCausal{StockObvent: q})
+		"causal": func(d *govents.Domain, q workload.StockObvent) error {
+			return d.Publish(ctx, workload.QuoteCausal{StockObvent: q})
 		},
-		"total": func(e *core.Engine, q workload.StockObvent) error {
-			return core.Publish(e, workload.QuoteTotal{StockObvent: q})
+		"total": func(d *govents.Domain, q workload.StockObvent) error {
+			return d.Publish(ctx, workload.QuoteTotal{StockObvent: q})
 		},
-		"certified": func(e *core.Engine, q workload.StockObvent) error {
-			return core.Publish(e, workload.QuoteCertified{StockObvent: q})
+		"certified": func(d *govents.Domain, q workload.StockObvent) error {
+			return d.Publish(ctx, workload.QuoteCertified{StockObvent: q})
 		},
 	}
 	order := []string{"unreliable", "reliable", "fifo", "causal", "total", "certified"}
 
 	for _, sem := range order {
 		net := netsim.New(netsim.Config{})
-		cfg := dace.Config{Multicast: fastOpts()}
-		nodes, engines := domain(net, 4, cfg)
+		domains := domain(net, 4)
 
 		var got atomic.Int64
-		for _, e := range engines[1:] {
-			sub, err := core.Subscribe(e, nil, func(o workload.StockObvent) { got.Add(1) })
-			if err != nil {
+		for _, d := range domains[1:] {
+			if _, err := govents.Subscribe(d, nil, func(o workload.StockObvent) { got.Add(1) }); err != nil {
 				panic(err)
 			}
-			_ = sub.Activate()
 		}
-		waitUntil(5*time.Second, func() bool { return nodes[0].RemoteSubscriptionCount() >= 3 })
+		waitUntil(5*time.Second, func() bool { return domains[0].RemoteSubscriptionCount() >= 3 })
 		net.Settle()
 		net.ResetStats()
 
@@ -249,7 +254,7 @@ func expC2() {
 		want := int64(events * 3)
 		start := time.Now()
 		for i := 0; i < events; i++ {
-			if err := publish[sem](engines[0], gen.Next().StockObvent); err != nil {
+			if err := publish[sem](domains[0], gen.Next().StockObvent); err != nil {
 				panic(err)
 			}
 		}
@@ -263,9 +268,7 @@ func expC2() {
 		} else {
 			fmt.Printf("%-12s %14.0f %14.1f\n", sem, rate, float64(sent)/events)
 		}
-		for _, e := range engines {
-			_ = e.Close()
-		}
+		closeAll(domains)
 		_ = net.Close()
 	}
 }
@@ -289,41 +292,34 @@ func expC3() {
 func gossipRun(n int, gossip bool) (ratio float64, msgsPerNode float64) {
 	net := netsim.New(netsim.Config{LossRate: 0.2, Seed: int64(n)})
 	defer net.Close()
-	opts := fastOpts()
+	tuning := fastTuning()
 	// lpbcast-style provisioning: fanout ~ log2(n)+2, generous rounds —
 	// per-node cost still stays flat while delivery probability holds.
-	opts.GossipFanout = 2
+	tuning.GossipFanout = 2
 	for m := n; m > 1; m /= 2 {
-		opts.GossipFanout++
+		tuning.GossipFanout++
 	}
-	opts.GossipRounds = 12
-	cfg := dace.Config{GossipUnreliable: gossip, Multicast: opts}
-	if !gossip {
-		// Force the reliable path for the comparison.
-		cfg.GossipUnreliable = false
+	tuning.GossipRounds = 12
+	opts := []govents.Option{govents.WithTuning(tuning)}
+	if gossip {
+		opts = append(opts, govents.WithGossipUnreliable())
 	}
-	nodes, engines := domain(net, n, cfg)
-	defer func() {
-		for _, e := range engines {
-			_ = e.Close()
-		}
-	}()
+	domains := domain(net, n, opts...)
+	defer closeAll(domains)
 
 	var got atomic.Int64
-	for _, e := range engines[1:] {
-		var sub *core.Subscription
+	for _, d := range domains[1:] {
 		var err error
 		if gossip {
-			sub, err = core.Subscribe(e, nil, func(q workload.StockQuote) { got.Add(1) })
+			_, err = govents.Subscribe(d, nil, func(q workload.StockQuote) { got.Add(1) })
 		} else {
-			sub, err = core.Subscribe(e, nil, func(q workload.QuoteReliable) { got.Add(1) })
+			_, err = govents.Subscribe(d, nil, func(q workload.QuoteReliable) { got.Add(1) })
 		}
 		if err != nil {
 			panic(err)
 		}
-		_ = sub.Activate()
 	}
-	waitUntil(10*time.Second, func() bool { return nodes[0].RemoteSubscriptionCount() >= n-1 })
+	waitUntil(10*time.Second, func() bool { return domains[0].RemoteSubscriptionCount() >= n-1 })
 	net.Settle()
 	net.ResetStats()
 
@@ -331,9 +327,9 @@ func gossipRun(n int, gossip bool) (ratio float64, msgsPerNode float64) {
 	const events = 10
 	for i := 0; i < events; i++ {
 		if gossip {
-			_ = core.Publish(engines[0], gen.Next())
+			_ = domains[0].Publish(ctx, gen.Next())
 		} else {
-			_ = core.Publish(engines[0], workload.QuoteReliable{StockObvent: gen.Next().StockObvent})
+			_ = domains[0].Publish(ctx, workload.QuoteReliable{StockObvent: gen.Next().StockObvent})
 		}
 	}
 	want := int64(events * (n - 1))
@@ -369,7 +365,13 @@ func expC4() {
 	fmt.Printf("%-22s %14d\n", "type-based+compound", time.Since(start).Nanoseconds()/evs)
 
 	// Topic-based: company as topic; price selectivity inexpressible.
-	tb := topics.New()
+	// The sibling abstractions hang off one local domain facade.
+	local, err := govents.Open(ctx, "c4-baselines")
+	if err != nil {
+		panic(err)
+	}
+	defer local.Close(ctx)
+	tb := local.Topics()
 	for _, s := range specs {
 		_, _ = tb.Subscribe("stocks."+s.Company, func(string, any) {})
 	}
@@ -395,10 +397,8 @@ func expC4() {
 	fmt.Printf("%-22s %14d   (encapsulation broken: raw attributes)\n", "content attr-value", time.Since(start).Nanoseconds()/evs)
 
 	// Tuple space notify.
-	ts := tuplespace.New()
+	ts := local.TupleSpace()
 	for _, s := range specs {
-		_ = s
-		_ = ts
 		// Template matching has no range predicates: only exact
 		// values/types (paper §5.1.2), so subscribe to the company
 		// only.
@@ -409,7 +409,6 @@ func expC4() {
 		_ = ts.Out(tuplespace.Tuple{q.Company, q.Price})
 	}
 	fmt.Printf("%-22s %14d   (templates: no range predicates)\n", "tuple space", time.Since(start).Nanoseconds()/evs)
-	ts.Close()
 }
 
 // --- C5: thread policies (paper §3.3.5) ---
@@ -420,12 +419,14 @@ func expC5() {
 	fmt.Printf("%-16s %14s\n", "policy", "events/sec")
 
 	for _, policy := range []string{"single", "multi(4)", "multi(unbounded)"} {
-		e := core.NewEngine("c5", core.NewLocal())
-		workload.RegisterTypes(e.Registry())
+		d, err := govents.Open(ctx, "c5")
+		if err != nil {
+			panic(err)
+		}
 		const events = 64
 		var wg sync.WaitGroup
 		wg.Add(events)
-		sub, err := core.Subscribe(e, nil, func(q workload.StockQuote) {
+		sub, err := govents.SubscribeInactive(d, nil, func(q workload.StockQuote) {
 			time.Sleep(2 * time.Millisecond) // simulated I/O
 			wg.Done()
 		})
@@ -440,15 +441,17 @@ func expC5() {
 		default:
 			sub.SetMultiThreading(0)
 		}
-		_ = sub.Activate()
+		if err := sub.Activate(); err != nil {
+			panic(err)
+		}
 		gen := workload.NewQuoteGen(11, 5)
 		start := time.Now()
 		for i := 0; i < events; i++ {
-			_ = core.Publish(e, gen.Next())
+			_ = d.Publish(ctx, gen.Next())
 		}
 		wg.Wait()
 		fmt.Printf("%-16s %14.0f\n", policy, events/time.Since(start).Seconds())
-		_ = e.Close()
+		_ = d.Close(ctx)
 	}
 }
 
@@ -507,29 +510,22 @@ func (s *sink) Notify(what string, price float64) {}
 func pubsubFanout(n int) float64 {
 	net := netsim.New(netsim.Config{MinLatency: 200 * time.Microsecond, MaxLatency: 400 * time.Microsecond})
 	defer net.Close()
-	cfg := dace.Config{Multicast: fastOpts()}
-	nodes, engines := domain(net, n+1, cfg)
-	defer func() {
-		for _, e := range engines {
-			_ = e.Close()
-		}
-	}()
+	domains := domain(net, n+1)
+	defer closeAll(domains)
 	var got atomic.Int64
-	for _, e := range engines[1:] {
-		sub, err := core.Subscribe(e, nil, func(q workload.QuoteReliable) { got.Add(1) })
-		if err != nil {
+	for _, d := range domains[1:] {
+		if _, err := govents.Subscribe(d, nil, func(q workload.QuoteReliable) { got.Add(1) }); err != nil {
 			panic(err)
 		}
-		_ = sub.Activate()
 	}
-	waitUntil(10*time.Second, func() bool { return nodes[0].RemoteSubscriptionCount() >= n })
+	waitUntil(10*time.Second, func() bool { return domains[0].RemoteSubscriptionCount() >= n })
 
 	const rounds = 20
 	gen := workload.NewQuoteGen(13, 5)
 	start := time.Now()
 	for r := 0; r < rounds; r++ {
 		want := got.Load() + int64(n)
-		_ = core.Publish(engines[0], workload.QuoteReliable{StockObvent: gen.Next().StockObvent})
+		_ = domains[0].Publish(ctx, workload.QuoteReliable{StockObvent: gen.Next().StockObvent})
 		waitUntil(10*time.Second, func() bool { return got.Load() >= want })
 	}
 	return float64(time.Since(start).Milliseconds()) / rounds

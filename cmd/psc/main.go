@@ -16,7 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
-	"govents/internal/psc"
+	"govents/psc"
 )
 
 func main() {

@@ -1,8 +1,8 @@
-// Command stocknode runs one DACE process over real TCP sockets: a
-// publisher streaming synthetic stock quotes or a subscriber with a
-// migratable price/company filter. It demonstrates the full stack —
-// engine, DACE node, multicast protocols, TCP transport — outside the
-// simulator.
+// Command stocknode runs one govents domain member over real TCP
+// sockets: a publisher streaming synthetic stock quotes or a subscriber
+// with a migratable price/company filter. It demonstrates the full
+// public API — Domain, DACE dissemination, multicast protocols, TCP
+// transport — outside the simulator.
 //
 // Start a subscriber, then a publisher:
 //
@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +22,9 @@ import (
 	"strings"
 	"time"
 
-	"govents/internal/core"
-	"govents/internal/dace"
-	"govents/internal/filter"
-	"govents/internal/obvent"
-	"govents/internal/transport"
-	"govents/internal/workload"
+	"govents"
+	"govents/filter"
+	"govents/workload"
 )
 
 func main() {
@@ -47,40 +45,43 @@ func run() error {
 	seed := flag.Int64("seed", 42, "pub: workload seed")
 	lanes := flag.Int("lanes", 0, "parallel dispatch lanes (0 = GOMAXPROCS)")
 	placementFlag := flag.String("placement", "publisher", "remote filter placement: subscriber or publisher")
+	adTTL := flag.Duration("ad-ttl", 0, "ad-stream GC TTL (0 = disabled; set uniformly on all nodes)")
 	flag.Parse()
 
-	var placement dace.Placement
+	ctx := context.Background()
+
+	var placement govents.Placement
 	switch *placementFlag {
 	case "publisher":
-		placement = dace.AtPublisher
+		placement = govents.AtPublisher
 	case "subscriber":
-		placement = dace.AtSubscriber
+		placement = govents.AtSubscriber
 	default:
 		return fmt.Errorf("unknown -placement %q (want subscriber or publisher)", *placementFlag)
 	}
 
-	tr, err := transport.Listen(*listen)
+	tr, err := govents.ListenTCP(*listen)
 	if err != nil {
 		return err
 	}
-	defer tr.Close()
-
-	reg := obvent.NewRegistry()
-	workload.RegisterTypes(reg)
-	node := dace.NewNode(tr, reg, dace.Config{Placement: placement})
-	opts := []core.Option{core.WithRegistry(reg)}
-	if *lanes > 0 {
-		opts = append(opts, core.WithDispatchLanes(*lanes))
-	}
-	engine := core.NewEngine(tr.Addr(), node, opts...)
-	defer engine.Close()
-
 	peers := []string{tr.Addr()}
 	if *peersFlag != "" {
 		peers = strings.Split(*peersFlag, ",")
 	}
-	node.SetPeers(peers)
-	fmt.Printf("stocknode: %s mode=%s peers=%v\n", tr.Addr(), *mode, peers)
+
+	d, err := govents.Open(ctx, tr.Addr(),
+		govents.WithTransport(tr),
+		govents.WithPeers(peers...),
+		govents.WithPlacement(placement),
+		govents.WithDispatchLanes(*lanes),
+		govents.WithAdTTL(*adTTL),
+	)
+	if err != nil {
+		return err
+	}
+	defer d.Close(ctx)
+	workload.RegisterTypes(d.Registry())
+	fmt.Printf("stocknode: %s mode=%s peers=%v\n", d.Addr(), *mode, peers)
 
 	switch *mode {
 	case "pub":
@@ -89,7 +90,7 @@ func run() error {
 		gen := workload.NewQuoteGen(*seed, 10)
 		for i := 0; i < *count; i++ {
 			q := gen.Next()
-			if err := core.Publish(engine, q); err != nil {
+			if err := d.Publish(ctx, q); err != nil {
 				return err
 			}
 			fmt.Printf("published %-12s %8.2f x%-3d\n", q.Company, q.Price, q.Amount)
@@ -97,7 +98,7 @@ func run() error {
 		}
 		// Let retransmissions drain.
 		time.Sleep(300 * time.Millisecond)
-		printRoutingStats(node)
+		printRoutingStats(d)
 		return nil
 
 	case "sub":
@@ -112,23 +113,20 @@ func run() error {
 		if len(conj) > 0 {
 			f = filter.And(conj...)
 		}
-		sub, err := core.Subscribe(engine, f, func(q workload.StockQuote) {
+		sub, err := govents.Subscribe(d, f, func(q workload.StockQuote) {
 			fmt.Printf("received  %-12s %8.2f x%-3d\n", q.Company, q.Price, q.Amount)
 		})
 		if err != nil {
-			return err
-		}
-		if err := sub.Activate(); err != nil {
 			return err
 		}
 		fmt.Println("subscribed; ctrl-c to exit")
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
-		st := engine.Stats()
-		fmt.Printf("dispatch: lanes=%d in=%d matched=%d delivered=%d expired=%d decode-errors=%d\n",
-			engine.DispatchLanes(), st.EventsIn, st.Matched, st.Delivered, st.Expired, st.DecodeErrors)
-		for _, l := range engine.LaneStats() {
+		st := d.Stats()
+		fmt.Printf("dispatch: lanes=%d in=%d matched=%d delivered=%d expired=%d decode-errors=%d panics=%d\n",
+			d.DispatchLanes(), st.EventsIn, st.Matched, st.Delivered, st.Expired, st.DecodeErrors, st.HandlerPanics)
+		for _, l := range d.LaneStats() {
 			name := fmt.Sprintf("lane %d ", l.Lane)
 			if l.Serial {
 				name = "serial "
@@ -136,7 +134,7 @@ func run() error {
 			fmt.Printf("  %-8s routed=%-6d dispatched=%-6d delivered=%-6d queued=%d\n",
 				name, l.Enqueued, l.Stats.EventsIn, l.Stats.Delivered, l.Queued)
 		}
-		printRoutingStats(node)
+		printRoutingStats(d)
 		return sub.Deactivate()
 
 	default:
@@ -144,14 +142,14 @@ func run() error {
 	}
 }
 
-// printRoutingStats dumps the node's routing-plane counters, overall
+// printRoutingStats dumps the domain's routing-plane counters, overall
 // and broken out per obvent class.
-func printRoutingStats(node *dace.Node) {
-	st := node.RoutingStats()
-	fmt.Printf("routing: ads-applied=%d ads-stale=%d ads-deferred=%d plans=%d events=%d compound-evals=%d pruned=%d fallback=%d\n",
-		st.AdsApplied, st.AdsStale, st.AdsDeferred, st.PlansCompiled,
+func printRoutingStats(d *govents.Domain) {
+	st := d.RoutingStats()
+	fmt.Printf("routing: ads-applied=%d ads-stale=%d ads-deferred=%d ads-heartbeat=%d nodes-expired=%d plans=%d events=%d compound-evals=%d pruned=%d fallback=%d\n",
+		st.AdsApplied, st.AdsStale, st.AdsDeferred, st.AdsRefreshed, st.NodesExpired, st.PlansCompiled,
 		st.EventsRouted, st.CompoundEvals, st.NodesPruned, st.FallbackEvals)
-	byClass := node.RoutingStatsByClass()
+	byClass := d.RoutingStatsByClass()
 	classes := make([]string, 0, len(byClass))
 	for c := range byClass {
 		classes = append(classes, c)

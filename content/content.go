@@ -1,0 +1,36 @@
+// Package content is the public surface of attribute-map content-based
+// publish/subscribe, the weakly typed baseline the paper contrasts
+// with type-based matching (§5.1): events are string-keyed attribute
+// maps, subscriptions are conjunctions of attribute predicates.
+package content
+
+import internal "govents/internal/content"
+
+// Bus is an attribute-map content-based publish/subscribe engine.
+type Bus = internal.Bus
+
+// Event is a published attribute map.
+type Event = internal.Event
+
+// Handler receives matching events.
+type Handler = internal.Handler
+
+// Pred is one attribute predicate.
+type Pred = internal.Pred
+
+// Op is a predicate operator.
+type Op = internal.Op
+
+// Predicate operators.
+const (
+	Eq     = internal.Eq
+	Ne     = internal.Ne
+	Lt     = internal.Lt
+	Le     = internal.Le
+	Gt     = internal.Gt
+	Ge     = internal.Ge
+	Exists = internal.Exists
+)
+
+// New returns an empty bus.
+func New() *Bus { return internal.New() }

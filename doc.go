@@ -1,0 +1,59 @@
+// Package govents is the public, unified API of the repository: the
+// paper's type-based publish/subscribe primitives (conf_icdcs_DammEG04,
+// §2.3.3) and their sibling abstractions — tuple spaces, topics, RMI —
+// composed behind one Domain facade over a shared substrate.
+//
+// # The two primitives
+//
+// The paper integrates publish and subscribe into the language. The Go
+// rendering maps its constructs one-to-one:
+//
+//	paper (§2.3.3)                              govents
+//	------------------------------------------  ----------------------------------------
+//	class StockQuote extends Obvent {...}       type StockQuote struct { obvent.Base; ... }
+//	Subscription s =
+//	  subscribe (StockQuote q)                  s, err := govents.SubscribeInactive(d,
+//	    { return q.getPrice() < 100; }            filter.Path("GetPrice").Lt(filter.Float(100)),
+//	    { print(q.getPrice()); };                 func(q StockQuote) { fmt.Println(q.Price) })
+//	s.activate();                               err = s.Activate()
+//	publish q;                                  err = d.Publish(ctx, q)
+//	s.deactivate();                             err = s.Deactivate()
+//
+// Most applications use Subscribe, which returns the subscription
+// already active; SubscribeInactive keeps the paper's explicit
+// two-phase form. Subscribing to a type receives all of its subtypes
+// (type-based matching, §2.2): supertypes by struct embedding or
+// interface satisfaction.
+//
+// # Domains
+//
+// A Domain is one process's membership in a govents domain, opened
+// local (in-process loopback) or distributed (DACE, §4.2) over any
+// Transport:
+//
+//	d, err := govents.Open(ctx, "quoter")                          // local
+//	d, err := govents.Open(ctx, "quoter",
+//	        govents.WithTransport(tr), govents.WithPeers(addrs...)) // distributed
+//
+// Distributed domains advertise subscriptions reflexively (ads are
+// themselves obvents), compile advertised filters into publisher-side
+// routing plans (WithPlacement), shard inbound dispatch across lanes
+// (WithDispatchLanes), garbage-collect silent peers (WithAdTTL), and
+// honor the QoS semantics composed onto obvent types by embedding:
+// reliable, certified, FIFO/causal/total order, timeliness, priority
+// (§3.1.2).
+//
+// Delivery errors surface as wrapped sentinels (ErrClosed,
+// ErrUnregistered, ErrBadFilter, ErrCannotPublish, ...); discriminate
+// with errors.Is.
+//
+// # The abstraction family
+//
+// The same Domain reaches the paper's comparison abstractions — the
+// tuple space (§6.3) via Domain.TupleSpace, topic-based
+// publish/subscribe (§2.3.2) via Domain.Topics, and RMI (§5.4) via
+// Domain.RMI — so one process composes interaction styles over one
+// substrate. Subpackages govents/filter and govents/obvent carry the
+// filter DSL and the obvent markers; govents/netsim and govents/store
+// supply the simulated network and certified-delivery stable storage.
+package govents

@@ -1,0 +1,296 @@
+package govents
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"govents/internal/core"
+	"govents/internal/dace"
+	"govents/internal/obvent"
+	"govents/internal/rmi"
+	"govents/internal/routing"
+	"govents/internal/topics"
+	"govents/internal/tuplespace"
+)
+
+// Obvent is the interface of all publishable values: any struct
+// embedding obvent.Base satisfies it (see govents/obvent).
+type Obvent = obvent.Obvent
+
+// DispatchStats are a domain's cumulative delivery counters (events
+// in, expired, matched, delivered, decode errors, recovered handler
+// panics), folded across dispatch lanes.
+type DispatchStats = core.DispatchStats
+
+// LaneStat is one dispatch lane's routing and delivery counters.
+type LaneStat = core.LaneStat
+
+// RoutingStats are a distributed domain's routing-plane counters:
+// advertisement ingestion (applied / stale / deferred / heartbeats),
+// plan compilation, per-event compound evaluations, pruned
+// destinations, and silent-TTL node expiries.
+type RoutingStats = routing.Stats
+
+// A Domain is one process's membership in a govents domain: the unified
+// facade over the publish/subscribe engine, the DACE dissemination
+// substrate, publisher-side routing, and the sibling abstractions of
+// the paper (tuple space, topics, RMI), all sharing one type registry.
+//
+// A Domain opened without a transport is local: publications loop back
+// to in-process subscriptions only. With WithTransport it joins the
+// distributed domain reachable over that transport. All methods are
+// safe for concurrent use.
+type Domain struct {
+	name string
+	reg  *obvent.Registry
+	eng  *core.Engine
+	node *dace.Node // nil for local domains
+
+	tr    Transport // owned; nil for local domains
+	rmiTr Transport // owned; nil unless WithRMI
+	rmiRT *rmi.Runtime
+
+	mu        sync.Mutex
+	ts        *tuplespace.Space
+	topics    *topics.Bus
+	closed    bool
+	closeDone chan struct{} // closed when background shutdown finishes
+	closeErr  error         // valid once closeDone is closed
+}
+
+// Open creates a Domain named name. The name identifies the domain
+// member in stats, subscription IDs and (for local domains) envelope
+// publisher stamps; distributed domains use the transport address on
+// the wire. Open is synchronous and fast; ctx is consulted for early
+// cancellation.
+//
+// Obvent classes are registered lazily on first Publish or Subscribe of
+// a type; classes a process only ever receives (e.g. subtypes published
+// elsewhere and subscribed here through a supertype) must be registered
+// explicitly with Register so inbound envelopes can be decoded.
+func Open(ctx context.Context, name string, opts ...Option) (*Domain, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	fail := func(err error) (*Domain, error) {
+		// Ownership of the transports transferred at WithTransport /
+		// WithRMI; a failed Open must not leak them.
+		if cfg.transport != nil {
+			_ = cfg.transport.Close()
+		}
+		if cfg.rmiTransport != nil {
+			_ = cfg.rmiTransport.Close()
+		}
+		return nil, fmt.Errorf("govents: open %q: %w", name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	if cfg.transport == nil {
+		// Distribution-only options must not be dropped silently: a
+		// forgotten WithTransport would otherwise discard, e.g., the
+		// certified stable storage without any error.
+		if bad := cfg.distributedOnly(); len(bad) > 0 {
+			return fail(fmt.Errorf("%s require(s) WithTransport", strings.Join(bad, ", ")))
+		}
+	}
+	reg := cfg.registry
+	if reg == nil {
+		reg = obvent.NewRegistry()
+	}
+	d := &Domain{name: name, reg: reg}
+
+	engOpts := []core.Option{core.WithRegistry(reg)}
+	if cfg.lanes != 0 {
+		engOpts = append(engOpts, core.WithDispatchLanes(cfg.lanes))
+	}
+	if cfg.naive {
+		engOpts = append(engOpts, core.WithNaiveDispatch())
+	}
+
+	if cfg.transport != nil {
+		d.tr = cfg.transport
+		d.node = dace.NewNode(cfg.transport, reg, cfg.daceConfig())
+		d.eng = core.NewEngine(cfg.transport.Addr(), d.node, engOpts...)
+		if len(cfg.peers) > 0 {
+			d.node.SetPeers(cfg.peers)
+		}
+	} else {
+		d.eng = core.NewEngine(name, core.NewLocal(), engOpts...)
+	}
+	if cfg.rmiTransport != nil {
+		d.rmiTr = cfg.rmiTransport
+		d.rmiRT = rmi.New(cfg.rmiTransport, rmi.Options{})
+	}
+	return d, nil
+}
+
+// Name returns the domain member's name.
+func (d *Domain) Name() string { return d.name }
+
+// Addr returns the domain member's wire address: the transport address
+// for distributed domains, the name for local ones.
+func (d *Domain) Addr() string {
+	if d.tr != nil {
+		return d.tr.Addr()
+	}
+	return d.name
+}
+
+// Registry returns the domain's obvent type registry.
+func (d *Domain) Registry() *obvent.Registry { return d.reg }
+
+// Register records the concrete types of the samples as obvent classes
+// ahead of use. Publishing and subscribing register types lazily, so
+// Register is only needed for classes this process never publishes or
+// subscribes directly — typically subtypes published by other nodes
+// that must still decode here (type knowledge is per-process).
+func (d *Domain) Register(samples ...Obvent) error {
+	for _, s := range samples {
+		if _, err := d.reg.Register(s); err != nil {
+			return fmt.Errorf("govents: register: %w", err)
+		}
+	}
+	return nil
+}
+
+// Publish disseminates an obvent to every subscriber with a matching
+// subscription — the paper's publish primitive (§3.2), the distributed
+// analog of object creation: each subscriber receives a distinct clone.
+// Dissemination is asynchronous; a nil error means the obvent was
+// accepted by the substrate, not that it was delivered. ctx is
+// consulted for cancellation before the obvent is handed down.
+func (d *Domain) Publish(ctx context.Context, o Obvent) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCannotPublish, err)
+	}
+	return d.eng.Publish(o)
+}
+
+// SetPeers installs the domain membership (all node transport
+// addresses, including this one) and re-advertises local subscriptions
+// to it. It fails on a local domain.
+func (d *Domain) SetPeers(peers ...string) error {
+	if d.node == nil {
+		return fmt.Errorf("govents: domain %q is local: no peers", d.name)
+	}
+	d.node.SetPeers(peers)
+	return nil
+}
+
+// RemoteSubscriptionCount reports how many remote subscriptions this
+// member currently knows — the signal that subscription advertisements
+// have propagated. Always zero on a local domain.
+func (d *Domain) RemoteSubscriptionCount() int {
+	if d.node == nil {
+		return 0
+	}
+	return d.node.RemoteSubscriptionCount()
+}
+
+// Stats returns the domain's cumulative delivery counters.
+func (d *Domain) Stats() DispatchStats { return d.eng.Stats() }
+
+// LaneStats returns per-lane dispatcher counters: the serial
+// (ordered/prioritary) lane first, then each parallel lane.
+func (d *Domain) LaneStats() []LaneStat { return d.eng.LaneStats() }
+
+// DispatchLanes returns the number of parallel dispatch lanes.
+func (d *Domain) DispatchLanes() int { return d.eng.DispatchLanes() }
+
+// RoutingStats returns the routing-plane counters of a distributed
+// domain, folded over all classes. Zero on a local domain.
+func (d *Domain) RoutingStats() RoutingStats {
+	if d.node == nil {
+		return RoutingStats{}
+	}
+	return d.node.RoutingStats()
+}
+
+// RoutingStatsByClass breaks the routing counters out per obvent class.
+// Nil on a local domain.
+func (d *Domain) RoutingStatsByClass() map[string]RoutingStats {
+	if d.node == nil {
+		return nil
+	}
+	return d.node.RoutingStatsByClass()
+}
+
+// TupleSpace returns the domain's tuple space (paper §6.3), created
+// lazily on first use and closed with the domain. The space is
+// in-process: the paper's Linda baseline, reachable from the same
+// facade so applications can mix coordination styles.
+func (d *Domain) TupleSpace() *tuplespace.Space {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ts == nil {
+		d.ts = tuplespace.New()
+	}
+	return d.ts
+}
+
+// Topics returns the domain's topic-based bus (paper §2.3.2), created
+// lazily on first use. Like the tuple space, it is the in-process
+// baseline abstraction sharing the facade.
+func (d *Domain) Topics() *topics.Bus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.topics == nil {
+		d.topics = topics.New()
+	}
+	return d.topics
+}
+
+// RMI returns the domain's remote-method-invocation runtime, or nil if
+// the domain was opened without WithRMI.
+func (d *Domain) RMI() *rmi.Runtime { return d.rmiRT }
+
+// Close shuts the domain down: it deactivates all subscriptions,
+// drains in-flight deliveries, closes the dissemination substrate, the
+// owned transports, the RMI runtime and the tuple space. Close is
+// idempotent; if ctx expires first, Close returns ctx.Err() while
+// shutdown continues in the background, and a later Close call waits
+// for that same shutdown to finish.
+func (d *Domain) Close(ctx context.Context) error {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		d.closeDone = make(chan struct{})
+		ts := d.ts
+		go func() {
+			err := d.eng.Close() // drains handlers, closes the disseminator
+			if ts != nil {
+				ts.Close()
+			}
+			if d.rmiRT != nil {
+				if cerr := d.rmiRT.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if d.tr != nil {
+				if cerr := d.tr.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if d.rmiTr != nil {
+				if cerr := d.rmiTr.Close(); err == nil {
+					err = cerr
+				}
+			}
+			d.closeErr = err
+			close(d.closeDone)
+		}()
+	}
+	done := d.closeDone
+	d.mu.Unlock()
+
+	select {
+	case <-done:
+		return d.closeErr
+	case <-ctx.Done():
+		return fmt.Errorf("govents: close %q: %w", d.name, ctx.Err())
+	}
+}

@@ -1,0 +1,32 @@
+package govents
+
+import (
+	"govents/internal/codec"
+	"govents/internal/core"
+	"govents/internal/filter"
+)
+
+// Sentinel errors of the public API. Every error returned by a Domain
+// or Subscription wraps the relevant sentinel with %w, so callers
+// discriminate with errors.Is instead of parsing messages. The
+// sentinels are shared with the internal layers: an error produced
+// deep in the engine matches the same sentinel up here.
+var (
+	// ErrClosed reports an operation on a closed Domain (or one whose
+	// engine shut down underneath it).
+	ErrClosed = core.ErrEngineClosed
+	// ErrUnregistered reports an obvent class unknown to the domain's
+	// type registry (e.g. decoding an envelope of a never-registered
+	// class).
+	ErrUnregistered = codec.ErrUnregistered
+	// ErrBadFilter reports a structurally invalid filter expression.
+	ErrBadFilter = filter.ErrInvalid
+
+	// The notification errors mirror the paper's exception hierarchy
+	// (Figure 3): every publish failure wraps ErrCannotPublish, every
+	// subscribe failure ErrCannotSubscribe, every deactivation failure
+	// ErrCannotUnsubscribe.
+	ErrCannotPublish     = core.ErrCannotPublish
+	ErrCannotSubscribe   = core.ErrCannotSubscribe
+	ErrCannotUnsubscribe = core.ErrCannotUnsubscribe
+)

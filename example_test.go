@@ -1,0 +1,80 @@
+package govents_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"govents"
+	"govents/filter"
+	"govents/obvent"
+)
+
+// Quote is an application-defined obvent (paper Figure 2): a plain
+// struct made publishable by embedding obvent.Base.
+type Quote struct {
+	obvent.Base
+	Company string
+	Price   float64
+}
+
+// GetCompany is an accessor usable in migratable filters.
+func (q Quote) GetCompany() string { return q.Company }
+
+// GetPrice is an accessor usable in migratable filters.
+func (q Quote) GetPrice() float64 { return q.Price }
+
+// Example_quickstart is the paper's running example (§2.3.3) on the
+// public API: open a domain, subscribe to a type with a migratable
+// filter, publish, receive the one matching clone.
+func Example_quickstart() {
+	ctx := context.Background()
+
+	// A local domain; add govents.WithTransport(...) to go
+	// distributed without changing the rest of the program.
+	d, err := govents.Open(ctx, "quickstart")
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close(ctx)
+
+	// subscribe (Quote q)
+	//   { return q.getPrice() < 100 && q.getCompany().contains("Telco") }
+	//   { print("Got offer: ", q.getPrice()) }
+	// The subscription is active on return; types register lazily.
+	done := make(chan struct{})
+	sub, err := govents.Subscribe(d,
+		filter.And(
+			filter.Path("GetPrice").Lt(filter.Float(100)),
+			filter.Path("GetCompany").Contains(filter.Str("Telco")),
+		),
+		func(q Quote) {
+			fmt.Printf("Got offer: %.2f from %s\n", q.Price, q.Company)
+			close(done)
+		})
+	if err != nil {
+		panic(err)
+	}
+
+	// publish q;
+	for _, q := range []Quote{
+		{Company: "Acme Corp", Price: 50},      // wrong company
+		{Company: "Telco Mobiles", Price: 150}, // too expensive
+		{Company: "Telco Mobiles", Price: 80},  // the paper's quote
+	} {
+		if err := d.Publish(ctx, q); err != nil {
+			panic(err)
+		}
+	}
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		panic("no delivery")
+	}
+	if err := sub.Deactivate(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// Got offer: 80.00 from Telco Mobiles
+}

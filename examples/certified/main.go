@@ -1,24 +1,24 @@
 // Certified delivery across a subscriber crash (paper §3.1.2 Certified
-// semantics + §3.4.1 durable activation): a trade-settlement feed whose
-// subscriber crashes mid-stream, restarts, re-activates its
-// subscription under the same durable identity, and receives every
-// trade it missed — exactly once, thanks to a file-backed dedup set and
-// a file-backed publisher outbox (real stable storage on disk).
+// semantics + §3.4.1 durable activation) on the public govents API: a
+// trade-settlement feed whose subscriber crashes mid-stream, restarts,
+// re-activates its subscription under the same durable identity, and
+// receives every trade it missed — exactly once, thanks to a
+// file-backed dedup set and a file-backed publisher outbox
+// (govents.WithCertifiedStores, real stable storage on disk).
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
-	"govents/internal/core"
-	"govents/internal/dace"
-	"govents/internal/multicast"
-	"govents/internal/netsim"
-	"govents/internal/obvent"
-	"govents/internal/store"
+	"govents"
+	"govents/netsim"
+	"govents/obvent"
+	"govents/store"
 )
 
 // Settlement is a certified obvent: its type demands that disconnected
@@ -31,6 +31,7 @@ type Settlement struct {
 }
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "govents-certified")
 	must(err)
 	defer os.RemoveAll(dir)
@@ -43,34 +44,32 @@ func main() {
 	must(err)
 	pubEp, err := net.NewEndpoint("settler")
 	must(err)
-	pubReg := obvent.NewRegistry()
-	pubReg.MustRegister(Settlement{})
-	pubNode := dace.NewNode(pubEp, pubReg, dace.Config{
-		CertLog:   outbox,
-		Multicast: multicast.Options{RetransmitInterval: 5 * time.Millisecond},
-	})
-	pub := core.NewEngine("settler", pubNode, core.WithRegistry(pubReg))
-	defer pub.Close()
+	pub, err := govents.Open(ctx, "settler",
+		govents.WithTransport(pubEp),
+		govents.WithCertifiedStores(outbox, nil),
+		govents.WithTuning(govents.Tuning{RetransmitInterval: 5 * time.Millisecond}),
+	)
+	must(err)
+	defer pub.Close(ctx)
 
 	// Subscriber with a file-backed dedup set (its stable storage).
 	dedupPath := filepath.Join(dir, "delivered.set")
 	var mu sync.Mutex
 	var received []int
 
-	startSubscriber := func(addr string) (*core.Engine, *dace.Node) {
+	startSubscriber := func(addr string) *govents.Domain {
 		dedup, err := store.OpenFileSet(dedupPath)
 		must(err)
 		ep, err := net.NewEndpoint(addr)
 		must(err)
-		reg := obvent.NewRegistry()
-		reg.MustRegister(Settlement{})
-		node := dace.NewNode(ep, reg, dace.Config{
-			CertDedup: dedup,
-			DurableID: "settlement-desk", // paper: activate(id)
-			Multicast: multicast.Options{RetransmitInterval: 5 * time.Millisecond},
-		})
-		eng := core.NewEngine(addr, node, core.WithRegistry(reg))
-		sub, err := core.Subscribe(eng, nil, func(s Settlement) {
+		d, err := govents.Open(ctx, addr,
+			govents.WithTransport(ep),
+			govents.WithCertifiedStores(nil, dedup),
+			govents.WithDurableID("settlement-desk"), // paper: activate(id)
+			govents.WithTuning(govents.Tuning{RetransmitInterval: 5 * time.Millisecond}),
+		)
+		must(err)
+		sub, err := govents.SubscribeInactive(d, nil, func(s Settlement) {
 			mu.Lock()
 			received = append(received, s.TradeID)
 			mu.Unlock()
@@ -78,35 +77,36 @@ func main() {
 		})
 		must(err)
 		must(sub.ActivateDurable("settlement-desk"))
-		return eng, node
+		return d
 	}
 
-	subEng, subNode := startSubscriber("desk-1")
-	pubNode.SetPeers([]string{"settler", "desk-1"})
-	subNode.SetPeers([]string{"settler", "desk-1"})
-	waitUntil(func() bool { return pubNode.RemoteSubscriptionCount() >= 1 })
+	desk := startSubscriber("desk-1")
+	must(pub.SetPeers("settler", "desk-1"))
+	must(desk.SetPeers("settler", "desk-1"))
+	waitUntil(func() bool { return pub.RemoteSubscriptionCount() >= 1 })
 
 	// Trades 1-2 arrive normally.
 	for i := 1; i <= 2; i++ {
-		must(core.Publish(pub, Settlement{TradeID: i, Amount: float64(100 * i)}))
+		must(pub.Publish(ctx, Settlement{TradeID: i, Amount: float64(100 * i)}))
 	}
 	waitUntil(func() bool { mu.Lock(); defer mu.Unlock(); return len(received) == 2 })
 
 	// The desk crashes. Trades 3-4 are published while it is down.
 	fmt.Println("[desk] CRASH")
 	net.Crash("desk-1")
-	_ = subEng.Close()
+	_ = desk.Close(ctx)
 	for i := 3; i <= 4; i++ {
-		must(core.Publish(pub, Settlement{TradeID: i, Amount: float64(100 * i)}))
+		must(pub.Publish(ctx, Settlement{TradeID: i, Amount: float64(100 * i)}))
 	}
 	time.Sleep(50 * time.Millisecond)
 
 	// The desk restarts at a NEW address with the same durable
 	// identity and the same on-disk dedup set.
 	fmt.Println("[desk] RESTART at desk-2")
-	_, subNode2 := startSubscriber("desk-2")
-	pubNode.SetPeers([]string{"settler", "desk-2"})
-	subNode2.SetPeers([]string{"settler", "desk-2"})
+	desk2 := startSubscriber("desk-2")
+	defer desk2.Close(ctx)
+	must(pub.SetPeers("settler", "desk-2"))
+	must(desk2.SetPeers("settler", "desk-2"))
 
 	waitUntil(func() bool { mu.Lock(); defer mu.Unlock(); return len(received) == 4 })
 	time.Sleep(50 * time.Millisecond) // redeliveries would land by now

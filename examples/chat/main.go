@@ -1,20 +1,19 @@
 // Chat: causally ordered obvents across a simulated network (paper
-// §3.1.2, CausalOrder semantics). A reply can never be delivered
-// before the message it answers, even to third parties on slow links —
-// the QoS is composed onto the obvent type itself by embedding
-// obvent.CausalOrderBase (LP4, multiple subtyping).
+// §3.1.2, CausalOrder semantics) on the public govents API. A reply can
+// never be delivered before the message it answers, even to third
+// parties on slow links — the QoS is composed onto the obvent type
+// itself by embedding obvent.CausalOrderBase (LP4, multiple subtyping).
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
-	"govents/internal/core"
-	"govents/internal/dace"
-	"govents/internal/multicast"
-	"govents/internal/netsim"
-	"govents/internal/obvent"
+	"govents"
+	"govents/netsim"
+	"govents/obvent"
 )
 
 // ChatMessage is a causally ordered obvent: its type declares the
@@ -27,45 +26,45 @@ type ChatMessage struct {
 }
 
 func main() {
+	ctx := context.Background()
 	net := netsim.New(netsim.Config{MaxLatency: 3 * time.Millisecond, Seed: 2})
 	defer net.Close()
 
 	names := []string{"alice", "bob", "carol"}
-	engines := make(map[string]*core.Engine)
-	nodes := make(map[string]*dace.Node)
+	domains := make(map[string]*govents.Domain)
 	for _, name := range names {
 		ep, err := net.NewEndpoint(name)
 		if err != nil {
 			panic(err)
 		}
-		reg := obvent.NewRegistry()
-		reg.MustRegister(ChatMessage{})
-		node := dace.NewNode(ep, reg, dace.Config{
-			Multicast: multicast.Options{RetransmitInterval: 5 * time.Millisecond},
-		})
-		engines[name] = core.NewEngine(name, node, core.WithRegistry(reg))
-		nodes[name] = node
-		defer engines[name].Close()
-	}
-	for _, node := range nodes {
-		node.SetPeers(names)
+		d, err := govents.Open(ctx, name,
+			govents.WithTransport(ep),
+			govents.WithPeers(names...),
+			govents.WithTuning(govents.Tuning{RetransmitInterval: 5 * time.Millisecond}),
+		)
+		if err != nil {
+			panic(err)
+		}
+		domains[name] = d
+		defer d.Close(ctx)
 	}
 
 	// Everyone subscribes; bob answers alice's question from inside
-	// his handler (a causal dependency).
+	// his handler (a causal dependency). Subscriptions are active on
+	// return — no separate Activate step.
 	var mu sync.Mutex
 	timelines := make(map[string][]string)
 	var wg sync.WaitGroup
 	wg.Add(6) // 2 messages x 3 participants
 	for _, name := range names {
 		name := name
-		sub, err := core.Subscribe(engines[name], nil, func(m ChatMessage) {
+		_, err := govents.Subscribe(domains[name], nil, func(m ChatMessage) {
 			mu.Lock()
 			timelines[name] = append(timelines[name], fmt.Sprintf("%s: %s", m.From, m.Text))
 			mu.Unlock()
 			fmt.Printf("[%s] %s: %s\n", name, m.From, m.Text)
 			if name == "bob" && m.From == "alice" {
-				if err := core.Publish(engines["bob"], ChatMessage{From: "bob", Text: "the spot price is 80"}); err != nil {
+				if err := domains["bob"].Publish(ctx, ChatMessage{From: "bob", Text: "the spot price is 80"}); err != nil {
 					panic(err)
 				}
 			}
@@ -74,20 +73,17 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		if err := sub.Activate(); err != nil {
-			panic(err)
-		}
 	}
 	waitUntil(func() bool {
-		for _, n := range nodes {
-			if n.RemoteSubscriptionCount() < 2 {
+		for _, d := range domains {
+			if d.RemoteSubscriptionCount() < 2 {
 				return false
 			}
 		}
 		return true
 	})
 
-	if err := core.Publish(engines["alice"], ChatMessage{From: "alice", Text: "what is the spot price?"}); err != nil {
+	if err := domains["alice"].Publish(ctx, ChatMessage{From: "alice", Text: "what is the spot price?"}); err != nil {
 		panic(err)
 	}
 	wg.Wait()

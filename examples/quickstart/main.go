@@ -1,15 +1,24 @@
-// Quickstart: the paper's two primitives in their simplest form — a
-// single-process engine, one typed subscription with a migratable
-// filter, one publication (paper §2.3.3).
+// Quickstart: the paper's two primitives (§2.3.3) in their simplest
+// form on the public govents API — a local Domain, one typed
+// subscription with a migratable filter, one publication.
+//
+//	paper construct                        govents call
+//	------------------------------------   ----------------------------------
+//	subscribe (StockQuote q)               govents.SubscribeInactive(d, f, h)
+//	  {filter} {handler}                     (Subscribe activates immediately)
+//	s.activate();                          sub.Activate()
+//	publish q;                             d.Publish(ctx, q)
+//	s.deactivate();                        sub.Deactivate()
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"govents/internal/core"
-	"govents/internal/filter"
-	"govents/internal/obvent"
+	"govents"
+	"govents/filter"
+	"govents/obvent"
 )
 
 // StockQuote is an application-defined obvent (paper Figure 2): a plain
@@ -30,16 +39,25 @@ func (q StockQuote) GetCompany() string { return q.Company }
 func (q StockQuote) GetPrice() float64 { return q.Price }
 
 func main() {
-	// An engine over the in-process loopback substrate.
-	engine := core.NewEngine("quickstart", core.NewLocal())
-	defer engine.Close()
-	engine.Registry().MustRegister(StockQuote{})
+	ctx := context.Background()
+
+	// A local domain: the engine over the in-process loopback. Add
+	// govents.WithTransport to join a distributed domain instead —
+	// the rest of the program would not change.
+	d, err := govents.Open(ctx, "quickstart")
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close(ctx)
 
 	// subscribe (StockQuote q)
 	//   { return q.getPrice() < 100 && q.getCompany().contains("Telco") }
 	//   { print("Got offer: ", q.getPrice()) }
+	//
+	// The two-phase form; plain Subscribe would skip the explicit
+	// Activate. The StockQuote class is registered lazily.
 	done := make(chan struct{})
-	sub, err := core.Subscribe(engine,
+	sub, err := govents.SubscribeInactive(d,
 		filter.And(
 			filter.Path("GetPrice").Lt(filter.Float(100)),
 			filter.Path("GetCompany").Contains(filter.Str("Telco")),
@@ -62,7 +80,7 @@ func main() {
 		{Company: "Telco Mobiles", Price: 80, Amount: 10},  // the paper's quote
 	}
 	for _, q := range quotes {
-		if err := core.Publish(engine, q); err != nil {
+		if err := d.Publish(ctx, q); err != nil {
 			panic(err)
 		}
 	}

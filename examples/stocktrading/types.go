@@ -10,8 +10,8 @@ package main
 import (
 	"strings"
 
-	"govents/internal/obvent"
-	"govents/internal/rmi"
+	"govents/obvent"
+	"govents/rmi"
 )
 
 // StockObvent is the hierarchy root (paper Figure 1).

@@ -1,16 +1,17 @@
-// Telemetry: the transmission semantics of paper §3.1.2 — Timely
-// obvents that expire in transit, and Prioritary obvents that overtake
-// lower-priority backlog. Both semantics are composed onto the types
-// by embedding (LP4).
+// Telemetry: the transmission semantics of paper §3.1.2 on the public
+// govents API — Timely obvents that expire in transit, and Prioritary
+// obvents that overtake lower-priority backlog. Both semantics are
+// composed onto the types by embedding (LP4).
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
-	"govents/internal/core"
-	"govents/internal/obvent"
+	"govents"
+	"govents/obvent"
 )
 
 // SensorReading is a timely obvent: stale readings are worthless and
@@ -30,27 +31,26 @@ type Alarm struct {
 }
 
 func main() {
-	engine := core.NewEngine("telemetry", core.NewLocal())
-	defer engine.Close()
-	engine.Registry().MustRegister(SensorReading{})
-	engine.Registry().MustRegister(Alarm{})
+	ctx := context.Background()
+	d, err := govents.Open(ctx, "telemetry")
+	must(err)
+	defer d.Close(ctx)
 
 	// --- Timely: an expired reading is dropped at dispatch ---
 	var mu sync.Mutex
 	var readings []SensorReading
-	subR, err := core.Subscribe(engine, nil, func(r SensorReading) {
+	_, err = govents.Subscribe(d, nil, func(r SensorReading) {
 		mu.Lock()
 		defer mu.Unlock()
 		readings = append(readings, r)
 	})
 	must(err)
-	must(subR.Activate())
 
-	must(core.Publish(engine, SensorReading{
+	must(d.Publish(ctx, SensorReading{
 		TimelyBase: obvent.TimelyBase{TTL: time.Millisecond, BirthTime: time.Now().Add(-time.Second)},
 		Sensor:     "stale", Value: 1,
 	}))
-	must(core.Publish(engine, SensorReading{
+	must(d.Publish(ctx, SensorReading{
 		TimelyBase: obvent.TimelyBase{TTL: time.Minute},
 		Sensor:     "fresh", Value: 2,
 	}))
@@ -62,13 +62,16 @@ func main() {
 	mu.Lock()
 	fmt.Printf("timely: delivered %q, dropped the expired reading\n", readings[0].Sensor)
 	mu.Unlock()
+	if st := d.Stats(); st.Expired != 1 {
+		panic(fmt.Sprintf("expected 1 expired envelope in stats, got %d", st.Expired))
+	}
 
 	// --- Prioritary: alarms overtake backlog ---
 	var order []string
 	block := make(chan struct{})
 	first := make(chan struct{}, 1)
 	var omu sync.Mutex
-	subA, err := core.Subscribe(engine, nil, func(a Alarm) {
+	subA, err := govents.SubscribeInactive(d, nil, func(a Alarm) {
 		select {
 		case first <- struct{}{}:
 			<-block // hold the dispatcher so backlog accumulates
@@ -82,10 +85,10 @@ func main() {
 	subA.SetSingleThreading()
 	must(subA.Activate())
 
-	must(core.Publish(engine, Alarm{Msg: "blocker", PriorityBase: obvent.PriorityBase{Prio: 0}}))
+	must(d.Publish(ctx, Alarm{Msg: "blocker", PriorityBase: obvent.PriorityBase{Prio: 0}}))
 	waitUntil(func() bool { return len(first) == 1 })
-	must(core.Publish(engine, Alarm{Msg: "minor glitch", PriorityBase: obvent.PriorityBase{Prio: 1}}))
-	must(core.Publish(engine, Alarm{Msg: "FIRE", PriorityBase: obvent.PriorityBase{Prio: 9}}))
+	must(d.Publish(ctx, Alarm{Msg: "minor glitch", PriorityBase: obvent.PriorityBase{Prio: 1}}))
+	must(d.Publish(ctx, Alarm{Msg: "FIRE", PriorityBase: obvent.PriorityBase{Prio: 9}}))
 	time.Sleep(20 * time.Millisecond)
 	close(block)
 	waitUntil(func() bool {

@@ -17,6 +17,7 @@ import (
 	"crypto/rand"
 	"encoding/gob"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -25,6 +26,12 @@ import (
 	"govents/internal/obvent"
 	"govents/internal/vclock"
 )
+
+// ErrUnregistered is the sentinel wrapped whenever an envelope names an
+// obvent class the local registry does not know: the process cannot
+// reconstruct instances of a type it never registered. Detect it with
+// errors.Is at any layer.
+var ErrUnregistered = errors.New("codec: unregistered obvent class")
 
 // Envelope is the wire representation of a published obvent.
 type Envelope struct {
@@ -165,7 +172,7 @@ type CloneSource struct {
 func (c *Codec) Source(e *Envelope) (*CloneSource, error) {
 	t, ok := c.reg.TypeByName(e.Type)
 	if !ok {
-		return nil, fmt.Errorf("codec: decode: unknown obvent class %q", e.Type)
+		return nil, fmt.Errorf("%w: %q", ErrUnregistered, e.Type)
 	}
 	return &CloneSource{typ: t, name: e.Type, payload: e.Payload, flat: c.flatType(t)}, nil
 }

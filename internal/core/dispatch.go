@@ -51,6 +51,9 @@ type DispatchStats struct {
 	Delivered uint64
 	// DecodeErrors counts envelopes or clones that failed to decode.
 	DecodeErrors uint64
+	// HandlerPanics counts application handler panics recovered by the
+	// delivery pipeline (engine-wide; per-event, not per-lane).
+	HandlerPanics uint64
 }
 
 // dispatchCounters is the engine-internal atomic form of DispatchStats.
@@ -83,7 +86,11 @@ func (s *DispatchStats) add(o DispatchStats) {
 
 // Stats returns a snapshot of the engine's delivery counters, folded
 // across all dispatch lanes.
-func (e *Engine) Stats() DispatchStats { return e.lanes.stats() }
+func (e *Engine) Stats() DispatchStats {
+	st := e.lanes.stats()
+	st.HandlerPanics = e.handlerPanics.Load()
+	return st
+}
 
 // LaneStats returns a per-lane snapshot of the dispatcher: the serial
 // (ordered/prioritary) lane first, then each parallel lane.

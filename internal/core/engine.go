@@ -81,6 +81,10 @@ type Engine struct {
 	// republished on every activation change, loaded lock-free per
 	// envelope.
 	table atomic.Pointer[dispatchTable]
+	// handlerPanics counts application handler panics recovered by the
+	// delivery pipeline: a panicking handler must not take down the
+	// process or starve other subscriptions of the same event.
+	handlerPanics atomic.Uint64
 	// naiveDispatch routes envelopes through the unindexed
 	// per-subscription path (WithNaiveDispatch).
 	naiveDispatch bool
@@ -198,11 +202,11 @@ func (e *Engine) Publish(o obvent.Obvent) error {
 	}
 	env, err := e.codec.Encode(o)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrCannotPublish, err)
+		return fmt.Errorf("%w: %w", ErrCannotPublish, err)
 	}
 	env.Publisher = e.id
 	if err := e.diss.PublishEnvelope(env); err != nil {
-		return fmt.Errorf("%w: %v", ErrCannotPublish, err)
+		return fmt.Errorf("%w: %w", ErrCannotPublish, err)
 	}
 	return nil
 }
@@ -265,13 +269,13 @@ func (e *Engine) SubscribeDynamic(t reflect.Type, remote *filter.Expr, local fun
 	}
 	if remote != nil {
 		if err := remote.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCannotSubscribe, err)
+			return nil, fmt.Errorf("%w: %w", ErrCannotSubscribe, err)
 		}
 	}
 	typeName := obvent.TypeName(t)
 	if t.Kind() == reflect.Interface {
 		if _, err := e.reg.RegisterInterface(t); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCannotSubscribe, err)
+			return nil, fmt.Errorf("%w: %w", ErrCannotSubscribe, err)
 		}
 	}
 	s := &Subscription{

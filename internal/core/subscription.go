@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"reflect"
+	"runtime/debug"
 	"sync"
 
 	"govents/internal/filter"
@@ -35,12 +37,15 @@ func (s *Subscription) ID() string { return s.id }
 // TypeName returns the wire name of the subscribed type.
 func (s *Subscription) TypeName() string { return s.typeName }
 
-// active reports whether the subscription currently receives obvents.
-func (s *Subscription) active() bool {
+// Active reports whether the subscription currently receives obvents.
+func (s *Subscription) Active() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.activated
 }
+
+// active is the internal spelling used by the engine snapshot paths.
+func (s *Subscription) active() bool { return s.Active() }
 
 // info snapshots the substrate-visible description.
 func (s *Subscription) info() SubscriptionInfo {
@@ -107,7 +112,7 @@ func (s *Subscription) activate(durableID string) error {
 		s.mu.Lock()
 		s.activated = false
 		s.mu.Unlock()
-		return fmt.Errorf("%w: %v", ErrCannotSubscribe, err)
+		return fmt.Errorf("%w: %w", ErrCannotSubscribe, err)
 	}
 	return nil
 }
@@ -126,7 +131,7 @@ func (s *Subscription) Deactivate() error {
 	s.mu.Unlock()
 
 	if err := s.engine.subscriptionChanged(); err != nil {
-		return fmt.Errorf("%w: %v", ErrCannotUnsubscribe, err)
+		return fmt.Errorf("%w: %w", ErrCannotUnsubscribe, err)
 	}
 	return nil
 }
@@ -144,8 +149,20 @@ func (s *Subscription) SetMultiThreading(maxNb int) {
 	s.executor.setLimit(maxNb)
 }
 
-// invoke runs the application handler for one obvent.
+// invoke runs the application handler for one obvent. A panicking
+// handler is contained here — on the executor goroutine it would
+// otherwise kill the whole process — counted in the engine's
+// HandlerPanics stat, and logged with its stack so the crash stays
+// diagnosable (the net/http handler convention); other subscriptions'
+// deliveries of the same event are unaffected.
 func (s *Subscription) invoke(o obvent.Obvent) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.engine.handlerPanics.Add(1)
+			log.Printf("core: recovered panic in handler of subscription %s (type %s): %v\n%s",
+				s.id, s.typeName, r, debug.Stack())
+		}
+	}()
 	s.handler(o)
 }
 

@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"govents/internal/codec"
 	"govents/internal/core"
@@ -95,6 +96,16 @@ type Config struct {
 	// DurableID is this node's default durable identity for certified
 	// subscriptions activated without one.
 	DurableID string
+	// AdTTL enables ad-stream GC: the node re-advertises its
+	// subscription state as a liveness heartbeat (several times per
+	// TTL) and drops any peer's routing entries once that peer has
+	// been silent for AdTTL, even without a membership change — a dead
+	// node must stop being owed events, certified deliveries and
+	// routing-table memory. Zero disables both heartbeats and expiry.
+	// Set it uniformly across the domain: a node with AdTTL unset
+	// sends no heartbeats and would be wrongly expired by peers that
+	// have it set.
+	AdTTL time.Duration
 }
 
 // Node is a DACE process: it owns the dissemination channels of one
@@ -125,6 +136,11 @@ type Node struct {
 	peerVer      map[string]int                   // newest ad schema version witnessed per node
 
 	control *multicast.Reliable
+
+	// hbStop ends the ad-TTL heartbeat goroutine (nil when AdTTL is
+	// unset); hbWG waits it out on Close.
+	hbStop chan struct{}
+	hbWG   sync.WaitGroup
 
 	// destBuf pools destination scratch so routing a publication does
 	// not allocate per event.
@@ -208,7 +224,36 @@ func NewNode(tr netsim.Transport, reg *obvent.Registry, cfg Config) *Node {
 	reg.MustRegister(subscriptionAd{})
 	n.control = multicast.NewReliable(mux, "dace/ctrl", n.onControl, cfg.Multicast)
 	mux.SetFallback(n.onUnknownStream)
+	if cfg.AdTTL > 0 {
+		n.routes.SetAdTTL(cfg.AdTTL)
+		n.hbStop = make(chan struct{})
+		n.hbWG.Add(1)
+		go n.heartbeatLoop(cfg.AdTTL)
+	}
 	return n
+}
+
+// heartbeatLoop re-advertises this node's subscription state several
+// times per TTL (so peers never expire a live node) and expires peers
+// silent past the TTL. Heartbeat ads that change nothing are applied by
+// receivers as liveness refreshes without invalidating compiled plans.
+func (n *Node) heartbeatLoop(ttl time.Duration) {
+	defer n.hbWG.Done()
+	period := ttl / 3
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.hbStop:
+			return
+		case <-tick.C:
+			n.advertise(false)
+			n.routes.ExpireSilent(n.self)
+		}
+	}
 }
 
 // Addr returns the node's transport address.
@@ -265,11 +310,15 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	if n.hbStop != nil {
+		close(n.hbStop)
+	}
 	groups := make([]multicast.Group, 0, len(n.groups))
 	for _, g := range n.groups {
 		groups = append(groups, g)
 	}
 	n.mu.Unlock()
+	n.hbWG.Wait()
 	for _, g := range groups {
 		_ = g.Close()
 	}

@@ -1,0 +1,74 @@
+package dace
+
+import (
+	"testing"
+	"time"
+
+	"govents/internal/core"
+	"govents/internal/netsim"
+	"govents/internal/obvent"
+)
+
+// TestAdTTLExpiresDeadNodeWithoutMembershipChange pins the ad-stream GC
+// end to end: with AdTTL set, a node that dies (closes) without any
+// SetPeers update stops pinning routing-table entries at its peers once
+// it has been silent past the TTL — while live nodes, kept fresh by
+// heartbeats, are never expired.
+func TestAdTTLExpiresDeadNodeWithoutMembershipChange(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+
+	const ttl = 80 * time.Millisecond
+	cfg := fastCfg()
+	cfg.AdTTL = ttl
+
+	mk := func(addr string) *testNode {
+		ep, err := net.NewEndpoint(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obvent.NewRegistry()
+		registerAll(reg)
+		dn := NewNode(ep, reg, cfg)
+		eng := core.NewEngine(addr, dn, core.WithRegistry(reg))
+		return &testNode{node: dn, engine: eng}
+	}
+	pub, subA, subB := mk("pub"), mk("sub-a"), mk("sub-b")
+	peers := []string{"pub", "sub-a", "sub-b"}
+	for _, n := range []*testNode{pub, subA, subB} {
+		n.node.SetPeers(peers)
+	}
+	defer pub.engine.Close()
+	defer subB.engine.Close()
+
+	for _, n := range []*testNode{subA, subB} {
+		sub, err := core.Subscribe(n.engine, nil, func(q StockQuote) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sub.Activate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitAds(t, pub.node, 2)
+
+	// sub-a crashes: no SetPeers update, no farewell ad — it just goes
+	// silent.
+	net.Crash("sub-a")
+	_ = subA.engine.Close()
+
+	// The publisher's routing table drops sub-a's entries after the
+	// TTL; sub-b keeps heartbeating and survives.
+	waitFor(t, 5*time.Second, "dead node expired from routing table", func() bool {
+		return pub.node.RoutingStats().NodesExpired >= 1
+	})
+	if got := pub.node.RemoteSubscriptionCount(); got != 1 {
+		t.Fatalf("remote subs after expiry = %d, want 1", got)
+	}
+
+	// Well past several TTLs, the live subscriber is still known.
+	time.Sleep(4 * ttl)
+	if got := pub.node.RemoteSubscriptionCount(); got != 1 {
+		t.Fatalf("live heartbeating subscriber expired: remote subs = %d, want 1", got)
+	}
+}

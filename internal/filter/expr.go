@@ -37,11 +37,18 @@
 package filter
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// ErrInvalid is the sentinel wrapped by every Validate failure: a
+// structurally malformed expression (bad arity, missing condition,
+// invalid constant or operator). Callers at any layer can detect it
+// with errors.Is without parsing messages.
+var ErrInvalid = errors.New("filter: invalid expression")
 
 // ExprKind discriminates Expr nodes.
 type ExprKind int
@@ -406,36 +413,36 @@ func (o Operand) String() string {
 // evaluation.
 func (e *Expr) Validate() error {
 	if e == nil {
-		return fmt.Errorf("filter: nil expression")
+		return fmt.Errorf("%w: nil expression", ErrInvalid)
 	}
 	switch e.Kind {
 	case KindConstTrue, KindConstFalse:
 		return nil
 	case KindLeaf:
 		if e.Cond == nil {
-			return fmt.Errorf("filter: leaf without condition")
+			return fmt.Errorf("%w: leaf without condition", ErrInvalid)
 		}
 		for _, o := range []Operand{e.Cond.LHS, e.Cond.RHS} {
 			if len(o.Path) == 0 {
 				switch o.Const.Kind {
 				case ConstInt, ConstFloat, ConstString, ConstBool:
 				default:
-					return fmt.Errorf("filter: invalid constant kind %d", o.Const.Kind)
+					return fmt.Errorf("%w: invalid constant kind %d", ErrInvalid, o.Const.Kind)
 				}
 			}
 			for _, seg := range o.Path {
 				if seg == "" {
-					return fmt.Errorf("filter: empty path segment")
+					return fmt.Errorf("%w: empty path segment", ErrInvalid)
 				}
 			}
 		}
 		if e.Cond.Op < OpEq || e.Cond.Op > OpHasSuffix {
-			return fmt.Errorf("filter: invalid operator %d", e.Cond.Op)
+			return fmt.Errorf("%w: invalid operator %d", ErrInvalid, e.Cond.Op)
 		}
 		return nil
 	case KindAnd, KindOr:
 		if len(e.Children) == 0 {
-			return fmt.Errorf("filter: %v with no children", e.Kind)
+			return fmt.Errorf("%w: %v with no children", ErrInvalid, e.Kind)
 		}
 		for _, c := range e.Children {
 			if err := c.Validate(); err != nil {
@@ -445,10 +452,10 @@ func (e *Expr) Validate() error {
 		return nil
 	case KindNot:
 		if len(e.Children) != 1 {
-			return fmt.Errorf("filter: not with %d children", len(e.Children))
+			return fmt.Errorf("%w: not with %d children", ErrInvalid, len(e.Children))
 		}
 		return e.Children[0].Validate()
 	default:
-		return fmt.Errorf("filter: invalid node kind %d", e.Kind)
+		return fmt.Errorf("%w: invalid node kind %d", ErrInvalid, e.Kind)
 	}
 }

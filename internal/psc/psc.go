@@ -488,8 +488,9 @@ func Generate(res *Result) ([]byte, error) {
 	fmt.Fprintf(&b, "// per obvent class, plus lifted filter expressions (§4.4.3).\n\n")
 	fmt.Fprintf(&b, "package %s\n\n", res.Package)
 	fmt.Fprintf(&b, "import (\n")
-	fmt.Fprintf(&b, "\t\"govents/internal/core\"\n")
-	fmt.Fprintf(&b, "\t\"govents/internal/filter\"\n")
+	fmt.Fprintf(&b, "\t\"context\"\n\n")
+	fmt.Fprintf(&b, "\t\"govents\"\n")
+	fmt.Fprintf(&b, "\t\"govents/filter\"\n")
 	fmt.Fprintf(&b, ")\n\n")
 
 	for _, c := range res.Classes {
@@ -499,19 +500,22 @@ func Generate(res *Result) ([]byte, error) {
 		}
 		fmt.Fprintf(&b, "// %sAdapter is the typed adapter for obvent class %s.\n", c.Name, c.Name)
 		fmt.Fprintf(&b, "// Composed QoS semantics: %s.\n", qos)
-		fmt.Fprintf(&b, "type %sAdapter struct {\n\tengine *core.Engine\n}\n\n", c.Name)
-		fmt.Fprintf(&b, "// New%sAdapter binds the adapter to an engine.\n", c.Name)
-		fmt.Fprintf(&b, "func New%sAdapter(e *core.Engine) %sAdapter {\n", c.Name, c.Name)
-		fmt.Fprintf(&b, "\te.Registry().MustRegister(%s{})\n", c.Name)
-		fmt.Fprintf(&b, "\treturn %sAdapter{engine: e}\n}\n\n", c.Name)
+		fmt.Fprintf(&b, "type %sAdapter struct {\n\tdomain *govents.Domain\n}\n\n", c.Name)
+		fmt.Fprintf(&b, "// New%sAdapter binds the adapter to a domain.\n", c.Name)
+		fmt.Fprintf(&b, "func New%sAdapter(d *govents.Domain) %sAdapter {\n", c.Name, c.Name)
+		fmt.Fprintf(&b, "\td.Registry().MustRegister(%s{})\n", c.Name)
+		fmt.Fprintf(&b, "\treturn %sAdapter{domain: d}\n}\n\n", c.Name)
 		fmt.Fprintf(&b, "// Publish publishes an instance of %s.\n", c.Name)
-		fmt.Fprintf(&b, "func (a %sAdapter) Publish(o %s) error {\n\treturn core.Publish(a.engine, o)\n}\n\n", c.Name, c.Name)
-		fmt.Fprintf(&b, "// Subscribe subscribes to %s (and its subtypes) with a migratable filter.\n", c.Name)
-		fmt.Fprintf(&b, "func (a %sAdapter) Subscribe(f *filter.Expr, handler func(%s)) (*core.Subscription, error) {\n", c.Name, c.Name)
-		fmt.Fprintf(&b, "\treturn core.Subscribe(a.engine, f, handler)\n}\n\n")
-		fmt.Fprintf(&b, "// SubscribeLocal subscribes with an opaque local predicate.\n")
-		fmt.Fprintf(&b, "func (a %sAdapter) SubscribeLocal(pred func(%s) bool, handler func(%s)) (*core.Subscription, error) {\n", c.Name, c.Name, c.Name)
-		fmt.Fprintf(&b, "\treturn core.SubscribeLocal(a.engine, pred, handler)\n}\n\n")
+		fmt.Fprintf(&b, "func (a %sAdapter) Publish(ctx context.Context, o %s) error {\n\treturn a.domain.Publish(ctx, o)\n}\n\n", c.Name, c.Name)
+		fmt.Fprintf(&b, "// Subscribe subscribes to %s (and its subtypes) with a migratable\n// filter; the subscription is returned active.\n", c.Name)
+		fmt.Fprintf(&b, "func (a %sAdapter) Subscribe(f *filter.Expr, handler func(%s)) (*govents.Subscription, error) {\n", c.Name, c.Name)
+		fmt.Fprintf(&b, "\treturn govents.Subscribe(a.domain, f, handler)\n}\n\n")
+		fmt.Fprintf(&b, "// SubscribeInactive is Subscribe in the paper's two-phase form: the\n// subscription receives nothing until Activate is called.\n")
+		fmt.Fprintf(&b, "func (a %sAdapter) SubscribeInactive(f *filter.Expr, handler func(%s)) (*govents.Subscription, error) {\n", c.Name, c.Name)
+		fmt.Fprintf(&b, "\treturn govents.SubscribeInactive(a.domain, f, handler)\n}\n\n")
+		fmt.Fprintf(&b, "// SubscribeLocal subscribes with an opaque local predicate; the\n// subscription is returned active.\n")
+		fmt.Fprintf(&b, "func (a %sAdapter) SubscribeLocal(pred func(%s) bool, handler func(%s)) (*govents.Subscription, error) {\n", c.Name, c.Name, c.Name)
+		fmt.Fprintf(&b, "\treturn govents.SubscribeLocal(a.domain, pred, handler)\n}\n\n")
 	}
 
 	for _, f := range res.Filters {

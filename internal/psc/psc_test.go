@@ -232,9 +232,10 @@ func TestGenerate(t *testing.T) {
 		"Code generated by psc",
 		"package stock",
 		"type StockQuoteAdapter struct",
-		"func NewStockQuoteAdapter(e *core.Engine) StockQuoteAdapter",
-		"func (a StockQuoteAdapter) Publish(o StockQuote) error",
-		"func (a StockQuoteAdapter) Subscribe(f *filter.Expr, handler func(StockQuote)) (*core.Subscription, error)",
+		"func NewStockQuoteAdapter(d *govents.Domain) StockQuoteAdapter",
+		"func (a StockQuoteAdapter) Publish(ctx context.Context, o StockQuote) error",
+		"func (a StockQuoteAdapter) Subscribe(f *filter.Expr, handler func(StockQuote)) (*govents.Subscription, error)",
+		"func (a StockQuoteAdapter) SubscribeInactive(f *filter.Expr, handler func(StockQuote)) (*govents.Subscription, error)",
 		"func (a TradeAdapter) SubscribeLocal(pred func(Trade) bool, handler func(Trade))",
 		"CertifiedBase, TotalOrderBase",
 		"func CheapTelcoExpr() *filter.Expr",

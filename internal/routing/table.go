@@ -36,9 +36,11 @@
 package routing
 
 import (
+	"bytes"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"govents/internal/core"
 	"govents/internal/filter"
@@ -57,6 +59,14 @@ type Table struct {
 	nodes map[string]*nodeState
 	gen   atomic.Uint64 // bumped on every applied mutation
 
+	// adTTL is the silent-node expiry: a node whose last advertisement
+	// (of any kind — stale and deferred ads also prove liveness) is
+	// older than adTTL is dropped by ExpireSilent even without a
+	// membership change. Zero disables expiry.
+	adTTL time.Duration
+	// now is the clock; replaceable in tests.
+	now func() time.Time
+
 	// plans caches class name -> *classPlan, invalidated by generation.
 	plans sync.Map
 
@@ -64,9 +74,11 @@ type Table struct {
 	// steady-state routing does not allocate.
 	match sync.Pool
 
-	adsApplied  atomic.Uint64
-	adsStale    atomic.Uint64
-	adsDeferred atomic.Uint64
+	adsApplied   atomic.Uint64
+	adsStale     atomic.Uint64
+	adsDeferred  atomic.Uint64
+	adsRefreshed atomic.Uint64
+	nodesExpired atomic.Uint64
 
 	// classStats maps class name -> *classCounters. Only registered
 	// classes get entries; events of unknown wire names fold into
@@ -83,6 +95,9 @@ type nodeState struct {
 	// pending parks deltas whose base sequence has not been applied
 	// yet, keyed by that base.
 	pending map[uint64]*delta
+	// lastSeen is when the node last advertised anything (liveness for
+	// the silent-TTL expiry).
+	lastSeen time.Time
 }
 
 // subRecord is one advertised subscription with its filter compiled.
@@ -140,6 +155,13 @@ type Stats struct {
 	// AdsDeferred counts deltas parked because their base had not been
 	// applied yet.
 	AdsDeferred uint64
+	// AdsRefreshed counts advertisements that only refreshed a node's
+	// liveness and sequence without changing its subscription set
+	// (heartbeats) — those do not invalidate compiled plans.
+	AdsRefreshed uint64
+	// NodesExpired counts nodes dropped by the silent-TTL expiry
+	// (ExpireSilent), as opposed to membership removal.
+	NodesExpired uint64
 	// PlansCompiled counts per-class plan compilations.
 	PlansCompiled uint64
 	// EventsRouted counts routing decisions (Destinations/NodesFor calls).
@@ -183,9 +205,21 @@ func NewTable(reg *obvent.Registry) *Table {
 	t := &Table{
 		reg:   reg,
 		nodes: make(map[string]*nodeState),
+		now:   time.Now,
 	}
 	t.match.New = func() any { return &matchScratch{} }
 	return t
+}
+
+// SetAdTTL configures the silent-node TTL consulted by ExpireSilent.
+// Zero (the default) disables expiry. The TTL must be paired with
+// re-advertisement heartbeats domain-wide (dace sends them when its
+// AdTTL is set): nodes only advertise on subscription changes, so
+// without heartbeats a healthy but quiet node would be expired.
+func (t *Table) SetAdTTL(d time.Duration) {
+	t.mu.Lock()
+	t.adTTL = d
+	t.mu.Unlock()
 }
 
 // --- advertisement ingestion ---
@@ -208,13 +242,43 @@ func toRecords(infos []core.SubscriptionInfo) []subRecord {
 // ApplySnapshot ingests a full snapshot advertisement: node's complete
 // subscription set at sequence seq. Snapshots are idempotent and
 // newest-wins; a snapshot additionally drains any parked deltas that
-// chain directly onto it.
+// chain directly onto it. A snapshot identical to the applied state (a
+// liveness heartbeat) advances the sequence and refreshes lastSeen but
+// does not invalidate compiled plans.
 func (t *Table) ApplySnapshot(node string, seq uint64, subs []core.SubscriptionInfo) ApplyResult {
-	recs := toRecords(subs) // parse filters before taking the lock
+	t.mu.Lock()
+	st, res := t.nodeLocked(node)
+	st.lastSeen = t.now()
+	if st.subs != nil && seq <= st.seq {
+		t.adsStale.Add(1)
+		t.mu.Unlock()
+		return res
+	}
+	if sameSubsLocked(st.subs, subs) {
+		// Heartbeat snapshot: nothing changed, so skip filter
+		// recompilation entirely — advance the sequence, drain any
+		// parked deltas that now chain, and leave compiled plans
+		// alone unless a drained delta changed something.
+		st.seq = seq
+		t.adsRefreshed.Add(1)
+		changed := t.drainLocked(st)
+		if changed {
+			t.gen.Add(1)
+		}
+		res.Applied = changed
+		t.mu.Unlock()
+		return res
+	}
+	t.mu.Unlock()
+
+	recs := toRecords(subs) // parse filters outside the lock
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	st, res := t.nodeLocked(node)
+	// Reacquire the state: it may have been expired or advanced while
+	// the filters were compiling (NewNode was already captured above).
+	st, _ = t.nodeLocked(node)
+	st.lastSeen = t.now()
 	if st.subs != nil && seq <= st.seq {
 		t.adsStale.Add(1)
 		return res
@@ -231,6 +295,31 @@ func (t *Table) ApplySnapshot(node string, seq uint64, subs []core.SubscriptionI
 	return res
 }
 
+// sameSubsLocked reports whether the applied subscription map equals
+// the incoming snapshot (nil subs — no snapshot applied yet — never
+// equals, so a first snapshot always counts as a change). Comparison is
+// by advertised bytes only, so heartbeat snapshots are recognized
+// without parsing a single filter.
+func sameSubsLocked(cur map[string]subRecord, subs []core.SubscriptionInfo) bool {
+	if cur == nil || len(cur) != len(subs) {
+		return false
+	}
+	for _, info := range subs {
+		prev, ok := cur[info.ID]
+		if !ok || !infoEqual(prev.info, info) {
+			return false
+		}
+	}
+	return true
+}
+
+// infoEqual reports whether two advertised descriptions are identical
+// (filters compare by canonical wire bytes).
+func infoEqual(a, b core.SubscriptionInfo) bool {
+	return a.ID == b.ID && a.TypeName == b.TypeName && a.DurableID == b.DurableID &&
+		a.Certified == b.Certified && bytes.Equal(a.Filter, b.Filter)
+}
+
 // ApplyDelta ingests a delta advertisement: adds and removals relative
 // to the node's state at baseSeq. A delta whose base is not the
 // currently applied sequence is parked (the control channel does not
@@ -242,6 +331,7 @@ func (t *Table) ApplyDelta(node string, seq, baseSeq uint64, add []core.Subscrip
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	st, res := t.nodeLocked(node)
+	st.lastSeen = t.now()
 	if st.subs != nil && seq <= st.seq {
 		t.adsStale.Add(1)
 		return res
@@ -273,10 +363,12 @@ func (t *Table) ApplyDelta(node string, seq, baseSeq uint64, add []core.Subscrip
 		res.Deferred = true
 		return res
 	}
-	t.applyDeltaLocked(st, d)
-	t.drainLocked(st)
-	t.gen.Add(1)
-	res.Applied = true
+	changed := t.applyDeltaLocked(st, d)
+	changed = t.drainLocked(st) || changed
+	if changed {
+		t.gen.Add(1)
+	}
+	res.Applied = changed
 	return res
 }
 
@@ -292,32 +384,49 @@ func (t *Table) nodeLocked(node string) (*nodeState, ApplyResult) {
 	return st, res
 }
 
-func (t *Table) applyDeltaLocked(st *nodeState, d *delta) {
+// applyDeltaLocked applies one delta and reports whether it actually
+// changed the subscription set (an empty delta — a liveness heartbeat —
+// only advances the sequence and must not invalidate compiled plans).
+func (t *Table) applyDeltaLocked(st *nodeState, d *delta) bool {
+	changed := false
 	for _, id := range d.remove {
-		delete(st.subs, id)
+		if _, ok := st.subs[id]; ok {
+			delete(st.subs, id)
+			changed = true
+		}
 	}
 	for _, r := range d.add {
-		st.subs[r.info.ID] = r
+		if prev, ok := st.subs[r.info.ID]; !ok || !infoEqual(prev.info, r.info) {
+			st.subs[r.info.ID] = r
+			changed = true
+		}
 	}
 	st.seq = d.seq
-	t.adsApplied.Add(1)
+	if changed {
+		t.adsApplied.Add(1)
+	} else {
+		t.adsRefreshed.Add(1)
+	}
+	return changed
 }
 
 // drainLocked applies every parked delta that now chains onto the
-// applied sequence, and drops those overtaken by it.
-func (t *Table) drainLocked(st *nodeState) {
+// applied sequence, drops those overtaken by it, and reports whether
+// any drained delta changed the subscription set.
+func (t *Table) drainLocked(st *nodeState) bool {
 	for base := range st.pending {
 		if base < st.seq {
 			delete(st.pending, base)
 		}
 	}
+	changed := false
 	for {
 		d, ok := st.pending[st.seq]
 		if !ok {
-			return
+			return changed
 		}
 		delete(st.pending, st.seq)
-		t.applyDeltaLocked(st, d)
+		changed = t.applyDeltaLocked(st, d) || changed
 	}
 }
 
@@ -352,6 +461,46 @@ func (t *Table) RetainNodes(members []string) {
 	if changed {
 		t.gen.Add(1)
 	}
+}
+
+// ExpireSilent drops every node (excluding the listed addresses,
+// typically the caller's own) whose last advertisement is older than
+// the configured ad TTL — the ad-stream GC: a node silent past the TTL
+// without a membership change must stop being owed events, certified
+// deliveries, and table memory. It returns the dropped node addresses.
+// No-op when no TTL is configured. A wrongly expired node (e.g. one
+// whose heartbeats were delayed) re-enters as a new node on its next
+// full-snapshot advertisement — forced at least every snapshotEvery
+// deltas by the sender — which also triggers anti-entropy; its delta
+// heartbeats in between are parked, so the mis-expiry window is
+// bounded by a few heartbeat periods.
+func (t *Table) ExpireSilent(exclude ...string) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.adTTL <= 0 {
+		return nil
+	}
+	cutoff := t.now().Add(-t.adTTL)
+	var dropped []string
+	for node, st := range t.nodes {
+		skip := false
+		for _, ex := range exclude {
+			if node == ex {
+				skip = true
+				break
+			}
+		}
+		if skip || !st.lastSeen.Before(cutoff) {
+			continue
+		}
+		delete(t.nodes, node)
+		dropped = append(dropped, node)
+	}
+	if len(dropped) > 0 {
+		t.nodesExpired.Add(uint64(len(dropped)))
+		t.gen.Add(1)
+	}
+	return dropped
 }
 
 // SubscriptionCount reports the number of applied subscriptions,
@@ -629,9 +778,11 @@ func (s *Stats) add(o Stats) {
 // Stats returns the table's cumulative counters, folded across classes.
 func (t *Table) Stats() Stats {
 	s := Stats{
-		AdsApplied:  t.adsApplied.Load(),
-		AdsStale:    t.adsStale.Load(),
-		AdsDeferred: t.adsDeferred.Load(),
+		AdsApplied:   t.adsApplied.Load(),
+		AdsStale:     t.adsStale.Load(),
+		AdsDeferred:  t.adsDeferred.Load(),
+		AdsRefreshed: t.adsRefreshed.Load(),
+		NodesExpired: t.nodesExpired.Load(),
 	}
 	s.add(t.unknownStats.snapshot())
 	t.classStats.Range(func(_, v any) bool {

@@ -1,0 +1,22 @@
+// Package matching is the public surface of the compound filter
+// matcher (paper §2.3.2, [ASS+99]): many subscribers' filters factored
+// into one indexed structure — shared path resolution, common
+// subexpression elimination, threshold binary search — so an event's
+// conditions are evaluated once across all subscribers instead of once
+// per subscription. The engine and the publisher-side routing plane use
+// it internally; it is exported for applications building their own
+// filtering hosts or brokers.
+package matching
+
+import internal "govents/internal/matching"
+
+// Compound factors many subscriptions' filters into one matcher whose
+// Match returns the IDs of subscriptions the event satisfies.
+type Compound = internal.Compound
+
+// Stats describe the factoring achieved (unique vs total conditions,
+// recompiles).
+type Stats = internal.Stats
+
+// New returns an empty compound matcher.
+func New() *Compound { return internal.New() }

@@ -1,0 +1,116 @@
+// Package obvent is the public surface of the obvent type system: the
+// marker bases applications embed to declare obvent classes and compose
+// QoS semantics onto them (paper §2.1, §3.1.2), and the runtime type
+// registry behind type-based matching (§2.2).
+//
+// It is a thin facade over the engine's internal implementation: every
+// type here is an alias, so values flow between the public API and the
+// substrate without conversion.
+//
+// Declaring an obvent class is embedding:
+//
+//	type StockQuote struct {
+//		obvent.Base               // publishable
+//		obvent.ReliableBase       // + reliable delivery (optional)
+//		Company string
+//		Price   float64
+//	}
+//
+// Subtyping follows Go embedding (implicit declaration) and interface
+// satisfaction (explicit declaration); subscriptions to a supertype
+// receive all of its subtypes.
+package obvent
+
+import (
+	"reflect"
+
+	internal "govents/internal/obvent"
+)
+
+// Obvent is the interface of all publishable values: any struct
+// embedding Base satisfies it.
+type Obvent = internal.Obvent
+
+// Base makes the embedding struct publishable (the root marker).
+type Base = internal.Base
+
+// QoS marker bases: embed them to compose delivery semantics onto a
+// class (paper §3.1.2, Figure 4).
+type (
+	// ReliableBase requests reliable delivery.
+	ReliableBase = internal.ReliableBase
+	// CertifiedBase requests certified delivery: disconnected durable
+	// subscribers eventually receive the obvent exactly once.
+	CertifiedBase = internal.CertifiedBase
+	// TotalOrderBase requests totally ordered delivery.
+	TotalOrderBase = internal.TotalOrderBase
+	// FIFOOrderBase requests per-publisher FIFO delivery.
+	FIFOOrderBase = internal.FIFOOrderBase
+	// CausalOrderBase requests causally ordered delivery.
+	CausalOrderBase = internal.CausalOrderBase
+	// TimelyBase attaches a time-to-live; expired obvents are dropped
+	// instead of delivered.
+	TimelyBase = internal.TimelyBase
+	// PriorityBase lets the obvent overtake lower-priority backlog.
+	PriorityBase = internal.PriorityBase
+)
+
+// Marker interfaces resolved by the QoS system (satisfied by the bases
+// above; applications normally embed the bases rather than implement
+// these directly).
+type (
+	Reliable    = internal.Reliable
+	Certified   = internal.Certified
+	TotalOrder  = internal.TotalOrder
+	FIFOOrder   = internal.FIFOOrder
+	CausalOrder = internal.CausalOrder
+	Timely      = internal.Timely
+	Prioritary  = internal.Prioritary
+)
+
+// Semantics is the resolved QoS of an obvent value.
+type Semantics = internal.Semantics
+
+// Reliability is the delivery-reliability level.
+type Reliability = internal.Reliability
+
+// Reliability levels, weakest first.
+const (
+	Unreliable        = internal.Unreliable
+	ReliableDelivery  = internal.ReliableDelivery
+	CertifiedDelivery = internal.CertifiedDelivery
+)
+
+// Ordering is the delivery-ordering level.
+type Ordering = internal.Ordering
+
+// Ordering levels, weakest first.
+const (
+	NoOrder = internal.NoOrder
+	FIFO    = internal.FIFO
+	Causal  = internal.Causal
+	Total   = internal.Total
+)
+
+// Resolve computes the QoS semantics of an obvent value from its type's
+// embedded markers and its timely/priority state.
+func Resolve(o Obvent) Semantics { return internal.Resolve(o) }
+
+// Registry tracks the obvent classes known to a process and their
+// subtype relation; see govents.Open's WithRegistry for sharing one
+// across engines.
+type Registry = internal.Registry
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return internal.NewRegistry() }
+
+// TypeName returns the wire-level name of a Go type.
+func TypeName(t reflect.Type) string { return internal.TypeName(t) }
+
+// TypeOf returns the reflect.Type described by the type parameter,
+// which may be an interface type.
+func TypeOf[T any]() reflect.Type { return internal.TypeOf[T]() }
+
+// Conforms reports whether obvent o conforms to the Go type target
+// (interface satisfaction or struct embedding).
+func Conforms(o Obvent, target reflect.Type) bool { return internal.Conforms(o, target) }

@@ -1,0 +1,212 @@
+package govents
+
+import (
+	"time"
+
+	"govents/internal/dace"
+	"govents/internal/multicast"
+	"govents/internal/obvent"
+	"govents/internal/store"
+)
+
+// Placement selects where migratable remote filters are evaluated
+// (paper §2.3.2, §3.3.3).
+type Placement int
+
+const (
+	// AtSubscriber ships every matching-typed obvent to the
+	// subscriber's node, which filters locally (the unoptimized
+	// baseline).
+	AtSubscriber Placement = iota + 1
+	// AtPublisher evaluates migrated filters at the publishing node
+	// and sends only to nodes with at least one passing subscription,
+	// saving bandwidth. Applies to unordered classes; ordered and
+	// certified classes always ship to all subscriber nodes to keep
+	// group membership uniform.
+	AtPublisher
+)
+
+// Tuning adjusts the dissemination protocol timers. The zero value
+// selects defaults suited to real networks; tests and simulations
+// shorten the intervals.
+type Tuning struct {
+	// RetransmitInterval is the period between retransmissions of
+	// unacknowledged messages (reliable, certified and total-order
+	// classes).
+	RetransmitInterval time.Duration
+	// RetransmitLimit bounds retransmission attempts per message for
+	// reliable classes; 0 means retry forever.
+	RetransmitLimit int
+	// GossipPeriod, GossipFanout and GossipRounds tune the gossip
+	// protocol used for unreliable classes when WithGossipUnreliable
+	// is set.
+	GossipPeriod time.Duration
+	GossipFanout int
+	GossipRounds int
+	// GossipSeed seeds gossip peer selection (0 = fixed default,
+	// keeping runs reproducible).
+	GossipSeed int64
+}
+
+// config collects the Open options.
+type config struct {
+	transport    Transport
+	rmiTransport Transport
+	peers        []string
+	placement    Placement
+	lanes        int
+	registry     *obvent.Registry
+	adTTL        time.Duration
+	tuning       Tuning
+	durableID    string
+	certLog      store.Log
+	certDedup    store.Set
+	gossip       bool
+	naive        bool
+}
+
+// An Option configures a Domain at Open.
+type Option func(*config)
+
+// WithTransport makes the domain distributed: it joins the
+// publish/subscribe domain reachable over tr (DACE, paper §4.2)
+// instead of the in-process loopback. Ownership of tr transfers to the
+// Domain, which closes it on Close. Obtain a transport from ListenTCP
+// (real sockets) or govents/netsim (simulated network).
+func WithTransport(tr Transport) Option {
+	return func(c *config) { c.transport = tr }
+}
+
+// WithPeers installs the initial domain membership: the transport
+// addresses of every node, including this one. Without it the domain
+// starts alone; use Domain.SetPeers for later membership changes.
+func WithPeers(peers ...string) Option {
+	return func(c *config) { c.peers = append([]string(nil), peers...) }
+}
+
+// WithPlacement selects remote-filter placement (default AtPublisher:
+// filters migrate to publishing nodes and prune traffic at the source).
+func WithPlacement(p Placement) Option {
+	return func(c *config) { c.placement = p }
+}
+
+// WithDispatchLanes sets the number of parallel dispatch lanes for
+// unordered traffic. Zero (the default) means GOMAXPROCS. Ordered and
+// prioritary obvents always drain through one additional serial lane,
+// so their delivery semantics are unaffected.
+func WithDispatchLanes(n int) Option {
+	return func(c *config) { c.lanes = n }
+}
+
+// WithRegistry makes the domain use a shared obvent type registry
+// (useful when several domains in one process must agree on type
+// names). By default each domain owns a fresh registry.
+func WithRegistry(reg *obvent.Registry) Option {
+	return func(c *config) { c.registry = reg }
+}
+
+// WithAdTTL enables ad-stream GC on a distributed domain: the node
+// re-advertises its subscription state as a liveness heartbeat several
+// times per TTL and drops any peer's routing entries once that peer
+// has been silent for the TTL, even without a membership change — so a
+// crashed node stops being owed events, certified deliveries and
+// routing-table memory. Set the same TTL on every domain member: a
+// node without it sends no heartbeats and would be wrongly expired.
+func WithAdTTL(d time.Duration) Option {
+	return func(c *config) { c.adTTL = d }
+}
+
+// WithTuning adjusts the dissemination protocol timers.
+func WithTuning(t Tuning) Option {
+	return func(c *config) { c.tuning = t }
+}
+
+// WithGossipUnreliable routes unreliable classes through the gossip
+// protocol instead of plain best-effort fanout (scales to large
+// domains under loss at per-node cost independent of group size).
+func WithGossipUnreliable() Option {
+	return func(c *config) { c.gossip = true }
+}
+
+// WithDurableID sets the domain's default durable identity for
+// certified subscriptions activated without one (paper §3.4.1).
+func WithDurableID(id string) Option {
+	return func(c *config) { c.durableID = id }
+}
+
+// WithCertifiedStores installs stable storage for certified delivery:
+// log is the publisher-side outbox, dedup the subscriber-side
+// delivered-set. Defaults are in-memory; pass the file-backed
+// implementations of govents/store to survive crashes.
+func WithCertifiedStores(log store.Log, dedup store.Set) Option {
+	return func(c *config) { c.certLog, c.certDedup = log, dedup }
+}
+
+// WithRMI attaches a remote-method-invocation runtime (paper §5.4) to
+// the domain over its own transport endpoint, reachable from
+// Domain.RMI — so one process composes publish/subscribe and RMI, e.g.
+// obvents carrying rmi.Ref values that handlers invoke synchronously.
+// Ownership of tr transfers to the Domain.
+func WithRMI(tr Transport) Option {
+	return func(c *config) { c.rmiTransport = tr }
+}
+
+// WithNaiveDispatch disables the indexed dispatch pipeline in favor of
+// the unindexed per-subscription reference path. Delivery semantics
+// are identical; this exists as the transparency oracle for tests and
+// benchmarks, not for production use.
+func WithNaiveDispatch() Option {
+	return func(c *config) { c.naive = true }
+}
+
+// distributedOnly names the set options that are meaningless without a
+// transport, so Open can reject them instead of dropping them silently.
+func (c *config) distributedOnly() []string {
+	var bad []string
+	if len(c.peers) > 0 {
+		bad = append(bad, "WithPeers")
+	}
+	if c.placement != 0 {
+		bad = append(bad, "WithPlacement")
+	}
+	if c.adTTL != 0 {
+		bad = append(bad, "WithAdTTL")
+	}
+	if c.tuning != (Tuning{}) {
+		bad = append(bad, "WithTuning")
+	}
+	if c.gossip {
+		bad = append(bad, "WithGossipUnreliable")
+	}
+	if c.durableID != "" {
+		bad = append(bad, "WithDurableID")
+	}
+	if c.certLog != nil || c.certDedup != nil {
+		bad = append(bad, "WithCertifiedStores")
+	}
+	return bad
+}
+
+// daceConfig renders the options into the substrate configuration.
+func (c *config) daceConfig() dace.Config {
+	placement := dace.AtPublisher
+	if c.placement == AtSubscriber {
+		placement = dace.AtSubscriber
+	}
+	return dace.Config{
+		Placement:        placement,
+		GossipUnreliable: c.gossip,
+		CertLog:          c.certLog,
+		CertDedup:        c.certDedup,
+		DurableID:        c.durableID,
+		AdTTL:            c.adTTL,
+		Multicast: multicast.Options{
+			RetransmitInterval: c.tuning.RetransmitInterval,
+			RetransmitLimit:    c.tuning.RetransmitLimit,
+			GossipPeriod:       c.tuning.GossipPeriod,
+			GossipFanout:       c.tuning.GossipFanout,
+			GossipRounds:       c.tuning.GossipRounds,
+			Seed:               c.tuning.GossipSeed,
+		},
+	}
+}

@@ -1,0 +1,29 @@
+// Package psc is the public surface of the publish/subscribe
+// precompiler (paper §4): the counterpart of Java's rmic. It scans a Go
+// package for obvent classes and //psc:filter functions, generates
+// typed adapters (paper Figure 6) against the public govents API, and
+// reports filters that violate the mobility restrictions of §3.3.4.
+// Command psc is the CLI front end.
+package psc
+
+import internal "govents/internal/psc"
+
+// Result is the outcome of scanning one package directory.
+type Result = internal.Result
+
+// Class is a discovered obvent class.
+type Class = internal.Class
+
+// FilterFunc is a discovered //psc:filter function with its lifted
+// expression source.
+type FilterFunc = internal.FilterFunc
+
+// Violation reports a filter that breaks the mobility restrictions.
+type Violation = internal.Violation
+
+// Scan parses the package in dir and discovers obvent classes and
+// filter functions.
+func Scan(dir string) (*Result, error) { return internal.Scan(dir) }
+
+// Generate renders the adapters-and-filters file for a scan result.
+func Generate(res *Result) ([]byte, error) { return internal.Generate(res) }

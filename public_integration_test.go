@@ -1,0 +1,140 @@
+// Public-API integration: publish → filtered subscribe across two
+// Domains over the simulated network, with delivery-set equivalence
+// against the internal oracle (per-subscription filter.Evaluate) —
+// the transparency check of the whole public pipeline: facade →
+// engine → DACE routing → multicast → netsim and back up.
+package govents_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"govents"
+	"govents/netsim"
+	"govents/workload"
+
+	ifilter "govents/internal/filter"
+)
+
+// TestPublicAPIDeliverySetMatchesOracle runs the same filtered
+// publication stream under both filter placements and requires the
+// delivered set to equal the oracle set computed by evaluating the
+// subscriber's filter directly — no event delivered that the filter
+// rejects, none missing that it accepts.
+func TestPublicAPIDeliverySetMatchesOracle(t *testing.T) {
+	for _, placement := range []govents.Placement{govents.AtSubscriber, govents.AtPublisher} {
+		placement := placement
+		name := map[govents.Placement]string{
+			govents.AtSubscriber: "AtSubscriber",
+			govents.AtPublisher:  "AtPublisher",
+		}[placement]
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			net := netsim.New(netsim.Config{MaxLatency: time.Millisecond, Seed: 7})
+			defer net.Close()
+
+			open := func(addr string) *govents.Domain {
+				ep, err := net.NewEndpoint(addr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, err := govents.Open(ctx, addr,
+					govents.WithTransport(ep),
+					govents.WithPlacement(placement),
+					govents.WithTuning(govents.Tuning{RetransmitInterval: 5 * time.Millisecond}),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { _ = d.Close(context.Background()) })
+				workload.RegisterTypes(d.Registry())
+				return d
+			}
+			pub, sub := open("pub"), open("sub")
+			peers := []string{"pub", "sub"}
+			if err := pub.SetPeers(peers...); err != nil {
+				t.Fatal(err)
+			}
+			if err := sub.SetPeers(peers...); err != nil {
+				t.Fatal(err)
+			}
+
+			// The subscriber's interest, via the public facade. The
+			// subscription is active on return.
+			gen := workload.NewQuoteGen(21, 8)
+			spec := gen.Interests(1)[0]
+			var mu sync.Mutex
+			delivered := make(map[int]int)
+			_, err := govents.Subscribe(sub, spec.Filter(), func(q workload.StockQuote) {
+				mu.Lock()
+				delivered[q.Amount]++
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) && pub.RemoteSubscriptionCount() < 1 {
+				time.Sleep(time.Millisecond)
+			}
+			net.Settle()
+
+			// Publish a seeded stream, keying each quote by a unique
+			// Amount; compute the oracle set with the internal
+			// evaluator on the same values.
+			const events = 200
+			oracle := make(map[int]bool)
+			f := spec.Filter()
+			for i := 0; i < events; i++ {
+				q := gen.Next()
+				q.Amount = i // unique key
+				ok, err := ifilter.Evaluate(f, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					oracle[i] = true
+				}
+				if err := pub.Publish(ctx, q); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			want := len(oracle)
+			deadline = time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				mu.Lock()
+				n := len(delivered)
+				mu.Unlock()
+				if n >= want {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			net.Settle()
+
+			mu.Lock()
+			defer mu.Unlock()
+			for key, n := range delivered {
+				if !oracle[key] {
+					t.Errorf("delivered event %d that the filter rejects", key)
+				}
+				if n != 1 {
+					t.Errorf("event %d delivered %d times", key, n)
+				}
+			}
+			for key := range oracle {
+				if delivered[key] == 0 {
+					t.Errorf("event %d accepted by the filter but never delivered", key)
+				}
+			}
+			if t.Failed() {
+				t.Logf("placement=%v delivered=%d oracle=%d (of %d published, selectivity %s)",
+					placement, len(delivered), want, events, fmt.Sprintf("%.2f", float64(want)/events))
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+// Package store is the public surface of the stable-storage primitives
+// behind certified delivery (paper §3.1.2, §3.4.1): a publisher-side
+// outbox Log and a subscriber-side delivered Set, each with an
+// in-memory and a file-backed implementation. Pass them to
+// govents.Open via WithCertifiedStores so certified obvents survive
+// crashes and restarts.
+package store
+
+import internal "govents/internal/store"
+
+// Log is the durable publisher outbox for certified obvents.
+type Log = internal.Log
+
+// Set is the durable subscriber delivered-set (exactly-once dedup).
+type Set = internal.Set
+
+// Entry is one logged certified publication.
+type Entry = internal.Entry
+
+// MemLog is an in-memory Log (lost on crash; tests and defaults).
+type MemLog = internal.MemLog
+
+// MemSet is an in-memory Set.
+type MemSet = internal.MemSet
+
+// FileLog is a file-backed Log (real stable storage).
+type FileLog = internal.FileLog
+
+// FileSet is a file-backed Set.
+type FileSet = internal.FileSet
+
+// ErrUnknownConsumer is returned for acknowledgements from consumers
+// the log was never told about.
+var ErrUnknownConsumer = internal.ErrUnknownConsumer
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog { return internal.NewMemLog() }
+
+// NewMemSet returns an empty in-memory set.
+func NewMemSet() *MemSet { return internal.NewMemSet() }
+
+// OpenFileLog opens (creating if absent) a file-backed log.
+func OpenFileLog(path string) (*FileLog, error) { return internal.OpenFileLog(path) }
+
+// OpenFileSet opens (creating if absent) a file-backed set.
+func OpenFileSet(path string) (*FileSet, error) { return internal.OpenFileSet(path) }

@@ -1,0 +1,21 @@
+// Package topics is the public surface of topic-based (subject-based)
+// publish/subscribe, the "pure static subscription scheme" baseline of
+// paper §2.3.2: dot-separated hierarchies with "*" (one level) and "#"
+// (remaining levels) wildcards. A per-domain bus is reachable from the
+// unified facade via Domain.Topics.
+package topics
+
+import internal "govents/internal/topics"
+
+// Bus is a topic-based publish/subscribe engine; create standalone
+// with New or per domain via Domain.Topics.
+type Bus = internal.Bus
+
+// Handler receives the payload of a matching publication.
+type Handler = internal.Handler
+
+// New returns an empty bus.
+func New() *Bus { return internal.New() }
+
+// Match reports whether a topic pattern matches a concrete topic.
+func Match(pattern, topic string) bool { return internal.Match(pattern, topic) }

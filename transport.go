@@ -1,0 +1,20 @@
+package govents
+
+import (
+	"govents/internal/netsim"
+	"govents/internal/transport"
+)
+
+// Transport is the point-to-point messaging abstraction a distributed
+// Domain runs on: addressed, connectionless, best-effort delivery of
+// byte payloads (reliability and ordering are layered above by the
+// dissemination protocols). Two implementations ship with the module:
+// real TCP sockets (ListenTCP) and the simulated fault-injecting
+// network of package govents/netsim.
+type Transport = netsim.Transport
+
+// ListenTCP starts a TCP transport bound to addr (e.g. "127.0.0.1:0").
+// The effective address, including a kernel-chosen port, is available
+// from the returned transport's Addr. Pass the transport to Open via
+// WithTransport, which transfers ownership: the Domain closes it.
+func ListenTCP(addr string) (Transport, error) { return transport.Listen(addr) }

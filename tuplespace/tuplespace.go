@@ -1,0 +1,34 @@
+// Package tuplespace is the public surface of the Linda tuple space
+// ([Gel85]), the paper's §6.3 baseline of publish/subscribe: Out / Rd /
+// In over ordered value sequences matched by templates, plus the
+// JavaSpaces-style Notify callback. A per-domain space is reachable
+// from the unified facade via Domain.TupleSpace.
+package tuplespace
+
+import internal "govents/internal/tuplespace"
+
+// Space is a tuple space; create standalone with New or per domain via
+// Domain.TupleSpace.
+type Space = internal.Space
+
+// Tuple is an ordered sequence of values.
+type Tuple = internal.Tuple
+
+// Template is an ordered sequence of match fields.
+type Template = internal.Template
+
+// Field is one template position: an actual (Val), a formal (Type) or
+// a wildcard (Any).
+type Field = internal.Field
+
+// New returns an empty tuple space.
+func New() *Space { return internal.New() }
+
+// Val builds an actual: the field matches only an equal value.
+func Val(v any) Field { return internal.Val(v) }
+
+// Type builds a formal: the field matches any value of exactly type T.
+func Type[T any]() Field { return internal.Type[T]() }
+
+// Any builds a wildcard matching any value.
+func Any() Field { return internal.Any() }

@@ -1,0 +1,40 @@
+// Package workload is the public surface of the synthetic stock-quote
+// workload used by the repository's demos, benchmarks and load
+// generators: the paper's stock-trading obvent hierarchy (Figures 1/2)
+// in every QoS flavor, a seeded quote generator, and seeded subscriber
+// interest specs. It is a demo/benchmark aid, not part of the stable
+// messaging API.
+package workload
+
+import (
+	"govents/internal/obvent"
+	internal "govents/internal/workload"
+)
+
+// The stock-trading obvent hierarchy (paper Figures 1/2), plus one
+// quote class per QoS semantics for the delivery-cost experiments.
+type (
+	StockObvent    = internal.StockObvent
+	StockQuote     = internal.StockQuote
+	StockRequest   = internal.StockRequest
+	SpotPrice      = internal.SpotPrice
+	MarketPrice    = internal.MarketPrice
+	QuoteReliable  = internal.QuoteReliable
+	QuoteFIFO      = internal.QuoteFIFO
+	QuoteCausal    = internal.QuoteCausal
+	QuoteTotal     = internal.QuoteTotal
+	QuoteCertified = internal.QuoteCertified
+)
+
+// QuoteGen deterministically generates quotes from a seed.
+type QuoteGen = internal.QuoteGen
+
+// InterestSpec is one synthetic subscriber interest (company + price
+// cap) with its migratable filter form.
+type InterestSpec = internal.InterestSpec
+
+// RegisterTypes registers the whole workload hierarchy with a registry.
+func RegisterTypes(reg *obvent.Registry) { internal.RegisterTypes(reg) }
+
+// NewQuoteGen returns a seeded generator over nCompanies companies.
+func NewQuoteGen(seed int64, nCompanies int) *QuoteGen { return internal.NewQuoteGen(seed, nCompanies) }
