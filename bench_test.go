@@ -7,11 +7,13 @@ package govents_test
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"govents/internal/accessor"
 	"govents/internal/codec"
 	"govents/internal/content"
 	"govents/internal/core"
@@ -706,5 +708,150 @@ func BenchmarkFilterEvaluate(b *testing.B) {
 		if _, err := filter.Evaluate(f, q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- C9: compiled reflection (accessor programs + deep copiers) ---
+
+// BenchmarkAccessor measures per-event accessor-path resolution: the
+// reflective name-lookup walk (filter.ResolvePath, the pre-compile hot
+// path and retained fallback) against the compiled per-(type, path)
+// program (package accessor). "field" is a promoted struct field
+// (Price, reached through the embedded StockObvent); "method" is the
+// paper's encapsulated accessor form (GetPrice). Part of the dispatch
+// CI family; cmd/benchjson archives it into BENCH_dispatch.json.
+func BenchmarkAccessor(b *testing.B) {
+	q := workload.StockQuote{StockObvent: workload.StockObvent{Company: "Telco Mobiles", Price: 80, Amount: 1}}
+	rv := reflect.ValueOf(q)
+	for _, path := range []struct {
+		name string
+		segs []string
+	}{
+		{"field", []string{"Price"}},
+		{"method", []string{"GetPrice"}},
+	} {
+		b.Run("reflective/"+path.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, err := filter.ResolvePath(rv, path.segs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := filter.ValueOf(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("compiled/"+path.name, func(b *testing.B) {
+			prog, err := accessor.Compile(rv.Type(), path.segs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Constant(rv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// quoteBook is the pointer-bearing benchmark class: an order book
+// snapshot whose clones used to cost a full gob decode each.
+type quoteBook struct {
+	obvent.Base
+	Company string
+	Bids    []bookLevel
+	Asks    []bookLevel
+	Venue   *venueInfo
+	Meta    map[string]string
+}
+
+type bookLevel struct {
+	Price  float64
+	Amount int
+}
+
+type venueInfo struct {
+	Name    string
+	Country string
+}
+
+// quoteBookGob carries the same payload but adds a recursive marker
+// field, which the copier compiler rejects at compile time — pinning
+// the gob-decode-per-clone baseline on an identical workload.
+type quoteBookGob struct {
+	obvent.Base
+	Company string
+	Bids    []bookLevel
+	Asks    []bookLevel
+	Venue   *venueInfo
+	Meta    map[string]string
+	Self    *quoteBookGob // recursive: forces the gob fallback; nil on the wire
+}
+
+// BenchmarkClonePointerBearing measures per-subscriber cloning of a
+// pointer-bearing class: the gob-decode-per-clone baseline (a class the
+// copier compiler rejects) against the compiled deep copier. Flat
+// classes are unaffected (they keep the PR 2 value-copy fastpath).
+// Part of the dispatch CI family.
+func BenchmarkClonePointerBearing(b *testing.B) {
+	reg := obvent.NewRegistry()
+	reg.MustRegister(quoteBook{})
+	reg.MustRegister(quoteBookGob{})
+	c := codec.New(reg)
+
+	bids := []bookLevel{{99, 10}, {98, 25}, {97, 5}}
+	asks := []bookLevel{{101, 8}, {102, 40}}
+	venue := &venueInfo{Name: "XETRA", Country: "DE"}
+	meta := map[string]string{"session": "open", "tier": "1"}
+
+	cases := []struct {
+		name string
+		o    obvent.Obvent
+		// mode asserts which clone strategy the class resolved to (via
+		// the codec's compile counters), so a silently changed copier
+		// admission rule cannot make the two sides measure the same
+		// thing. Checked per sub-benchmark: a -bench filter may select
+		// either one alone.
+		mode func(CopierStats codec.CopierStats) bool
+	}{
+		{
+			"gob-fallback",
+			quoteBookGob{Company: "Telco Mobiles", Bids: bids, Asks: asks, Venue: venue, Meta: meta},
+			func(st codec.CopierStats) bool { return st.Rejects >= 1 },
+		},
+		{
+			"compiled-copier",
+			quoteBook{Company: "Telco Mobiles", Bids: bids, Asks: asks, Venue: venue, Meta: meta},
+			func(st codec.CopierStats) bool { return st.Compiles >= 1 },
+		},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			env, err := c.Encode(tc.o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, err := c.Source(env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !tc.mode(c.CopierStats()) {
+				b.Fatalf("CopierStats = %+v: %s no longer resolves to its intended clone mode; results are not comparable", c.CopierStats(), tc.name)
+			}
+			if _, err := src.Clone(); err != nil { // warm the prototype
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := src.Clone(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

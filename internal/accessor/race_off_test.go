@@ -1,0 +1,5 @@
+//go:build !race
+
+package accessor
+
+const raceEnabled = false

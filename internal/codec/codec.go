@@ -91,6 +91,10 @@ type Codec struct {
 	// type transitively contains no reference kinds. A type's layout
 	// never changes once registered, so entries are valid forever.
 	flat sync.Map
+
+	// codecCopiers is the compiled deep-copier cache for pointer-bearing
+	// classes (copier.go).
+	codecCopiers
 }
 
 // New returns a Codec over the given registry.
@@ -150,10 +154,18 @@ func (c *Codec) Decode(e *Envelope) (obvent.Obvent, error) {
 // A CloneSource produces per-subscriber clones of one envelope. It
 // front-loads the registry lookup so that a dispatcher delivering one
 // publication to many local subscriptions pays the (read-locked) type
-// resolution once and only the clone cost per clone. For pointer-free
-// ("flat") classes the payload is gob-decoded once into a prototype and
-// every clone is a single reflect value copy, which is already a deep
-// copy; classes with reference kinds pay the full gob decode per clone.
+// resolution once and only the clone cost per clone. Three clone
+// strategies exist, resolved per class at Source time:
+//
+//   - modeFlat: pointer-free classes. The payload is gob-decoded once
+//     into a prototype; every clone is a single reflect value copy,
+//     which is already a deep copy.
+//   - modeCopier: pointer-bearing classes with a compiled deep copier
+//     (copier.go). The payload is gob-decoded once into a prototype;
+//     every clone is one compiled deep copy of it — no per-clone wire
+//     decode.
+//   - modeGob: classes the copier compiler rejects. Every clone pays
+//     the full gob decode, as all classes originally did.
 //
 // A CloneSource is not safe for concurrent use: it belongs to the one
 // dispatch invocation that created it.
@@ -162,48 +174,73 @@ type CloneSource struct {
 	name    string
 	payload []byte
 
-	// flat marks the fastpath; proto is the decoded prototype, valid
-	// once the first flat Clone succeeded.
-	flat  bool
+	mode cloneMode
+	// copy is the compiled deep copier (modeCopier only).
+	copy copyFn
+	// proto is the payload decoded once (modeFlat/modeCopier), valid
+	// after the first successful Clone.
 	proto reflect.Value
 }
 
+// cloneMode selects a CloneSource's per-clone strategy.
+type cloneMode uint8
+
+const (
+	// modeGob decodes the payload per clone (fallback).
+	modeGob cloneMode = iota
+	// modeFlat value-copies the decoded prototype.
+	modeFlat
+	// modeCopier deep-copies the decoded prototype with a compiled
+	// copier.
+	modeCopier
+)
+
 // Source resolves the envelope's obvent class for repeated cloning.
 func (c *Codec) Source(e *Envelope) (*CloneSource, error) {
+	s := new(CloneSource)
+	if err := c.SourceInto(e, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SourceInto is Source into caller-owned storage: dispatch loops reuse
+// one CloneSource per lane across envelopes instead of allocating one
+// per envelope. Any previous state of s is discarded.
+func (c *Codec) SourceInto(e *Envelope, s *CloneSource) error {
 	t, ok := c.reg.TypeByName(e.Type)
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnregistered, e.Type)
+		return fmt.Errorf("%w: %q", ErrUnregistered, e.Type)
 	}
-	return &CloneSource{typ: t, name: e.Type, payload: e.Payload, flat: c.flatType(t)}, nil
+	*s = CloneSource{typ: t, name: e.Type, payload: e.Payload}
+	if c.flatType(t) {
+		s.mode = modeFlat
+	} else if fn := c.copierFor(t); fn != nil {
+		s.mode = modeCopier
+		s.copy = fn
+	}
+	return nil
 }
 
 // Clone decodes one fresh obvent value — the paper's distributed object
 // creation (§2.1.2): every call yields a distinct object.
 func (s *CloneSource) Clone() (obvent.Obvent, error) {
-	if s.flat {
-		return s.cloneFlat()
+	if s.mode == modeGob {
+		v := reflect.New(s.typ)
+		dec := gob.NewDecoder(bytes.NewReader(s.payload))
+		if err := dec.DecodeValue(v); err != nil {
+			return nil, fmt.Errorf("codec: decode %s: %w", s.name, err)
+		}
+		return s.box(v.Elem())
 	}
-	v := reflect.New(s.typ)
-	dec := gob.NewDecoder(bytes.NewReader(s.payload))
-	if err := dec.DecodeValue(v); err != nil {
-		return nil, fmt.Errorf("codec: decode %s: %w", s.name, err)
-	}
-	o, ok := v.Elem().Interface().(obvent.Obvent)
-	if !ok {
-		// The registry only holds Obvent types, so this indicates a
-		// registry/codec mismatch, not user error.
-		return nil, fmt.Errorf("codec: decode: %s is not an obvent", s.name)
-	}
-	return o, nil
-}
-
-// cloneFlat is the pointer-free fastpath: decode the payload once, then
-// every clone is a value copy (Interface boxes a fresh copy of the
-// prototype). With no reference kinds anywhere in the struct — strings
-// are immutable, so sharing their backing bytes is safe — a value copy
-// gives exactly the independence the gob round trip gives, without the
-// per-clone decode.
-func (s *CloneSource) cloneFlat() (obvent.Obvent, error) {
+	// Prototype modes: decode the payload once, then clone off the
+	// prototype. With no reference kinds (modeFlat), the value copy
+	// performed by Interface boxing is already a deep copy — strings are
+	// immutable, so sharing their backing bytes is safe. Otherwise
+	// (modeCopier) the compiled copier rebuilds the prototype's pointee,
+	// slice and map structure with fresh allocations; the prototype is a
+	// gob-decoded tree (no aliasing, no cycles), so the copy is
+	// indistinguishable from another decode of the payload.
 	if !s.proto.IsValid() {
 		v := reflect.New(s.typ)
 		dec := gob.NewDecoder(bytes.NewReader(s.payload))
@@ -212,8 +249,21 @@ func (s *CloneSource) cloneFlat() (obvent.Obvent, error) {
 		}
 		s.proto = v.Elem()
 	}
-	o, ok := s.proto.Interface().(obvent.Obvent)
+	if s.mode == modeFlat {
+		return s.box(s.proto)
+	}
+	n := reflect.New(s.typ).Elem()
+	s.copy(n, s.proto)
+	return s.box(n)
+}
+
+// box converts a decoded value to the Obvent interface (copying it into
+// the interface box, which completes the clone's independence).
+func (s *CloneSource) box(v reflect.Value) (obvent.Obvent, error) {
+	o, ok := v.Interface().(obvent.Obvent)
 	if !ok {
+		// The registry only holds Obvent types, so this indicates a
+		// registry/codec mismatch, not user error.
 		return nil, fmt.Errorf("codec: decode: %s is not an obvent", s.name)
 	}
 	return o, nil

@@ -373,7 +373,7 @@ func TestCloneFlatFastpathIndependence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !src.flat {
+	if src.mode != modeFlat {
 		t.Fatal("flat class did not take the value-copy fastpath")
 	}
 	a, err := src.Clone()

@@ -1,0 +1,309 @@
+package codec
+
+// This file implements compiled deep copiers: the pointer-bearing
+// counterpart of the flat-class value-copy fastpath. A CloneSource
+// decodes an envelope's payload once into a prototype; for classes
+// whose layout contains reference kinds, each per-subscriber clone used
+// to pay a full gob decode. Instead, the codec compiles — once per
+// registered class — a recursive reflect-based copier (struct shallow
+// copy + reference-field fix-ups, fresh pointees, fresh slice and map
+// backing stores) and each clone becomes one compiled deep copy of the
+// prototype.
+//
+// Transparency: the prototype IS the gob round-trip image of the
+// published obvent (it was produced by decoding the payload), and gob
+// output is always a tree — every decoded pointer is freshly allocated,
+// so the prototype contains no aliasing and no cycles. A faithful deep
+// copy of that tree is therefore indistinguishable from another decode
+// of the same payload (property-tested against the gob oracle), while
+// skipping the wire format entirely.
+//
+// Compilation is conservative: a class whose layout the copier cannot
+// prove safe — interface fields (dynamic types unknown statically),
+// chan/func/unsafe.Pointer fields, maps whose keys contain pointers
+// (fresh keys would break lookup identity), recursive pointer types
+// (value cycles cannot be ruled out by layout alone), or non-flat types
+// that opt into custom gob marshaling (GobEncoder/BinaryMarshaler/
+// TextMarshaler, big.Int's pattern: GobDecode may rebuild unexported
+// reference state invisible to a layout-driven copy) — is rejected at
+// compile time and keeps the gob-decode-per-clone fallback. Unexported
+// fields transfer by shallow copy: default-encoded gob never moves
+// them, so in a prototype they are always zero.
+
+import (
+	"encoding"
+	"encoding/gob"
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// copyFn deep-copies src into dst. dst must be settable; for struct
+// copiers it may alias src's shallow image (the fix-up style below).
+type copyFn func(dst, src reflect.Value)
+
+// copierEntry is one class's cached compilation outcome. A nil fn marks
+// a rejected class (gob fallback) so rejection is decided once, not per
+// envelope.
+type copierEntry struct{ fn copyFn }
+
+// CopierStats describes a codec's compiled-copier cache.
+type CopierStats struct {
+	// Compiles counts classes for which a deep copier was compiled.
+	Compiles uint64
+	// Rejects counts classes rejected to the gob-per-clone fallback
+	// (unsupported layout). Flat classes appear in neither: they use the
+	// value-copy fastpath and never request a copier.
+	Rejects uint64
+}
+
+// CopierStats returns the codec's copier-compilation counters.
+func (c *Codec) CopierStats() CopierStats {
+	return CopierStats{
+		Compiles: c.copierCompiles.Load(),
+		Rejects:  c.copierRejects.Load(),
+	}
+}
+
+// copierFor returns the compiled deep copier for t, compiling and
+// caching it on first use. nil means the class is rejected and clones
+// must take the gob fallback. Like the flat cache, entries are valid
+// forever: a type's layout never changes.
+func (c *Codec) copierFor(t reflect.Type) copyFn {
+	if v, ok := c.copiers.Load(t); ok {
+		return v.(copierEntry).fn
+	}
+	b := copierBuilder{building: make(map[reflect.Type]bool)}
+	fn, ok := b.build(t)
+	if !ok {
+		fn = nil
+	}
+	if v, loaded := c.copiers.LoadOrStore(t, copierEntry{fn}); loaded {
+		return v.(copierEntry).fn
+	}
+	if fn != nil {
+		c.copierCompiles.Add(1)
+	} else {
+		c.copierRejects.Add(1)
+	}
+	return fn
+}
+
+// copierBuilder compiles one class, tracking in-progress types to
+// detect recursion.
+type copierBuilder struct {
+	building map[reflect.Type]bool
+}
+
+// customGobIfaces are the interfaces gob honors in place of its default
+// field-wise encoding (GobEncoder first, then BinaryMarshaler, then
+// TextMarshaler, with the matching decode side).
+var customGobIfaces = []reflect.Type{
+	reflect.TypeOf((*gob.GobEncoder)(nil)).Elem(),
+	reflect.TypeOf((*gob.GobDecoder)(nil)).Elem(),
+	reflect.TypeOf((*encoding.BinaryMarshaler)(nil)).Elem(),
+	reflect.TypeOf((*encoding.BinaryUnmarshaler)(nil)).Elem(),
+	reflect.TypeOf((*encoding.TextMarshaler)(nil)).Elem(),
+	reflect.TypeOf((*encoding.TextUnmarshaler)(nil)).Elem(),
+}
+
+// hasCustomGob reports whether t (or its pointer type, whose method set
+// gob consults for addressable values) opts out of gob's default
+// field-wise encoding.
+func hasCustomGob(t reflect.Type) bool {
+	pt := reflect.PointerTo(t)
+	for _, it := range customGobIfaces {
+		if t.Implements(it) || pt.Implements(it) {
+			return true
+		}
+	}
+	return false
+}
+
+// build returns a deep copier for t, or ok == false when t's layout is
+// unsupported (the class then keeps the gob fallback).
+func (b *copierBuilder) build(t reflect.Type) (copyFn, bool) {
+	if isFlat(t) {
+		// A value copy of a flat subtree is already a deep copy — even
+		// for custom gob marshalers: with no reference kinds anywhere in
+		// the layout (unexported fields included), however GobDecode
+		// populated the value, copying it copies everything.
+		return func(dst, src reflect.Value) { dst.Set(src) }, true
+	}
+	if hasCustomGob(t) {
+		// A custom gob marshaler (big.Int's pattern) can rebuild
+		// unexported reference state at decode time, which the
+		// layout-driven copier would shallow-alias across clones.
+		// Reject to the gob fallback, whose per-clone decode honors the
+		// custom codec by construction.
+		return nil, false
+	}
+	if b.building[t] {
+		// Recursive pointer type (e.g. type Node struct{ Next *Node }).
+		// Prototypes are gob-decoded trees, so value cycles could not
+		// actually occur here — but a compiled copier would chase any
+		// depth with no cycle check, so recursion is rejected to the
+		// gob fallback once, at compile time, as the conservatively
+		// cycle-safe choice.
+		return nil, false
+	}
+	b.building[t] = true
+	fn, ok := b.buildKind(t)
+	delete(b.building, t)
+	return fn, ok
+}
+
+// buildKind compiles the non-flat, non-recursive kinds.
+func (b *copierBuilder) buildKind(t reflect.Type) (copyFn, bool) {
+	switch t.Kind() {
+	case reflect.Struct:
+		return b.buildStruct(t)
+	case reflect.Pointer:
+		elemFn, ok := b.build(t.Elem())
+		if !ok {
+			return nil, false
+		}
+		et := t.Elem()
+		return func(dst, src reflect.Value) {
+			if src.IsNil() {
+				dst.SetZero()
+				return
+			}
+			n := reflect.New(et)
+			elemFn(n.Elem(), src.Elem())
+			dst.Set(n)
+		}, true
+	case reflect.Slice:
+		et := t.Elem()
+		if isFlat(et) {
+			return func(dst, src reflect.Value) {
+				if src.IsNil() {
+					dst.SetZero()
+					return
+				}
+				n := reflect.MakeSlice(t, src.Len(), src.Len())
+				reflect.Copy(n, src)
+				dst.Set(n)
+			}, true
+		}
+		elemFn, ok := b.build(et)
+		if !ok {
+			return nil, false
+		}
+		return func(dst, src reflect.Value) {
+			if src.IsNil() {
+				dst.SetZero()
+				return
+			}
+			l := src.Len()
+			n := reflect.MakeSlice(t, l, l)
+			for i := 0; i < l; i++ {
+				elemFn(n.Index(i), src.Index(i))
+			}
+			dst.Set(n)
+		}, true
+	case reflect.Array:
+		// Flat arrays never reach here (isFlat short-circuits).
+		elemFn, ok := b.build(t.Elem())
+		if !ok {
+			return nil, false
+		}
+		l := t.Len()
+		return func(dst, src reflect.Value) {
+			for i := 0; i < l; i++ {
+				elemFn(dst.Index(i), src.Index(i))
+			}
+		}, true
+	case reflect.Map:
+		if !isFlat(t.Key()) {
+			// Fresh deep-copied keys would not be == to the originals,
+			// changing lookup identity; gob (which rebuilds keys from
+			// their flattened values) is the semantics of record here.
+			return nil, false
+		}
+		vt := t.Elem()
+		if isFlat(vt) {
+			return func(dst, src reflect.Value) {
+				if src.IsNil() {
+					dst.SetZero()
+					return
+				}
+				n := reflect.MakeMapWithSize(t, src.Len())
+				iter := src.MapRange()
+				for iter.Next() {
+					n.SetMapIndex(iter.Key(), iter.Value())
+				}
+				dst.Set(n)
+			}, true
+		}
+		valFn, ok := b.build(vt)
+		if !ok {
+			return nil, false
+		}
+		return func(dst, src reflect.Value) {
+			if src.IsNil() {
+				dst.SetZero()
+				return
+			}
+			n := reflect.MakeMapWithSize(t, src.Len())
+			iter := src.MapRange()
+			for iter.Next() {
+				nv := reflect.New(vt).Elem()
+				valFn(nv, iter.Value())
+				n.SetMapIndex(iter.Key(), nv)
+			}
+			dst.Set(n)
+		}, true
+	default:
+		// Interface (dynamic type unknown statically), chan, func,
+		// unsafe.Pointer: unsupported — gob fallback.
+		return nil, false
+	}
+}
+
+// buildStruct compiles a struct copier: one shallow Set (which finishes
+// every flat field, including unexported ones — always zero in a
+// gob-decoded prototype) followed by fix-ups of the exported
+// reference-bearing fields.
+func (b *copierBuilder) buildStruct(t reflect.Type) (copyFn, bool) {
+	type fix struct {
+		idx int
+		fn  copyFn
+	}
+	var fixes []fix
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if isFlat(f.Type) {
+			continue
+		}
+		if !f.IsExported() {
+			// gob neither encodes nor decodes unexported fields, so the
+			// prototype's are zero and the shallow copy is exact. (A
+			// non-zero unexported reference field could only come from a
+			// value that never crossed the codec.)
+			continue
+		}
+		fn, ok := b.build(f.Type)
+		if !ok {
+			return nil, false
+		}
+		fixes = append(fixes, fix{idx: i, fn: fn})
+	}
+	return func(dst, src reflect.Value) {
+		dst.Set(src)
+		for i := range fixes {
+			f := &fixes[i]
+			f.fn(dst.Field(f.idx), src.Field(f.idx))
+		}
+	}, true
+}
+
+// Codec copier cache fields (declared here, next to their logic; the
+// Codec struct embeds them via codecCopiers).
+type codecCopiers struct {
+	// copiers caches reflect.Type -> copierEntry.
+	copiers sync.Map
+	// copierCompiles / copierRejects count compilation outcomes.
+	copierCompiles atomic.Uint64
+	copierRejects  atomic.Uint64
+}

@@ -54,6 +54,24 @@ type DispatchStats struct {
 	// HandlerPanics counts application handler panics recovered by the
 	// delivery pipeline (engine-wide; per-event, not per-lane).
 	HandlerPanics uint64
+
+	// AccessorPrograms counts the accessor programs compiled by the live
+	// dispatch table's compound matchers: one per (event type, unique
+	// filter path) first seen by a bucket. Counters follow the current
+	// table — buckets (and their matchers) are recompiled on
+	// subscription churn and registry growth, restarting the count.
+	AccessorPrograms uint64
+	// AccessorFallbacks counts per-event path resolutions in the live
+	// table's matchers that fell back to name-based reflection (path
+	// does not compile for the event type; fail-open is preserved).
+	AccessorFallbacks uint64
+	// CopierCompiles counts pointer-bearing classes for which the
+	// engine's codec compiled a deep copier (cumulative; a class is
+	// decided once).
+	CopierCompiles uint64
+	// CopierFallbacks counts classes the copier compiler rejected to the
+	// gob-decode-per-clone fallback (unsupported layout).
+	CopierFallbacks uint64
 }
 
 // dispatchCounters is the engine-internal atomic form of DispatchStats.
@@ -85,10 +103,23 @@ func (s *DispatchStats) add(o DispatchStats) {
 }
 
 // Stats returns a snapshot of the engine's delivery counters, folded
-// across all dispatch lanes.
+// across all dispatch lanes, plus the compile-step counters of the
+// reflection-free pipeline: accessor programs in the live dispatch
+// table's matchers and deep copiers in the engine's codec.
 func (e *Engine) Stats() DispatchStats {
 	st := e.lanes.stats()
 	st.HandlerPanics = e.handlerPanics.Load()
+	cs := e.codec.CopierStats()
+	st.CopierCompiles = cs.Compiles
+	st.CopierFallbacks = cs.Rejects
+	e.table.Load().buckets.Range(func(_, v any) bool {
+		if b := v.(*typeBucket); b.compound != nil {
+			ms := b.compound.Stats()
+			st.AccessorPrograms += ms.AccessorPrograms
+			st.AccessorFallbacks += ms.AccessorFallbacks
+		}
+		return true
+	})
 	return st
 }
 
@@ -221,8 +252,9 @@ func (t *dispatchTable) compileBucket(concrete string, gen uint64) *typeBucket {
 // lane has exactly one drain goroutine, so no pooling or locking is
 // needed; the slices just survive across that lane's envelopes.
 type dispatchScratch struct {
-	ids     []string        // compound match output buffer
-	deliver []*Subscription // delivery list for the current envelope
+	ids     []string          // compound match output buffer
+	deliver []*Subscription   // delivery list for the current envelope
+	src     codec.CloneSource // clone source, reset per envelope
 }
 
 // dispatch matches one envelope against the indexed subscription table
@@ -249,18 +281,22 @@ func (e *Engine) dispatch(env *codec.Envelope, ln *laneState) {
 	}
 
 	// Decode once: one canonical value drives all remote-filter
-	// evaluation; buckets without remote filters skip the decode.
-	src, err := e.codec.Source(env)
-	if err != nil {
+	// evaluation; buckets without remote filters skip the decode. The
+	// CloneSource lives in the lane scratch — resolving a source must
+	// not allocate per envelope.
+	sc := &ln.scratch
+	src := &sc.src
+	if err := e.codec.SourceInto(env, src); err != nil {
 		ln.counters.decodeErrors.Add(1)
+		sc.src = codec.CloneSource{} // do not pin the failed envelope
 		return
 	}
-	sc := &ln.scratch
 	matched := sc.ids[:0]
 	if b.compound != nil {
 		canonical, err := src.Clone()
 		if err != nil {
 			ln.counters.decodeErrors.Add(1)
+			sc.src = codec.CloneSource{} // do not pin the failed envelope
 			return
 		}
 		matched = b.compound.MatchAppend(canonical, matched)
@@ -310,9 +346,12 @@ func (e *Engine) dispatch(env *codec.Envelope, ln *laneState) {
 			ln.counters.delivered.Add(1)
 		}
 	}
-	// Retain any buffer growth for this lane's next envelope.
+	// Retain any buffer growth for this lane's next envelope; drop the
+	// clone source's payload and prototype references so an idle lane
+	// does not pin its last envelope's obvent for the GC.
 	sc.ids = matched[:0]
 	sc.deliver = deliver[:0]
+	sc.src = codec.CloneSource{}
 }
 
 // orderedDelivery reports whether this envelope's deliveries must run

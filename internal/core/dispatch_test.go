@@ -456,3 +456,144 @@ func TestStatsAccessorConcurrent(t *testing.T) {
 		t.Errorf("Delivered = %d, want 50", st.Delivered)
 	}
 }
+
+// bookQuote is a pointer-bearing class for the compiled-copier
+// integration tests: clones must come off the compiled deep copier, not
+// a per-clone gob decode.
+type bookQuote struct {
+	obvent.Base
+	Company string
+	Levels  []float64
+	Info    *tickInfo
+}
+
+type tickInfo struct {
+	Venue string
+}
+
+// loopQuote is a recursive class: the copier compiler rejects it at
+// compile time and clones take the gob fallback.
+type loopQuote struct {
+	obvent.Base
+	V    int
+	Next *loopQuote
+}
+
+// TestDispatchSourceScratchAllocs pins the allocation budget of the
+// indexed dispatch loop: with the clone source resolved into per-lane
+// scratch (never heap-allocated per envelope, regardless of escape
+// analysis) and field-path filters compiled to accessor programs, a
+// full dispatch — route, decode-once, compound match over 50
+// subscriptions — allocates no more than the bare Source+Clone sequence
+// it wraps. Everything the matcher itself touches is allocation-free.
+func TestDispatchSourceScratchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	e := newLocalEngine(t)
+	for i := 0; i < 50; i++ {
+		// None of these match the published price: the measured work is
+		// route + decode-once + compound match, with no deliveries.
+		f := filter.Path("Price").Gt(filter.Float(10000 + float64(i)))
+		sub, err := Subscribe(e, f, func(q StockQuote) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sub.Activate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env, err := e.codec.Encode(StockQuote{StockObvent: StockObvent{Company: "Acme", Price: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := &laneState{}
+	e.dispatch(env, ls) // warm: bucket, compound plan, accessor programs, scratch
+
+	dispatchAllocs := testing.AllocsPerRun(300, func() {
+		e.dispatch(env, ls)
+	})
+	baseline := testing.AllocsPerRun(300, func() {
+		src, err := e.codec.Source(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.Clone(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if dispatchAllocs > baseline {
+		t.Errorf("dispatch allocates %.1f/op vs Source+Clone baseline %.1f/op; the matching pipeline must add zero allocations", dispatchAllocs, baseline)
+	}
+	if st := e.Stats(); st.AccessorFallbacks != 0 {
+		t.Errorf("AccessorFallbacks = %d, want 0 (field path must compile)", st.AccessorFallbacks)
+	}
+}
+
+// TestEngineStatsCompileCounters pins the observability satellite:
+// Engine.Stats surfaces the accessor programs compiled by the live
+// dispatch table and the codec's copier compile/reject decisions.
+func TestEngineStatsCompileCounters(t *testing.T) {
+	e := newLocalEngine(t)
+	e.Registry().MustRegister(bookQuote{})
+	e.Registry().MustRegister(loopQuote{})
+
+	_ = subscribeCollector[StockQuote](t, e, filter.Path("GetPrice").Lt(filter.Float(100)))
+	book := subscribeCollector[bookQuote](t, e, nil)
+	loop := subscribeCollector[loopQuote](t, e, nil)
+
+	_ = Publish(e, StockQuote{StockObvent: StockObvent{Company: "Acme", Price: 50}})
+	_ = Publish(e, bookQuote{Company: "Acme", Levels: []float64{1, 2}, Info: &tickInfo{Venue: "X"}})
+	_ = Publish(e, loopQuote{V: 1, Next: &loopQuote{V: 2}})
+	waitFor(t, 5*time.Second, "all classes delivered", func() bool {
+		return book.count() == 1 && loop.count() == 1 && e.Stats().Delivered >= 3
+	})
+
+	st := e.Stats()
+	if st.AccessorPrograms == 0 {
+		t.Errorf("AccessorPrograms = 0, want > 0 after filtered dispatch")
+	}
+	if st.CopierCompiles != 1 {
+		t.Errorf("CopierCompiles = %d, want 1 (bookQuote)", st.CopierCompiles)
+	}
+	if st.CopierFallbacks != 1 {
+		t.Errorf("CopierFallbacks = %d, want 1 (recursive loopQuote)", st.CopierFallbacks)
+	}
+	if got := loop.all()[0]; got.Next == nil || got.Next.V != 2 {
+		t.Errorf("gob-fallback delivery mangled recursive obvent: %+v", got)
+	}
+}
+
+// TestCopierClonesAreIndependentAcrossSubscribers is the end-to-end
+// obvent local uniqueness check (§2.1.2) on the copier path: two
+// subscribers to a pointer-bearing class receive clones that are equal
+// in content but share no pointees.
+func TestCopierClonesAreIndependentAcrossSubscribers(t *testing.T) {
+	e := newLocalEngine(t)
+	e.Registry().MustRegister(bookQuote{})
+	c1 := subscribeCollector[bookQuote](t, e, nil)
+	c2 := subscribeCollector[bookQuote](t, e, nil)
+
+	in := bookQuote{Company: "Acme", Levels: []float64{9, 8}, Info: &tickInfo{Venue: "X"}}
+	if err := Publish(e, in); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "both subscribers delivered", func() bool {
+		return c1.count() == 1 && c2.count() == 1
+	})
+	a, b := c1.all()[0], c2.all()[0]
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("clones differ: %+v vs %+v", a, b)
+	}
+	if a.Info == b.Info {
+		t.Error("clones share a pointee: local uniqueness violated")
+	}
+	if &a.Levels[0] == &b.Levels[0] {
+		t.Error("clones share slice backing: local uniqueness violated")
+	}
+	a.Info.Venue = "MUT"
+	a.Levels[0] = -1
+	if b.Info.Venue != "X" || b.Levels[0] != 9 {
+		t.Errorf("mutation leaked across subscribers: %+v", b)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled disables allocation-count assertions: the race detector's
+// instrumentation allocates on its own.
+const raceEnabled = true

@@ -11,16 +11,19 @@ import (
 // accessor, type mismatch) makes the filter reject the obvent and is
 // reported for diagnostics — a malformed remote filter must never crash
 // a filtering host.
+//
+// Evaluate resolves each path occurrence independently through
+// reflection; it is the semantic oracle. Hot paths (the compound
+// matcher, package matching) instead resolve each unique path once per
+// event through a compiled accessor program (package accessor).
 func Evaluate(e *Expr, obj any) (bool, error) {
 	ev := evaluator{obj: reflect.ValueOf(obj)}
 	return ev.eval(e)
 }
 
-// evaluator carries the reflected obvent and (optionally) a memo of
-// resolved paths so shared-path conditions pay reflection once.
+// evaluator carries the reflected obvent through one evaluation.
 type evaluator struct {
-	obj  reflect.Value
-	memo map[string]Constant
+	obj reflect.Value
 }
 
 // ValueOf, Compare and ResolveValue are exported so that package
@@ -85,20 +88,13 @@ func (ev *evaluator) resolve(o Operand) (Constant, error) {
 	if len(o.Path) == 0 {
 		return o.Const, nil
 	}
-	key := strings.Join(o.Path, ".")
-	if v, ok := ev.memo[key]; ok {
-		return v, nil
-	}
 	rv, err := ResolvePath(ev.obj, o.Path)
 	if err != nil {
 		return Constant{}, err
 	}
 	v, err := ValueOf(rv)
 	if err != nil {
-		return Constant{}, fmt.Errorf("filter: path %s: %w", key, err)
-	}
-	if ev.memo != nil {
-		ev.memo[key] = v
+		return Constant{}, fmt.Errorf("filter: path %s: %w", strings.Join(o.Path, "."), err)
 	}
 	return v, nil
 }
@@ -135,22 +131,38 @@ func resolveSegment(v reflect.Value, seg string) (reflect.Value, error) {
 	if !v.IsValid() {
 		return reflect.Value{}, fmt.Errorf("filter: segment %q on invalid value", seg)
 	}
-	// Accessor method on the value itself.
-	if m := v.MethodByName(seg); m.IsValid() {
-		return callAccessor(m, seg)
+	if v.Kind() == reflect.Interface && v.IsNil() {
+		// MethodByName on a nil interface value panics inside reflect;
+		// like every other data-dependent resolution failure this must
+		// reject the obvent, not crash the filtering host.
+		return reflect.Value{}, fmt.Errorf("filter: segment %q on nil interface", seg)
 	}
-	// Accessor method on the address (pointer receiver).
-	if v.CanAddr() {
+	// Accessor method, with a single name lookup: when the value is
+	// addressable (and neither a pointer nor an interface — a pointer's
+	// method set is already complete and a pointer-to-interface type has
+	// none) the lookup goes through its pointer type, whose method set
+	// contains both value- and pointer-receiver accessors; otherwise
+	// through the value's own.
+	if v.Kind() != reflect.Pointer && v.Kind() != reflect.Interface && v.CanAddr() {
 		if m := v.Addr().MethodByName(seg); m.IsValid() {
 			return callAccessor(m, seg)
 		}
+	} else if m := v.MethodByName(seg); m.IsValid() {
+		return callAccessor(m, seg)
 	}
-	// Dereference pointers for field access / value-method retry.
+	// Dereference pointers for field access / value-method retry. Only a
+	// multi-level pointer can gain a method here: one level's full method
+	// set was already probed above.
 	for v.Kind() == reflect.Pointer {
 		if v.IsNil() {
 			return reflect.Value{}, fmt.Errorf("filter: segment %q on nil pointer", seg)
 		}
 		v = v.Elem()
+		if v.Kind() == reflect.Interface && v.IsNil() {
+			// Same reflect panic hazard as the entry guard, reachable
+			// through a pointer-to-interface field.
+			return reflect.Value{}, fmt.Errorf("filter: segment %q on nil interface", seg)
+		}
 		if m := v.MethodByName(seg); m.IsValid() {
 			return callAccessor(m, seg)
 		}
@@ -158,18 +170,34 @@ func resolveSegment(v reflect.Value, seg string) (reflect.Value, error) {
 	if v.Kind() != reflect.Struct {
 		return reflect.Value{}, fmt.Errorf("filter: segment %q on non-struct %s", seg, v.Kind())
 	}
-	f := v.FieldByName(seg)
-	if !f.IsValid() {
+	f, ok := v.Type().FieldByName(seg)
+	if !ok {
 		return reflect.Value{}, fmt.Errorf("filter: no accessor or field %q on %s", seg, v.Type())
 	}
-	return f, nil
+	// FieldByIndexErr, not FieldByName: a promoted field reached through
+	// a nil embedded pointer must reject the obvent like any other
+	// resolution failure, not panic the filtering host.
+	fv, err := v.FieldByIndexErr(f.Index)
+	if err != nil {
+		return reflect.Value{}, fmt.Errorf("filter: segment %q: %w", seg, err)
+	}
+	return fv, nil
 }
 
-func callAccessor(m reflect.Value, seg string) (reflect.Value, error) {
+func callAccessor(m reflect.Value, seg string) (rv reflect.Value, err error) {
 	mt := m.Type()
 	if mt.NumIn() != 0 || mt.NumOut() != 1 {
 		return reflect.Value{}, fmt.Errorf("filter: accessor %q must be niladic with one result", seg)
 	}
+	// An accessor that panics (typically a promoted method reached
+	// through a nil embedded pointer) rejects the obvent like any other
+	// resolution failure: a data-dependent panic must never crash a
+	// filtering host.
+	defer func() {
+		if r := recover(); r != nil {
+			rv, err = reflect.Value{}, fmt.Errorf("filter: accessor %q panicked: %v", seg, r)
+		}
+	}()
 	return m.Call(nil)[0], nil
 }
 

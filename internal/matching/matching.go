@@ -17,6 +17,14 @@
 //     resolved with one path evaluation plus binary searches over the
 //     sorted thresholds, instead of one full evaluation per condition.
 //
+//  3. Accessor compilation: the unique-path table is compiled, per
+//     event type on first sight, into index-based accessor programs
+//     (package accessor) so steady-state matching performs no
+//     name-based reflection at all; paths that cannot compile for a
+//     type fall back to reflective resolution per event, preserving
+//     fail-open semantics exactly. Programs live as long as the plan
+//     and are invalidated with it on subscription churn.
+//
 // Compound matching is semantically transparent: Match returns exactly
 // the subscriptions whose filter would individually accept the event
 // (property-tested against filter.Evaluate).
@@ -28,7 +36,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"govents/internal/accessor"
 	"govents/internal/filter"
 )
 
@@ -47,12 +57,26 @@ type Compound struct {
 	plan       *plan // valid while !dirty; recompiled lazily on demand
 	dirty      bool
 	recompiles uint64 // plan compilations performed (Stats observability)
+
+	// accessorStats survives plan recompilations: program compiles and
+	// reflective fallbacks are properties of the matcher's lifetime, not
+	// of one plan.
+	accessorStats accessorCounters
+}
+
+// accessorCounters tracks the accessor-program activity of a matcher.
+type accessorCounters struct {
+	// compiles counts per-(event type, path) programs compiled.
+	compiles atomic.Uint64
+	// fallbacks counts per-event path resolutions that went through
+	// reflective filter.ResolvePath because no program could compile.
+	fallbacks atomic.Uint64
 }
 
 // New returns an empty compound matcher.
 func New() *Compound {
 	c := &Compound{subs: make(map[string]*filter.Expr)}
-	c.plan = compile(c.subs)
+	c.plan = compile(c.subs, &c.accessorStats)
 	return c
 }
 
@@ -130,7 +154,7 @@ func (c *Compound) currentPlan() *plan {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dirty {
-		c.plan = compile(c.subs)
+		c.plan = compile(c.subs, &c.accessorStats)
 		c.dirty = false
 		c.recompiles++
 	}
@@ -164,6 +188,15 @@ type Stats struct {
 	// performed over its lifetime. With lazy compilation it counts
 	// mutation bursts, not individual mutations.
 	Recompiles uint64
+	// AccessorPrograms is the number of compiled accessor programs this
+	// matcher has built over its lifetime: one per (event type, unique
+	// path) pair first seen by a plan. Type layouts never change, so a
+	// program is compiled at most once per plan per type.
+	AccessorPrograms uint64
+	// AccessorFallbacks counts per-event path resolutions that fell back
+	// to reflective lookup because the path cannot compile against the
+	// event's type (it then fails open per event, exactly as before).
+	AccessorFallbacks uint64
 }
 
 // Stats returns the factoring statistics of the current plan, forcing a
@@ -174,6 +207,8 @@ func (c *Compound) Stats() Stats {
 	defer c.mu.RUnlock()
 	st := p.stats
 	st.Recompiles = c.recompiles
+	st.AccessorPrograms = c.accessorStats.compiles.Load()
+	st.AccessorFallbacks = c.accessorStats.fallbacks.Load()
 	return st
 }
 
@@ -236,6 +271,25 @@ type plan struct {
 	paths    []pathSlot
 	pathSlot map[string]int
 
+	// programs caches, per concrete event root type, the accessor
+	// programs compiled for this plan's unique paths (aligned with
+	// paths; a nil entry means the path cannot compile for that type and
+	// falls back to reflective resolution per event). Compiled on first
+	// sight of a type; a type's layout never changes, so entries stay
+	// valid for the plan's lifetime — invalidation happens by plan
+	// replacement, exactly like the engine's dispatchTable buckets
+	// (subscription churn here, registry growth there). Growth is capped
+	// at maxProgramTypes: the engine's and routing plane's matchers see
+	// one type each, but Compound is public API and a caller feeding one
+	// long-lived matcher arbitrarily many event types must degrade to
+	// the reflective fallback, not grow memory without bound.
+	programs     sync.Map // reflect.Type -> []*accessor.Program
+	programTypes atomic.Int64
+
+	// acc are the owning Compound's accessor counters (shared across
+	// plan recompilations).
+	acc *accessorCounters
+
 	// direct: conditions evaluated one-by-one (referencing path slots).
 	direct []directCond
 
@@ -295,9 +349,10 @@ type finstr struct {
 }
 
 // compile builds a plan from the current subscription set.
-func compile(subs map[string]*filter.Expr) *plan {
+func compile(subs map[string]*filter.Expr, acc *accessorCounters) *plan {
 	p := &plan{
 		pathSlot: make(map[string]int),
+		acc:      acc,
 	}
 	p.scratch.New = func() any { return &matchScratch{} }
 	condSlot := make(map[string]int)
@@ -520,18 +575,32 @@ func (p *plan) match(event any, dst []string, failOpen bool) []string {
 	sc := p.getScratch()
 	defer p.scratch.Put(sc)
 
-	// 1. Resolve every unique path once.
+	// 1. Resolve every unique path once, through the accessor programs
+	// compiled for this event type (first sight compiles them); paths
+	// that cannot compile fall back to reflective resolution per event.
 	rv := reflect.ValueOf(event)
+	var progs []*accessor.Program
+	if len(p.paths) > 0 && rv.IsValid() {
+		progs = p.programsFor(rv.Type())
+	}
 	vals := sc.vals
 	valOK := sc.valOK
 	for i, ps := range p.paths {
-		v, err := filter.ResolvePath(rv, ps.path)
-		if err != nil {
-			continue
-		}
-		c, err := filter.ValueOf(v)
-		if err != nil {
-			continue
+		var c filter.Constant
+		if progs != nil && progs[i] != nil {
+			var err error
+			if c, err = progs[i].Constant(rv); err != nil {
+				continue
+			}
+		} else {
+			p.acc.fallbacks.Add(1)
+			v, err := filter.ResolvePath(rv, ps.path)
+			if err != nil {
+				continue
+			}
+			if c, err = filter.ValueOf(v); err != nil {
+				continue
+			}
 		}
 		vals[i], valOK[i] = c, true
 	}
@@ -635,6 +704,42 @@ func (p *plan) match(event any, dst []string, failOpen bool) []string {
 		}
 	}
 	return dst
+}
+
+// maxProgramTypes bounds how many distinct event root types one plan
+// compiles program tables for. Engine buckets and routing plans see
+// exactly one type each; the cap only bites a public Compound user
+// matching heterogeneous types through one matcher, who then falls back
+// to reflective resolution (visible as AccessorFallbacks).
+const maxProgramTypes = 256
+
+// programsFor returns the accessor programs for one event root type,
+// compiling the plan's unique-path table against it on first sight.
+// The steady-state path is one lock-free map hit; nil means "use the
+// reflective fallback" (over-cap, or — entry-wise — uncompilable path).
+func (p *plan) programsFor(t reflect.Type) []*accessor.Program {
+	if v, ok := p.programs.Load(t); ok {
+		return v.([]*accessor.Program)
+	}
+	if p.programTypes.Load() >= maxProgramTypes {
+		return nil
+	}
+	list := make([]*accessor.Program, len(p.paths))
+	compiled := uint64(0)
+	for i, ps := range p.paths {
+		if prog, err := accessor.Compile(t, ps.path); err == nil {
+			list[i] = prog
+			compiled++
+		}
+	}
+	if v, loaded := p.programs.LoadOrStore(t, list); loaded {
+		// A concurrent matcher compiled the same table first; count
+		// nothing and use its copy.
+		return v.([]*accessor.Program)
+	}
+	p.programTypes.Add(1)
+	p.acc.compiles.Add(compiled)
+	return list
 }
 
 // evalProg runs a postfix program over the condition results. Although

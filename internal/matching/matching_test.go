@@ -16,6 +16,12 @@ type quote struct {
 	Amount  int
 }
 
+// Accessor methods (the paper's encapsulated form, LP2), so tests can
+// exercise method-path programs alongside raw field paths.
+func (q quote) GetPrice() float64 { return q.Price }
+
+func (q quote) GetCompany() string { return q.Company }
+
 func TestMatchBasic(t *testing.T) {
 	c := New()
 	if err := c.Add("cheap", filter.Path("Price").Lt(filter.Float(100))); err != nil {
@@ -511,5 +517,92 @@ func TestMatchAppendFailOpen(t *testing.T) {
 	_ = c.Add("no", filter.Path("Price").Gt(filter.Float(100)))
 	if got := c.MatchAppendFailOpen(ev, nil); !reflect.DeepEqual(got, []string{"broken", "mixed", "ok"}) {
 		t.Errorf("fail-open must not include false formulas: %v", got)
+	}
+}
+
+// TestAccessorProgramStats pins the compile-step counters: one program
+// per (event type, compilable unique path), and one fallback count per
+// event for paths that cannot compile against the type.
+func TestAccessorProgramStats(t *testing.T) {
+	c := New()
+	_ = c.Add("a", filter.Path("Price").Lt(filter.Float(100)))
+	_ = c.Add("b", filter.Path("Missing").Eq(filter.Int(1))) // never compiles for quote
+
+	ev := quote{Company: "Telco", Price: 50}
+	for i := 0; i < 3; i++ {
+		c.Match(ev)
+	}
+	st := c.Stats()
+	if st.AccessorPrograms != 1 {
+		t.Errorf("AccessorPrograms = %d, want 1 (Price compiled, Missing rejected)", st.AccessorPrograms)
+	}
+	if st.AccessorFallbacks != 3 {
+		t.Errorf("AccessorFallbacks = %d, want 3 (one reflective Missing resolution per event)", st.AccessorFallbacks)
+	}
+
+	// A second event type compiles its own program table.
+	c.Match(&quote{Company: "Telco", Price: 50})
+	if st := c.Stats(); st.AccessorPrograms != 2 {
+		t.Errorf("AccessorPrograms = %d after second root type, want 2", st.AccessorPrograms)
+	}
+
+	// Counters survive plan recompilation (they describe the matcher's
+	// lifetime, not one plan).
+	_ = c.Add("c", filter.Path("Amount").Ge(filter.Int(1)))
+	c.Match(ev)
+	if st := c.Stats(); st.AccessorPrograms < 4 {
+		t.Errorf("AccessorPrograms = %d after recompile, want >= 4 (Price+Amount for value roots)", st.AccessorPrograms)
+	}
+}
+
+// TestMethodPathMatchesNaive pins program/oracle agreement for accessor
+// methods specifically (value receivers through boxed values), the
+// paper's preferred encapsulated form.
+func TestMethodPathMatchesNaive(t *testing.T) {
+	c := New()
+	for i := 0; i < 20; i++ {
+		_ = c.Add(fmt.Sprintf("m%02d", i), filter.And(
+			filter.Path("GetPrice").Lt(filter.Float(float64(i)*10)),
+			filter.Path("GetCompany").Contains(filter.Str("Tel")),
+		))
+	}
+	for _, ev := range []any{
+		quote{Company: "Telco", Price: 55},
+		quote{Company: "Acme", Price: 55},
+		quote{Company: "Telco", Price: 500},
+	} {
+		got := c.Match(ev)
+		want := c.MatchNaive(ev)
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Errorf("Match(%+v) = %v, naive %v", ev, got, want)
+		}
+	}
+}
+
+// TestProgramTableGrowthCapped pins the heterogeneous-caller bound: one
+// plan compiles program tables for at most maxProgramTypes distinct
+// event root types; beyond that, matching stays correct through the
+// reflective fallback (counted in AccessorFallbacks).
+func TestProgramTableGrowthCapped(t *testing.T) {
+	c := New()
+	_ = c.Add("cheap", filter.Path("Price").Lt(filter.Float(100)))
+	p := c.currentPlan()
+	// Saturate the cap artificially (distinct real types are hard to
+	// mint): the counter is what gates admission.
+	p.programTypes.Store(maxProgramTypes)
+	before := c.Stats().AccessorPrograms
+	got := c.Match(quote{Company: "x", Price: 50})
+	if len(got) != 1 || got[0] != "cheap" {
+		t.Fatalf("over-cap Match = %v, want [cheap]", got)
+	}
+	st := c.Stats()
+	if st.AccessorPrograms != before {
+		t.Errorf("AccessorPrograms grew past the cap: %d -> %d", before, st.AccessorPrograms)
+	}
+	if st.AccessorFallbacks == 0 {
+		t.Error("over-cap matching did not count reflective fallbacks")
+	}
+	if _, ok := p.programs.Load(reflect.TypeOf(quote{})); ok {
+		t.Error("over-cap type was cached anyway")
 	}
 }

@@ -70,7 +70,7 @@ type Network struct {
 	down      map[string]bool    // crashed/disconnected endpoints
 	closed    bool
 
-	inflight sync.WaitGroup
+	inflight inflightCounter
 
 	// Counters for bandwidth/message accounting (exp C1).
 	sentMessages atomic.Int64
@@ -177,9 +177,51 @@ func (n *Network) Close() error {
 // Settle blocks until all in-flight messages have been delivered or
 // dropped. It is a test aid: after Settle returns, no deliveries triggered
 // by earlier Sends remain pending (deliveries may themselves have sent new
-// messages, which Settle also waits for).
+// messages, which Settle also waits for, as long as each cascade hop is
+// sent before the previous message's delivery completes; a handler that
+// defers its sends to another goroutine can slip past an in-progress
+// Settle, which then simply observes the counter's next zero).
 func (n *Network) Settle() {
 	n.inflight.Wait()
+}
+
+// inflightCounter is a WaitGroup variant whose Add may be called
+// concurrently with Wait even when the counter is at zero. Handlers on
+// asynchronous delivery queues send new messages while Settle waits —
+// the exact interleaving sync.WaitGroup forbids (Add-from-zero racing
+// Wait), observed as a data race under the multicast ad cascade.
+type inflightCounter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// Add adjusts the counter by d.
+func (c *inflightCounter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	if c.n < 0 {
+		panic("netsim: negative in-flight count")
+	}
+	if c.n == 0 && c.cond != nil {
+		c.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter.
+func (c *inflightCounter) Done() { c.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (c *inflightCounter) Wait() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+	for c.n > 0 {
+		c.cond.Wait()
+	}
 }
 
 // Stats reports cumulative counters: messages offered to the network,

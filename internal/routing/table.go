@@ -176,6 +176,15 @@ type Stats struct {
 	// FallbackEvals counts fail-open routings where the event could not
 	// be decoded and every conditional node was included.
 	FallbackEvals uint64
+	// AccessorPrograms counts the accessor programs compiled by the live
+	// class plans' compound matchers (package accessor: per-event
+	// reflection compiled to index-based steps, shared with the
+	// subscriber-side dispatch matchers). Plans are recompiled on ad or
+	// registry changes, restarting the count with the plan.
+	AccessorPrograms uint64
+	// AccessorFallbacks counts per-event path resolutions in the live
+	// plans that fell back to name-based reflection.
+	AccessorFallbacks uint64
 }
 
 // classPlan is the immutable compiled routing state for one class.
@@ -789,16 +798,34 @@ func (t *Table) Stats() Stats {
 		s.add(v.(*classCounters).snapshot())
 		return true
 	})
+	t.plans.Range(func(_, v any) bool {
+		s.foldAccessor(v.(*classPlan))
+		return true
+	})
 	return s
+}
+
+// foldAccessor adds one class plan's compound accessor counters.
+func (s *Stats) foldAccessor(p *classPlan) {
+	if p == nil || p.compound == nil {
+		return
+	}
+	ms := p.compound.Stats()
+	s.AccessorPrograms += ms.AccessorPrograms
+	s.AccessorFallbacks += ms.AccessorFallbacks
 }
 
 // ClassStats returns one class's routing counters (the advertisement
 // counters are table-wide and stay zero here).
 func (t *Table) ClassStats(class string) Stats {
+	var s Stats
 	if v, ok := t.classStats.Load(class); ok {
-		return v.(*classCounters).snapshot()
+		s = v.(*classCounters).snapshot()
 	}
-	return Stats{}
+	if v, ok := t.plans.Load(class); ok {
+		s.foldAccessor(v.(*classPlan))
+	}
+	return s
 }
 
 // StatsByClass returns the per-class routing counters for every class
@@ -806,7 +833,12 @@ func (t *Table) ClassStats(class string) Stats {
 func (t *Table) StatsByClass() map[string]Stats {
 	out := make(map[string]Stats)
 	t.classStats.Range(func(k, v any) bool {
-		out[k.(string)] = v.(*classCounters).snapshot()
+		class := k.(string)
+		s := v.(*classCounters).snapshot()
+		if pv, ok := t.plans.Load(class); ok {
+			s.foldAccessor(pv.(*classPlan))
+		}
+		out[class] = s
 		return true
 	})
 	return out

@@ -397,10 +397,10 @@ func TestDestinationsSteadyStateAllocs(t *testing.T) {
 	for n := 0; n < 16; n++ {
 		var subs []core.SubscriptionInfo
 		for i := 0; i < 16; i++ {
-			// Direct-field path, not accessor method: reflective method
-			// calls and promoted-field lookups allocate on their own
-			// (see ROADMAP's path-resolution cache item); this test pins
-			// the routing plane's allocations.
+			// Field path, not accessor method: compiled field programs
+			// resolve with zero allocations, while a method segment
+			// still pays its reflect Call; this test pins the routing
+			// plane's own allocations.
 			f := filter.Path("Price").Lt(filter.Float(float64((i + 1) * 60)))
 			subs = append(subs, info(t, fmt.Sprintf("n%d-s%d", n, i), class, f))
 		}
@@ -466,5 +466,60 @@ func TestPendingDeltasBounded(t *testing.T) {
 	// Applied state is untouched and the table still routes.
 	if got := tb.SubscriptionCount(""); got != 1 {
 		t.Errorf("SubscriptionCount = %d, want 1", got)
+	}
+}
+
+// TestRoutingStatsAccessorPrograms pins the routing plane's view of the
+// compile step: class plans' compound matchers compile accessor
+// programs on first event sight, surfaced through Table.Stats.
+func TestRoutingStatsAccessorPrograms(t *testing.T) {
+	reg := obvent.NewRegistry()
+	reg.MustRegister(flatQuote{})
+	class := obvent.TypeName(obvent.TypeOf[flatQuote]())
+	tb := NewTable(reg)
+	var subs []core.SubscriptionInfo
+	for i := 0; i < 4; i++ {
+		f := filter.Path("Price").Lt(filter.Float(float64((i + 1) * 100)))
+		subs = append(subs, info(t, fmt.Sprintf("s%d", i), class, f))
+	}
+	tb.ApplySnapshot("node-a", 1, subs)
+
+	if st := tb.Stats(); st.AccessorPrograms != 0 {
+		t.Errorf("AccessorPrograms = %d before any event, want 0 (compiled on first sight)", st.AccessorPrograms)
+	}
+	var ev any = flatQuote{Company: "Telco", Price: 50}
+	decode := func() any { return ev }
+	if dests := tb.Destinations(class, decode, nil); len(dests) != 1 {
+		t.Fatalf("Destinations = %v, want node-a", dests)
+	}
+	st := tb.Stats()
+	if st.AccessorPrograms != 1 {
+		t.Errorf("AccessorPrograms = %d, want 1 (one unique path, one event type)", st.AccessorPrograms)
+	}
+	if st.AccessorFallbacks != 0 {
+		t.Errorf("AccessorFallbacks = %d, want 0", st.AccessorFallbacks)
+	}
+}
+
+// TestPerClassStatsFoldAccessorCounters pins the per-class breakout of
+// the accessor counters: ClassStats and StatsByClass must report the
+// same compile counts the aggregate Stats folds from the class plan.
+func TestPerClassStatsFoldAccessorCounters(t *testing.T) {
+	reg := obvent.NewRegistry()
+	reg.MustRegister(flatQuote{})
+	class := obvent.TypeName(obvent.TypeOf[flatQuote]())
+	tb := NewTable(reg)
+	tb.ApplySnapshot("node-a", 1, []core.SubscriptionInfo{
+		info(t, "s0", class, filter.Path("Price").Lt(filter.Float(100))),
+	})
+	var ev any = flatQuote{Company: "Telco", Price: 50}
+	if dests := tb.Destinations(class, func() any { return ev }, nil); len(dests) != 1 {
+		t.Fatalf("Destinations = %v", dests)
+	}
+	if got := tb.ClassStats(class).AccessorPrograms; got != 1 {
+		t.Errorf("ClassStats.AccessorPrograms = %d, want 1", got)
+	}
+	if got := tb.StatsByClass()[class].AccessorPrograms; got != 1 {
+		t.Errorf("StatsByClass.AccessorPrograms = %d, want 1", got)
 	}
 }
