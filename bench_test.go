@@ -6,6 +6,8 @@
 package govents_test
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"reflect"
 	"sync"
@@ -27,6 +29,7 @@ import (
 	"govents/internal/routing"
 	"govents/internal/topics"
 	"govents/internal/tuplespace"
+	"govents/internal/wire"
 	"govents/internal/workload"
 )
 
@@ -754,6 +757,179 @@ func BenchmarkAccessor(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// --- C10: compact wire format (compiled per-class codec programs) ---
+
+// BenchmarkWireCodec measures payload encoding and decoding for a flat
+// class and a pointer-bearing one: the gob baseline (a fresh
+// encoder/decoder per event, which is what the envelope payload path
+// paid before the wire format) against the compiled per-class wire
+// program. Part of the dispatch CI family; cmd/benchjson archives it
+// into BENCH_dispatch.json.
+func BenchmarkWireCodec(b *testing.B) {
+	cases := []struct {
+		name string
+		v    any
+	}{
+		{"flat", workload.StockQuote{StockObvent: workload.StockObvent{Company: "Telco Mobiles", Price: 80, Amount: 1}}},
+		{"pointer-bearing", quoteBook{
+			Company: "Telco Mobiles",
+			Bids:    []bookLevel{{99, 10}, {98, 25}, {97, 5}},
+			Asks:    []bookLevel{{101, 8}, {102, 40}},
+			Venue:   &venueInfo{Name: "XETRA", Country: "DE"},
+			Meta:    map[string]string{"session": "open", "tier": "1"},
+		}},
+	}
+	for _, tc := range cases {
+		rt := reflect.TypeOf(tc.v)
+		prog, err := wire.Compile(rt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rv := reflect.ValueOf(tc.v)
+		wireData := prog.Append(nil, rv)
+		var gobBuf bytes.Buffer
+		if err := gob.NewEncoder(&gobBuf).Encode(tc.v); err != nil {
+			b.Fatal(err)
+		}
+		gobData := append([]byte(nil), gobBuf.Bytes()...)
+
+		b.Run("encode/gob/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var buf bytes.Buffer
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := gob.NewEncoder(&buf).Encode(tc.v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(buf.Len()), "bytes/ev")
+		})
+		b.Run("encode/wire/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var data []byte
+			for i := 0; i < b.N; i++ {
+				data = prog.Append(data[:0], rv)
+			}
+			b.ReportMetric(float64(len(data)), "bytes/ev")
+		})
+		b.Run("decode/gob/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pv := reflect.New(rt)
+				if err := gob.NewDecoder(bytes.NewReader(gobData)).DecodeValue(pv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("decode/wire/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rv := reflect.New(rt).Elem()
+				if err := prog.Decode(wireData, rv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLazyRoute measures the publisher's per-event destination
+// decision straight from an encoded envelope, with 1000 remote
+// subscriptions spread across 16 nodes: the materializing path (decode
+// the event from its payload, then evaluate the compound routing plan —
+// what every wire-encoded event paid before lazy partial decode)
+// against the lazy path (extract only the plan's referenced fields from
+// the compact payload; the event value is never built). Subscriptions
+// filter on the promoted Price field — a structural path the wire
+// extractor can resolve from bytes. Part of the dispatch CI family.
+func BenchmarkLazyRoute(b *testing.B) {
+	const (
+		nNodes = 16
+		nSubs  = 1000
+	)
+	for _, sel := range []struct {
+		name string
+		frac float64
+	}{{"sel=1pct", 0.01}, {"sel=10pct", 0.10}} {
+		reg := obvent.NewRegistry()
+		workload.RegisterTypes(reg)
+		class := obvent.TypeName(obvent.TypeOf[workload.StockQuote]())
+		tbl := routing.NewTable(reg)
+		for n := 0; n < nNodes; n++ {
+			var infos []core.SubscriptionInfo
+			for i := n; i < nSubs; i += nNodes {
+				threshold := (float64(i) + 0.5) * 1000 / nSubs
+				data, err := filter.MarshalCanonical(filter.Path("Price").Lt(filter.Float(threshold)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				infos = append(infos, core.SubscriptionInfo{
+					ID:       fmt.Sprintf("node-%02d/sub-%04d", n, i),
+					TypeName: class,
+					Filter:   data,
+				})
+			}
+			tbl.ApplySnapshot(fmt.Sprintf("node-%02d", n), 1, infos)
+		}
+		matches := int(sel.frac * nSubs)
+		price := float64(nSubs-matches) * 1000 / nSubs
+		q := workload.StockQuote{StockObvent: workload.StockObvent{Company: "Telco Mobiles", Price: price, Amount: 1}}
+		c := codec.New(reg)
+		env, err := c.Encode(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(fmt.Sprintf("materialize/subs=%d/%s", nSubs, sel.name), func(b *testing.B) {
+			b.ReportAllocs()
+			var src codec.CloneSource
+			dec := func() any {
+				o, err := src.Clone()
+				if err != nil {
+					return nil
+				}
+				return o
+			}
+			dst := make([]string, 0, nNodes)
+			var nDests int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.SourceInto(env, &src); err != nil {
+					b.Fatal(err)
+				}
+				dst = tbl.Destinations(class, dec, dst[:0])
+				nDests = len(dst)
+			}
+			b.ReportMetric(float64(nDests), "dests/op")
+		})
+		b.Run(fmt.Sprintf("lazy/subs=%d/%s", nSubs, sel.name), func(b *testing.B) {
+			b.ReportAllocs()
+			var src codec.CloneSource
+			full := func() (any, error) { return src.Clone() }
+			dst := make([]string, 0, nNodes)
+			var nDests int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.SourceInto(env, &src); err != nil {
+					b.Fatal(err)
+				}
+				wp, payload, ok := src.Wire()
+				if !ok {
+					b.Fatal("envelope is not wire-encoded; the lazy side would silently measure materialization")
+				}
+				dst = tbl.DestinationsWire(class, wp, payload, full, dst[:0])
+				nDests = len(dst)
+			}
+			st := tbl.Stats()
+			b.StopTimer()
+			if st.PartialDecodes == 0 {
+				b.Fatal("no partial decodes recorded; the plan fell back to materialization")
+			}
+			b.ReportMetric(float64(nDests), "dests/op")
 		})
 	}
 }

@@ -139,7 +139,7 @@ func expC1() {
 	fmt.Printf("%-12s %14s %14s %8s\n", "selectivity", "msgs@subscr", "msgs@publshr", "saving")
 
 	for _, selectivity := range []float64{0.01, 0.10, 0.50, 1.00} {
-		run := func(p govents.Placement) (int64, govents.RoutingStats) {
+		run := func(p govents.Placement) (int64, govents.RoutingStats, govents.DispatchStats) {
 			net := netsim.New(netsim.Config{})
 			defer net.Close()
 			domains := domain(net, 2, govents.WithPlacement(p))
@@ -168,13 +168,16 @@ func expC1() {
 			waitUntil(10*time.Second, func() bool { return got.Load() == want })
 			net.Settle()
 			sent, _, _, _ := net.Stats()
-			return sent, domains[0].RoutingStats()
+			return sent, domains[0].RoutingStats(), domains[0].Stats()
 		}
-		atSub, _ := run(govents.AtSubscriber)
-		atPub, rst := run(govents.AtPublisher)
+		atSub, _, _ := run(govents.AtSubscriber)
+		atPub, rst, dst := run(govents.AtPublisher)
 		fmt.Printf("%-12.2f %14d %14d %7.1f%%\n", selectivity, atSub, atPub, 100*(1-float64(atPub)/float64(atSub)))
-		fmt.Printf("             routing@publisher: events=%d compound-evals=%d pruned=%d fallback=%d plans=%d ads=%d\n",
-			rst.EventsRouted, rst.CompoundEvals, rst.NodesPruned, rst.FallbackEvals, rst.PlansCompiled, rst.AdsApplied)
+		fmt.Printf("             routing@publisher: events=%d compound-evals=%d pruned=%d fallback=%d plans=%d ads=%d partial-decodes=%d materializations=%d\n",
+			rst.EventsRouted, rst.CompoundEvals, rst.NodesPruned, rst.FallbackEvals, rst.PlansCompiled, rst.AdsApplied,
+			rst.PartialDecodes, rst.WireMaterializations)
+		fmt.Printf("             wire@publisher:    encodes=%d gob-encodes=%d downgrades=%d\n",
+			dst.WireEncodes, dst.GobPayloadEncodes, dst.WireDowngrades)
 	}
 
 	fmt.Println("\n== C1b: compound filter factoring ([ASS+99]) ==")

@@ -126,6 +126,10 @@ func run() error {
 		st := d.Stats()
 		fmt.Printf("dispatch: lanes=%d in=%d matched=%d delivered=%d expired=%d decode-errors=%d panics=%d\n",
 			d.DispatchLanes(), st.EventsIn, st.Matched, st.Delivered, st.Expired, st.DecodeErrors, st.HandlerPanics)
+		fmt.Printf("wire: compiles=%d rejects=%d encodes=%d decodes=%d gob-enc=%d gob-dec=%d downgrades=%d partial-decodes=%d materializations=%d\n",
+			st.WireCompiles, st.WireRejects, st.WireEncodes, st.WireDecodes,
+			st.GobPayloadEncodes, st.GobPayloadDecodes, st.WireDowngrades,
+			st.PartialDecodes, st.WireMaterializations)
 		for _, l := range d.LaneStats() {
 			name := fmt.Sprintf("lane %d ", l.Lane)
 			if l.Serial {
@@ -146,9 +150,9 @@ func run() error {
 // and broken out per obvent class.
 func printRoutingStats(d *govents.Domain) {
 	st := d.RoutingStats()
-	fmt.Printf("routing: ads-applied=%d ads-stale=%d ads-deferred=%d ads-heartbeat=%d nodes-expired=%d plans=%d events=%d compound-evals=%d pruned=%d fallback=%d\n",
-		st.AdsApplied, st.AdsStale, st.AdsDeferred, st.AdsRefreshed, st.NodesExpired, st.PlansCompiled,
-		st.EventsRouted, st.CompoundEvals, st.NodesPruned, st.FallbackEvals)
+	fmt.Printf("routing: ads-applied=%d ads-stale=%d ads-deferred=%d ads-heartbeat=%d ads-rejected=%d nodes-expired=%d plans=%d events=%d compound-evals=%d pruned=%d fallback=%d partial-decodes=%d materializations=%d\n",
+		st.AdsApplied, st.AdsStale, st.AdsDeferred, st.AdsRefreshed, st.AdsRejected, st.NodesExpired, st.PlansCompiled,
+		st.EventsRouted, st.CompoundEvals, st.NodesPruned, st.FallbackEvals, st.PartialDecodes, st.WireMaterializations)
 	byClass := d.RoutingStatsByClass()
 	classes := make([]string, 0, len(byClass))
 	for c := range byClass {

@@ -47,6 +47,27 @@
 // ErrUnregistered, ErrBadFilter, ErrCannotPublish, ...); discriminate
 // with errors.Is.
 //
+// # The wire format
+//
+// Event payloads travel in a compact per-class binary encoding compiled
+// once per class (varint integers, raw IEEE floats, length-prefixed
+// strings — no per-event type metadata), replacing gob on the hot path.
+// Classes the compiler cannot prove encodable (interfaces, channels,
+// time.Time fields, recursion) keep gob transparently, and peers
+// negotiate per destination: a publisher transcodes to gob for exactly
+// the peers that have not advertised wire capability, so one legacy
+// process never downgrades the rest of the domain. On the routing and
+// matching path, plans whose filters reference only structural fields
+// evaluate by partial decode — extracting just those fields from the
+// encoded bytes — and the event is materialized only for actual
+// matches and deliveries. Domain.Stats exposes the codec counters
+// (WireEncodes, GobPayloadEncodes, WireDowngrades, PartialDecodes,
+// ...). The psc generator emits reflection-free typed codecs for
+// eligible classes, registered via RegisterWireCodec; hand-written
+// codecs can use the same hook with NewWireDecoder and the
+// AppendWire* helpers, and must produce byte-identical encodings to
+// the compiled program (the generated ones are differentially tested).
+//
 // # The abstraction family
 //
 // The same Domain reaches the paper's comparison abstractions — the

@@ -25,6 +25,7 @@ import (
 
 	"govents/internal/obvent"
 	"govents/internal/vclock"
+	"govents/internal/wire"
 )
 
 // ErrUnregistered is the sentinel wrapped whenever an envelope names an
@@ -41,8 +42,15 @@ type Envelope struct {
 	ID string
 	// Type is the registered wire name of the obvent's concrete class.
 	Type string
-	// Payload is the gob encoding of the obvent value.
+	// Payload is the serialized obvent value, in the encoding named by
+	// Enc.
 	Payload []byte
+	// Enc identifies the payload encoding: EncGob (the zero value — the
+	// legacy self-describing gob encoding, which is also what every
+	// pre-wire peer sends, since gob omits zero fields an old envelope
+	// and a new gob-payload envelope are byte-identical on the wire) or
+	// EncWire (the compact per-class compiled encoding, wire.go).
+	Enc uint8
 
 	// Publisher is the node that published the obvent.
 	Publisher string
@@ -95,6 +103,10 @@ type Codec struct {
 	// codecCopiers is the compiled deep-copier cache for pointer-bearing
 	// classes (copier.go).
 	codecCopiers
+
+	// codecWire is the compiled wire-codec cache and encoding-negotiation
+	// state (wire.go).
+	codecWire
 }
 
 // New returns a Codec over the given registry.
@@ -114,7 +126,7 @@ func (c *Codec) Encode(o obvent.Obvent) (*Envelope, error) {
 	if err != nil {
 		return nil, fmt.Errorf("codec: encode: %w", err)
 	}
-	payload, err := encodeValue(o)
+	payload, enc, err := c.encodePayload(o)
 	if err != nil {
 		return nil, fmt.Errorf("codec: encode %s: %w", name, err)
 	}
@@ -123,6 +135,7 @@ func (c *Codec) Encode(o obvent.Obvent) (*Envelope, error) {
 		ID:          NewID(),
 		Type:        name,
 		Payload:     payload,
+		Enc:         enc,
 		Reliability: sem.Reliability,
 		Ordering:    sem.Ordering,
 	}
@@ -174,6 +187,14 @@ type CloneSource struct {
 	name    string
 	payload []byte
 
+	// enc is the payload encoding (Envelope.Enc); wp is the compiled
+	// wire program resolved for compact payloads (wire.go).
+	enc uint8
+	wp  *wire.Prog
+	// cw points at the owning codec's wire counters so decode activity
+	// is attributed wherever the decode actually happens.
+	cw *codecWire
+
 	mode cloneMode
 	// copy is the compiled deep copier (modeCopier only).
 	copy copyFn
@@ -212,7 +233,25 @@ func (c *Codec) SourceInto(e *Envelope, s *CloneSource) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnregistered, e.Type)
 	}
-	*s = CloneSource{typ: t, name: e.Type, payload: e.Payload}
+	*s = CloneSource{typ: t, name: e.Type, payload: e.Payload, enc: e.Enc, cw: &c.codecWire}
+	switch e.Enc {
+	case EncGob:
+	case EncWire:
+		if c.wireOff.Load() {
+			// A wire-disabled codec is observationally a pre-wire binary,
+			// which could not read this payload either; the negotiation
+			// layer exists to keep such payloads from ever being sent here.
+			return fmt.Errorf("codec: decode %s: unsupported payload encoding %d", e.Type, e.Enc)
+		}
+		if s.wp = c.wireProgFor(t); s.wp == nil {
+			// Compilation is deterministic per layout, so a compact
+			// payload for a class we reject means the peer's layout for
+			// this class differs from ours — refuse rather than misread.
+			return fmt.Errorf("codec: decode %s: compact payload for a class with no wire program", e.Type)
+		}
+	default:
+		return fmt.Errorf("codec: decode %s: unsupported payload encoding %d", e.Type, e.Enc)
+	}
 	if c.flatType(t) {
 		s.mode = modeFlat
 	} else if fn := c.copierFor(t); fn != nil {
@@ -226,12 +265,11 @@ func (c *Codec) SourceInto(e *Envelope, s *CloneSource) error {
 // creation (§2.1.2): every call yields a distinct object.
 func (s *CloneSource) Clone() (obvent.Obvent, error) {
 	if s.mode == modeGob {
-		v := reflect.New(s.typ)
-		dec := gob.NewDecoder(bytes.NewReader(s.payload))
-		if err := dec.DecodeValue(v); err != nil {
-			return nil, fmt.Errorf("codec: decode %s: %w", s.name, err)
+		v, err := s.decodeNew()
+		if err != nil {
+			return nil, err
 		}
-		return s.box(v.Elem())
+		return s.box(v)
 	}
 	// Prototype modes: decode the payload once, then clone off the
 	// prototype. With no reference kinds (modeFlat), the value copy
@@ -239,15 +277,16 @@ func (s *CloneSource) Clone() (obvent.Obvent, error) {
 	// immutable, so sharing their backing bytes is safe. Otherwise
 	// (modeCopier) the compiled copier rebuilds the prototype's pointee,
 	// slice and map structure with fresh allocations; the prototype is a
-	// gob-decoded tree (no aliasing, no cycles), so the copy is
-	// indistinguishable from another decode of the payload.
+	// decoded tree (gob output is always a tree, and the wire decoder
+	// likewise allocates every pointee fresh — no aliasing, no cycles),
+	// so the copy is indistinguishable from another decode of the
+	// payload.
 	if !s.proto.IsValid() {
-		v := reflect.New(s.typ)
-		dec := gob.NewDecoder(bytes.NewReader(s.payload))
-		if err := dec.DecodeValue(v); err != nil {
-			return nil, fmt.Errorf("codec: decode %s: %w", s.name, err)
+		v, err := s.decodeNew()
+		if err != nil {
+			return nil, err
 		}
-		s.proto = v.Elem()
+		s.proto = v
 	}
 	if s.mode == modeFlat {
 		return s.box(s.proto)
@@ -255,6 +294,46 @@ func (s *CloneSource) Clone() (obvent.Obvent, error) {
 	n := reflect.New(s.typ).Elem()
 	s.copy(n, s.proto)
 	return s.box(n)
+}
+
+// decodeNew materializes the payload into a fresh value of the class,
+// honoring the payload encoding: the compiled wire program (through the
+// class's registered native codec when one exists) for compact
+// payloads, gob otherwise.
+func (s *CloneSource) decodeNew() (reflect.Value, error) {
+	if s.enc == EncWire {
+		if s.wp == nil {
+			return reflect.Value{}, fmt.Errorf("codec: decode %s: compact payload for a class with no wire program", s.name)
+		}
+		if s.cw != nil {
+			s.cw.wireDecodes.Add(1)
+		}
+		if nc := s.wp.Native(); nc != nil {
+			o, err := nc.Dec(s.payload)
+			if err != nil {
+				return reflect.Value{}, fmt.Errorf("codec: decode %s: %w", s.name, err)
+			}
+			rv := reflect.ValueOf(o)
+			for rv.Kind() == reflect.Pointer {
+				rv = rv.Elem()
+			}
+			return rv, nil
+		}
+		v := reflect.New(s.typ)
+		if err := s.wp.Decode(s.payload, v.Elem()); err != nil {
+			return reflect.Value{}, fmt.Errorf("codec: decode %s: %w", s.name, err)
+		}
+		return v.Elem(), nil
+	}
+	if s.cw != nil {
+		s.cw.gobDecodes.Add(1)
+	}
+	v := reflect.New(s.typ)
+	dec := gob.NewDecoder(bytes.NewReader(s.payload))
+	if err := dec.DecodeValue(v); err != nil {
+		return reflect.Value{}, fmt.Errorf("codec: decode %s: %w", s.name, err)
+	}
+	return v.Elem(), nil
 }
 
 // box converts a decoded value to the Obvent interface (copying it into

@@ -1,0 +1,201 @@
+package codec
+
+// This file wires the compact per-class binary encoding (internal/wire)
+// into the codec. The division of labor mirrors the compiled-copier
+// cache: the wire package compiles one immutable codec program per
+// class by walking its struct type; this file owns the per-codec cache
+// of compile outcomes, the payload-encoding decision on Encode, the
+// encoding-aware decode in CloneSource, and the gob transcode used for
+// destinations that did not advertise wire capability.
+//
+// The fallback story is the same conservative one as everywhere else in
+// this codebase: a class the wire compiler rejects (custom marshalers,
+// interface fields, non-flat map keys, recursive layouts) keeps the
+// self-describing gob encoding, and the dissemination layer (dace)
+// negotiates the encoding per destination, so a mixed fleet never
+// misreads a payload — rejection and legacy peers cost performance,
+// never correctness.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"govents/internal/obvent"
+	"govents/internal/wire"
+)
+
+// Payload encodings carried in Envelope.Enc.
+const (
+	// EncGob marks a self-describing gob payload. It is the zero value:
+	// envelopes from pre-wire peers (which never set the field) decode
+	// as gob, and gob omits zero fields on encode, so a gob-payload
+	// envelope is byte-identical to one from a pre-wire peer.
+	EncGob uint8 = 0
+	// EncWire marks a compact compiled-program payload (internal/wire).
+	EncWire uint8 = 1
+)
+
+// codecWire is the codec's wire-encoding state (the Codec struct embeds
+// it, like codecCopiers).
+type codecWire struct {
+	// wireProgs caches reflect.Type -> wireEntry; a nil program marks a
+	// rejected class, decided once per codec.
+	wireProgs sync.Map
+	// wireOff disables the compact encoding entirely (legacy emulation
+	// and operational escape hatch): encodes fall back to gob and
+	// compact payloads are refused, exactly like a pre-wire binary.
+	wireOff atomic.Bool
+
+	wireCompiles atomic.Uint64
+	wireRejects  atomic.Uint64
+	wireEncodes  atomic.Uint64
+	wireDecodes  atomic.Uint64
+	gobEncodes   atomic.Uint64
+	gobDecodes   atomic.Uint64
+	downgrades   atomic.Uint64
+}
+
+// wireEntry is one class's cached compilation outcome.
+type wireEntry struct{ prog *wire.Prog }
+
+// WireStats describes a codec's compact-encoding activity.
+type WireStats struct {
+	// Compiles / Rejects count per-class wire-program compilation
+	// outcomes (each class is decided once).
+	Compiles uint64
+	Rejects  uint64
+	// Encodes / Decodes count compact payload encodes and full compact
+	// decodes (materializations). Partial decodes — plan evaluations
+	// that never materialized the event — are counted by the matching
+	// layer, which owns that decision.
+	Encodes uint64
+	Decodes uint64
+	// GobEncodes / GobDecodes count gob fallback payload traffic
+	// (rejected classes, legacy peers, wire-disabled codecs).
+	GobEncodes uint64
+	GobDecodes uint64
+	// Downgrades counts per-destination gob transcodes for peers that
+	// did not advertise wire capability.
+	Downgrades uint64
+}
+
+// WireStats returns the codec's wire-encoding counters.
+func (c *Codec) WireStats() WireStats {
+	return WireStats{
+		Compiles:   c.wireCompiles.Load(),
+		Rejects:    c.wireRejects.Load(),
+		Encodes:    c.wireEncodes.Load(),
+		Decodes:    c.wireDecodes.Load(),
+		GobEncodes: c.gobEncodes.Load(),
+		GobDecodes: c.gobDecodes.Load(),
+		Downgrades: c.downgrades.Load(),
+	}
+}
+
+// SetWireDisabled switches the codec's compact encoding off (or back
+// on). A disabled codec encodes every payload as gob and refuses
+// compact payloads with a decode error — observationally a pre-wire
+// binary, which is what makes mixed-version interop tests honest.
+func (c *Codec) SetWireDisabled(off bool) { c.wireOff.Store(off) }
+
+// WireDisabled reports whether the compact encoding is switched off.
+func (c *Codec) WireDisabled() bool { return c.wireOff.Load() }
+
+// wireProgFor returns the compiled wire program for t, compiling and
+// caching the outcome on first use; nil means the class is rejected and
+// keeps gob. Entries are valid forever: a layout never changes.
+func (c *Codec) wireProgFor(t reflect.Type) *wire.Prog {
+	if v, ok := c.wireProgs.Load(t); ok {
+		return v.(wireEntry).prog
+	}
+	p, err := wire.Compile(t)
+	if err != nil {
+		p = nil
+	}
+	if v, loaded := c.wireProgs.LoadOrStore(t, wireEntry{p}); loaded {
+		return v.(wireEntry).prog
+	}
+	if p != nil {
+		c.wireCompiles.Add(1)
+	} else {
+		c.wireRejects.Add(1)
+	}
+	return p
+}
+
+// encodePayload serializes o with the compact encoding when its class
+// compiles (through the class's registered native codec when one
+// exists), falling back to gob otherwise.
+func (c *Codec) encodePayload(o obvent.Obvent) ([]byte, uint8, error) {
+	if !c.wireOff.Load() {
+		t := reflect.TypeOf(o)
+		for t.Kind() == reflect.Pointer {
+			t = t.Elem()
+		}
+		if p := c.wireProgFor(t); p != nil {
+			c.wireEncodes.Add(1)
+			if nc := p.Native(); nc != nil {
+				return nc.Enc(nil, o), EncWire, nil
+			}
+			v := reflect.ValueOf(o)
+			for v.Kind() == reflect.Pointer {
+				v = v.Elem()
+			}
+			return p.Append(nil, v), EncWire, nil
+		}
+	}
+	b, err := encodeValue(o)
+	if err == nil {
+		c.gobEncodes.Add(1)
+	}
+	return b, EncGob, err
+}
+
+// TranscodeGob returns an envelope carrying e's obvent with a gob
+// payload, for a destination that did not advertise wire capability:
+// a compact payload is materialized once and re-encoded; a gob-payload
+// envelope passes through unchanged (and unallocated). Everything but
+// the payload is shared with e.
+func (c *Codec) TranscodeGob(e *Envelope) (*Envelope, error) {
+	if e.Enc == EncGob {
+		return e, nil
+	}
+	var s CloneSource
+	if err := c.SourceInto(e, &s); err != nil {
+		return nil, err
+	}
+	v, err := s.decodeNew()
+	if err != nil {
+		return nil, err
+	}
+	o, err := s.box(v)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := encodeValue(o)
+	if err != nil {
+		return nil, fmt.Errorf("codec: transcode %s: %w", e.Type, err)
+	}
+	c.gobEncodes.Add(1)
+	c.downgrades.Add(1)
+	out := *e
+	out.Payload = payload
+	out.Enc = EncGob
+	return &out, nil
+}
+
+// Wire exposes the compact payload and its compiled program when the
+// source is wire-encoded — the inputs to lazy partial evaluation
+// (matching's wire match path). ok is false for gob payloads, whose
+// only reading is a full decode.
+func (s *CloneSource) Wire() (prog *wire.Prog, payload []byte, ok bool) {
+	if s.enc != EncWire || s.wp == nil {
+		return nil, nil, false
+	}
+	return s.wp, s.payload, true
+}
+
+// Type returns the resolved concrete class of the source's obvent.
+func (s *CloneSource) Type() reflect.Type { return s.typ }

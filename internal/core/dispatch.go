@@ -72,6 +72,30 @@ type DispatchStats struct {
 	// CopierFallbacks counts classes the copier compiler rejected to the
 	// gob-decode-per-clone fallback (unsupported layout).
 	CopierFallbacks uint64
+
+	// WireCompiles / WireRejects count per-class wire-codec program
+	// compilation outcomes in the engine's codec (each class is decided
+	// once; rejected classes keep the gob payload encoding).
+	WireCompiles uint64
+	WireRejects  uint64
+	// WireEncodes / WireDecodes count compact payload encodes and full
+	// compact decodes (materializations) by the engine's codec.
+	WireEncodes uint64
+	WireDecodes uint64
+	// GobPayloadEncodes / GobPayloadDecodes count gob-fallback payload
+	// traffic (rejected classes, legacy peers, wire-disabled codecs).
+	GobPayloadEncodes uint64
+	GobPayloadDecodes uint64
+	// WireDowngrades counts per-destination gob transcodes performed for
+	// peers that did not advertise wire capability.
+	WireDowngrades uint64
+	// PartialDecodes counts wire-encoded events the live table's
+	// matchers evaluated straight from the compact payload, without
+	// materializing the event at all.
+	PartialDecodes uint64
+	// WireMaterializations counts wire-encoded events the matchers had
+	// to decode fully (plans referencing accessor methods).
+	WireMaterializations uint64
 }
 
 // dispatchCounters is the engine-internal atomic form of DispatchStats.
@@ -112,11 +136,21 @@ func (e *Engine) Stats() DispatchStats {
 	cs := e.codec.CopierStats()
 	st.CopierCompiles = cs.Compiles
 	st.CopierFallbacks = cs.Rejects
+	ws := e.codec.WireStats()
+	st.WireCompiles = ws.Compiles
+	st.WireRejects = ws.Rejects
+	st.WireEncodes = ws.Encodes
+	st.WireDecodes = ws.Decodes
+	st.GobPayloadEncodes = ws.GobEncodes
+	st.GobPayloadDecodes = ws.GobDecodes
+	st.WireDowngrades = ws.Downgrades
 	e.table.Load().buckets.Range(func(_, v any) bool {
 		if b := v.(*typeBucket); b.compound != nil {
 			ms := b.compound.Stats()
 			st.AccessorPrograms += ms.AccessorPrograms
 			st.AccessorFallbacks += ms.AccessorFallbacks
+			st.PartialDecodes += ms.PartialDecodes
+			st.WireMaterializations += ms.WireMaterializations
 		}
 		return true
 	})
@@ -255,6 +289,12 @@ type dispatchScratch struct {
 	ids     []string          // compound match output buffer
 	deliver []*Subscription   // delivery list for the current envelope
 	src     codec.CloneSource // clone source, reset per envelope
+	// full materializes the current envelope's event from src — the
+	// fallback the wire match path invokes when lazy extraction cannot
+	// decide a plan. One persistent closure per lane (created on first
+	// use, capturing the lane's stable scratch pointer) so the hot path
+	// does not allocate a closure per envelope.
+	full func() (any, error)
 }
 
 // dispatch matches one envelope against the indexed subscription table
@@ -293,13 +333,31 @@ func (e *Engine) dispatch(env *codec.Envelope, ln *laneState) {
 	}
 	matched := sc.ids[:0]
 	if b.compound != nil {
-		canonical, err := src.Clone()
-		if err != nil {
-			ln.counters.decodeErrors.Add(1)
-			sc.src = codec.CloneSource{} // do not pin the failed envelope
-			return
+		// Wire-encoded payloads evaluate lazily: the compound extracts
+		// the referenced fields straight from the compact payload and
+		// materializes the event (through sc.full) only when a plan path
+		// goes through an accessor method. Gob payloads decode once into
+		// a canonical value, as before.
+		if wp, payload, isWire := src.Wire(); isWire {
+			if sc.full == nil {
+				sc.full = func() (any, error) { return sc.src.Clone() }
+			}
+			m, err := b.compound.MatchWireAppend(wp, payload, sc.full, matched)
+			if err != nil {
+				ln.counters.decodeErrors.Add(1)
+				sc.src = codec.CloneSource{} // do not pin the failed envelope
+				return
+			}
+			matched = m
+		} else {
+			canonical, err := src.Clone()
+			if err != nil {
+				ln.counters.decodeErrors.Add(1)
+				sc.src = codec.CloneSource{} // do not pin the failed envelope
+				return
+			}
+			matched = b.compound.MatchAppend(canonical, matched)
 		}
-		matched = b.compound.MatchAppend(canonical, matched)
 	}
 
 	// Merge the unfiltered candidates with the compound matches in
@@ -390,6 +448,11 @@ func (e *Engine) dispatchNaive(env *codec.Envelope, ln *laneState) {
 	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
 
 	ordered := e.orderedDelivery(env)
+	// One clone source per envelope — the same decode entry point as the
+	// indexed path (SourceInto on the lane scratch), resolved lazily so
+	// an envelope no subscription conforms to never decodes at all.
+	src := &ln.scratch.src
+	srcResolved := false
 	decodeFailed := false // count decode errors once per envelope, as the indexed path does
 	for _, s := range subs {
 		if !s.active() {
@@ -398,9 +461,17 @@ func (e *Engine) dispatchNaive(env *codec.Envelope, ln *laneState) {
 		if !e.reg.ConformsTo(env.Type, s.typeName) {
 			continue
 		}
+		if !srcResolved {
+			if err := e.codec.SourceInto(env, src); err != nil {
+				ln.counters.decodeErrors.Add(1)
+				ln.scratch.src = codec.CloneSource{}
+				return
+			}
+			srcResolved = true
+		}
 		// Obvent local uniqueness (§2.1.2): each subscription gets
-		// its own clone, decoded independently.
-		o, err := e.codec.Decode(env)
+		// its own clone.
+		o, err := src.Clone()
 		if err != nil {
 			if !decodeFailed {
 				decodeFailed = true
@@ -422,6 +493,8 @@ func (e *Engine) dispatchNaive(env *codec.Envelope, ln *laneState) {
 			ln.counters.delivered.Add(1)
 		}
 	}
+	// Do not pin the envelope's payload or prototype on an idle lane.
+	ln.scratch.src = codec.CloneSource{}
 }
 
 // rebuildTable republishes the dispatch table from the current

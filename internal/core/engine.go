@@ -94,9 +94,10 @@ type Engine struct {
 type Option func(*engineConfig)
 
 type engineConfig struct {
-	registry *obvent.Registry
-	naive    bool
-	lanes    int
+	registry   *obvent.Registry
+	naive      bool
+	lanes      int
+	legacyWire bool
 }
 
 // WithRegistry makes the engine use a shared obvent type registry
@@ -125,6 +126,16 @@ func WithNaiveDispatch() Option {
 	return func(c *engineConfig) { c.naive = true }
 }
 
+// WithLegacyWire disables the compact per-class payload encoding in the
+// engine's codec: every payload is gob-encoded and compact payloads are
+// refused, making the engine observationally a pre-wire binary. This is
+// the mixed-version test and operational escape hatch; distributed
+// deployments also disable the encoding on the dissemination substrate
+// (dace Config.LegacyWire) so the node advertises accordingly.
+func WithLegacyWire() Option {
+	return func(c *engineConfig) { c.legacyWire = true }
+}
+
 // NewEngine creates an engine with identifier id over the given
 // dissemination substrate.
 func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
@@ -147,6 +158,9 @@ func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
 		diss:          diss,
 		subs:          make(map[string]*Subscription),
 		naiveDispatch: cfg.naive,
+	}
+	if cfg.legacyWire {
+		e.codec.SetWireDisabled(true)
 	}
 	e.table.Store(newDispatchTable(reg, nil))
 	e.lanes = newLaneSet(reg, lanes, e.dispatch)

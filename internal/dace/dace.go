@@ -106,6 +106,14 @@ type Config struct {
 	// sends no heartbeats and would be wrongly expired by peers that
 	// have it set.
 	AdTTL time.Duration
+	// LegacyWire makes the node behave as a pre-wire binary: its codec
+	// gob-encodes every payload and refuses compact ones, and its
+	// advertisements carry the delta-capable but wire-incapable schema
+	// version, so peers transcode this node's traffic per destination
+	// instead of downgrading the whole domain. Pair it with the
+	// engine-side core.WithLegacyWire (the engine encodes publications
+	// with its own codec).
+	LegacyWire bool
 }
 
 // Node is a DACE process: it owns the dissemination channels of one
@@ -130,6 +138,7 @@ type Node struct {
 	groups    map[string]multicast.Group
 	closed    bool
 
+	adVer        int                              // ad schema version we advertise (adSchemaVersion, capped by LegacyWire)
 	adSeq        uint64                           // our advertisement sequence number
 	lastAdv      map[string]core.SubscriptionInfo // snapshot described by ad adSeq (delta base)
 	adsSinceSnap int                              // deltas sent since the last full snapshot
@@ -149,15 +158,35 @@ type Node struct {
 
 var _ core.Disseminator = (*Node)(nil)
 
-// adSchemaVersion is the advertisement wire-format version this node
-// speaks. Version 0 (the zero value, what older nodes encode) knows
-// only full snapshots; version 1 adds delta advertisements. A node
-// sends deltas only once every current peer has been witnessed
-// advertising version >= 1 — a version-0 peer (or one not heard from
-// yet, which might be one) would gob-decode a delta into the old
-// struct, silently drop the unknown fields and misapply it as a full
-// snapshot.
-const adSchemaVersion = 1
+// Advertisement schema versions. Ver in a subscriptionAd witnesses the
+// newest protocol generation its sender speaks; capabilities are
+// cumulative:
+//
+//   - Version 0 (the zero value, what the oldest nodes encode) knows
+//     only full snapshots.
+//   - adVerDelta adds delta advertisements. A node sends deltas only
+//     once every current peer has been witnessed at >= adVerDelta — a
+//     version-0 peer (or one not heard from yet, which might be one)
+//     would gob-decode a delta into the old struct, silently drop the
+//     unknown fields and misapply it as a full snapshot.
+//   - adVerWire adds the compact per-class payload encoding
+//     (internal/wire). Publishers send compact payloads only to
+//     destinations witnessed at >= adVerWire and transcode to gob for
+//     the rest, so a legacy peer downgrades its own traffic, never the
+//     whole fleet's.
+const (
+	adVerDelta = 1
+	adVerWire  = 2
+	// adSchemaVersion is the newest version this binary speaks — what a
+	// node advertises unless Config.LegacyWire caps it at adVerDelta.
+	adSchemaVersion = adVerWire
+)
+
+// maxAdBytes bounds a control-channel advertisement payload. A frame
+// beyond it is rejected before the gob decoder ever sees it (and
+// counted via routing.Table.NoteAdRejected): the control plane must not
+// let one corrupt or hostile peer allocate unbounded decode state.
+const maxAdBytes = 1 << 20
 
 // snapshotEvery bounds how many consecutive delta ads may be sent
 // before a full snapshot is forced, so a node that somehow lost the
@@ -221,6 +250,11 @@ func NewNode(tr netsim.Transport, reg *obvent.Registry, cfg Config) *Node {
 		peerVer: make(map[string]int),
 	}
 	n.destBuf.New = func() any { return &destScratch{} }
+	n.adVer = adSchemaVersion
+	if cfg.LegacyWire {
+		n.adVer = adVerDelta
+		n.cdc.SetWireDisabled(true)
+	}
 	reg.MustRegister(subscriptionAd{})
 	n.control = multicast.NewReliable(mux, "dace/ctrl", n.onControl, cfg.Multicast)
 	mux.SetFallback(n.onUnknownStream)
@@ -439,10 +473,6 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 	}
 	n.mu.Unlock()
 
-	payload, err := codec.Marshal(env)
-	if err != nil {
-		return err
-	}
 	proto := n.protoFor(env)
 	g := n.group(proto, env.Type)
 
@@ -453,20 +483,27 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 		if err := cert.SetSubscribers(n.certSubscribersFor(env.Type)); err != nil {
 			return err
 		}
+		payload, err := n.marshalForBroadcast(env)
+		if err != nil {
+			return err
+		}
 		return cert.Broadcast(payload)
 	case "be", "rel":
-		// Unordered classes support per-message destination pruning.
-		buf := n.destBuf.Get().(*destScratch)
-		dests := n.destinationsFor(env, buf.ids[:0])
-		var err error
-		switch t := g.(type) {
-		case *multicast.BestEffort:
-			err = t.BroadcastTo(dests, payload)
-		case *multicast.Reliable:
-			err = t.BroadcastTo(dests, payload)
-		default:
-			err = g.Broadcast(payload)
+		// Unordered classes support per-message destination pruning and
+		// per-destination payload encoding.
+		tg, canTarget := g.(interface {
+			BroadcastTo(dests []string, payload []byte) error
+		})
+		if !canTarget {
+			payload, err := n.marshalForBroadcast(env)
+			if err != nil {
+				return err
+			}
+			return g.Broadcast(payload)
 		}
+		buf := n.destBuf.Get().(*destScratch)
+		dests := n.destinationsFor(env, buf, buf.ids[:0])
+		err := n.sendTargeted(tg, env, dests, buf)
 		// BroadcastTo copies what it keeps; the scratch can be reused.
 		buf.ids = dests[:0]
 		n.destBuf.Put(buf)
@@ -475,13 +512,100 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 		// Ordered and gossip classes broadcast to the full group;
 		// filtering happens subscriber-side to keep membership
 		// uniform.
+		payload, err := n.marshalForBroadcast(env)
+		if err != nil {
+			return err
+		}
 		return g.Broadcast(payload)
 	}
 }
 
-// destScratch is the pooled per-publication destination buffer.
+// marshalForBroadcast frames env for a whole-group send. A compact
+// payload is transcoded to gob first unless every peer advertised wire
+// capability: broadcast protocols deliver one frame to the whole
+// membership, so a single legacy peer downgrades that send (but never a
+// send on a targeted channel, which splits per destination instead).
+func (n *Node) marshalForBroadcast(env *codec.Envelope) ([]byte, error) {
+	if env.Enc == codec.EncWire && !n.allPeersWireCapable() {
+		var err error
+		if env, err = n.cdc.TranscodeGob(env); err != nil {
+			return nil, err
+		}
+	}
+	return codec.Marshal(env)
+}
+
+// sendTargeted delivers env to dests over a targeted channel,
+// transcoding the payload to gob for destinations that have not
+// advertised wire capability. The common cases — gob payload, or every
+// destination wire-capable — marshal exactly once.
+func (n *Node) sendTargeted(tg interface {
+	BroadcastTo(dests []string, payload []byte) error
+}, env *codec.Envelope, dests []string, buf *destScratch) error {
+	if env.Enc != codec.EncWire {
+		payload, err := codec.Marshal(env)
+		if err != nil {
+			return err
+		}
+		return tg.BroadcastTo(dests, payload)
+	}
+	capable, legacy := n.splitWireDests(dests, buf)
+	defer func() {
+		buf.capable, buf.legacy = capable[:0], legacy[:0]
+	}()
+	if len(legacy) > 0 {
+		genv, err := n.cdc.TranscodeGob(env)
+		if err != nil {
+			return err
+		}
+		payload, err := codec.Marshal(genv)
+		if err != nil {
+			return err
+		}
+		if err := tg.BroadcastTo(legacy, payload); err != nil {
+			return err
+		}
+		if len(capable) == 0 {
+			return nil
+		}
+	}
+	payload, err := codec.Marshal(env)
+	if err != nil {
+		return err
+	}
+	return tg.BroadcastTo(capable, payload)
+}
+
+// splitWireDests partitions dests into wire-capable and legacy
+// destinations using the witnessed ad schema versions. The local node
+// counts as capable: a compact envelope this node produced is decodable
+// by this node's engine.
+func (n *Node) splitWireDests(dests []string, buf *destScratch) (capable, legacy []string) {
+	capable, legacy = buf.capable[:0], buf.legacy[:0]
+	n.mu.Lock()
+	for _, d := range dests {
+		if d == n.self || n.peerVer[d] >= adVerWire {
+			capable = append(capable, d)
+		} else {
+			legacy = append(legacy, d)
+		}
+	}
+	n.mu.Unlock()
+	return capable, legacy
+}
+
+// destScratch is the pooled per-publication destination buffer. The two
+// closures are created once per scratch and capture the scratch pointer
+// (stable for the scratch's lifetime), so routing a publication
+// allocates neither closures nor decode state; src is reset after every
+// event.
 type destScratch struct {
-	ids []string
+	ids     []string
+	capable []string
+	legacy  []string
+	src     codec.CloneSource
+	full    func() (any, error)
+	dec     func() any
 }
 
 // destinationsFor appends the nodes owed a copy of env: nodes hosting
@@ -489,20 +613,38 @@ type destScratch struct {
 // by publisher-side compound-filter evaluation when Placement is
 // AtPublisher — one indexed evaluation per event against the class's
 // compiled routing plan, not one interpretation per remote
-// subscription. The event is decoded at most once, and only when some
+// subscription. A compact payload is evaluated lazily: the plan reads
+// only the fields it references straight off the wire bytes and the
+// event is materialized only when some referenced path needs a method
+// accessor. Gob payloads decode at most once, and only when some
 // candidate node actually advertised filters; an undecodable event
 // fails open to all candidates (each subscriber's local pass decides).
-func (n *Node) destinationsFor(env *codec.Envelope, dst []string) []string {
+func (n *Node) destinationsFor(env *codec.Envelope, buf *destScratch, dst []string) []string {
 	if n.cfg.Placement != AtPublisher {
 		return n.routes.NodesFor(env.Type, dst)
 	}
-	return n.routes.Destinations(env.Type, func() any {
-		o, err := n.cdc.Decode(env)
-		if err != nil {
-			return nil
+	if err := n.cdc.SourceInto(env, &buf.src); err != nil {
+		return n.routes.Destinations(env.Type, nil, dst)
+	}
+	if wp, payload, ok := buf.src.Wire(); ok {
+		if buf.full == nil {
+			buf.full = func() (any, error) { return buf.src.Clone() }
 		}
-		return o
-	}, dst)
+		dst = n.routes.DestinationsWire(env.Type, wp, payload, buf.full, dst)
+	} else {
+		if buf.dec == nil {
+			buf.dec = func() any {
+				o, err := buf.src.Clone()
+				if err != nil {
+					return nil
+				}
+				return o
+			}
+		}
+		dst = n.routes.Destinations(env.Type, buf.dec, dst)
+	}
+	buf.src = codec.CloneSource{}
+	return dst
 }
 
 // RoutingStats returns the node's cumulative routing-plane counters
@@ -567,7 +709,7 @@ func (n *Node) SubscriptionChanged(infos []core.SubscriptionInfo) error {
 func (n *Node) advertise(forceSnapshot bool) {
 	n.mu.Lock()
 	n.adSeq++
-	ad := subscriptionAd{Node: n.self, Seq: n.adSeq, Ver: adSchemaVersion}
+	ad := subscriptionAd{Node: n.self, Seq: n.adSeq, Ver: n.adVer}
 	cur := append([]core.SubscriptionInfo(nil), n.localSubs...)
 
 	var added []core.SubscriptionInfo
@@ -616,15 +758,33 @@ func (n *Node) advertise(forceSnapshot bool) {
 }
 
 // allPeersSpeakDeltasLocked reports whether every current peer has been
-// witnessed advertising schema version >= 1. Until then full snapshots
-// are sent: an unheard-from peer might be a legacy node that would
-// misread a delta as a snapshot.
+// witnessed advertising schema version >= adVerDelta. Until then full
+// snapshots are sent: an unheard-from peer might be a legacy node that
+// would misread a delta as a snapshot.
 func (n *Node) allPeersSpeakDeltasLocked() bool {
 	for _, p := range n.peers {
 		if p == n.self {
 			continue
 		}
-		if n.peerVer[p] < adSchemaVersion {
+		if n.peerVer[p] < adVerDelta {
+			return false
+		}
+	}
+	return true
+}
+
+// allPeersWireCapable reports whether every current peer has been
+// witnessed advertising schema version >= adVerWire. Unheard-from peers
+// count as incapable: they might be legacy nodes that would fail to
+// decode a compact payload.
+func (n *Node) allPeersWireCapable() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.peers {
+		if p == n.self {
+			continue
+		}
+		if n.peerVer[p] < adVerWire {
 			return false
 		}
 	}
@@ -644,8 +804,13 @@ func sameInfo(a, b core.SubscriptionInfo) bool {
 // path (PublishEnvelope briefly takes n.mu); the routing table has its
 // own short-held lock.
 func (n *Node) onControl(_ string, payload []byte) {
+	if len(payload) > maxAdBytes {
+		n.routes.NoteAdRejected()
+		return // oversized advertisement: refuse before decoding
+	}
 	var ad subscriptionAd
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ad); err != nil {
+		n.routes.NoteAdRejected()
 		return // corrupt advertisement: ignore
 	}
 	if ad.Node == n.self {

@@ -1,0 +1,185 @@
+package dace
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"govents/internal/core"
+	"govents/internal/netsim"
+	"govents/internal/obvent"
+)
+
+// TestMixedVersionWireInterop proves the per-destination encoding
+// negotiation: a legacy (pre-wire) node in the domain receives gob
+// payloads it can decode, wire-capable peers keep receiving compact
+// payloads on targeted channels, and nobody sees a decode error — the
+// legacy peer downgrades its own traffic, not the fleet's.
+func TestMixedVersionWireInterop(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+
+	type member struct {
+		node   *Node
+		engine *core.Engine
+	}
+	addrs := []string{"node-0", "node-1", "node-2"}
+	members := make([]*member, len(addrs))
+	for i, addr := range addrs {
+		ep, err := net.NewEndpoint(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obvent.NewRegistry()
+		registerAll(reg)
+		cfg := fastCfg()
+		engOpts := []core.Option{core.WithRegistry(reg)}
+		if i == 2 {
+			// node-2 emulates a pre-wire binary on both layers.
+			cfg.LegacyWire = true
+			engOpts = append(engOpts, core.WithLegacyWire())
+		}
+		dn := NewNode(ep, reg, cfg)
+		eng := core.NewEngine(addr, dn, engOpts...)
+		members[i] = &member{node: dn, engine: eng}
+	}
+	for _, m := range members {
+		m.node.SetPeers(addrs)
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			_ = m.engine.Close()
+		}
+	})
+	pub, capable, legacy := members[0], members[1], members[2]
+
+	var gotCapable, gotLegacy atomic.Int32
+	for _, sub := range []struct {
+		m *member
+		c *atomic.Int32
+	}{{capable, &gotCapable}, {legacy, &gotLegacy}} {
+		s, err := core.Subscribe(sub.m.engine, nil, func(q StockQuote) { sub.c.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = s.Activate()
+	}
+	// Waiting for the ads also guarantees the publisher has witnessed
+	// each peer's schema version, so the encoding split is in effect.
+	waitAds(t, pub.node, 2)
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := core.Publish(pub.engine, StockQuote{StockObvent{Company: "Telco", Price: float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "mixed-version delivery", func() bool {
+		return gotCapable.Load() == n && gotLegacy.Load() == n
+	})
+
+	// The publisher transcoded once per event for the legacy
+	// destination (node codec), while its engine codec emitted compact
+	// payloads.
+	if ws := pub.node.cdc.WireStats(); ws.Downgrades == 0 {
+		t.Errorf("publisher node codec: Downgrades = 0, want > 0 (legacy peer in destinations); stats %+v", ws)
+	}
+	if ws := pub.engine.Codec().WireStats(); ws.Encodes == 0 {
+		t.Errorf("publisher engine codec: wire Encodes = 0, want > 0; stats %+v", ws)
+	}
+	// The capable subscriber decoded compact payloads; the legacy one
+	// decoded gob and never saw a compact payload.
+	if ws := capable.engine.Codec().WireStats(); ws.Decodes == 0 {
+		t.Errorf("capable subscriber: wire Decodes = 0, want > 0; stats %+v", ws)
+	}
+	if ws := legacy.engine.Codec().WireStats(); ws.GobDecodes == 0 {
+		t.Errorf("legacy subscriber: GobDecodes = 0, want > 0; stats %+v", ws)
+	}
+	if ws := legacy.engine.Codec().WireStats(); ws.Decodes != 0 {
+		t.Errorf("legacy subscriber: wire Decodes = %d, want 0 (must never receive compact payloads)", ws.Decodes)
+	}
+	for i, m := range members {
+		if ds := m.engine.Stats(); ds.DecodeErrors != 0 {
+			t.Errorf("node-%d: DecodeErrors = %d, want 0", i, ds.DecodeErrors)
+		}
+	}
+}
+
+// TestMixedVersionBroadcastDowngrades pins the broadcast-protocol rule:
+// an ordered class delivers one frame to the whole group, so with a
+// legacy peer present the publisher transcodes the send to gob for
+// everyone rather than splitting membership.
+func TestMixedVersionBroadcastDowngrades(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+
+	type member struct {
+		node   *Node
+		engine *core.Engine
+	}
+	addrs := []string{"node-0", "node-1", "node-2"}
+	members := make([]*member, len(addrs))
+	for i, addr := range addrs {
+		ep, err := net.NewEndpoint(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obvent.NewRegistry()
+		registerAll(reg)
+		cfg := fastCfg()
+		engOpts := []core.Option{core.WithRegistry(reg)}
+		if i == 2 {
+			cfg.LegacyWire = true
+			engOpts = append(engOpts, core.WithLegacyWire())
+		}
+		dn := NewNode(ep, reg, cfg)
+		eng := core.NewEngine(addr, dn, engOpts...)
+		members[i] = &member{node: dn, engine: eng}
+	}
+	for _, m := range members {
+		m.node.SetPeers(addrs)
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			_ = m.engine.Close()
+		}
+	})
+	pub, capable, legacy := members[0], members[1], members[2]
+
+	var gotCapable, gotLegacy atomic.Int32
+	for _, sub := range []struct {
+		m *member
+		c *atomic.Int32
+	}{{capable, &gotCapable}, {legacy, &gotLegacy}} {
+		s, err := core.Subscribe(sub.m.engine, nil, func(o orderedTick) { sub.c.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = s.Activate()
+	}
+	waitAds(t, pub.node, 2)
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := core.Publish(pub.engine, orderedTick{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "ordered mixed-version delivery", func() bool {
+		return gotCapable.Load() == n && gotLegacy.Load() == n
+	})
+
+	if ws := pub.node.cdc.WireStats(); ws.Downgrades == 0 {
+		t.Errorf("publisher node codec: Downgrades = 0, want > 0 (broadcast with legacy peer); stats %+v", ws)
+	}
+	// The whole send was gob, so even the wire-capable subscriber
+	// decoded gob for this class.
+	if ws := capable.engine.Codec().WireStats(); ws.GobDecodes == 0 {
+		t.Errorf("capable subscriber: GobDecodes = 0, want > 0 (broadcast downgraded); stats %+v", ws)
+	}
+	for i, m := range members {
+		if ds := m.engine.Stats(); ds.DecodeErrors != 0 {
+			t.Errorf("node-%d: DecodeErrors = %d, want 0", i, ds.DecodeErrors)
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 
 	"govents/internal/accessor"
 	"govents/internal/filter"
+	"govents/internal/wire"
 )
 
 // Compound is a factored matcher over a dynamic set of subscriptions.
@@ -71,6 +72,13 @@ type accessorCounters struct {
 	// fallbacks counts per-event path resolutions that went through
 	// reflective filter.ResolvePath because no program could compile.
 	fallbacks atomic.Uint64
+	// partials counts wire-encoded events evaluated entirely from their
+	// compact payload — plan decided, event never materialized.
+	partials atomic.Uint64
+	// materialized counts wire-encoded events that had to be fully
+	// decoded to evaluate the plan (a referenced path goes through an
+	// accessor method, or the payload failed partial extraction).
+	materialized atomic.Uint64
 }
 
 // New returns an empty compound matcher.
@@ -197,6 +205,14 @@ type Stats struct {
 	// to reflective lookup because the path cannot compile against the
 	// event's type (it then fails open per event, exactly as before).
 	AccessorFallbacks uint64
+	// PartialDecodes counts wire-encoded events this matcher evaluated
+	// without materializing them: every path the plan references was
+	// extracted straight from the compact payload.
+	PartialDecodes uint64
+	// WireMaterializations counts wire-encoded events that needed a full
+	// decode to evaluate (method-accessor paths, or a payload that failed
+	// extraction).
+	WireMaterializations uint64
 }
 
 // Stats returns the factoring statistics of the current plan, forcing a
@@ -209,6 +225,8 @@ func (c *Compound) Stats() Stats {
 	st.Recompiles = c.recompiles
 	st.AccessorPrograms = c.accessorStats.compiles.Load()
 	st.AccessorFallbacks = c.accessorStats.fallbacks.Load()
+	st.PartialDecodes = c.accessorStats.partials.Load()
+	st.WireMaterializations = c.accessorStats.materialized.Load()
 	return st
 }
 
@@ -237,6 +255,27 @@ func (c *Compound) MatchAppend(event any, dst []string) []string {
 // remote filtering is an optimization, never a semantic change).
 func (c *Compound) MatchAppendFailOpen(event any, dst []string) []string {
 	return c.currentPlan().match(event, dst, true)
+}
+
+// MatchWireAppend evaluates the plan against a wire-encoded event,
+// materializing it only when it must: when every accessor path the plan
+// references is a structural (field/deref) chain, the referenced values
+// are extracted straight from the compact payload by a per-(type, plan)
+// extractor program and the event is never decoded at all. Plans
+// referencing accessor methods — whose results are not wire locations —
+// fall back to one full compiled decode via full, which also backstops
+// malformed payloads (extraction and full decode reject exactly the
+// same inputs, so corrupt input is observed identically on both paths).
+// A non-nil error is full's decode failure; no IDs were appended.
+func (c *Compound) MatchWireAppend(wp *wire.Prog, payload []byte, full func() (any, error), dst []string) ([]string, error) {
+	return c.currentPlan().matchWire(wp, payload, full, dst, false)
+}
+
+// MatchWireAppendFailOpen is MatchWireAppend with fail-open error
+// semantics (see MatchAppendFailOpen): publisher-side filtering hosts
+// must ship on evaluation errors, never suppress.
+func (c *Compound) MatchWireAppendFailOpen(wp *wire.Prog, payload []byte, full func() (any, error), dst []string) ([]string, error) {
+	return c.currentPlan().matchWire(wp, payload, full, dst, true)
 }
 
 // MatchNaive evaluates every subscription's filter independently. It is
@@ -285,6 +324,13 @@ type plan struct {
 	// the reflective fallback, not grow memory without bound.
 	programs     sync.Map // reflect.Type -> []*accessor.Program
 	programTypes atomic.Int64
+
+	// extractors caches, per concrete event type, the wire extractor
+	// resolving this plan's unique paths from compact payloads — or a
+	// nil entry when the plan cannot be evaluated lazily for that type
+	// (a referenced path goes through an accessor method). Lifetime and
+	// invalidation mirror programs: valid until plan replacement.
+	extractors sync.Map // reflect.Type -> wireExt
 
 	// acc are the owning Compound's accessor counters (shared across
 	// plan recompilations).
@@ -604,6 +650,88 @@ func (p *plan) match(event any, dst []string, failOpen bool) []string {
 		}
 		vals[i], valOK[i] = c, true
 	}
+
+	return p.evalConditions(sc, dst, failOpen)
+}
+
+// matchWire evaluates the plan against one wire-encoded event: path
+// resolution (step 1) runs as a partial extraction over the compact
+// payload when the per-(type, plan) extractor covers every referenced
+// path, and the shared condition/formula evaluation (steps 2–3) runs
+// over the extracted values. Otherwise the event is materialized once
+// via full and matched normally.
+func (p *plan) matchWire(wp *wire.Prog, payload []byte, full func() (any, error), dst []string, failOpen bool) ([]string, error) {
+	if len(p.ids) == 0 {
+		return dst, nil
+	}
+	if ex := p.extractorFor(wp.Type()); ex != nil {
+		sc := p.getScratch()
+		if err := ex.Extract(payload, sc.vals, sc.valOK); err == nil {
+			p.acc.partials.Add(1)
+			dst = p.evalConditions(sc, dst, failOpen)
+			p.scratch.Put(sc)
+			return dst, nil
+		}
+		// Malformed payload: fall through to materialization, whose
+		// decode rejects the same input with the authoritative error.
+		p.scratch.Put(sc)
+	}
+	event, err := full()
+	if err != nil {
+		return dst, err
+	}
+	p.acc.materialized.Add(1)
+	return p.match(event, dst, failOpen), nil
+}
+
+// extractorFor returns the wire extractor evaluating this plan's paths
+// for one event type, or nil when lazy evaluation is impossible for it.
+// The steady-state path is one lock-free map hit. An extractor exists
+// only when it covers every unique path: a partially resolved value
+// table could not reproduce the materialized path's error semantics for
+// the uncovered paths.
+func (p *plan) extractorFor(t reflect.Type) *wire.Extractor {
+	if v, ok := p.extractors.Load(t); ok {
+		return v.(wireExt).ex
+	}
+	var ex *wire.Extractor
+	if progs := p.programsFor(t); progs != nil {
+		chains := make([][]int, len(p.paths))
+		all := true
+		for i, prog := range progs {
+			if prog == nil {
+				all = false
+				break
+			}
+			chain, ok := prog.FieldSteps()
+			if !ok {
+				all = false
+				break
+			}
+			chains[i] = chain
+		}
+		if all {
+			if compiled, err := wire.CompileExtract(t, chains); err == nil && compiled.AllAble() {
+				ex = compiled
+			}
+		}
+	}
+	if v, loaded := p.extractors.LoadOrStore(t, wireExt{ex}); loaded {
+		return v.(wireExt).ex
+	}
+	return ex
+}
+
+// wireExt is one cached extractor outcome (nil = materialize).
+type wireExt struct{ ex *wire.Extractor }
+
+// evalConditions runs the plan's condition evaluation (step 2) and
+// per-subscription formulas (step 3) over the resolved path values in
+// sc, appending matches to dst. Shared verbatim by the materialized and
+// wire paths, so the two can never drift semantically.
+func (p *plan) evalConditions(sc *matchScratch, dst []string, failOpen bool) []string {
+	vals := sc.vals
+	valOK := sc.valOK
 
 	// 2. Evaluate unique conditions.
 	results := sc.results

@@ -3,6 +3,7 @@ package psc
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -124,6 +125,90 @@ func TestScanClasses(t *testing.T) {
 			if strings.Join(c.QoS, ",") != "CertifiedBase,TotalOrderBase" {
 				t.Errorf("Trade QoS = %v", c.QoS)
 			}
+		}
+	}
+}
+
+func TestCodecDiscovery(t *testing.T) {
+	const src = `package stock
+
+import "govents/internal/obvent"
+
+type Flat struct {
+	obvent.Base
+	obvent.PriorityBase
+	Name  string
+	Score float64
+	hidden int
+}
+
+type Nested struct {
+	Flat
+	Count uint16
+}
+
+type Timed struct {
+	obvent.Base
+	obvent.TimelyBase
+	N int
+}
+
+type Sliced struct {
+	obvent.Base
+	Tags []string
+}
+`
+	dir := writePkg(t, map[string]string{"stock.go": src})
+	res, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecs := map[string][]CodecField{}
+	for _, c := range res.Classes {
+		codecs[c.Name] = c.Codec
+	}
+	flatWant := []CodecField{
+		{Path: "PriorityBase.Prio", Type: "int"},
+		{Path: "Name", Type: "string"},
+		{Path: "Score", Type: "float64"},
+	}
+	if got := codecs["Flat"]; !reflect.DeepEqual(got, flatWant) {
+		t.Errorf("Flat codec = %v, want %v", got, flatWant)
+	}
+	nestedWant := []CodecField{
+		{Path: "Flat.PriorityBase.Prio", Type: "int"},
+		{Path: "Flat.Name", Type: "string"},
+		{Path: "Flat.Score", Type: "float64"},
+		{Path: "Count", Type: "uint16"},
+	}
+	if got := codecs["Nested"]; !reflect.DeepEqual(got, nestedWant) {
+		t.Errorf("Nested codec = %v, want %v", got, nestedWant)
+	}
+	if codecs["Timed"] != nil {
+		t.Errorf("Timed must get no codec (TimelyBase carries time.Time): %v", codecs["Timed"])
+	}
+	if codecs["Sliced"] != nil {
+		t.Errorf("Sliced must get no codec (slice field): %v", codecs["Sliced"])
+	}
+
+	out, err := Generate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := string(out)
+	for _, frag := range []string{
+		"govents.RegisterWireCodec(govents.WireCodec[Flat]{Encode: encodeFlatWire, Decode: decodeFlatWire})",
+		"dst = govents.AppendWireInt(dst, int64(o.PriorityBase.Prio))",
+		"o.Flat.Score = d.Float64()",
+		"o.Count = uint16(d.UintBits(16))",
+	} {
+		if !strings.Contains(gen, frag) {
+			t.Errorf("generated code missing %q", frag)
+		}
+	}
+	for _, absent := range []string{"encodeTimedWire", "encodeSlicedWire"} {
+		if strings.Contains(gen, absent) {
+			t.Errorf("generated code must not contain %q", absent)
 		}
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"govents/internal/filter"
 	"govents/internal/matching"
 	"govents/internal/obvent"
+	"govents/internal/wire"
 )
 
 // Table is one publisher's view of the domain's advertised
@@ -78,6 +79,7 @@ type Table struct {
 	adsStale     atomic.Uint64
 	adsDeferred  atomic.Uint64
 	adsRefreshed atomic.Uint64
+	adsRejected  atomic.Uint64
 	nodesExpired atomic.Uint64
 
 	// classStats maps class name -> *classCounters. Only registered
@@ -159,6 +161,12 @@ type Stats struct {
 	// liveness and sequence without changing its subscription set
 	// (heartbeats) — those do not invalidate compiled plans.
 	AdsRefreshed uint64
+	// AdsRejected counts advertisement payloads refused before
+	// ingestion — oversized or undecodable control messages (counted by
+	// the control-plane receiver via NoteAdRejected). A nonzero value
+	// means some peer is buggy, hostile, or speaking a different control
+	// schema.
+	AdsRejected uint64
 	// NodesExpired counts nodes dropped by the silent-TTL expiry
 	// (ExpireSilent), as opposed to membership removal.
 	NodesExpired uint64
@@ -185,6 +193,13 @@ type Stats struct {
 	// AccessorFallbacks counts per-event path resolutions in the live
 	// plans that fell back to name-based reflection.
 	AccessorFallbacks uint64
+	// PartialDecodes counts routing decisions evaluated straight from
+	// the event's compact wire payload, without materializing the event.
+	PartialDecodes uint64
+	// WireMaterializations counts wire-encoded events the routing plans
+	// had to decode fully (a referenced path goes through an accessor
+	// method).
+	WireMaterializations uint64
 }
 
 // classPlan is the immutable compiled routing state for one class.
@@ -687,6 +702,37 @@ func (t *Table) Destinations(class string, decode func() any, dst []string) []st
 	return dst
 }
 
+// DestinationsWire is Destinations for an event still in compact wire
+// form: the compound plan evaluates straight off the payload when every
+// referenced path is a field chain, calling full() to materialize the
+// event only when some plan path needs a method accessor. A full()
+// error fails open to all conditional nodes, mirroring the nil-decode
+// path of Destinations.
+func (t *Table) DestinationsWire(class string, wp *wire.Prog, payload []byte, full func() (any, error), dst []string) []string {
+	p := t.plan(class)
+	cc := t.counters(class)
+	cc.eventsRouted.Add(1)
+	if p.compound == nil {
+		return append(dst, p.always...)
+	}
+	sc := t.match.Get().(*matchScratch)
+	matched, err := p.compound.MatchWireAppendFailOpen(wp, payload, full, sc.ids[:0])
+	if err != nil {
+		sc.ids = matched[:0]
+		t.match.Put(sc)
+		cc.fallbackEvals.Add(1)
+		return mergeSorted(dst, p.always, p.condNodes)
+	}
+	cc.compoundEvals.Add(1)
+	if pruned := len(p.condNodes) - len(matched); pruned > 0 {
+		cc.nodesPruned.Add(uint64(pruned))
+	}
+	dst = mergeSorted(dst, p.always, matched)
+	sc.ids = matched[:0]
+	t.match.Put(sc)
+	return dst
+}
+
 // NodesFor appends the sorted set of all candidate nodes for a class —
 // every node hosting at least one conforming subscription, filters
 // ignored. This is the subscriber-side-placement routing decision (and
@@ -791,6 +837,7 @@ func (t *Table) Stats() Stats {
 		AdsStale:     t.adsStale.Load(),
 		AdsDeferred:  t.adsDeferred.Load(),
 		AdsRefreshed: t.adsRefreshed.Load(),
+		AdsRejected:  t.adsRejected.Load(),
 		NodesExpired: t.nodesExpired.Load(),
 	}
 	s.add(t.unknownStats.snapshot())
@@ -813,7 +860,15 @@ func (s *Stats) foldAccessor(p *classPlan) {
 	ms := p.compound.Stats()
 	s.AccessorPrograms += ms.AccessorPrograms
 	s.AccessorFallbacks += ms.AccessorFallbacks
+	s.PartialDecodes += ms.PartialDecodes
+	s.WireMaterializations += ms.WireMaterializations
 }
+
+// NoteAdRejected records an advertisement payload the control-plane
+// receiver refused before decoding (oversized or malformed framing).
+// The table never sees such payloads; the receiver reports them here so
+// the rejection shows up next to the other advertisement counters.
+func (t *Table) NoteAdRejected() { t.adsRejected.Add(1) }
 
 // ClassStats returns one class's routing counters (the advertisement
 // counters are table-wide and stay zero here).

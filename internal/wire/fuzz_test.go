@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"govents/internal/filter"
+)
+
+// fuzzEvent exercises every encoding family the compiler emits: varint
+// signed/unsigned at several widths, floats, strings, bulk []byte,
+// general slices, maps, pointers, nested structs and arrays.
+type fuzzEvent struct {
+	B   bool
+	I   int64
+	I8  int8
+	I32 int32
+	U   uint64
+	U16 uint16
+	F   float64
+	F32 float32
+	S   string
+	Bs  []byte
+	Is  []int32
+	M   map[string]int64
+	P   *int64
+	N   fuzzNested
+	Arr [3]uint16
+}
+
+type fuzzNested struct {
+	X int
+	Y string
+}
+
+// buildFuzzEvent derives a fuzzEvent from primitive fuzz arguments. It
+// normalizes empty collections to nil (the gob oracle conflates nil and
+// empty) and NaN to zero (reflect.DeepEqual cannot compare NaN).
+func buildFuzzEvent(b bool, i int64, i8 int8, i32 int32, u uint64, u16 uint16,
+	f float64, f32 float32, s string, bs []byte, n int, pSet bool, x int, y string) fuzzEvent {
+	if f != f {
+		f = 0
+	}
+	if f32 != f32 {
+		f32 = 0
+	}
+	ev := fuzzEvent{B: b, I: i, I8: i8, I32: i32, U: u, U16: u16, F: f, F32: f32, S: s,
+		N: fuzzNested{X: x, Y: y}, Arr: [3]uint16{u16, u16 + 1, u16 + 2}}
+	if len(bs) > 0 {
+		ev.Bs = bs
+	}
+	if n < 0 {
+		n = -n
+	}
+	n %= 8
+	if n > 0 {
+		ev.Is = make([]int32, n)
+		ev.M = make(map[string]int64, n)
+		for k := 0; k < n; k++ {
+			ev.Is[k] = i32 + int32(k)
+			ev.M[string(rune('a'+k))] = i + int64(k)
+		}
+	}
+	if pSet {
+		// gob drops zero values even through indirection, decoding
+		// &0 back to nil; keep the pointee nonzero so the oracle can
+		// represent it.
+		v := i
+		if v == 0 {
+			v = 1
+		}
+		ev.P = &v
+	}
+	return ev
+}
+
+// FuzzWireRoundTrip is the differential fuzz harness of the compact
+// codec against the gob oracle: every generated value must survive a
+// wire round trip exactly, agree with gob's round trip, and its lazy
+// field extraction must equal the fields of the fully decoded value.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(false, int64(0), int8(0), int32(0), uint64(0), uint16(0), 0.0, float32(0), "", []byte(nil), 0, false, 0, "")
+	f.Add(true, int64(-1), int8(-128), int32(1<<30), ^uint64(0), uint16(65535), -1.5, float32(3.25), "hello", []byte{1, 2, 3}, 5, true, -42, "nested")
+	f.Add(true, int64(1)<<62, int8(127), int32(-1), uint64(300), uint16(7), 1e-300, float32(0), "\x00\xff", []byte{0}, 1, false, 1<<40, "")
+
+	prog, err := Compile(reflect.TypeOf(fuzzEvent{}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	// The extractor reads primitive leaves across the struct, including
+	// one through the pointer field and one inside the nested struct.
+	chains := [][]int{
+		{0},      // B
+		{1},      // I
+		{3},      // I32
+		{8},      // S
+		{12, -1}, // *P
+		{13, 1},  // N.Y
+	}
+	ext, err := CompileExtract(reflect.TypeOf(fuzzEvent{}), chains)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if !ext.AllAble() {
+		f.Fatal("all fuzz chains must be extractable")
+	}
+
+	f.Fuzz(func(t *testing.T, b bool, i int64, i8 int8, i32 int32, u uint64, u16 uint16,
+		f64 float64, f32 float32, s string, bs []byte, n int, pSet bool, x int, y string) {
+		ev := buildFuzzEvent(b, i, i8, i32, u, u16, f64, f32, s, bs, n, pSet, x, y)
+
+		data := prog.Append(nil, reflect.ValueOf(ev))
+		rv := reflect.New(reflect.TypeOf(ev)).Elem()
+		if err := prog.Decode(data, rv); err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		got := rv.Interface().(fuzzEvent)
+		if !reflect.DeepEqual(got, ev) {
+			t.Fatalf("wire round trip diverged:\n got %#v\nwant %#v", got, ev)
+		}
+
+		// Gob oracle: both codecs must tell the same story about the
+		// value (after the normalizations buildFuzzEvent applied).
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(ev); err != nil {
+			t.Fatalf("gob encode: %v", err)
+		}
+		var oracle fuzzEvent
+		if err := gob.NewDecoder(&buf).Decode(&oracle); err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, oracle) {
+			t.Fatalf("wire and gob round trips disagree:\nwire %#v\n gob %#v", got, oracle)
+		}
+
+		// Lazy extraction must equal the fully decoded fields.
+		vals := make([]filter.Constant, len(chains))
+		ok := make([]bool, len(chains))
+		if err := ext.Extract(data, vals, ok); err != nil {
+			t.Fatalf("extract: %v", err)
+		}
+		checkSlot := func(slot int, wantResolved bool, check func() bool) {
+			t.Helper()
+			if ok[slot] != wantResolved {
+				t.Fatalf("slot %d resolved = %v, want %v", slot, ok[slot], wantResolved)
+			}
+			if wantResolved && !check() {
+				t.Fatalf("slot %d value %+v disagrees with decoded field", slot, vals[slot])
+			}
+		}
+		checkSlot(0, true, func() bool { return vals[0].B == got.B })
+		checkSlot(1, true, func() bool { return vals[1].I == got.I })
+		checkSlot(2, true, func() bool { return vals[2].I == int64(got.I32) })
+		checkSlot(3, true, func() bool { return vals[3].S == got.S })
+		if got.P != nil {
+			checkSlot(4, true, func() bool { return vals[4].I == *got.P })
+		} else {
+			checkSlot(4, false, nil)
+		}
+		checkSlot(5, true, func() bool { return vals[5].S == got.N.Y })
+	})
+}
+
+// FuzzWireDecode throws raw bytes at the compiled decoder and the
+// extractor: malformed payloads must error (never panic, never
+// over-allocate), and any payload both accept must tell one story.
+func FuzzWireDecode(f *testing.F) {
+	prog, err := Compile(reflect.TypeOf(fuzzEvent{}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	ext, err := CompileExtract(reflect.TypeOf(fuzzEvent{}), [][]int{{1}, {8}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed := prog.Append(nil, reflect.ValueOf(fuzzEvent{S: "seed", Bs: []byte{1}, P: new(int64)}))
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rv := reflect.New(reflect.TypeOf(fuzzEvent{})).Elem()
+		decErr := prog.Decode(data, rv)
+
+		vals := make([]filter.Constant, 2)
+		ok := make([]bool, 2)
+		extErr := ext.Extract(data, vals, ok)
+
+		if decErr == nil {
+			// A fully decodable payload must also extract (the
+			// extractor validates a prefix of what the decoder
+			// validates), and the extracted fields must match.
+			if extErr != nil {
+				t.Fatalf("decode accepted but extract rejected: %v", extErr)
+			}
+			got := rv.Interface().(fuzzEvent)
+			if !ok[0] || vals[0].I != got.I {
+				t.Fatalf("extracted I = %+v (ok=%v), decoded %d", vals[0], ok[0], got.I)
+			}
+			if !ok[1] || vals[1].S != got.S {
+				t.Fatalf("extracted S = %+v (ok=%v), decoded %q", vals[1], ok[1], got.S)
+			}
+			// Re-encoding the decoded value must round-trip to an
+			// equal value (bytes may legally differ: map iteration
+			// order and non-minimal varints are not canonicalized).
+			re := prog.Append(nil, rv)
+			rv2 := reflect.New(reflect.TypeOf(fuzzEvent{})).Elem()
+			if err := prog.Decode(re, rv2); err != nil {
+				t.Fatalf("decode of re-encoding: %v", err)
+			}
+			if !reflect.DeepEqual(rv2.Interface(), got) {
+				t.Fatalf("re-encode round trip diverged:\n got %#v\nwant %#v", rv2.Interface(), got)
+			}
+		}
+	})
+}

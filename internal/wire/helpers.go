@@ -1,0 +1,197 @@
+package wire
+
+// Typed primitive encode/decode helpers for generated codecs. A
+// psc-generated native codec is a straight-line sequence of these calls
+// — one per exported field, in declared order — and must produce
+// byte-for-byte the compiled reflect program's encoding; keeping both
+// on the same primitive routines is what makes that an identity rather
+// than a convention.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendBool appends the 1-byte encoding of b.
+func AppendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendInt appends the zigzag-varint encoding of i (all signed integer
+// widths and time.Duration share it).
+func AppendInt(dst []byte, i int64) []byte {
+	return binary.AppendUvarint(dst, zigzag(i))
+}
+
+// AppendUint appends the varint encoding of u (all unsigned widths).
+func AppendUint(dst []byte, u uint64) []byte {
+	return binary.AppendUvarint(dst, u)
+}
+
+// AppendFloat32 appends the 4-byte little-endian IEEE 754 bits of f.
+func AppendFloat32(dst []byte, f float32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, math.Float32bits(f))
+}
+
+// AppendFloat64 appends the 8-byte little-endian IEEE 754 bits of f.
+func AppendFloat64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// AppendString appends the length-prefixed bytes of s.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Decoder reads primitives off a compact payload in field order. It is
+// sticky-error: after the first malformed read every further read
+// returns a zero value, and Finish reports what went wrong (including
+// unconsumed trailing bytes, which the compiled decoder also rejects).
+type Decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// NewDecoder returns a decoder over data.
+func NewDecoder(data []byte) *Decoder {
+	return &Decoder{data: data}
+}
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Bool reads one strict 0/1 byte.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos >= len(d.data) {
+		d.fail(errShort)
+		return false
+	}
+	b := d.data[d.pos]
+	d.pos++
+	if b > 1 {
+		d.fail(fmt.Errorf("wire: invalid bool byte %d", b))
+		return false
+	}
+	return b == 1
+}
+
+// Int reads a zigzag-varint signed integer.
+func (d *Decoder) Int() int64 {
+	return d.IntBits(64)
+}
+
+// IntBits reads a zigzag-varint signed integer and rejects values that
+// do not fit in bits, exactly as the compiled decoder rejects overflow
+// of a narrow field.
+func (d *Decoder) IntBits(bits int) int64 {
+	if d.err != nil {
+		return 0
+	}
+	u, pos, err := readUvarint(d.data, d.pos)
+	if err != nil {
+		d.fail(err)
+		return 0
+	}
+	d.pos = pos
+	i := unzigzag(u)
+	if bits < 64 && (i < -1<<(bits-1) || i >= 1<<(bits-1)) {
+		d.fail(fmt.Errorf("wire: value %d overflows int%d", i, bits))
+		return 0
+	}
+	return i
+}
+
+// Uint reads a varint unsigned integer.
+func (d *Decoder) Uint() uint64 {
+	return d.UintBits(64)
+}
+
+// UintBits reads a varint unsigned integer and rejects values that do
+// not fit in bits.
+func (d *Decoder) UintBits(bits int) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	u, pos, err := readUvarint(d.data, d.pos)
+	if err != nil {
+		d.fail(err)
+		return 0
+	}
+	d.pos = pos
+	if bits < 64 && u >= 1<<bits {
+		d.fail(fmt.Errorf("wire: value %d overflows uint%d", u, bits))
+		return 0
+	}
+	return u
+}
+
+// Float32 reads 4 little-endian IEEE 754 bytes.
+func (d *Decoder) Float32() float32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+4 > len(d.data) {
+		d.fail(errShort)
+		return 0
+	}
+	f := math.Float32frombits(binary.LittleEndian.Uint32(d.data[d.pos:]))
+	d.pos += 4
+	return f
+}
+
+// Float64 reads 8 little-endian IEEE 754 bytes.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.data) {
+		d.fail(errShort)
+		return 0
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return f
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	if d.err != nil {
+		return ""
+	}
+	n, pos, err := readUvarint(d.data, d.pos)
+	if err != nil {
+		d.fail(err)
+		return ""
+	}
+	if n > uint64(len(d.data)-pos) {
+		d.fail(errShort)
+		return ""
+	}
+	s := string(d.data[pos : pos+int(n)])
+	d.pos = pos + int(n)
+	return s
+}
+
+// Finish reports the first decode error, or an error if the payload was
+// not fully consumed.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.pos != len(d.data) {
+		return fmt.Errorf("wire: %d trailing bytes after decode", len(d.data)-d.pos)
+	}
+	return nil
+}
