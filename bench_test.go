@@ -1031,3 +1031,111 @@ func BenchmarkClonePointerBearing(b *testing.B) {
 		})
 	}
 }
+
+// --- Sparse multicast: interest-aware ordered & gossip classes ---
+
+// BenchmarkSparseMulticast measures frames and bytes on the wire per
+// published event for the interest-aware multicast classes at varying
+// subscriber density on a 16-node domain. With ordered pruning on (the
+// default), wire cost tracks the interested set instead of the group
+// size; prunedsends/op and skipframes/op surface how much of the group
+// each event avoided.
+func BenchmarkSparseMulticast(b *testing.B) {
+	const n = 16
+	classes := []struct {
+		name string
+		cfg  dace.Config
+		sub  func(e *core.Engine, c *atomic.Int64) error
+		pub  func(e *core.Engine, i int) error
+	}{
+		{
+			name: "class=fifo",
+			cfg:  dace.Config{Multicast: fastOpts()},
+			sub: func(e *core.Engine, c *atomic.Int64) error {
+				s, err := core.Subscribe(e, nil, func(q workload.QuoteFIFO) { c.Add(1) })
+				if err != nil {
+					return err
+				}
+				return s.Activate()
+			},
+			pub: func(e *core.Engine, i int) error {
+				return core.Publish(e, workload.QuoteFIFO{StockObvent: workload.StockObvent{Company: "Telco", Price: float64(i)}})
+			},
+		},
+		{
+			name: "class=total",
+			cfg:  dace.Config{Multicast: fastOpts()},
+			sub: func(e *core.Engine, c *atomic.Int64) error {
+				s, err := core.Subscribe(e, nil, func(q workload.QuoteTotal) { c.Add(1) })
+				if err != nil {
+					return err
+				}
+				return s.Activate()
+			},
+			pub: func(e *core.Engine, i int) error {
+				return core.Publish(e, workload.QuoteTotal{StockObvent: workload.StockObvent{Company: "Telco", Price: float64(i)}})
+			},
+		},
+		{
+			name: "class=gossip",
+			cfg:  dace.Config{GossipUnreliable: true, Multicast: fastOpts()},
+			sub: func(e *core.Engine, c *atomic.Int64) error {
+				s, err := core.Subscribe(e, nil, func(q workload.StockQuote) { c.Add(1) })
+				if err != nil {
+					return err
+				}
+				return s.Activate()
+			},
+			pub: func(e *core.Engine, i int) error {
+				return core.Publish(e, workload.StockQuote{StockObvent: workload.StockObvent{Company: "Telco", Price: float64(i)}})
+			},
+		},
+	}
+	densities := []struct {
+		name string
+		subs int
+	}{
+		{"density=1%", 1},       // 1 of 15 possible subscribers
+		{"density=10%", 2},      // ~10%
+		{"density=100%", n - 1}, // everyone else
+	}
+	for _, cl := range classes {
+		for _, d := range densities {
+			b.Run(cl.name+"/"+d.name, func(b *testing.B) {
+				net := netsim.New(netsim.Config{})
+				defer net.Close()
+				nodes, engines := benchDomain(b, net, n, cl.cfg)
+				var got atomic.Int64
+				for _, e := range engines[1 : 1+d.subs] {
+					if err := cl.sub(e, &got); err != nil {
+						b.Fatal(err)
+					}
+				}
+				waitUntil(b, 10*time.Second, func() bool { return nodes[0].RemoteSubscriptionCount() >= d.subs })
+				net.Settle()
+				net.ResetStats()
+
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := cl.pub(engines[0], i); err != nil {
+						b.Fatal(err)
+					}
+				}
+				want := int64(b.N) * int64(d.subs)
+				waitUntil(b, 60*time.Second, func() bool { return got.Load() >= want })
+				b.StopTimer()
+				sent, bytes, _, _ := net.Stats()
+				var pruned, skips uint64
+				for _, dn := range nodes {
+					st := dn.RoutingStats()
+					pruned += st.PrunedSends
+					skips += st.SkipFrames
+				}
+				b.ReportMetric(float64(sent)/float64(b.N), "msgs/op")
+				b.ReportMetric(float64(bytes)/float64(b.N), "wirebytes/op")
+				b.ReportMetric(float64(pruned)/float64(b.N), "prunedsends/op")
+				b.ReportMetric(float64(skips)/float64(b.N), "skipframes/op")
+			})
+		}
+	}
+}

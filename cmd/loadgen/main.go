@@ -41,7 +41,7 @@ var ctx = context.Background()
 var defaultPlacement = govents.AtSubscriber
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: C1, C2, C3, C4, C5, C6 or all")
+	exp := flag.String("exp", "all", "experiment to run: C1, C2, C3, C4, C5, C6, C7 or all")
 	placement := flag.String("placement", "subscriber", "default remote filter placement: subscriber or publisher")
 	flag.Parse()
 
@@ -58,6 +58,7 @@ func main() {
 	experiments := map[string]func(){
 		"C1": expC1, "C2": expC2, "C3": expC3,
 		"C4": expC4, "C5": expC5, "C6": expC6,
+		"C7": expC7,
 	}
 	if *exp == "all" {
 		names := make([]string, 0, len(experiments))
@@ -532,4 +533,84 @@ func pubsubFanout(n int) float64 {
 		waitUntil(10*time.Second, func() bool { return got.Load() >= want })
 	}
 	return float64(time.Since(start).Milliseconds()) / rounds
+}
+
+// --- C7: interest-aware sparse multicast (ordered & gossip classes) ---
+
+func expC7() {
+	fmt.Println("\n== C7: sparse interest: routing-aware ordered & gossip multicast ==")
+	fmt.Println("claim: with pruning on (default), ordered/gossip wire cost tracks the interested set, not the group size")
+	fmt.Printf("%-8s %-8s %12s %14s %8s %14s %13s\n", "class", "density", "msgs/ev", "msgs/ev(off)", "saving", "pruned-sends", "skip-frames")
+
+	const n = 16
+	for _, class := range []string{"fifo", "total", "gossip"} {
+		for _, subs := range []int{1, 2, n - 1} {
+			pruned, rst := sparseRun(class, n, subs, true)
+			full, _ := sparseRun(class, n, subs, false)
+			fmt.Printf("%-8s %3d/%-4d %12.1f %14.1f %7.1f%% %14d %13d\n",
+				class, subs, n-1, pruned, full, 100*(1-pruned/full), rst.PrunedSends, rst.SkipFrames)
+		}
+	}
+}
+
+// sparseRun publishes one class to a domain where only `subs` of the
+// n-1 other nodes subscribed, returning wire messages per event and the
+// folded pruning counters (FIFO/causal prune at the publisher, total
+// order at the sequencer).
+func sparseRun(class string, n, subs int, prune bool) (msgsPerEvent float64, rst govents.RoutingStats) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	opts := []govents.Option{govents.WithOrderedPruning(prune)}
+	if class == "gossip" {
+		opts = append(opts, govents.WithGossipUnreliable())
+	}
+	domains := domain(net, n, opts...)
+	defer closeAll(domains)
+
+	var got atomic.Int64
+	for _, d := range domains[1 : 1+subs] {
+		var err error
+		switch class {
+		case "fifo":
+			_, err = govents.Subscribe(d, nil, func(q workload.QuoteFIFO) { got.Add(1) })
+		case "total":
+			_, err = govents.Subscribe(d, nil, func(q workload.QuoteTotal) { got.Add(1) })
+		default:
+			_, err = govents.Subscribe(d, nil, func(q workload.StockQuote) { got.Add(1) })
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+	waitUntil(10*time.Second, func() bool { return domains[0].RemoteSubscriptionCount() >= subs })
+	net.Settle()
+	net.ResetStats()
+
+	gen := workload.NewQuoteGen(17, 5)
+	const events = 50
+	for i := 0; i < events; i++ {
+		q := gen.Next().StockObvent
+		var err error
+		switch class {
+		case "fifo":
+			err = domains[0].Publish(ctx, workload.QuoteFIFO{StockObvent: q})
+		case "total":
+			err = domains[0].Publish(ctx, workload.QuoteTotal{StockObvent: q})
+		default:
+			err = domains[0].Publish(ctx, workload.StockQuote{StockObvent: q})
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+	want := int64(events * subs)
+	waitUntil(30*time.Second, func() bool { return got.Load() >= want })
+	net.Settle()
+	sent, _, _, _ := net.Stats()
+	for _, d := range domains {
+		st := d.RoutingStats()
+		rst.PrunedSends += st.PrunedSends
+		rst.SkipFrames += st.SkipFrames
+	}
+	return float64(sent) / events, rst
 }

@@ -68,6 +68,26 @@
 // AppendWire* helpers, and must produce byte-identical encodings to
 // the compiled program (the generated ones are differentially tested).
 //
+// # Interest-aware multicast
+//
+// Every dissemination class prunes to the interested subset of the
+// domain, not just the unordered ones. FIFO and causal publishers
+// consult the routing plane and ship data frames only to nodes with a
+// passing subscription; for total order the publication routes to the
+// sequencer, which filters after stamping, so the global sequence stays
+// gap-free. Pruned nodes keep their per-origin sequences (and causal
+// clocks) advancing through lightweight skip markers: every data frame
+// carries the sequence range it covers for its destination, and
+// destinations with no follow-up data get amortized skip frames on the
+// retransmission tick. Gossip classes bias their per-round fanout
+// toward interested nodes while keeping a configurable floor of
+// uniformly random edges (Tuning.GossipRandomEdges) so rumors still
+// cross interest boundaries. Pruning fails open — an unevaluable event
+// or unknown node counts as interested — and preserves each class's
+// ordering contract exactly; WithOrderedPruning(false) restores
+// full-group broadcasts. RoutingStats reports the saved traffic as
+// PrunedSends and SkipFrames.
+//
 // # The abstraction family
 //
 // The same Domain reaches the paper's comparison abstractions — the

@@ -40,9 +40,19 @@
 //
 // so publishing an unordered event costs one indexed compound
 // evaluation total instead of one filter interpretation per remote
-// subscription. Ordered and certified classes still broadcast to the
-// full group to keep membership uniform; their filtering remains
-// subscriber-side.
+// subscription.
+//
+// Ordered and gossip classes are interest-aware too (unless
+// Config.NoOrderedPruning): FIFO and Causal publishers split data
+// frames to interested nodes and let the multicast layer heal the
+// sequence holes of the rest with skip markers; Total publications
+// still route to the sequencer, which filters after stamping so the
+// global sequence stays gap-free; gossip biases rumor fanout toward
+// interested peers with a random-edge floor for anti-entropy. All
+// pruning fails open — an unevaluable event is shipped to every
+// candidate, each subscriber's local pass deciding — so delivery
+// contracts are preserved and only bandwidth changes. Certified
+// classes already address their durable subscribers explicitly.
 package dace
 
 import (
@@ -72,9 +82,10 @@ const (
 	AtSubscriber Placement = iota + 1
 	// AtPublisher evaluates migrated filters at the publishing node
 	// and sends only to nodes with at least one passing subscription,
-	// saving bandwidth (paper §2.3.2). Applies to unordered classes;
-	// ordered and certified classes always ship to all subscriber
-	// nodes to keep group membership uniform.
+	// saving bandwidth (paper §2.3.2). Unordered classes prune per
+	// message; ordered and gossip classes prune through the
+	// interest-aware multicast protocols (see Config.NoOrderedPruning);
+	// certified classes address durable subscribers explicitly.
 	AtPublisher
 )
 
@@ -106,6 +117,14 @@ type Config struct {
 	// sends no heartbeats and would be wrongly expired by peers that
 	// have it set.
 	AdTTL time.Duration
+	// NoOrderedPruning disables interest-aware pruning of the ordered
+	// (FIFO/Causal/Total) and gossip classes, reverting them to full
+	// group broadcasts with subscriber-side filtering. The zero value
+	// keeps pruning on: data frames go only to nodes the routing plane
+	// marks interested (fail-open — an unevaluable event or unknown
+	// node counts as interested) and the rest receive amortized skip
+	// markers preserving each class's ordering contract.
+	NoOrderedPruning bool
 	// LegacyWire makes the node behave as a pre-wire binary: its codec
 	// gob-encodes every payload and refuses compact ones, and its
 	// advertisements carry the delta-capable but wire-incapable schema
@@ -271,6 +290,8 @@ func NewNode(tr netsim.Transport, reg *obvent.Registry, cfg Config) *Node {
 // times per TTL (so peers never expire a live node) and expires peers
 // silent past the TTL. Heartbeat ads that change nothing are applied by
 // receivers as liveness refreshes without invalidating compiled plans.
+// Expired peers also leave the multicast memberships, so the reliable
+// protocols' retransmission loops stop resending to dead destinations.
 func (n *Node) heartbeatLoop(ttl time.Duration) {
 	defer n.hbWG.Done()
 	period := ttl / 3
@@ -285,8 +306,42 @@ func (n *Node) heartbeatLoop(ttl time.Duration) {
 			return
 		case <-tick.C:
 			n.advertise(false)
-			n.routes.ExpireSilent(n.self)
+			if expired := n.routes.ExpireSilent(n.self); len(expired) > 0 {
+				n.dropPeers(expired)
+			}
 		}
+	}
+}
+
+// dropPeers removes TTL-expired nodes from the domain membership
+// without a SetPeers call: a dead node must stop being owed
+// retransmissions by every multicast channel, or the reliable
+// protocols' outboxes grow (and the network carries resends) forever.
+func (n *Node) dropPeers(expired []string) {
+	dead := make(map[string]bool, len(expired))
+	for _, p := range expired {
+		dead[p] = true
+	}
+	n.mu.Lock()
+	kept := n.peers[:0]
+	for _, p := range n.peers {
+		if !dead[p] {
+			kept = append(kept, p)
+		}
+	}
+	n.peers = kept
+	for p := range dead {
+		delete(n.peerVer, p)
+	}
+	peers := append([]string(nil), n.peers...)
+	groups := make([]multicast.Group, 0, len(n.groups))
+	for _, g := range n.groups {
+		groups = append(groups, g)
+	}
+	n.mu.Unlock()
+	n.control.SetMembers(peers)
+	for _, g := range groups {
+		g.SetMembers(peers)
 	}
 }
 
@@ -392,14 +447,15 @@ func (n *Node) group(proto, class string) multicast.Group {
 	stream := streamName(proto, class)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.groupLocked(proto, stream)
+	return n.groupLocked(proto, class, stream)
 }
 
-func (n *Node) groupLocked(proto, stream string) multicast.Group {
+func (n *Node) groupLocked(proto, class, stream string) multicast.Group {
 	if g, ok := n.groups[stream]; ok {
 		return g
 	}
 	deliver := n.onData
+	prune := !n.cfg.NoOrderedPruning
 	var g multicast.Group
 	switch proto {
 	case "cert":
@@ -408,21 +464,126 @@ func (n *Node) groupLocked(proto, stream string) multicast.Group {
 			c.SetDurableID(n.cfg.DurableID)
 		}
 	case "total":
-		g = multicast.NewTotal(n.mux, stream, n.sequencerLocked(), deliver, n.cfg.Multicast)
+		t := multicast.NewTotal(n.mux, stream, n.sequencerLocked(), deliver, n.cfg.Multicast)
+		if prune {
+			t.SetPlanner(n.plannerFor(class))
+			t.SetPruneObserver(n.pruneObserver(class))
+		}
+		g = t
 	case "causal":
-		g = multicast.NewCausal(n.mux, stream, deliver, n.cfg.Multicast)
+		c := multicast.NewCausal(n.mux, stream, deliver, n.cfg.Multicast)
+		if prune {
+			c.SetPruneObserver(n.pruneObserver(class))
+		}
+		g = c
 	case "fifo":
-		g = multicast.NewFIFO(n.mux, stream, deliver, n.cfg.Multicast)
+		f := multicast.NewFIFO(n.mux, stream, deliver, n.cfg.Multicast)
+		if prune {
+			f.SetPruneObserver(n.pruneObserver(class))
+		}
+		g = f
 	case "rel":
 		g = multicast.NewReliable(n.mux, stream, deliver, n.cfg.Multicast)
 	case "gossip":
-		g = multicast.NewGossip(n.mux, stream, deliver, n.cfg.Multicast)
+		gg := multicast.NewGossip(n.mux, stream, deliver, n.cfg.Multicast)
+		if prune {
+			gg.SetInterest(n.interestFor(class))
+			gg.SetPruneObserver(n.pruneObserver(class))
+		}
+		g = gg
 	default:
 		g = multicast.NewBestEffort(n.mux, stream, deliver)
 	}
 	g.SetMembers(n.peers)
 	n.groups[stream] = g
 	return g
+}
+
+// pruneObserver funnels a group's pruning counters into the routing
+// table's per-class stats.
+func (n *Node) pruneObserver(class string) multicast.PruneObserver {
+	return func(prunedSends, skipFrames uint64) {
+		n.routes.NotePrunedSends(class, prunedSends)
+		n.routes.NoteSkipFrames(class, skipFrames)
+	}
+}
+
+// plannerFor builds the sequencer-side interest filter of a total-order
+// class: stamped payloads are routed like any publication, split per
+// destination encoding capability. Any failure to evaluate reports
+// ok=false, failing open to a full broadcast.
+func (n *Node) plannerFor(class string) multicast.Planner {
+	return func(payload []byte) ([]multicast.Send, bool) {
+		env, err := codec.Unmarshal(payload)
+		if err != nil || env.Type != class {
+			return nil, false
+		}
+		buf := n.destBuf.Get().(*destScratch)
+		dests := n.destinationsFor(env, buf, buf.ids[:0])
+		sends, err := n.freshSends(env, payload, dests)
+		buf.ids = dests[:0]
+		n.destBuf.Put(buf)
+		if err != nil {
+			return nil, false
+		}
+		return sends, true
+	}
+}
+
+// freshSends builds the per-encoding Sends of a planned publication in
+// freshly allocated slices (the caller hands them to a multicast layer
+// that may use them after this node's scratch is reused). payload must
+// be the marshaled form of env, reused verbatim for capable
+// destinations.
+func (n *Node) freshSends(env *codec.Envelope, payload []byte, dests []string) ([]multicast.Send, error) {
+	if len(dests) == 0 {
+		return nil, nil
+	}
+	if env.Enc != codec.EncWire {
+		return []multicast.Send{{Dests: append([]string(nil), dests...), Payload: payload}}, nil
+	}
+	var capable, legacy []string
+	n.mu.Lock()
+	for _, d := range dests {
+		if d == n.self || n.peerVer[d] >= adVerWire {
+			capable = append(capable, d)
+		} else {
+			legacy = append(legacy, d)
+		}
+	}
+	n.mu.Unlock()
+	sends := make([]multicast.Send, 0, 2)
+	if len(legacy) > 0 {
+		genv, err := n.cdc.TranscodeGob(env)
+		if err != nil {
+			return nil, err
+		}
+		gp, err := codec.Marshal(genv)
+		if err != nil {
+			return nil, err
+		}
+		sends = append(sends, multicast.Send{Dests: legacy, Payload: gp})
+	}
+	if len(capable) > 0 {
+		sends = append(sends, multicast.Send{Dests: capable, Payload: payload})
+	}
+	return sends, nil
+}
+
+// interestFor builds the gossip interest function of a class: the
+// routed destination set, freshly allocated. An unevaluable payload
+// reports ok=false (uniform fanout).
+func (n *Node) interestFor(class string) multicast.Interest {
+	return func(payload []byte) ([]string, bool) {
+		env, err := codec.Unmarshal(payload)
+		if err != nil || env.Type != class {
+			return nil, false
+		}
+		buf := n.destBuf.Get().(*destScratch)
+		dests := n.destinationsFor(env, buf, nil)
+		n.destBuf.Put(buf)
+		return dests, true
+	}
 }
 
 // sequencerLocked returns the domain's total-order sequencer: the
@@ -457,7 +618,7 @@ func (n *Node) onUnknownStream(stream, from string, payload []byte) {
 		n.mu.Unlock()
 		return
 	}
-	n.groupLocked(parts[1], base)
+	n.groupLocked(parts[1], parts[2], base)
 	n.mu.Unlock()
 	n.mux.Redeliver(stream, from, payload)
 }
@@ -508,16 +669,118 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 		buf.ids = dests[:0]
 		n.destBuf.Put(buf)
 		return err
+	case "fifo", "causal":
+		// Interest-aware ordered classes: data frames only to nodes the
+		// routing plane marks interested, split per destination encoding
+		// capability; the multicast layer heals the sequence holes of
+		// the rest with skip markers.
+		sp, canSplit := g.(interface {
+			BroadcastSplit(sends []multicast.Send) error
+		})
+		if n.cfg.NoOrderedPruning || !canSplit {
+			payload, err := n.marshalForBroadcast(env)
+			if err != nil {
+				return err
+			}
+			return g.Broadcast(payload)
+		}
+		buf := n.destBuf.Get().(*destScratch)
+		dests := n.destinationsFor(env, buf, buf.ids[:0])
+		err := n.publishSplit(sp, env, dests, buf)
+		// BroadcastSplit copies what it keeps; the scratch can be reused.
+		buf.ids = dests[:0]
+		n.destBuf.Put(buf)
+		return err
+	case "total":
+		if !n.cfg.NoOrderedPruning {
+			// Publications route to the sequencer, which filters after
+			// stamping (plannerFor); the publisher only ensures the
+			// sequencer itself can decode the payload.
+			payload, err := n.marshalForSequencer(env)
+			if err != nil {
+				return err
+			}
+			return g.Broadcast(payload)
+		}
+		payload, err := n.marshalForBroadcast(env)
+		if err != nil {
+			return err
+		}
+		return g.Broadcast(payload)
 	default:
-		// Ordered and gossip classes broadcast to the full group;
-		// filtering happens subscriber-side to keep membership
-		// uniform.
+		// Gossip and unknown classes broadcast whole frames (gossip
+		// biases its per-round fanout via interestFor instead; relayed
+		// frames must stay decodable by every peer, so a legacy peer
+		// still downgrades the frame at the origin).
 		payload, err := n.marshalForBroadcast(env)
 		if err != nil {
 			return err
 		}
 		return g.Broadcast(payload)
 	}
+}
+
+// publishSplit hands an interest-pruned publication to a
+// split-broadcasting ordered group, transcoding the payload to gob for
+// destinations that have not advertised wire capability — only the
+// legacy destinations' traffic downgrades, never the whole frame. An
+// empty destination set still publishes (the sequence number must
+// advance; every member is healed by skip markers).
+func (n *Node) publishSplit(sp interface {
+	BroadcastSplit(sends []multicast.Send) error
+}, env *codec.Envelope, dests []string, buf *destScratch) error {
+	if env.Enc != codec.EncWire {
+		payload, err := codec.Marshal(env)
+		if err != nil {
+			return err
+		}
+		return sp.BroadcastSplit([]multicast.Send{{Dests: dests, Payload: payload}})
+	}
+	capable, legacy := n.splitWireDests(dests, buf)
+	defer func() {
+		buf.capable, buf.legacy = capable[:0], legacy[:0]
+	}()
+	sends := make([]multicast.Send, 0, 2)
+	if len(legacy) > 0 {
+		genv, err := n.cdc.TranscodeGob(env)
+		if err != nil {
+			return err
+		}
+		payload, err := codec.Marshal(genv)
+		if err != nil {
+			return err
+		}
+		sends = append(sends, multicast.Send{Dests: legacy, Payload: payload})
+	}
+	if len(capable) > 0 {
+		payload, err := codec.Marshal(env)
+		if err != nil {
+			return err
+		}
+		sends = append(sends, multicast.Send{Dests: capable, Payload: payload})
+	}
+	return sp.BroadcastSplit(sends)
+}
+
+// marshalForSequencer frames env for its trip to the total-order
+// sequencer. Only the sequencer must decode it before redistribution
+// (plannerFor transcodes for legacy destinations there), so a compact
+// payload downgrades only when the sequencer itself is a legacy node.
+func (n *Node) marshalForSequencer(env *codec.Envelope) ([]byte, error) {
+	if env.Enc == codec.EncWire {
+		n.mu.Lock()
+		seqr := n.sequencerLocked()
+		legacySeqr := seqr != n.self && n.peerVer[seqr] < adVerWire
+		n.mu.Unlock()
+		if legacySeqr {
+			genv, err := n.cdc.TranscodeGob(env)
+			if err != nil {
+				return nil, err
+			}
+			return codec.Marshal(genv)
+		}
+	}
+	return codec.Marshal(env)
 }
 
 // marshalForBroadcast frames env for a whole-group send. A compact

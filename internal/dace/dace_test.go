@@ -68,6 +68,7 @@ func registerAll(reg *obvent.Registry) {
 	reg.MustRegister(fifoTick{})
 	reg.MustRegister(causalMsg{})
 	reg.MustRegister(certTrade{})
+	reg.MustRegister(relPing{}) // defined in prune_test.go
 }
 
 func fastCfg() Config {

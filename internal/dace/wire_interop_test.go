@@ -74,7 +74,7 @@ func TestMixedVersionWireInterop(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	waitFor(t, 5*time.Second, "mixed-version delivery", func() bool {
+	waitFor(t, 15*time.Second, "mixed-version delivery", func() bool {
 		return gotCapable.Load() == n && gotLegacy.Load() == n
 	})
 
@@ -105,20 +105,13 @@ func TestMixedVersionWireInterop(t *testing.T) {
 	}
 }
 
-// TestMixedVersionBroadcastDowngrades pins the broadcast-protocol rule:
-// an ordered class delivers one frame to the whole group, so with a
-// legacy peer present the publisher transcodes the send to gob for
-// everyone rather than splitting membership.
-func TestMixedVersionBroadcastDowngrades(t *testing.T) {
-	net := netsim.New(netsim.Config{})
-	defer net.Close()
-
-	type member struct {
-		node   *Node
-		engine *core.Engine
-	}
+// mixedVersionDomain builds a 3-node domain whose node-2 emulates a
+// pre-wire binary, with node-1 (capable) and node-2 (legacy) subscribed
+// to orderedTick (total order) and fifoTick (FIFO).
+func mixedVersionDomain(t *testing.T, net *netsim.Network, mutate func(i int, cfg *Config)) (pub, capable, legacy *testNode, gotCapable, gotLegacy *atomic.Int32) {
+	t.Helper()
 	addrs := []string{"node-0", "node-1", "node-2"}
-	members := make([]*member, len(addrs))
+	members := make([]*testNode, len(addrs))
 	for i, addr := range addrs {
 		ep, err := net.NewEndpoint(addr)
 		if err != nil {
@@ -132,9 +125,12 @@ func TestMixedVersionBroadcastDowngrades(t *testing.T) {
 			cfg.LegacyWire = true
 			engOpts = append(engOpts, core.WithLegacyWire())
 		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
 		dn := NewNode(ep, reg, cfg)
 		eng := core.NewEngine(addr, dn, engOpts...)
-		members[i] = &member{node: dn, engine: eng}
+		members[i] = &testNode{node: dn, engine: eng}
 	}
 	for _, m := range members {
 		m.node.SetPeers(addrs)
@@ -144,20 +140,89 @@ func TestMixedVersionBroadcastDowngrades(t *testing.T) {
 			_ = m.engine.Close()
 		}
 	})
-	pub, capable, legacy := members[0], members[1], members[2]
+	pub, capable, legacy = members[0], members[1], members[2]
 
-	var gotCapable, gotLegacy atomic.Int32
+	gotCapable, gotLegacy = new(atomic.Int32), new(atomic.Int32)
 	for _, sub := range []struct {
-		m *member
+		m *testNode
 		c *atomic.Int32
-	}{{capable, &gotCapable}, {legacy, &gotLegacy}} {
-		s, err := core.Subscribe(sub.m.engine, nil, func(o orderedTick) { sub.c.Add(1) })
+	}{{capable, gotCapable}, {legacy, gotLegacy}} {
+		c := sub.c
+		s, err := core.Subscribe(sub.m.engine, nil, func(o orderedTick) { c.Add(1) })
 		if err != nil {
 			t.Fatal(err)
 		}
 		_ = s.Activate()
+		s2, err := core.Subscribe(sub.m.engine, nil, func(o fifoTick) { c.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = s2.Activate()
 	}
-	waitAds(t, pub.node, 2)
+	// Two subscribers on two classes each: the publisher must witness
+	// all four ads before publishing, or pruning would permanently skip
+	// the not-yet-advertised destination.
+	waitAds(t, pub.node, 4)
+	return pub, capable, legacy, gotCapable, gotLegacy
+}
+
+// TestMixedVersionOrderedSplit pins the interest-aware broadcast rule
+// for ordered classes: with per-destination sends, one legacy peer
+// downgrades only its own traffic — the wire-capable subscriber keeps
+// receiving compact payloads on FIFO and total-order channels while the
+// legacy peer receives gob, with no decode errors anywhere.
+func TestMixedVersionOrderedSplit(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	pub, capable, legacy, gotCapable, gotLegacy := mixedVersionDomain(t, net, nil)
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := core.Publish(pub.engine, orderedTick{N: i}); err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Publish(pub.engine, fifoTick{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 15*time.Second, "ordered mixed-version delivery", func() bool {
+		return gotCapable.Load() == 2*n && gotLegacy.Load() == 2*n
+	})
+
+	if ws := pub.node.cdc.WireStats(); ws.Downgrades == 0 {
+		t.Errorf("publisher node codec: Downgrades = 0, want > 0 (legacy peer in destinations); stats %+v", ws)
+	}
+	// The capable subscriber saw only compact payloads; the legacy one
+	// only gob.
+	if ws := capable.engine.Codec().WireStats(); ws.Decodes == 0 {
+		t.Errorf("capable subscriber: wire Decodes = 0, want > 0; stats %+v", ws)
+	}
+	if ws := capable.engine.Codec().WireStats(); ws.GobDecodes != 0 {
+		t.Errorf("capable subscriber: GobDecodes = %d, want 0 (only the legacy peer's traffic transcodes); stats %+v", ws.GobDecodes, ws)
+	}
+	if ws := legacy.engine.Codec().WireStats(); ws.GobDecodes == 0 {
+		t.Errorf("legacy subscriber: GobDecodes = 0, want > 0; stats %+v", ws)
+	}
+	if ws := legacy.engine.Codec().WireStats(); ws.Decodes != 0 {
+		t.Errorf("legacy subscriber: wire Decodes = %d, want 0 (must never receive compact payloads)", ws.Decodes)
+	}
+	for _, m := range []*testNode{pub, capable, legacy} {
+		if ds := m.engine.Stats(); ds.DecodeErrors != 0 {
+			t.Errorf("%s: DecodeErrors = %d, want 0", m.node.Addr(), ds.DecodeErrors)
+		}
+	}
+}
+
+// TestMixedVersionBroadcastDowngrades pins the whole-frame downgrade
+// rule that remains when ordered pruning is disabled: an ordered class
+// then delivers one frame to the whole group, so with a legacy peer
+// present the publisher transcodes the send to gob for everyone.
+func TestMixedVersionBroadcastDowngrades(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	pub, capable, legacy, gotCapable, gotLegacy := mixedVersionDomain(t, net, func(_ int, cfg *Config) {
+		cfg.NoOrderedPruning = true
+	})
 
 	const n = 5
 	for i := 0; i < n; i++ {
@@ -165,7 +230,7 @@ func TestMixedVersionBroadcastDowngrades(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	waitFor(t, 5*time.Second, "ordered mixed-version delivery", func() bool {
+	waitFor(t, 15*time.Second, "downgraded broadcast delivery", func() bool {
 		return gotCapable.Load() == n && gotLegacy.Load() == n
 	})
 
@@ -177,9 +242,9 @@ func TestMixedVersionBroadcastDowngrades(t *testing.T) {
 	if ws := capable.engine.Codec().WireStats(); ws.GobDecodes == 0 {
 		t.Errorf("capable subscriber: GobDecodes = 0, want > 0 (broadcast downgraded); stats %+v", ws)
 	}
-	for i, m := range members {
+	for _, m := range []*testNode{pub, capable, legacy} {
 		if ds := m.engine.Stats(); ds.DecodeErrors != 0 {
-			t.Errorf("node-%d: DecodeErrors = %d, want 0", i, ds.DecodeErrors)
+			t.Errorf("%s: DecodeErrors = %d, want 0", m.node.Addr(), ds.DecodeErrors)
 		}
 	}
 }

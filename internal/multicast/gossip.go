@@ -17,6 +17,15 @@ import (
 // rounds. Delivery is probabilistic: with adequate fanout and rounds the
 // protocol delivers to almost all members with high probability, at a
 // per-node cost independent of group size.
+//
+// With an Interest function installed, rumor fanout is biased toward
+// peers the routing plane marks interested: each round an event goes to
+// up to fanout interested peers plus GossipRandomEdges uniformly random
+// peers (the anti-entropy floor that keeps rumors crossing interest
+// boundaries and reaching peers whose interest the local view has not
+// learned yet). An unevaluable payload fails open to the plain uniform
+// fanout. Interest is computed once when the event enters the buffer,
+// not per round.
 type Gossip struct {
 	mux    *Mux
 	stream string
@@ -28,17 +37,28 @@ type Gossip struct {
 
 	members membership
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	seen   map[string]bool         // event IDs ever seen (dedup)
-	active map[string]*gossipEvent // events still being relayed
+	mu       sync.Mutex
+	rng      *rand.Rand
+	interest Interest
+	observer PruneObserver
+	seen     map[string]bool         // event IDs ever seen (dedup)
+	active   map[string]*gossipEvent // events still being relayed
 }
 
+// Interest maps an event payload to the peers with a matching
+// subscriber. ok=false means the payload could not be evaluated; the
+// event falls back to uniform random fanout (fail-open).
+type Interest func(payload []byte) ([]string, bool)
+
 // gossipEvent is a buffered event with remaining rounds-to-live.
+// interested is nil when no interest information is available (no
+// Interest function, or it failed open); then rounds use the plain
+// uniform fanout.
 type gossipEvent struct {
-	origin  string
-	rounds  int
-	payload []byte
+	origin     string
+	rounds     int
+	payload    []byte
+	interested map[string]bool
 }
 
 var _ Group = (*Gossip)(nil)
@@ -65,6 +85,20 @@ func NewGossip(mux *Mux, stream string, deliver Deliver, opts Options) *Gossip {
 // SetMembers implements Group.
 func (g *Gossip) SetMembers(members []string) { g.members.set(members) }
 
+// SetInterest installs the interest function biasing rumor fanout.
+func (g *Gossip) SetInterest(fn Interest) {
+	g.mu.Lock()
+	g.interest = fn
+	g.mu.Unlock()
+}
+
+// SetPruneObserver installs the pruning-counters sink.
+func (g *Gossip) SetPruneObserver(obs PruneObserver) {
+	g.mu.Lock()
+	g.observer = obs
+	g.mu.Unlock()
+}
+
 // Broadcast implements Group: the event is delivered locally and enters
 // the gossip buffer; dissemination happens over subsequent rounds.
 func (g *Gossip) Broadcast(payload []byte) error {
@@ -72,12 +106,34 @@ func (g *Gossip) Broadcast(payload []byte) error {
 		return fmt.Errorf("multicast: gossip %s: closed", g.stream)
 	}
 	id := codec.NewID()
+	interested := g.computeInterest(payload)
 	g.mu.Lock()
 	g.seen[id] = true
-	g.active[id] = &gossipEvent{origin: g.self, rounds: g.opts.GossipRounds, payload: payload}
+	g.active[id] = &gossipEvent{origin: g.self, rounds: g.opts.GossipRounds, payload: payload, interested: interested}
 	g.mu.Unlock()
 	g.queue.push(g.self, payload)
 	return nil
+}
+
+// computeInterest evaluates the interest function outside the gossip
+// lock (it typically decodes the payload and consults the routing
+// table). nil means no information: uniform fanout.
+func (g *Gossip) computeInterest(payload []byte) map[string]bool {
+	g.mu.Lock()
+	fn := g.interest
+	g.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	dests, ok := fn(payload)
+	if !ok {
+		return nil
+	}
+	set := make(map[string]bool, len(dests))
+	for _, d := range dests {
+		set[d] = true
+	}
+	return set
 }
 
 // Close implements Group.
@@ -88,53 +144,98 @@ func (g *Gossip) Close() error {
 	return nil
 }
 
-// round performs one gossip round: pick fanout random peers and push all
-// active events to each, then age the events.
+// round performs one gossip round: pick each active event's target peers
+// (interest-biased when interest information is available, uniformly
+// random otherwise), batch events per peer, send, then age the events.
 func (g *Gossip) round() {
-	peers := g.pickPeers()
-	if len(peers) == 0 {
+	others := g.members.others(g.self)
+	if len(others) == 0 {
 		return
 	}
 
 	g.mu.Lock()
-	batch := make([]*message, 0, len(g.active))
+	perPeer := make(map[string][]*message)
+	var pruned uint64
 	for id, ev := range g.active {
-		batch = append(batch, &message{
+		targets := g.targetsLocked(ev, others)
+		if ev.interested != nil {
+			baseline := g.opts.GossipFanout
+			if len(others) < baseline {
+				baseline = len(others)
+			}
+			if len(targets) < baseline {
+				pruned += uint64(baseline - len(targets))
+			}
+		}
+		m := &message{
 			Kind:    kindGossip,
 			Origin:  ev.origin,
 			ID:      id,
 			Rounds:  uint8(ev.rounds),
 			Payload: ev.payload,
-		})
+		}
+		for _, peer := range targets {
+			perPeer[peer] = append(perPeer[peer], m)
+		}
 		ev.rounds--
 		if ev.rounds <= 0 {
 			delete(g.active, id) // infect-and-die: stop relaying
 		}
 	}
+	obs := g.observer
 	g.mu.Unlock()
 
-	if len(batch) == 0 {
-		return
+	if obs != nil && pruned > 0 {
+		obs(pruned, 0)
 	}
-	wire, err := encodeBatch(batch)
-	if err != nil {
-		return
-	}
-	for _, peer := range peers {
+	for peer, batch := range perPeer {
+		wire, err := encodeBatch(batch)
+		if err != nil {
+			continue
+		}
 		_ = g.mux.Send(peer, g.stream, wire)
 	}
 }
 
-// pickPeers selects up to fanout random members other than self.
-func (g *Gossip) pickPeers() []string {
-	others := g.members.others(g.self)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if len(others) <= g.opts.GossipFanout {
-		return others
+// targetsLocked selects one event's target peers for this round. With no
+// interest information: up to fanout uniformly random peers. With
+// interest information: up to fanout interested peers plus up to
+// GossipRandomEdges random peers not already picked. Caller holds g.mu.
+func (g *Gossip) targetsLocked(ev *gossipEvent, others []string) []string {
+	if ev.interested == nil {
+		return g.pickLocked(others, g.opts.GossipFanout, nil)
 	}
-	g.rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
-	return others[:g.opts.GossipFanout]
+	interested := make([]string, 0, len(others))
+	for _, p := range others {
+		if ev.interested[p] {
+			interested = append(interested, p)
+		}
+	}
+	targets := g.pickLocked(interested, g.opts.GossipFanout, nil)
+	if g.opts.GossipRandomEdges > 0 {
+		taken := make(map[string]bool, len(targets))
+		for _, p := range targets {
+			taken[p] = true
+		}
+		targets = append(targets, g.pickLocked(others, g.opts.GossipRandomEdges, taken)...)
+	}
+	return targets
+}
+
+// pickLocked returns up to n random members of pool not in exclude. The
+// result is always freshly allocated. Caller holds g.mu.
+func (g *Gossip) pickLocked(pool []string, n int, exclude map[string]bool) []string {
+	candidates := make([]string, 0, len(pool))
+	for _, p := range pool {
+		if !exclude[p] {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) > n {
+		g.rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+		candidates = candidates[:n]
+	}
+	return candidates
 }
 
 func (g *Gossip) onMessage(_ string, data []byte) {
@@ -152,10 +253,14 @@ func (g *Gossip) onMessage(_ string, data []byte) {
 			continue
 		}
 		g.seen[m.ID] = true
-		if rounds := int(m.Rounds) - 1; rounds > 0 {
-			g.active[m.ID] = &gossipEvent{origin: m.Origin, rounds: rounds, payload: m.Payload}
-		}
+		rounds := int(m.Rounds) - 1
 		g.mu.Unlock()
+		if rounds > 0 {
+			interested := g.computeInterest(m.Payload)
+			g.mu.Lock()
+			g.active[m.ID] = &gossipEvent{origin: m.Origin, rounds: rounds, payload: m.Payload, interested: interested}
+			g.mu.Unlock()
+		}
 		g.queue.push(m.Origin, m.Payload)
 	}
 }

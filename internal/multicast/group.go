@@ -20,6 +20,15 @@ type Options struct {
 	GossipFanout int
 	// GossipRounds is the rounds-to-live of a gossiped event.
 	GossipRounds int
+	// GossipRandomEdges is the floor of uniformly random peers each
+	// interest-biased gossip round contacts per event in addition to the
+	// interested fanout — the anti-entropy edges that keep rumors
+	// crossing interest boundaries (and reaching nodes whose interest
+	// the local routing view has not learned yet). It only applies when
+	// an interest function is installed (SetInterest); plain gossip
+	// rounds are already uniformly random. Negative disables the floor;
+	// 0 selects the default.
+	GossipRandomEdges int
 	// Seed seeds the gossip peer-selection randomness (0 = fixed
 	// default, keeping runs reproducible).
 	Seed int64
@@ -31,6 +40,7 @@ const (
 	DefaultGossipPeriod       = 10 * time.Millisecond
 	DefaultGossipFanout       = 3
 	DefaultGossipRounds       = 5
+	DefaultGossipRandomEdges  = 1
 )
 
 // withDefaults fills zero fields with defaults.
@@ -47,10 +57,120 @@ func (o Options) withDefaults() Options {
 	if o.GossipRounds == 0 {
 		o.GossipRounds = DefaultGossipRounds
 	}
+	if o.GossipRandomEdges == 0 {
+		o.GossipRandomEdges = DefaultGossipRandomEdges
+	} else if o.GossipRandomEdges < 0 {
+		o.GossipRandomEdges = 0
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
 	return o
+}
+
+// A Send is one slice of an interest-pruned publication: the payload
+// variant owed to a set of destinations. A publication splits into
+// several Sends when destinations need different encodings of the same
+// event (e.g. a compact payload for wire-capable peers and a gob
+// transcode for a legacy one); all Sends of one BroadcastSplit call
+// share a single publication sequence number.
+type Send struct {
+	Dests   []string
+	Payload []byte
+}
+
+// PruneObserver receives the interest-pruning counters of a group:
+// prunedSends counts per-destination data frames not sent because the
+// destination had no matching subscriber, skipFrames the
+// per-destination skip-marker frames shipped instead (amortized over
+// flush ticks, so typically far fewer). Implementations must be safe
+// for concurrent use and must not call back into the group.
+type PruneObserver func(prunedSends, skipFrames uint64)
+
+// skipTracker is the publisher-side bookkeeping of the skip-marker
+// protocol shared by the ordered classes: per destination, the highest
+// publication sequence already covered by something handed to the
+// reliable layer (a data frame or a skip marker), plus the head — the
+// latest sequence published at all. Any destination whose covered
+// sequence trails the head is owed a skip marker at the next flush.
+// Callers hold their group's mutex.
+type skipTracker struct {
+	head uint64
+	last map[string]uint64
+}
+
+func newSkipTracker() *skipTracker {
+	return &skipTracker{last: make(map[string]uint64)}
+}
+
+// advance records a data send of seq to dests and returns them grouped
+// by the SkipFrom their frame must carry (one past each destination's
+// covered sequence, so the frame also heals any pruning gap behind it).
+func (t *skipTracker) advance(dests []string, seq uint64) map[uint64][]string {
+	if seq > t.head {
+		t.head = seq
+	}
+	groups := make(map[uint64][]string, 1)
+	for _, d := range dests {
+		from := t.last[d] + 1
+		groups[from] = append(groups[from], d)
+		t.last[d] = seq
+	}
+	return groups
+}
+
+// mark advances the head without sending (a publication pruned for
+// every destination still advances the sequence space).
+func (t *skipTracker) mark(seq uint64) {
+	if seq > t.head {
+		t.head = seq
+	}
+}
+
+// lagging returns the members whose covered sequence trails the head,
+// grouped by the SkipFrom their skip marker must carry, recording them
+// as covered through the head (the marker rides the reliable layer, so
+// handing it over is enough).
+func (t *skipTracker) lagging(members []string) map[uint64][]string {
+	if t.head == 0 {
+		return nil
+	}
+	var groups map[uint64][]string
+	for _, d := range members {
+		if t.last[d] >= t.head {
+			continue
+		}
+		if groups == nil {
+			groups = make(map[uint64][]string)
+		}
+		from := t.last[d] + 1
+		groups[from] = append(groups[from], d)
+		t.last[d] = t.head
+	}
+	return groups
+}
+
+// retain drops tracking state for departed members.
+func (t *skipTracker) retain(members []string) {
+	keep := make(map[string]bool, len(members))
+	for _, m := range members {
+		keep[m] = true
+	}
+	for d := range t.last {
+		if !keep[d] {
+			delete(t.last, d)
+		}
+	}
+}
+
+// coveredFrom normalizes a frame's skip range start against its top
+// sequence: zero (a pre-pruning sender) or a start beyond the top
+// (corrupt) collapses the range to the top alone.
+func coveredFrom(skipFrom, top uint64) uint64 {
+	if skipFrom == 0 || skipFrom > top {
+		return top
+	}
+	return skipFrom
 }
 
 // membership is the shared mutable member list of a group.

@@ -1,0 +1,430 @@
+package multicast
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"govents/internal/netsim"
+)
+
+func TestSkipTrackerRanges(t *testing.T) {
+	tr := newSkipTracker()
+	// seq 1 to b only.
+	g := tr.advance([]string{"b"}, 1)
+	if len(g) != 1 || len(g[1]) != 1 || g[1][0] != "b" {
+		t.Fatalf("advance(1) = %v", g)
+	}
+	// seq 2 to b and c: b continues at 2, c heals 1..2.
+	g = tr.advance([]string{"b", "c"}, 2)
+	if len(g[2]) != 1 || g[2][0] != "b" || len(g[1]) != 1 || g[1][0] != "c" {
+		t.Fatalf("advance(2) = %v", g)
+	}
+	// seq 3 pruned for everyone.
+	tr.mark(3)
+	lag := tr.lagging([]string{"b", "c", "d"})
+	// b and c trail from 3, the never-seen d from 1.
+	if len(lag[3]) != 2 || len(lag[1]) != 1 || lag[1][0] != "d" {
+		t.Fatalf("lagging = %v", lag)
+	}
+	if lag2 := tr.lagging([]string{"b", "c", "d"}); lag2 != nil {
+		t.Fatalf("second lagging = %v, want nil (already covered)", lag2)
+	}
+	tr.retain([]string{"b"})
+	if _, ok := tr.last["c"]; ok {
+		t.Fatal("retain kept departed member")
+	}
+}
+
+func TestCoveredFrom(t *testing.T) {
+	for _, tc := range []struct{ from, top, want uint64 }{
+		{0, 7, 7}, // pre-pruning sender: top only
+		{9, 7, 7}, // corrupt range: top only
+		{3, 7, 3}, // real range
+		{7, 7, 7}, // single
+	} {
+		if got := coveredFrom(tc.from, tc.top); got != tc.want {
+			t.Errorf("coveredFrom(%d,%d) = %d, want %d", tc.from, tc.top, got, tc.want)
+		}
+	}
+}
+
+// TestFIFOSplitPrunesAndHeals pins the skip protocol on FIFO: data
+// frames go only to the Send destinations, and the range carried on the
+// next frame a destination does receive heals its sequence hole without
+// waiting for a flush.
+func TestFIFOSplitPrunesAndHeals(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	a := newTestNode(t, net, "a")
+	b := newTestNode(t, net, "b")
+	c := newTestNode(t, net, "c")
+	ga := NewFIFO(a.mux, "cls", a.record, fastOpts())
+	gb := NewFIFO(b.mux, "cls", b.record, fastOpts())
+	gc := NewFIFO(c.mux, "cls", c.record, fastOpts())
+	defer ga.Close()
+	defer gb.Close()
+	defer gc.Close()
+	all := []string{"a", "b", "c"}
+	ga.SetMembers(all)
+	gb.SetMembers(all)
+	gc.SetMembers(all)
+
+	var pruned, skips atomic.Uint64
+	ga.SetPruneObserver(func(p, s uint64) { pruned.Add(p); skips.Add(s) })
+
+	// seq 1,2 to b only; seq 3 to both.
+	_ = ga.BroadcastSplit([]Send{{Dests: []string{"b"}, Payload: []byte("m1")}})
+	_ = ga.BroadcastSplit([]Send{{Dests: []string{"b"}, Payload: []byte("m2")}})
+	_ = ga.BroadcastSplit([]Send{{Dests: []string{"b", "c"}, Payload: []byte("m3")}})
+
+	waitFor(t, 5*time.Second, "b gets all three", func() bool { return b.count() == 3 })
+	waitFor(t, 5*time.Second, "c gets m3 over the healed gap", func() bool { return c.count() == 1 })
+	if got := b.payloads(); got[0] != "m1" || got[1] != "m2" || got[2] != "m3" {
+		t.Fatalf("b order = %v", got)
+	}
+	if got := c.payloads(); got[0] != "m3" {
+		t.Fatalf("c = %v, want [m3]", got)
+	}
+	// a pruned itself on every publication and c on the first two.
+	if pruned.Load() < 5 {
+		t.Errorf("pruned = %d, want >= 5", pruned.Load())
+	}
+}
+
+// TestFIFOFlushAdvancesIdleDestination pins the flush path: a
+// destination that stops being interested receives amortized skip
+// markers, so its holder's expected sequence keeps up without data.
+func TestFIFOFlushAdvancesIdleDestination(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	a := newTestNode(t, net, "a")
+	c := newTestNode(t, net, "c")
+	ga := NewFIFO(a.mux, "cls", a.record, fastOpts())
+	gc := NewFIFO(c.mux, "cls", c.record, fastOpts())
+	defer ga.Close()
+	defer gc.Close()
+	ga.SetMembers([]string{"a", "c"})
+	gc.SetMembers([]string{"a", "c"})
+
+	var skips atomic.Uint64
+	ga.SetPruneObserver(func(_, s uint64) { skips.Add(s) })
+
+	for i := 0; i < 5; i++ {
+		_ = ga.BroadcastSplit([]Send{{Dests: nil, Payload: []byte("x")}})
+	}
+	waitFor(t, 5*time.Second, "c's expected advanced by skips", func() bool {
+		gc.mu.Lock()
+		defer gc.mu.Unlock()
+		return gc.expected["a"] == 6
+	})
+	if c.count() != 0 {
+		t.Fatalf("c delivered %d pruned events", c.count())
+	}
+	if skips.Load() == 0 {
+		t.Error("no skip frames counted")
+	}
+	// a's own holder advanced too (flush includes self).
+	waitFor(t, 5*time.Second, "a's own expected advanced", func() bool {
+		ga.mu.Lock()
+		defer ga.mu.Unlock()
+		return ga.expected["a"] == 6
+	})
+}
+
+// TestCausalSkipFlushCrossOriginLiveness pins the liveness role of the
+// causal flush: a publishes e1 only to b; b's causally dependent e2
+// reaches c, which must hold it until a's skip marker carries the clock
+// advance — without the flush c would wait forever for data it was
+// deliberately not sent.
+func TestCausalSkipFlushCrossOriginLiveness(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	a := newTestNode(t, net, "a")
+	b := newTestNode(t, net, "b")
+	c := newTestNode(t, net, "c")
+	ga := NewCausal(a.mux, "cls", a.record, fastOpts())
+	gb := NewCausal(b.mux, "cls", b.record, fastOpts())
+	gc := NewCausal(c.mux, "cls", c.record, fastOpts())
+	defer ga.Close()
+	defer gb.Close()
+	defer gc.Close()
+	all := []string{"a", "b", "c"}
+	ga.SetMembers(all)
+	gb.SetMembers(all)
+	gc.SetMembers(all)
+
+	// e1 from a, pruned for everyone but b.
+	_ = ga.BroadcastSplit([]Send{{Dests: []string{"b"}, Payload: []byte("e1")}})
+	waitFor(t, 5*time.Second, "b delivers e1", func() bool { return b.count() == 1 })
+	// e2 from b causally follows e1 and goes to everyone.
+	_ = gb.Broadcast([]byte("e2"))
+
+	waitFor(t, 5*time.Second, "c delivers e2 after a's flush", func() bool { return c.count() == 1 })
+	if got := c.payloads(); got[0] != "e2" {
+		t.Fatalf("c = %v, want [e2]", got)
+	}
+	// b delivered e1 then e2, in causal order.
+	waitFor(t, 5*time.Second, "b delivers e2", func() bool { return b.count() == 2 })
+	if got := b.payloads(); got[0] != "e1" || got[1] != "e2" {
+		t.Fatalf("b order = %v, want [e1 e2]", got)
+	}
+}
+
+// TestTotalPlannerFiltersAfterStamping pins the sequencer rule: the
+// global sequence is stamped before interest filtering, so every member
+// observes a gap-free sequence and any two members deliver their common
+// events in the same relative order. An uninterested origin receives an
+// immediate stamped skip carrying its request ID, stopping its
+// retransmission loop.
+func TestTotalPlannerFiltersAfterStamping(t *testing.T) {
+	net := netsim.New(netsim.Config{MaxLatency: 2 * time.Millisecond, Seed: 7})
+	defer net.Close()
+	seq := newTestNode(t, net, "seq")
+	b := newTestNode(t, net, "b")
+	c := newTestNode(t, net, "c")
+	gs := NewTotal(seq.mux, "cls", "seq", seq.record, fastOpts())
+	gb := NewTotal(b.mux, "cls", "seq", b.record, fastOpts())
+	gc := NewTotal(c.mux, "cls", "seq", c.record, fastOpts())
+	defer gs.Close()
+	defer gb.Close()
+	defer gc.Close()
+	all := []string{"seq", "b", "c"}
+	gs.SetMembers(all)
+	gb.SetMembers(all)
+	gc.SetMembers(all)
+
+	// Payload prefix names the interested members.
+	gs.SetPlanner(func(payload []byte) ([]Send, bool) {
+		parts := strings.SplitN(string(payload), ":", 2)
+		if parts[0] == "all" {
+			return []Send{{Dests: []string{"seq", "b", "c"}, Payload: payload}}, true
+		}
+		return []Send{{Dests: strings.Split(parts[0], "+"), Payload: payload}}, true
+	})
+
+	const per = 8
+	var wg sync.WaitGroup
+	for name, g := range map[string]*Total{"b": gb, "c": gc} {
+		wg.Add(1)
+		go func(name string, g *Total) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Each origin alternates: own-only (origin interested),
+				// other-only (origin NOT interested), all.
+				other := "c"
+				if name == "c" {
+					other = "b"
+				}
+				_ = g.Broadcast([]byte(fmt.Sprintf("%s:%s%d", name, name, i)))
+				_ = g.Broadcast([]byte(fmt.Sprintf("%s:%s-x%d", other, name, i)))
+				_ = g.Broadcast([]byte(fmt.Sprintf("all:%s-a%d", name, i)))
+			}
+		}(name, g)
+	}
+	wg.Wait()
+
+	// b delivers its own-only + the other's other-only + all the alls.
+	wantB := per + per + 2*per
+	wantC := per + per + 2*per
+	wantSeq := 2 * per
+	waitFor(t, 15*time.Second, "pruned total delivery", func() bool {
+		return b.count() == wantB && c.count() == wantC && seq.count() == wantSeq
+	})
+
+	// Pending requests all drained — including those whose origin was
+	// not interested (the stamped skip carries the request ID).
+	waitFor(t, 5*time.Second, "pending drained", func() bool {
+		gb.mu.Lock()
+		pb := len(gb.pending)
+		gb.mu.Unlock()
+		gc.mu.Lock()
+		pc := len(gc.pending)
+		gc.mu.Unlock()
+		return pb == 0 && pc == 0
+	})
+
+	// Any two members deliver their common events in the same relative
+	// order (a single gap-free global sequence).
+	pair := func(x, y []string) {
+		t.Helper()
+		set := make(map[string]bool, len(y))
+		for _, p := range y {
+			set[p] = true
+		}
+		var common []string
+		for _, p := range x {
+			if set[p] {
+				common = append(common, p)
+			}
+		}
+		j := 0
+		for _, p := range y {
+			if j < len(common) && p == common[j] {
+				j++
+			}
+		}
+		if j != len(common) {
+			t.Fatalf("common events ordered differently:\n%v\nvs\n%v", x, y)
+		}
+	}
+	pair(b.payloads(), c.payloads())
+	pair(b.payloads(), seq.payloads())
+	pair(c.payloads(), seq.payloads())
+}
+
+// TestTotalPlannerFailOpen pins the fail-open rule: a planner that
+// cannot evaluate a payload reports ok=false and the publication is
+// broadcast to the whole group.
+func TestTotalPlannerFailOpen(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	seq := newTestNode(t, net, "seq")
+	b := newTestNode(t, net, "b")
+	gs := NewTotal(seq.mux, "cls", "seq", seq.record, fastOpts())
+	gb := NewTotal(b.mux, "cls", "seq", b.record, fastOpts())
+	defer gs.Close()
+	defer gb.Close()
+	gs.SetMembers([]string{"seq", "b"})
+	gb.SetMembers([]string{"seq", "b"})
+	gs.SetPlanner(func(payload []byte) ([]Send, bool) { return nil, false })
+
+	_ = gs.Broadcast([]byte("opaque"))
+	waitFor(t, 5*time.Second, "fail-open delivery everywhere", func() bool {
+		return seq.count() == 1 && b.count() == 1
+	})
+}
+
+// TestGossipInterestBias pins interest-biased fanout: rumors reach
+// every interested member, and the pruning counters record rounds that
+// contacted fewer peers than the plain fanout would have.
+func TestGossipInterestBias(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	const n = 12
+	interested := map[string]bool{"n00": true, "n01": true, "n02": true, "n03": true}
+	var nodes []*testNode
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, newTestNode(t, net, fmt.Sprintf("n%02d", i)))
+	}
+	// Fanout well above the interested-set size, so biased rounds
+	// contact measurably fewer peers than plain fanout would.
+	opts := fastOpts()
+	opts.GossipFanout = 8
+	opts.GossipRounds = 6
+	var groups []*Gossip
+	var pruned atomic.Uint64
+	for i, node := range nodes {
+		node := node
+		o := opts
+		o.Seed = int64(i + 1)
+		g := NewGossip(node.mux, "cls", node.record, o)
+		g.SetInterest(func(payload []byte) ([]string, bool) {
+			return []string{"n00", "n01", "n02", "n03"}, true
+		})
+		g.SetPruneObserver(func(p, _ uint64) { pruned.Add(p) })
+		groups = append(groups, g)
+	}
+	for _, g := range groups {
+		g.SetMembers(addrs(nodes))
+	}
+	defer func() {
+		for _, g := range groups {
+			_ = g.Close()
+		}
+	}()
+
+	_ = groups[0].Broadcast([]byte("rumor"))
+	waitFor(t, 10*time.Second, "all interested members infected", func() bool {
+		for i, node := range nodes {
+			if interested[fmt.Sprintf("n%02d", i)] && node.count() == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if pruned.Load() == 0 {
+		t.Error("no pruned gossip sends counted despite sparse interest")
+	}
+}
+
+// TestGossipRandomEdgesCrossInterestBoundary pins the anti-entropy
+// floor: even when the interest function names nobody, the random edges
+// keep the rumor moving, so uninterested members still learn it
+// (gossip's eventual-delivery contract is probabilistic, never
+// partitioned by interest).
+func TestGossipRandomEdgesCrossInterestBoundary(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	const n = 8
+	var nodes []*testNode
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, newTestNode(t, net, fmt.Sprintf("n%02d", i)))
+	}
+	opts := fastOpts()
+	opts.GossipFanout = 3
+	opts.GossipRounds = 10
+	opts.GossipRandomEdges = 2
+	var groups []*Gossip
+	for i, node := range nodes {
+		node := node
+		o := opts
+		o.Seed = int64(i + 1)
+		g := NewGossip(node.mux, "cls", node.record, o)
+		g.SetInterest(func(payload []byte) ([]string, bool) { return nil, true })
+		groups = append(groups, g)
+	}
+	for _, g := range groups {
+		g.SetMembers(addrs(nodes))
+	}
+	defer func() {
+		for _, g := range groups {
+			_ = g.Close()
+		}
+	}()
+
+	_ = groups[0].Broadcast([]byte("rumor"))
+	waitFor(t, 10*time.Second, "random edges saturate the group", func() bool {
+		reached := 0
+		for _, node := range nodes {
+			if node.count() > 0 {
+				reached++
+			}
+		}
+		return reached >= n*3/4
+	})
+}
+
+// TestFIFOPrunedInteropWithUnprunedFrames pins wire compatibility: a
+// holder must consume both range-carrying frames and pre-pruning frames
+// (SkipFrom zero) from the same origin.
+func TestFIFOPrunedInteropWithUnprunedFrames(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	a := newTestNode(t, net, "a")
+	b := newTestNode(t, net, "b")
+	ga := NewFIFO(a.mux, "cls", a.record, fastOpts())
+	gb := NewFIFO(b.mux, "cls", b.record, fastOpts())
+	defer ga.Close()
+	defer gb.Close()
+	ga.SetMembers([]string{"a", "b"})
+	gb.SetMembers([]string{"a", "b"})
+
+	// Plain broadcasts produce full-membership sends whose frames carry
+	// from == last+1 ranges; interleave with explicit splits.
+	_ = ga.Broadcast([]byte("m1"))
+	_ = ga.BroadcastSplit([]Send{{Dests: []string{"b"}, Payload: []byte("m2")}})
+	_ = ga.Broadcast([]byte("m3"))
+	waitFor(t, 5*time.Second, "b gets all", func() bool { return b.count() == 3 })
+	if got := b.payloads(); got[0] != "m1" || got[1] != "m2" || got[2] != "m3" {
+		t.Fatalf("b order = %v", got)
+	}
+	// a skipped m2 for itself (not in the Send), so it delivers m1,m3.
+	waitFor(t, 5*time.Second, "a gets its two", func() bool { return a.count() == 2 })
+	if got := a.payloads(); got[0] != "m1" || got[1] != "m3" {
+		t.Fatalf("a order = %v", got)
+	}
+}

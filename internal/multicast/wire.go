@@ -17,20 +17,32 @@ const (
 	kindCertAck                     // certified acknowledgement
 	kindGossip                      // gossip event batch
 	kindOrderReq                    // total-order sequencing request
+	kindSkip                        // sequence-range skip marker (no payload)
 )
 
 // message is the wire record exchanged by all protocols in this package.
 // Fields are used selectively per kind; unused fields stay zero and cost
 // almost nothing on the wire.
+//
+// SkipFrom carries the interest-aware pruning protocol of the ordered
+// classes: a frame covers the per-destination sequence range
+// [SkipFrom, Seq] (or [SkipFrom, GSeq] for total order), of which every
+// number below the last is a publication the sender deliberately did
+// not ship to this destination (no matching subscriber there). A
+// kindData frame's payload belongs to the top of the range; a kindSkip
+// frame is all range and no payload. SkipFrom zero (or beyond the top)
+// means "no skip information": the frame covers only its own sequence,
+// which is exactly the pre-pruning wire behavior.
 type message struct {
-	Kind    msgKind
-	Origin  string // original publisher address (or durable consumer ID in cert acks)
-	Seq     uint64 // per-origin sequence number
-	GSeq    uint64 // sequencer-assigned global sequence
-	Rounds  uint8  // gossip rounds-to-live
-	ID      string // unique message ID
-	VC      vclock.VC
-	Payload []byte
+	Kind     msgKind
+	Origin   string // original publisher address (or durable consumer ID in cert acks)
+	Seq      uint64 // per-origin sequence number
+	GSeq     uint64 // sequencer-assigned global sequence
+	SkipFrom uint64 // first sequence covered by this frame (0 = Seq/GSeq only)
+	Rounds   uint8  // gossip rounds-to-live
+	ID       string // unique message ID
+	VC       vclock.VC
+	Payload  []byte
 }
 
 const maxWireString = 0xFFFF
@@ -43,7 +55,7 @@ func encodeMessage(m *message) ([]byte, error) {
 	if len(m.VC) > maxWireString {
 		return nil, fmt.Errorf("multicast: vector clock too large")
 	}
-	size := 1 + 2 + len(m.Origin) + 8 + 8 + 1 + 2 + len(m.ID) + 2 + 4 + len(m.Payload)
+	size := 1 + 2 + len(m.Origin) + 8 + 8 + 8 + 1 + 2 + len(m.ID) + 2 + 4 + len(m.Payload)
 	for k := range m.VC {
 		size += 2 + len(k) + 8
 	}
@@ -52,6 +64,7 @@ func encodeMessage(m *message) ([]byte, error) {
 	buf = appendString(buf, m.Origin)
 	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
 	buf = binary.BigEndian.AppendUint64(buf, m.GSeq)
+	buf = binary.BigEndian.AppendUint64(buf, m.SkipFrom)
 	buf = append(buf, m.Rounds)
 	buf = appendString(buf, m.ID)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.VC)))
@@ -75,6 +88,7 @@ func decodeMessage(data []byte) (*message, error) {
 	m.Origin = d.str()
 	m.Seq = d.u64()
 	m.GSeq = d.u64()
+	m.SkipFrom = d.u64()
 	m.Rounds = d.u8()
 	m.ID = d.str()
 	nvc := int(d.u16())

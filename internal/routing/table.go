@@ -144,6 +144,8 @@ type classCounters struct {
 	compoundEvals atomic.Uint64
 	nodesPruned   atomic.Uint64
 	fallbackEvals atomic.Uint64
+	prunedSends   atomic.Uint64
+	skipFrames    atomic.Uint64
 }
 
 // Stats are a Table's cumulative routing-plane counters.
@@ -184,6 +186,17 @@ type Stats struct {
 	// FallbackEvals counts fail-open routings where the event could not
 	// be decoded and every conditional node was included.
 	FallbackEvals uint64
+	// PrunedSends counts per-destination data frames an interest-aware
+	// multicast class did not send because the destination had no
+	// matching subscriber (reported by the dissemination layer via
+	// NotePrunedSends) — the wire traffic ordered/gossip pruning saves.
+	PrunedSends uint64
+	// SkipFrames counts the per-destination skip-marker frames the
+	// ordered classes shipped instead of pruned data (reported via
+	// NoteSkipFrames). Markers are amortized over flush ticks and carry
+	// no payload, so this stays far below PrunedSends under sparse
+	// interest.
+	SkipFrames uint64
 	// AccessorPrograms counts the accessor programs compiled by the live
 	// class plans' compound matchers (package accessor: per-event
 	// reflection compiled to index-based steps, shared with the
@@ -818,6 +831,8 @@ func (c *classCounters) snapshot() Stats {
 		CompoundEvals: c.compoundEvals.Load(),
 		NodesPruned:   c.nodesPruned.Load(),
 		FallbackEvals: c.fallbackEvals.Load(),
+		PrunedSends:   c.prunedSends.Load(),
+		SkipFrames:    c.skipFrames.Load(),
 	}
 }
 
@@ -828,6 +843,8 @@ func (s *Stats) add(o Stats) {
 	s.CompoundEvals += o.CompoundEvals
 	s.NodesPruned += o.NodesPruned
 	s.FallbackEvals += o.FallbackEvals
+	s.PrunedSends += o.PrunedSends
+	s.SkipFrames += o.SkipFrames
 }
 
 // Stats returns the table's cumulative counters, folded across classes.
@@ -869,6 +886,24 @@ func (s *Stats) foldAccessor(p *classPlan) {
 // The table never sees such payloads; the receiver reports them here so
 // the rejection shows up next to the other advertisement counters.
 func (t *Table) NoteAdRejected() { t.adsRejected.Add(1) }
+
+// NotePrunedSends records n per-destination data frames an
+// interest-aware multicast class avoided sending for the given class.
+// The table only routes; the dissemination layer reports the saving
+// here so it shows up next to the class's routing counters.
+func (t *Table) NotePrunedSends(class string, n uint64) {
+	if n > 0 {
+		t.counters(class).prunedSends.Add(n)
+	}
+}
+
+// NoteSkipFrames records n per-destination skip-marker frames shipped
+// in place of pruned data for the given class.
+func (t *Table) NoteSkipFrames(class string, n uint64) {
+	if n > 0 {
+		t.counters(class).skipFrames.Add(n)
+	}
+}
 
 // ClassStats returns one class's routing counters (the advertisement
 // counters are table-wide and stay zero here).

@@ -20,9 +20,10 @@ const (
 	AtSubscriber Placement = iota + 1
 	// AtPublisher evaluates migrated filters at the publishing node
 	// and sends only to nodes with at least one passing subscription,
-	// saving bandwidth. Applies to unordered classes; ordered and
-	// certified classes always ship to all subscriber nodes to keep
-	// group membership uniform.
+	// saving bandwidth. Unordered classes prune per message; ordered
+	// and gossip classes prune through the interest-aware multicast
+	// protocols (see WithOrderedPruning); certified classes address
+	// their durable subscribers explicitly.
 	AtPublisher
 )
 
@@ -43,6 +44,13 @@ type Tuning struct {
 	GossipPeriod time.Duration
 	GossipFanout int
 	GossipRounds int
+	// GossipRandomEdges is the floor of uniformly random peers each
+	// interest-biased gossip round contacts per event in addition to
+	// the interested fanout — the anti-entropy edges that keep rumors
+	// crossing interest boundaries. It only applies while ordered
+	// pruning is on (see WithOrderedPruning). 0 selects the default
+	// (1); negative disables the floor.
+	GossipRandomEdges int
 	// GossipSeed seeds gossip peer selection (0 = fixed default,
 	// keeping runs reproducible).
 	GossipSeed int64
@@ -63,6 +71,7 @@ type config struct {
 	certDedup    store.Set
 	gossip       bool
 	naive        bool
+	pruneOff     bool
 }
 
 // An Option configures a Domain at Open.
@@ -151,6 +160,20 @@ func WithRMI(tr Transport) Option {
 	return func(c *config) { c.rmiTransport = tr }
 }
 
+// WithOrderedPruning toggles interest-aware pruning of the ordered
+// (FIFO/Causal/Total) and gossip classes. It defaults to on: data
+// frames go only to nodes the routing plane marks interested — for
+// total order the sequencer filters after stamping, keeping the global
+// sequence gap-free — while the rest receive amortized skip markers,
+// so delivery cost scales with interest size instead of group size.
+// Pruning fails open (an unevaluable event or unknown node counts as
+// interested) and preserves every class's ordering contract; the saved
+// traffic shows in Stats as PrunedSends/SkipFrames. Pass false to
+// revert to full-group broadcasts with subscriber-side filtering.
+func WithOrderedPruning(enabled bool) Option {
+	return func(c *config) { c.pruneOff = !enabled }
+}
+
 // WithNaiveDispatch disables the indexed dispatch pipeline in favor of
 // the unindexed per-subscription reference path. Delivery semantics
 // are identical; this exists as the transparency oracle for tests and
@@ -184,6 +207,9 @@ func (c *config) distributedOnly() []string {
 	if c.certLog != nil || c.certDedup != nil {
 		bad = append(bad, "WithCertifiedStores")
 	}
+	if c.pruneOff {
+		bad = append(bad, "WithOrderedPruning")
+	}
 	return bad
 }
 
@@ -200,12 +226,14 @@ func (c *config) daceConfig() dace.Config {
 		CertDedup:        c.certDedup,
 		DurableID:        c.durableID,
 		AdTTL:            c.adTTL,
+		NoOrderedPruning: c.pruneOff,
 		Multicast: multicast.Options{
 			RetransmitInterval: c.tuning.RetransmitInterval,
 			RetransmitLimit:    c.tuning.RetransmitLimit,
 			GossipPeriod:       c.tuning.GossipPeriod,
 			GossipFanout:       c.tuning.GossipFanout,
 			GossipRounds:       c.tuning.GossipRounds,
+			GossipRandomEdges:  c.tuning.GossipRandomEdges,
 			Seed:               c.tuning.GossipSeed,
 		},
 	}
