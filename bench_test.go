@@ -27,6 +27,7 @@ import (
 	"govents/internal/obvent"
 	"govents/internal/rmi"
 	"govents/internal/routing"
+	"govents/internal/telemetry"
 	"govents/internal/topics"
 	"govents/internal/tuplespace"
 	"govents/internal/wire"
@@ -518,6 +519,26 @@ func benchDispatch(b *testing.B, nSubs int, frac float64, opts ...core.Option) {
 	waitUntil(b, time.Minute, func() bool { return got.Load() >= want })
 	b.StopTimer()
 	b.ReportMetric(float64(matches), "matches/op")
+}
+
+// BenchmarkDispatchOverhead is the telemetry overhead gate: the same
+// dispatch workload (1000 subscriptions, 1% selectivity) with the
+// telemetry plane disabled and enabled. CI asserts the enabled ns/op
+// stays within 5% of disabled (benchjson -gate). The enabled run also
+// reports the end-to-end latency quantiles its histograms observed, so
+// BENCH_dispatch.json carries p50/p99 alongside throughput.
+func BenchmarkDispatchOverhead(b *testing.B) {
+	b.Run("telemetry=off", func(b *testing.B) {
+		benchDispatch(b, 1000, 0.01, core.WithTelemetry(nil))
+	})
+	b.Run("telemetry=on", func(b *testing.B) {
+		p := telemetry.NewPlane()
+		benchDispatch(b, 1000, 0.01, core.WithTelemetry(p))
+		if e2e := p.StageSnapshot(telemetry.StageE2E); e2e.Count > 0 {
+			b.ReportMetric(float64(e2e.Quantile(0.5)), "p50_ns")
+			b.ReportMetric(float64(e2e.Quantile(0.99)), "p99_ns")
+		}
+	})
 }
 
 // sinkTap is a Disseminator that exposes the engine's delivery sink for

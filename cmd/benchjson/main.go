@@ -6,6 +6,14 @@
 //
 // Every input line is echoed to stdout, so the human-readable log
 // survives in CI; only the parsed results go to the -out file.
+//
+// -gate turns benchjson into a CI regression gate on top of the parse:
+//
+//	... | benchjson -out BENCH.json \
+//	      -gate 'BenchmarkDispatchOverhead/telemetry=on:ns/op,BenchmarkDispatchOverhead/telemetry=off:ns/op<=1.05'
+//
+// asserts that the first metric is at most FACTOR times the second and
+// exits nonzero otherwise. The flag repeats.
 package main
 
 import (
@@ -15,13 +23,23 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 )
 
+// gateFlags collects repeated -gate specs.
+type gateFlags []string
+
+func (g *gateFlags) String() string { return strings.Join(*g, "; ") }
+
+func (g *gateFlags) Set(v string) error { *g = append(*g, v); return nil }
+
 func main() {
 	out := flag.String("out", "", "JSON output file (default stdout, after the echoed log)")
+	var gates gateFlags
+	flag.Var(&gates, "gate", "ratio assertion 'BENCH_A:unit,BENCH_B:unit<=FACTOR' (repeatable); fail when metric A exceeds FACTOR × metric B")
 	flag.Parse()
 
 	results, err := parseBench(os.Stdin, os.Stdout)
@@ -44,6 +62,73 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	failed := false
+	for _, spec := range gates {
+		if err := checkGate(results, spec, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: gate:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// gateSpec matches 'A:unit,B:unit<=FACTOR'.
+var gateSpec = regexp.MustCompile(`^([^,]+):([^,:]+),([^,]+):([^,:]+)<=([0-9.]+)$`)
+
+// checkGate evaluates one -gate assertion against the parsed results.
+func checkGate(results map[string]benchResult, spec string, log io.Writer) error {
+	m := gateSpec.FindStringSubmatch(spec)
+	if m == nil {
+		return fmt.Errorf("malformed spec %q (want 'BENCH_A:unit,BENCH_B:unit<=FACTOR')", spec)
+	}
+	factor, err := strconv.ParseFloat(m[5], 64)
+	if err != nil {
+		return fmt.Errorf("bad factor in %q: %v", spec, err)
+	}
+	num, err := lookupMetric(results, m[1], m[2])
+	if err != nil {
+		return err
+	}
+	den, err := lookupMetric(results, m[3], m[4])
+	if err != nil {
+		return err
+	}
+	if den == 0 {
+		return fmt.Errorf("%s:%s is zero; ratio undefined", m[3], m[4])
+	}
+	ratio := num / den
+	fmt.Fprintf(log, "gate: %s = %.3f (limit %.3f)\n", spec, ratio, factor)
+	if ratio > factor {
+		return fmt.Errorf("%s: ratio %.3f exceeds %.3f", spec, ratio, factor)
+	}
+	return nil
+}
+
+// procSuffix is the "-8" GOMAXPROCS suffix go test appends to names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// lookupMetric finds a benchmark by name — with or without the
+// GOMAXPROCS suffix — and returns the named metric.
+func lookupMetric(results map[string]benchResult, bench, unit string) (float64, error) {
+	r, ok := results[bench]
+	if !ok {
+		for name, candidate := range results {
+			if procSuffix.ReplaceAllString(name, "") == bench {
+				r, ok = candidate, true
+				break
+			}
+		}
+	}
+	if !ok {
+		return 0, fmt.Errorf("benchmark %q not in input", bench)
+	}
+	v, ok := r.Metrics[unit]
+	if !ok {
+		return 0, fmt.Errorf("benchmark %q has no metric %q", bench, unit)
+	}
+	return v, nil
 }
 
 // benchResult is the parsed form of one benchmark output line.

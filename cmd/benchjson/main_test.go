@@ -47,3 +47,32 @@ func TestParseBenchEmpty(t *testing.T) {
 		t.Fatal("expected an error when no benchmark lines are present")
 	}
 }
+
+func TestCheckGate(t *testing.T) {
+	results := map[string]benchResult{
+		"BenchmarkDispatchOverhead/telemetry=on-8":  {Iterations: 100, Metrics: map[string]float64{"ns/op": 1030}},
+		"BenchmarkDispatchOverhead/telemetry=off-8": {Iterations: 100, Metrics: map[string]float64{"ns/op": 1000}},
+	}
+	var log strings.Builder
+	// The names omit the GOMAXPROCS suffix, as a CI invocation would.
+	pass := "BenchmarkDispatchOverhead/telemetry=on:ns/op,BenchmarkDispatchOverhead/telemetry=off:ns/op<=1.05"
+	if err := checkGate(results, pass, &log); err != nil {
+		t.Errorf("gate at 1.05 failed on ratio 1.03: %v", err)
+	}
+	if !strings.Contains(log.String(), "1.030") {
+		t.Errorf("gate log missing ratio: %q", log.String())
+	}
+	fail := "BenchmarkDispatchOverhead/telemetry=on:ns/op,BenchmarkDispatchOverhead/telemetry=off:ns/op<=1.02"
+	if err := checkGate(results, fail, &log); err == nil {
+		t.Error("gate at 1.02 passed on ratio 1.03")
+	}
+	for _, bad := range []string{
+		"nonsense",
+		"A:ns/op,B:ns/op<=1.0", // unknown benchmarks
+		"BenchmarkDispatchOverhead/telemetry=on:zops,BenchmarkDispatchOverhead/telemetry=off:ns/op<=1.0", // unknown metric
+	} {
+		if err := checkGate(results, bad, &log); err == nil {
+			t.Errorf("spec %q passed, want error", bad)
+		}
+	}
+}

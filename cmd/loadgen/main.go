@@ -40,10 +40,16 @@ var ctx = context.Background()
 // pin one explicitly (set by -placement).
 var defaultPlacement = govents.AtSubscriber
 
+// showMetrics makes closeAll print each run's folded per-stage latency
+// quantiles (set by -metrics).
+var showMetrics = false
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: C1, C2, C3, C4, C5, C6, C7 or all")
+	exp := flag.String("exp", "all", "experiment to run: C1, C2, C3, C4, C5, C6, C7, C8 or all")
 	placement := flag.String("placement", "subscriber", "default remote filter placement: subscriber or publisher")
+	metrics := flag.Bool("metrics", false, "print per-stage latency quantiles (p50/p90/p99/max) after each run")
 	flag.Parse()
+	showMetrics = *metrics
 
 	switch *placement {
 	case "subscriber":
@@ -58,7 +64,7 @@ func main() {
 	experiments := map[string]func(){
 		"C1": expC1, "C2": expC2, "C3": expC3,
 		"C4": expC4, "C5": expC5, "C6": expC6,
-		"C7": expC7,
+		"C7": expC7, "C8": expC8,
 	}
 	if *exp == "all" {
 		names := make([]string, 0, len(experiments))
@@ -116,8 +122,37 @@ func domain(net *netsim.Network, n int, opts ...govents.Option) []*govents.Domai
 }
 
 func closeAll(domains []*govents.Domain) {
+	if showMetrics {
+		printStageQuantiles(domains)
+	}
 	for _, d := range domains {
 		_ = d.Close(ctx)
+	}
+}
+
+// stageOrder lists the pipeline stages in flow order for printing.
+var stageOrder = []string{"publish_to_route", "route_to_write", "wire_to_lane", "lane_wait", "dispatch", "e2e"}
+
+// printStageQuantiles folds the per-stage latency histograms of all
+// domains in a run and prints one quantile row per populated stage.
+func printStageQuantiles(domains []*govents.Domain) {
+	folded := map[string]govents.StageSnapshot{}
+	for _, d := range domains {
+		for name, snap := range d.Histograms() {
+			merged := folded[name]
+			merged.Merge(snap)
+			folded[name] = merged
+		}
+	}
+	fmt.Printf("    %-18s %10s %12s %12s %12s %12s\n", "stage", "count", "p50", "p90", "p99", "max")
+	for _, name := range stageOrder {
+		snap := folded[name]
+		if snap.Count == 0 {
+			continue
+		}
+		fmt.Printf("    %-18s %10d %12v %12v %12v %12v\n",
+			name, snap.Count, snap.Quantile(0.5), snap.Quantile(0.9), snap.Quantile(0.99),
+			time.Duration(snap.Max))
 	}
 }
 
@@ -613,4 +648,64 @@ func sparseRun(class string, n, subs int, prune bool) (msgsPerEvent float64, rst
 		rst.SkipFrames += st.SkipFrames
 	}
 	return float64(sent) / events, rst
+}
+
+// --- C8: per-stage pipeline latency (telemetry plane) ---
+
+func expC8() {
+	fmt.Println("\n== C8: per-stage pipeline latency across two nodes ==")
+	fmt.Println("claim: the telemetry plane decomposes delivery latency into pipeline stages;")
+	fmt.Println("       end-to-end ~ publish-side + wire + lane-wait + dispatch")
+	fmt.Printf("%-10s %-18s %10s %12s %12s %12s %12s\n", "class", "stage", "count", "p50", "p90", "p99", "max")
+
+	for _, class := range []string{"unreliable", "fifo"} {
+		net := netsim.New(netsim.Config{MinLatency: 200 * time.Microsecond, MaxLatency: 400 * time.Microsecond})
+		domains := domain(net, 2)
+		pub, sub := domains[0], domains[1]
+
+		var got atomic.Int64
+		var err error
+		if class == "fifo" {
+			_, err = govents.Subscribe(sub, nil, func(q workload.QuoteFIFO) { got.Add(1) })
+		} else {
+			_, err = govents.Subscribe(sub, nil, func(q workload.StockQuote) { got.Add(1) })
+		}
+		if err != nil {
+			panic(err)
+		}
+		waitUntil(5*time.Second, func() bool { return pub.RemoteSubscriptionCount() >= 1 })
+		net.Settle()
+
+		gen := workload.NewQuoteGen(23, 5)
+		const events = 500
+		for i := 0; i < events; i++ {
+			q := gen.Next().StockObvent
+			if class == "fifo" {
+				err = pub.Publish(ctx, workload.QuoteFIFO{StockObvent: q})
+			} else {
+				err = pub.Publish(ctx, workload.StockQuote{StockObvent: q})
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+		waitUntil(30*time.Second, func() bool { return got.Load() >= events })
+		net.Settle()
+
+		pubStages, subStages := pub.Histograms(), sub.Histograms()
+		for _, name := range stageOrder {
+			snap := pubStages[name]
+			if sub := subStages[name]; sub.Count > snap.Count {
+				snap = sub // wire/lane/dispatch/e2e live on the subscriber
+			}
+			if snap.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-10s %-18s %10d %12v %12v %12v %12v\n",
+				class, name, snap.Count, snap.Quantile(0.5), snap.Quantile(0.9), snap.Quantile(0.99),
+				time.Duration(snap.Max))
+		}
+		closeAll(domains)
+		_ = net.Close()
+	}
 }

@@ -46,6 +46,7 @@ func run() error {
 	lanes := flag.Int("lanes", 0, "parallel dispatch lanes (0 = GOMAXPROCS)")
 	placementFlag := flag.String("placement", "publisher", "remote filter placement: subscriber or publisher")
 	adTTL := flag.Duration("ad-ttl", 0, "ad-stream GC TTL (0 = disabled; set uniformly on all nodes)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address and print per-stage latency quantiles on exit (empty = off)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -69,17 +70,25 @@ func run() error {
 		peers = strings.Split(*peersFlag, ",")
 	}
 
-	d, err := govents.Open(ctx, tr.Addr(),
+	opts := []govents.Option{
 		govents.WithTransport(tr),
 		govents.WithPeers(peers...),
 		govents.WithPlacement(placement),
 		govents.WithDispatchLanes(*lanes),
 		govents.WithAdTTL(*adTTL),
-	)
+	}
+	if *metricsAddr != "" {
+		opts = append(opts, govents.WithMetricsAddr(*metricsAddr))
+	}
+	d, err := govents.Open(ctx, tr.Addr(), opts...)
 	if err != nil {
 		return err
 	}
 	defer d.Close(ctx)
+	if *metricsAddr != "" {
+		fmt.Printf("metrics: http://%s/metrics\n", d.MetricsAddr())
+		defer printStageLatencies(d)
+	}
 	workload.RegisterTypes(d.Registry())
 	fmt.Printf("stocknode: %s mode=%s peers=%v\n", d.Addr(), *mode, peers)
 
@@ -143,6 +152,37 @@ func run() error {
 
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// printStageLatencies dumps the telemetry plane's per-stage latency
+// quantiles in pipeline order, skipping stages that never ran.
+func printStageLatencies(d *govents.Domain) {
+	stages := d.Histograms()
+	fmt.Printf("stage latencies: %-18s %10s %10s %10s %10s %10s\n",
+		"", "count", "p50", "p90", "p99", "max")
+	for _, name := range []string{"publish_to_route", "route_to_write", "wire_to_lane", "lane_wait", "dispatch", "e2e"} {
+		snap := stages[name]
+		if snap.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-32s %10d %10v %10v %10v %10v\n",
+			name, snap.Count, snap.Quantile(0.5), snap.Quantile(0.9), snap.Quantile(0.99),
+			time.Duration(snap.Max))
+	}
+	dropped := d.DroppedByReason()
+	var total uint64
+	for _, n := range dropped {
+		total += n
+	}
+	if total > 0 {
+		fmt.Printf("dropped:")
+		for _, reason := range []string{"expired", "decode_error", "handler_panic", "executor_closed"} {
+			if n := dropped[reason]; n > 0 {
+				fmt.Printf(" %s=%d", reason, n)
+			}
+		}
+		fmt.Println()
 	}
 }
 

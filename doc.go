@@ -88,6 +88,35 @@
 // full-group broadcasts. RoutingStats reports the saved traffic as
 // PrunedSends and SkipFrames.
 //
+// # Observability
+//
+// Every Domain records per-stage latency histograms on the delivery
+// pipeline — lock-free, log-bucketed, on by default (WithTelemetry(false)
+// turns them off). Domain.Histograms returns the snapshots keyed by
+// stage:
+//
+//	stage             span
+//	----------------  -------------------------------------------------
+//	publish_to_route  Publish accepted → routing plan resolved
+//	route_to_write    destinations resolved → transport write returned
+//	wire_to_lane      frame off the wire → decoded and lane-enqueued
+//	lane_wait         lane enqueue → lane dequeue (queueing delay)
+//	dispatch          lane dequeue → handler returned
+//	e2e               publisher's Publish → handler returned, cross-node
+//
+// The e2e stage is timed against a publish timestamp carried in the
+// envelope; peers predating it simply produce no e2e samples, and their
+// own pipelines are unaffected. WithMetricsAddr serves the histograms,
+// drop counters and lane-depth gauges as Prometheus text on /metrics
+// (plus expvar on /debug/vars and the profiler under /debug/pprof);
+// Domain.MetricsAddr reports the bound address. WithTraceHook streams
+// sampled per-event TraceEvent records — failure outcomes (expired,
+// decode_error, handler_panic, executor_closed) bypass sampling and are
+// also counted in Domain.DroppedByReason. WithLogger injects an
+// *slog.Logger for anomalies that have no error-return path (recovered
+// handler panics, undecodable frames, failed certified redeliveries);
+// the default discards them.
+//
 // # The abstraction family
 //
 // The same Domain reaches the paper's comparison abstractions — the

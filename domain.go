@@ -3,6 +3,7 @@ package govents
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 
@@ -11,7 +12,10 @@ import (
 	"govents/internal/obvent"
 	"govents/internal/rmi"
 	"govents/internal/routing"
+	"govents/internal/store"
+	"govents/internal/telemetry"
 	"govents/internal/topics"
+	"govents/internal/transport"
 	"govents/internal/tuplespace"
 )
 
@@ -33,6 +37,20 @@ type LaneStat = core.LaneStat
 // destinations, and silent-TTL node expiries.
 type RoutingStats = routing.Stats
 
+// TraceEvent is one sampled per-event trace record delivered to a
+// WithTraceHook callback: event identity, pipeline stage, measured
+// duration and outcome.
+type TraceEvent = telemetry.TraceEvent
+
+// StageSnapshot is an immutable snapshot of one pipeline stage's
+// latency histogram: total count, sum, max and the log-bucketed counts,
+// with Quantile and Mean accessors.
+type StageSnapshot = telemetry.Snapshot
+
+// LaneOccupancy is one dispatch lane's queue-depth gauge, sampled at
+// each dequeue.
+type LaneOccupancy = telemetry.LaneOccupancy
+
 // A Domain is one process's membership in a govents domain: the unified
 // facade over the publish/subscribe engine, the DACE dissemination
 // substrate, publisher-side routing, and the sibling abstractions of
@@ -47,10 +65,12 @@ type Domain struct {
 	reg  *obvent.Registry
 	eng  *core.Engine
 	node *dace.Node // nil for local domains
+	tele *telemetry.Plane
 
-	tr    Transport // owned; nil for local domains
-	rmiTr Transport // owned; nil unless WithRMI
-	rmiRT *rmi.Runtime
+	tr      Transport // owned; nil for local domains
+	rmiTr   Transport // owned; nil unless WithRMI
+	rmiRT   *rmi.Runtime
+	metrics *metricsServer // nil unless WithMetricsAddr
 
 	mu        sync.Mutex
 	ts        *tuplespace.Space
@@ -103,7 +123,33 @@ func Open(ctx context.Context, name string, opts ...Option) (*Domain, error) {
 	}
 	d := &Domain{name: name, reg: reg}
 
-	engOpts := []core.Option{core.WithRegistry(reg)}
+	// One telemetry plane and one logger span the whole stack: the
+	// engine's dispatch lanes, the dissemination substrate and the
+	// metrics endpoint all observe the same state.
+	d.tele = telemetry.NewPlane()
+	d.tele.SetNode(name)
+	if cfg.teleOff {
+		d.tele.SetEnabled(false)
+	}
+	if cfg.traceHook != nil {
+		d.tele.SetTraceHook(cfg.traceHook, cfg.traceEvery)
+	}
+	log := cfg.logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	} else {
+		// The package-level sinks (file-log replay, TCP transport) have
+		// no per-domain hook; the most recent domain's logger wins,
+		// which is the common single-domain case.
+		store.SetLogger(log)
+		transport.SetLogger(log)
+	}
+
+	engOpts := []core.Option{
+		core.WithRegistry(reg),
+		core.WithTelemetry(d.tele),
+		core.WithEngineLogger(log),
+	}
 	if cfg.lanes != 0 {
 		engOpts = append(engOpts, core.WithDispatchLanes(cfg.lanes))
 	}
@@ -113,7 +159,7 @@ func Open(ctx context.Context, name string, opts ...Option) (*Domain, error) {
 
 	if cfg.transport != nil {
 		d.tr = cfg.transport
-		d.node = dace.NewNode(cfg.transport, reg, cfg.daceConfig())
+		d.node = dace.NewNode(cfg.transport, reg, cfg.daceConfig(d.tele, log))
 		d.eng = core.NewEngine(cfg.transport.Addr(), d.node, engOpts...)
 		if len(cfg.peers) > 0 {
 			d.node.SetPeers(cfg.peers)
@@ -123,7 +169,15 @@ func Open(ctx context.Context, name string, opts ...Option) (*Domain, error) {
 	}
 	if cfg.rmiTransport != nil {
 		d.rmiTr = cfg.rmiTransport
-		d.rmiRT = rmi.New(cfg.rmiTransport, rmi.Options{})
+		d.rmiRT = rmi.New(cfg.rmiTransport, rmi.Options{Logger: log})
+	}
+	if cfg.metricsAddr != "" {
+		ms, err := startMetricsServer(cfg.metricsAddr, d)
+		if err != nil {
+			_ = d.eng.Close()
+			return fail(err)
+		}
+		d.metrics = ms
 	}
 	return d, nil
 }
@@ -194,6 +248,38 @@ func (d *Domain) RemoteSubscriptionCount() int {
 // Stats returns the domain's cumulative delivery counters.
 func (d *Domain) Stats() DispatchStats { return d.eng.Stats() }
 
+// Histograms returns an immutable snapshot of the per-stage latency
+// histograms, keyed by stage name (publish_to_route, route_to_write,
+// wire_to_lane, lane_wait, dispatch, e2e). All durations are
+// nanoseconds. Empty histograms mean telemetry is off (WithTelemetry
+// false) or the stage has not run — e.g. e2e needs a wire-capable
+// remote publisher.
+func (d *Domain) Histograms() map[string]StageSnapshot {
+	return d.tele.Histograms()
+}
+
+// DroppedByReason returns the cumulative count of events dropped per
+// reason (expired, decode_error, handler_panic, executor_closed).
+func (d *Domain) DroppedByReason() map[string]uint64 {
+	return d.tele.DroppedByReason()
+}
+
+// LaneOccupancies returns the last-sampled queue depth of each dispatch
+// lane (the serial lane has Lane -1, matching LaneStats order).
+func (d *Domain) LaneOccupancies() []LaneOccupancy {
+	return d.tele.LaneOccupancies()
+}
+
+// MetricsAddr returns the effective listen address of the metrics
+// endpoint (useful with a ":0" WithMetricsAddr), or "" when the domain
+// was opened without one.
+func (d *Domain) MetricsAddr() string {
+	if d.metrics == nil {
+		return ""
+	}
+	return d.metrics.addr()
+}
+
 // LaneStats returns per-lane dispatcher counters: the serial
 // (ordered/prioritary) lane first, then each parallel lane.
 func (d *Domain) LaneStats() []LaneStat { return d.eng.LaneStats() }
@@ -261,6 +347,9 @@ func (d *Domain) Close(ctx context.Context) error {
 		d.closeDone = make(chan struct{})
 		ts := d.ts
 		go func() {
+			if d.metrics != nil {
+				d.metrics.close() // stop scrapes before state goes down
+			}
 			err := d.eng.Close() // drains handlers, closes the disseminator
 			if ts != nil {
 				ts.Close()

@@ -79,6 +79,15 @@ type Envelope struct {
 	// TTL zero means no expiry.
 	Birth time.Time
 	TTL   time.Duration
+
+	// PubNanos is the publisher's wall clock (UnixNano) at encode time;
+	// subscribers time end-to-end publish→deliver latency against it.
+	// Write-once: stamped by Encode, never mutated afterwards (envelopes
+	// are shared across concurrent routes). Zero from legacy peers — gob
+	// omits zero fields on encode and ignores unknown fields on decode,
+	// so the stamp is wire-compatible in both directions, and receivers
+	// gate on PubNanos > 0.
+	PubNanos int64
 }
 
 // Expired reports whether a timely envelope is obsolete at instant now.
@@ -138,6 +147,7 @@ func (c *Codec) Encode(o obvent.Obvent) (*Envelope, error) {
 		Enc:         enc,
 		Reliability: sem.Reliability,
 		Ordering:    sem.Ordering,
+		PubNanos:    time.Now().UnixNano(),
 	}
 	if sem.Prioritary {
 		env.Priority = sem.Priority

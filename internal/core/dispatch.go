@@ -10,6 +10,7 @@ import (
 	"govents/internal/filter"
 	"govents/internal/matching"
 	"govents/internal/obvent"
+	"govents/internal/telemetry"
 )
 
 // This file implements the engine's indexed delivery pipeline:
@@ -308,6 +309,7 @@ func (e *Engine) dispatch(env *codec.Envelope, ln *laneState) {
 	// (§3.1.2).
 	if env.Expired(time.Now()) {
 		ln.counters.expired.Add(1)
+		e.noteDrop(env, telemetry.ReasonExpired)
 		return
 	}
 	if e.naiveDispatch {
@@ -328,6 +330,7 @@ func (e *Engine) dispatch(env *codec.Envelope, ln *laneState) {
 	src := &sc.src
 	if err := e.codec.SourceInto(env, src); err != nil {
 		ln.counters.decodeErrors.Add(1)
+		e.noteDrop(env, telemetry.ReasonDecodeError)
 		sc.src = codec.CloneSource{} // do not pin the failed envelope
 		return
 	}
@@ -345,6 +348,7 @@ func (e *Engine) dispatch(env *codec.Envelope, ln *laneState) {
 			m, err := b.compound.MatchWireAppend(wp, payload, sc.full, matched)
 			if err != nil {
 				ln.counters.decodeErrors.Add(1)
+				e.noteDrop(env, telemetry.ReasonDecodeError)
 				sc.src = codec.CloneSource{} // do not pin the failed envelope
 				return
 			}
@@ -353,6 +357,7 @@ func (e *Engine) dispatch(env *codec.Envelope, ln *laneState) {
 			canonical, err := src.Clone()
 			if err != nil {
 				ln.counters.decodeErrors.Add(1)
+				e.noteDrop(env, telemetry.ReasonDecodeError)
 				sc.src = codec.CloneSource{} // do not pin the failed envelope
 				return
 			}
@@ -393,15 +398,18 @@ func (e *Engine) dispatch(env *codec.Envelope, ln *laneState) {
 			if !decodeFailed {
 				decodeFailed = true
 				ln.counters.decodeErrors.Add(1)
+				e.noteDrop(env, telemetry.ReasonDecodeError)
 			}
 			continue
 		}
 		if s.localFilter != nil && !s.localFilter(o) {
 			continue
 		}
-		if s.executor.submit(o, ordered) {
+		if s.executor.submit(o, ordered, ln.deq, env.PubNanos, env.ID, env.Type) {
 			ln.counters.matched.Add(1)
 			ln.counters.delivered.Add(1)
+		} else {
+			e.noteDrop(env, telemetry.ReasonExecutorClosed)
 		}
 	}
 	// Retain any buffer growth for this lane's next envelope; drop the
@@ -464,6 +472,7 @@ func (e *Engine) dispatchNaive(env *codec.Envelope, ln *laneState) {
 		if !srcResolved {
 			if err := e.codec.SourceInto(env, src); err != nil {
 				ln.counters.decodeErrors.Add(1)
+				e.noteDrop(env, telemetry.ReasonDecodeError)
 				ln.scratch.src = codec.CloneSource{}
 				return
 			}
@@ -476,6 +485,7 @@ func (e *Engine) dispatchNaive(env *codec.Envelope, ln *laneState) {
 			if !decodeFailed {
 				decodeFailed = true
 				ln.counters.decodeErrors.Add(1)
+				e.noteDrop(env, telemetry.ReasonDecodeError)
 			}
 			continue
 		}
@@ -488,13 +498,24 @@ func (e *Engine) dispatchNaive(env *codec.Envelope, ln *laneState) {
 		if s.localFilter != nil && !s.localFilter(o) {
 			continue
 		}
-		if s.executor.submit(o, ordered) {
+		if s.executor.submit(o, ordered, ln.deq, env.PubNanos, env.ID, env.Type) {
 			ln.counters.matched.Add(1)
 			ln.counters.delivered.Add(1)
+		} else {
+			e.noteDrop(env, telemetry.ReasonExecutorClosed)
 		}
 	}
 	// Do not pin the envelope's payload or prototype on an idle lane.
 	ln.scratch.src = codec.CloneSource{}
+}
+
+// noteDrop feeds one dropped delivery into the telemetry plane: the
+// by-reason counter map always, plus an always-on (never sampled away)
+// trace span so drop outcomes are visible to the hook. No-op without a
+// plane; the expired/decode counters in DispatchStats are unaffected.
+func (e *Engine) noteDrop(env *codec.Envelope, r telemetry.Reason) {
+	e.tele.Drop(r)
+	e.tele.Trace(env.ID, env.Type, telemetry.StageDispatch, 0, r.String())
 }
 
 // rebuildTable republishes the dispatch table from the current

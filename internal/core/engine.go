@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"reflect"
 	"runtime"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"govents/internal/codec"
 	"govents/internal/filter"
 	"govents/internal/obvent"
+	"govents/internal/telemetry"
 )
 
 // Disseminator abstracts the dissemination substrate beneath an Engine:
@@ -88,6 +90,15 @@ type Engine struct {
 	// naiveDispatch routes envelopes through the unindexed
 	// per-subscription path (WithNaiveDispatch).
 	naiveDispatch bool
+
+	// tele is the engine's telemetry plane (per-stage latency
+	// histograms, drop reasons, trace hook). May be nil: a nil plane is
+	// fully disabled and every probe short-circuits on the nil check.
+	tele *telemetry.Plane
+	// log receives the engine's diagnostics (handler panics); defaults
+	// to a discard logger so embedding programs stay silent unless they
+	// inject one.
+	log *slog.Logger
 }
 
 // Option configures an Engine.
@@ -98,6 +109,9 @@ type engineConfig struct {
 	naive      bool
 	lanes      int
 	legacyWire bool
+	tele       *telemetry.Plane
+	teleSet    bool
+	logger     *slog.Logger
 }
 
 // WithRegistry makes the engine use a shared obvent type registry
@@ -136,6 +150,21 @@ func WithLegacyWire() Option {
 	return func(c *engineConfig) { c.legacyWire = true }
 }
 
+// WithTelemetry installs the engine's telemetry plane. Passing nil
+// disables telemetry entirely (every probe short-circuits on a nil
+// check); leaving the option unset gives the engine its own enabled
+// plane. Domains share one plane between the engine and the
+// dissemination substrate so cross-layer stages land in one place.
+func WithTelemetry(p *telemetry.Plane) Option {
+	return func(c *engineConfig) { c.tele = p; c.teleSet = true }
+}
+
+// WithEngineLogger injects the logger the engine uses for diagnostics
+// that have no error-return path (handler panics). Default: discard.
+func WithEngineLogger(l *slog.Logger) Option {
+	return func(c *engineConfig) { c.logger = l }
+}
+
 // NewEngine creates an engine with identifier id over the given
 // dissemination substrate.
 func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
@@ -151,6 +180,14 @@ func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
 	if lanes == 0 {
 		lanes = runtime.GOMAXPROCS(0)
 	}
+	tele := cfg.tele
+	if !cfg.teleSet {
+		tele = telemetry.NewPlane()
+	}
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	e := &Engine{
 		id:            id,
 		reg:           reg,
@@ -158,15 +195,24 @@ func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
 		diss:          diss,
 		subs:          make(map[string]*Subscription),
 		naiveDispatch: cfg.naive,
+		tele:          tele,
+		log:           logger,
 	}
 	if cfg.legacyWire {
 		e.codec.SetWireDisabled(true)
 	}
+	if e.tele.Node() == "" {
+		e.tele.SetNode(id)
+	}
+	e.tele.SetLanes(lanes + 1) // +1: the serial lane's gauge is index 0
 	e.table.Store(newDispatchTable(reg, nil))
-	e.lanes = newLaneSet(reg, lanes, e.dispatch)
+	e.lanes = newLaneSet(reg, lanes, e.dispatch, e.tele)
 	diss.SetSink(e.deliver)
 	return e
 }
+
+// Telemetry returns the engine's telemetry plane (nil when disabled).
+func (e *Engine) Telemetry() *telemetry.Plane { return e.tele }
 
 // ID returns the engine identifier.
 func (e *Engine) ID() string { return e.id }
@@ -300,7 +346,7 @@ func (e *Engine) SubscribeDynamic(t reflect.Type, remote *filter.Expr, local fun
 		localFilter:  local,
 		handler:      handler,
 	}
-	s.executor = newExecutor(s.invoke)
+	s.executor = newExecutor(s.invoke, e.tele)
 	if err := e.register(s); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"govents/internal/codec"
+	"govents/internal/telemetry"
 )
 
 // laneShrinkMin is the queue capacity below which lanes never bother
@@ -23,6 +24,7 @@ const laneShrinkMin = 64
 // whose envelopes the lane router (lanes.go) steers here.
 type priorityInbox struct {
 	dispatch func(*codec.Envelope, *laneState)
+	tele     *telemetry.Plane
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -40,10 +42,11 @@ type inboxItem struct {
 	env  *codec.Envelope
 	prio int
 	seq  uint64 // arrival order tiebreaker
+	enq  int64  // telemetry enqueue timestamp (0 when telemetry is off)
 }
 
-func newPriorityInbox(dispatch func(*codec.Envelope, *laneState)) *priorityInbox {
-	in := &priorityInbox{dispatch: dispatch}
+func newPriorityInbox(dispatch func(*codec.Envelope, *laneState), tele *telemetry.Plane) *priorityInbox {
+	in := &priorityInbox{dispatch: dispatch, tele: tele}
 	in.cond = sync.NewCond(&in.mu)
 	in.wg.Add(1)
 	go in.loop()
@@ -51,6 +54,10 @@ func newPriorityInbox(dispatch func(*codec.Envelope, *laneState)) *priorityInbox
 }
 
 func (in *priorityInbox) push(env *codec.Envelope, prio int) {
+	var enq int64
+	if in.tele.Enabled() {
+		enq = telemetry.Now()
+	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.closed {
@@ -58,7 +65,7 @@ func (in *priorityInbox) push(env *codec.Envelope, prio int) {
 	}
 	in.st.enqueued.Add(1)
 	in.nextSq++
-	heap.Push(&in.heap, inboxItem{env: env, prio: prio, seq: in.nextSq})
+	heap.Push(&in.heap, inboxItem{env: env, prio: prio, seq: in.nextSq, enq: enq})
 	in.cond.Signal()
 }
 
@@ -90,7 +97,16 @@ func (in *priorityInbox) loop() {
 			copy(shrunk, in.heap)
 			in.heap = shrunk
 		}
+		backlog := in.heap.Len()
 		in.mu.Unlock()
+		in.st.deq = 0
+		if item.enq != 0 {
+			// The serial lane owns gauge (and histogram shard) 0.
+			now := telemetry.Now()
+			in.tele.Record(0, telemetry.StageLaneWait, now-item.enq)
+			in.tele.SampleQueue(0, backlog)
+			in.st.deq = now
+		}
 		in.dispatch(item.env, &in.st)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"govents/internal/codec"
 	"govents/internal/obvent"
+	"govents/internal/telemetry"
 )
 
 // This file implements the engine's sharded multi-lane dispatcher.
@@ -46,6 +47,12 @@ type laneState struct {
 	scratch  dispatchScratch
 	counters dispatchCounters
 	enqueued atomic.Uint64
+	// deq is the telemetry dequeue timestamp of the envelope currently
+	// being dispatched on this lane (0 when telemetry is off). Written
+	// by the lane goroutine before each dispatch; dispatch threads it
+	// into executor submissions so handler-return timing can close the
+	// dequeue→handler span.
+	deq int64
 }
 
 // LaneStat is one dispatch lane's observable state (Engine.LaneStats).
@@ -70,17 +77,18 @@ type laneSet struct {
 	par    []*fifoLane
 }
 
-func newLaneSet(reg *obvent.Registry, n int, dispatch func(*codec.Envelope, *laneState)) *laneSet {
+func newLaneSet(reg *obvent.Registry, n int, dispatch func(*codec.Envelope, *laneState), tele *telemetry.Plane) *laneSet {
 	if n < 1 {
 		n = 1
 	}
 	ls := &laneSet{
 		reg:    reg,
-		serial: newPriorityInbox(dispatch),
+		serial: newPriorityInbox(dispatch, tele),
 		par:    make([]*fifoLane, n),
 	}
 	for i := range ls.par {
-		ls.par[i] = newFifoLane(dispatch)
+		// Gauge index i+1: the serial lane owns gauge 0.
+		ls.par[i] = newFifoLane(dispatch, tele, i+1)
 	}
 	return ls
 }
@@ -177,14 +185,26 @@ func (ls *laneSet) close() {
 	wg.Wait()
 }
 
+// laneItem is one queued envelope plus its telemetry enqueue timestamp
+// (0 when telemetry is off at enqueue time). The timestamp rides the
+// queue, never the envelope: the same *Envelope may be routed
+// concurrently many times (loopback fan-in, benchmarks), so envelopes
+// must stay immutable through the dispatcher.
+type laneItem struct {
+	env *codec.Envelope
+	enq int64
+}
+
 // fifoLane is one parallel dispatch lane: a single goroutine draining an
 // unbounded FIFO queue in arrival order.
 type fifoLane struct {
 	dispatch func(*codec.Envelope, *laneState)
+	tele     *telemetry.Plane
+	gauge    int // telemetry occupancy-gauge index (serial lane = 0)
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []*codec.Envelope
+	queue  []laneItem
 	head   int // index of the next envelope to pop
 	closed bool
 	wg     sync.WaitGroup
@@ -192,8 +212,8 @@ type fifoLane struct {
 	st laneState
 }
 
-func newFifoLane(dispatch func(*codec.Envelope, *laneState)) *fifoLane {
-	l := &fifoLane{dispatch: dispatch}
+func newFifoLane(dispatch func(*codec.Envelope, *laneState), tele *telemetry.Plane, gauge int) *fifoLane {
+	l := &fifoLane{dispatch: dispatch, tele: tele, gauge: gauge}
 	l.cond = sync.NewCond(&l.mu)
 	l.wg.Add(1)
 	go l.loop()
@@ -201,13 +221,17 @@ func newFifoLane(dispatch func(*codec.Envelope, *laneState)) *fifoLane {
 }
 
 func (l *fifoLane) push(env *codec.Envelope) {
+	var enq int64
+	if l.tele.Enabled() {
+		enq = telemetry.Now()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return
 	}
 	l.st.enqueued.Add(1)
-	l.queue = append(l.queue, env)
+	l.queue = append(l.queue, laneItem{env: env, enq: enq})
 	l.cond.Signal()
 }
 
@@ -229,12 +253,23 @@ func (l *fifoLane) loop() {
 			l.mu.Unlock()
 			return
 		}
-		env := l.queue[l.head]
-		l.queue[l.head] = nil // drop the reference for the GC
+		item := l.queue[l.head]
+		l.queue[l.head] = laneItem{} // drop the reference for the GC
 		l.head++
 		l.compactLocked()
+		backlog := len(l.queue) - l.head
 		l.mu.Unlock()
-		l.dispatch(env, &l.st)
+		l.st.deq = 0
+		if item.enq != 0 {
+			// lane_wait closes on dequeue; the dequeue timestamp is
+			// reused as the dispatch-span start so the two stages tile
+			// without a second clock read.
+			now := telemetry.Now()
+			l.tele.Record(uint32(l.gauge), telemetry.StageLaneWait, now-item.enq)
+			l.tele.SampleQueue(l.gauge, backlog)
+			l.st.deq = now
+		}
+		l.dispatch(item.env, &l.st)
 	}
 }
 
@@ -255,7 +290,7 @@ func (l *fifoLane) compactLocked() {
 		l.head = 0
 	case cap(l.queue) > laneShrinkMin && cap(l.queue) > 4*live:
 		// Backlog occupies under a quarter of the array: right-size it.
-		shrunk := make([]*codec.Envelope, live)
+		shrunk := make([]laneItem, live)
 		copy(shrunk, l.queue[l.head:])
 		l.queue = shrunk
 		l.head = 0
@@ -264,7 +299,7 @@ func (l *fifoLane) compactLocked() {
 		// append reuses the front instead of growing.
 		copy(l.queue, l.queue[l.head:])
 		for i := live; i < len(l.queue); i++ {
-			l.queue[i] = nil
+			l.queue[i] = laneItem{}
 		}
 		l.queue = l.queue[:live]
 		l.head = 0

@@ -180,7 +180,7 @@ func TestSerialLanePriorityOvertaking(t *testing.T) {
 		mu.Lock()
 		order = append(order, env.ID)
 		mu.Unlock()
-	})
+	}, nil)
 
 	in.push(&codec.Envelope{ID: "blocker"}, 0)
 	<-started // lane goroutine is now inside dispatch; pushes below queue up
@@ -212,7 +212,7 @@ func TestLaneQueuesShrinkAfterBurst(t *testing.T) {
 				started <- struct{}{}
 				<-release
 			}
-		})
+		}, nil)
 		in.push(&codec.Envelope{ID: "blocker"}, 0)
 		<-started
 		for i := 0; i < burst; i++ {
@@ -238,7 +238,7 @@ func TestLaneQueuesShrinkAfterBurst(t *testing.T) {
 				started <- struct{}{}
 				<-release
 			}
-		})
+		}, nil, 1)
 		l.push(&codec.Envelope{ID: "blocker"})
 		<-started
 		for i := 0; i < burst; i++ {
@@ -263,7 +263,7 @@ func TestLaneQueuesShrinkAfterBurst(t *testing.T) {
 // compaction must reclaim the dead prefix).
 func TestFifoLaneSteadyStateMemory(t *testing.T) {
 	var n atomic.Int64
-	l := newFifoLane(func(*codec.Envelope, *laneState) { n.Add(1) })
+	l := newFifoLane(func(*codec.Envelope, *laneState) { n.Add(1) }, nil, 1)
 	deadline := time.Now().Add(30 * time.Second)
 	for i := 0; i < 5000; i++ {
 		l.push(&codec.Envelope{})

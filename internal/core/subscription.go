@@ -2,13 +2,14 @@ package core
 
 import (
 	"fmt"
-	"log"
 	"reflect"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"govents/internal/filter"
 	"govents/internal/obvent"
+	"govents/internal/telemetry"
 )
 
 // Subscription is the handle returned by the subscribe primitive (paper
@@ -149,21 +150,30 @@ func (s *Subscription) SetMultiThreading(maxNb int) {
 	s.executor.setLimit(maxNb)
 }
 
-// invoke runs the application handler for one obvent. A panicking
-// handler is contained here — on the executor goroutine it would
-// otherwise kill the whole process — counted in the engine's
-// HandlerPanics stat, and logged with its stack so the crash stays
-// diagnosable (the net/http handler convention); other subscriptions'
-// deliveries of the same event are unaffected.
-func (s *Subscription) invoke(o obvent.Obvent) {
+// invoke runs the application handler for one obvent, reporting whether
+// it completed. A panicking handler is contained here — on the executor
+// goroutine it would otherwise kill the whole process — counted in the
+// engine's HandlerPanics stat and the telemetry drop map, and logged
+// with its stack so the crash stays diagnosable (the net/http handler
+// convention); other subscriptions' deliveries of the same event are
+// unaffected.
+func (s *Subscription) invoke(item submission) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.engine.handlerPanics.Add(1)
-			log.Printf("core: recovered panic in handler of subscription %s (type %s): %v\n%s",
-				s.id, s.typeName, r, debug.Stack())
+			s.engine.tele.Drop(telemetry.ReasonHandlerPanic)
+			s.engine.tele.Trace(item.id, item.class, telemetry.StageDispatch, 0,
+				telemetry.ReasonHandlerPanic.String())
+			s.engine.log.Error("recovered panic in obvent handler",
+				"subscription", s.id,
+				"type", s.typeName,
+				"event", item.id,
+				"panic", r,
+				"stack", string(debug.Stack()))
 		}
 	}()
-	s.handler(o)
+	s.handler(item.o)
+	return true
 }
 
 // executor runs a subscription's handler according to its thread policy:
@@ -171,7 +181,8 @@ func (s *Subscription) invoke(o obvent.Obvent) {
 // either runs the handler inline (single-threading) or spawns handler
 // goroutines gated by a semaphore (multi-threading with a cap).
 type executor struct {
-	run func(obvent.Obvent)
+	run  func(submission) bool // reports whether the handler completed
+	tele *telemetry.Plane
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -187,14 +198,23 @@ type executor struct {
 // submission is one queued delivery; ordered deliveries bypass the
 // thread policy and run inline on the intake goroutine, because "multi-
 // threading ... [is] assumed by default, except in the case of ordered
-// obvents" (paper §3.3.5).
+// obvents" (paper §3.3.5). The telemetry context rides the submission —
+// never the envelope or the clone — so handler-return timing can close
+// the dequeue→handler and end-to-end spans: deq is the lane's dequeue
+// timestamp (0 when telemetry was off), pub the publisher's wall-clock
+// UnixNano stamp (0 from legacy peers), id/class the envelope identity
+// for trace spans.
 type submission struct {
 	o       obvent.Obvent
 	ordered bool
+	deq     int64
+	pub     int64
+	id      string
+	class   string
 }
 
-func newExecutor(run func(obvent.Obvent)) *executor {
-	x := &executor{run: run}
+func newExecutor(run func(submission) bool, tele *telemetry.Plane) *executor {
+	x := &executor{run: run, tele: tele}
 	x.cond = sync.NewCond(&x.mu)
 	x.intake.Add(1)
 	go x.loop()
@@ -217,14 +237,15 @@ func (x *executor) setLimit(n int) {
 
 // submit enqueues one delivery; it reports false when the executor is
 // already closed and the obvent will never reach the handler (so the
-// engine's delivery counters stay truthful during shutdown).
-func (x *executor) submit(o obvent.Obvent, ordered bool) bool {
+// engine's delivery counters stay truthful during shutdown). deq, pub,
+// id and class are the delivery's telemetry context (see submission).
+func (x *executor) submit(o obvent.Obvent, ordered bool, deq, pub int64, id, class string) bool {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.closed {
 		return false
 	}
-	x.queue = append(x.queue, submission{o: o, ordered: ordered})
+	x.queue = append(x.queue, submission{o: o, ordered: ordered, deq: deq, pub: pub, id: id, class: class})
 	x.cond.Signal()
 	return true
 }
@@ -255,23 +276,56 @@ func (x *executor) loop() {
 			if item.ordered {
 				x.inflight.Wait()
 			}
-			x.run(item.o)
+			x.finish(item, x.run(item))
 		case sem != nil:
 			// Bounded multi-threading.
 			sem <- struct{}{}
 			x.inflight.Add(1)
-			go func(o obvent.Obvent) {
+			go func(item submission) {
 				defer x.inflight.Done()
 				defer func() { <-sem }()
-				x.run(o)
-			}(item.o)
+				x.finish(item, x.run(item))
+			}(item)
 		default:
 			// Unlimited multi-threading (paper default).
 			x.inflight.Add(1)
-			go func(o obvent.Obvent) {
+			go func(item submission) {
 				defer x.inflight.Done()
-				x.run(o)
-			}(item.o)
+				x.finish(item, x.run(item))
+			}(item)
+		}
+	}
+}
+
+// finish closes one delivery's telemetry spans after the handler
+// returned: the dequeue→handler-return stage timed against the lane's
+// dequeue stamp, the cross-node end-to-end stage timed against the
+// envelope's publish stamp (wall clock; negative skew clamps to zero;
+// absent — legacy publisher — means no e2e sample), and a sampled
+// delivered trace span. The no-telemetry path costs two integer field
+// checks plus one atomic load.
+func (x *executor) finish(item submission, ok bool) {
+	p := x.tele
+	if p == nil || !ok {
+		return // a panic outcome already traced and counted in invoke
+	}
+	var dispatchNS, e2eNS int64 = -1, -1
+	if item.deq != 0 {
+		dispatchNS = telemetry.Now() - item.deq
+		p.Record(uint32(item.deq), telemetry.StageDispatch, dispatchNS)
+	}
+	if item.pub > 0 && p.Enabled() {
+		e2eNS = time.Now().UnixNano() - item.pub
+		if e2eNS < 0 {
+			e2eNS = 0
+		}
+		p.Record(uint32(item.pub), telemetry.StageE2E, e2eNS)
+	}
+	if p.TraceEnabled() {
+		if e2eNS >= 0 {
+			p.Trace(item.id, item.class, telemetry.StageE2E, e2eNS, telemetry.OutcomeDelivered)
+		} else {
+			p.Trace(item.id, item.class, telemetry.StageDispatch, dispatchNS, telemetry.OutcomeDelivered)
 		}
 	}
 }

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"govents/internal/telemetry"
+)
+
+// TestExecutorE2EGatedOnPublishStamp proves the legacy-publisher
+// witness: a delivery whose envelope carried no publish stamp (pub ==
+// 0, as sent by a pre-telemetry binary) closes the dispatch stage but
+// records nothing in the end-to-end histogram, while a stamped delivery
+// records both.
+func TestExecutorE2EGatedOnPublishStamp(t *testing.T) {
+	p := telemetry.NewPlane()
+	x := newExecutor(func(submission) bool { return true }, p)
+	defer x.close()
+
+	deq := telemetry.Now()
+	if !x.submit(freeTick{N: 1}, false, deq, 0, "legacy-1", "freeTick") {
+		t.Fatal("submit refused")
+	}
+	if !x.submit(freeTick{N: 2}, false, deq, time.Now().UnixNano(), "modern-1", "freeTick") {
+		t.Fatal("submit refused")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && p.StageSnapshot(telemetry.StageDispatch).Count < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.StageSnapshot(telemetry.StageDispatch).Count; got != 2 {
+		t.Fatalf("dispatch samples = %d, want 2", got)
+	}
+	if got := p.StageSnapshot(telemetry.StageE2E).Count; got != 1 {
+		t.Errorf("e2e samples = %d, want 1 (the stamped delivery only)", got)
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -70,6 +71,7 @@ import (
 	"govents/internal/obvent"
 	"govents/internal/routing"
 	"govents/internal/store"
+	"govents/internal/telemetry"
 )
 
 // Placement selects where remote filters are evaluated.
@@ -133,6 +135,15 @@ type Config struct {
 	// engine-side core.WithLegacyWire (the engine encodes publications
 	// with its own codec).
 	LegacyWire bool
+	// Telemetry is the node's telemetry plane, shared with the engine
+	// above it so publisher-side stages (publish→route, route→write) and
+	// receiver-side stages (wire→lane) land in one place. Nil disables
+	// substrate telemetry.
+	Telemetry *telemetry.Plane
+	// Logger receives substrate diagnostics that have no error-return
+	// path (undecodable data frames, rejected advertisements). Default:
+	// discard.
+	Logger *slog.Logger
 }
 
 // Node is a DACE process: it owns the dissemination channels of one
@@ -143,6 +154,8 @@ type Node struct {
 	reg  *obvent.Registry
 	cdc  *codec.Codec
 	cfg  Config
+	tele *telemetry.Plane // Config.Telemetry (nil = disabled)
+	log  *slog.Logger     // Config.Logger (never nil; default discard)
 
 	// routes is the routing plane: every node's advertised
 	// subscriptions (including our own, under our address) compiled
@@ -193,12 +206,21 @@ var _ core.Disseminator = (*Node)(nil)
 //     destinations witnessed at >= adVerWire and transcode to gob for
 //     the rest, so a legacy peer downgrades its own traffic, never the
 //     whole fleet's.
+//   - adVerTelemetry witnesses the telemetry-era envelope schema: the
+//     node stamps PubNanos (the publish wall clock) on its publications
+//     and times end-to-end latency against stamps it receives. The
+//     stamp itself needs no gating — gob omits the zero field on encode
+//     and ignores the unknown field on decode, and receivers gate on
+//     PubNanos > 0 — so a mixed-version fleet simply records no e2e
+//     samples for legacy publishers; the version exists so operators
+//     can see which peers contribute e2e data.
 const (
-	adVerDelta = 1
-	adVerWire  = 2
+	adVerDelta     = 1
+	adVerWire      = 2
+	adVerTelemetry = 3
 	// adSchemaVersion is the newest version this binary speaks — what a
 	// node advertises unless Config.LegacyWire caps it at adVerDelta.
-	adSchemaVersion = adVerWire
+	adSchemaVersion = adVerTelemetry
 )
 
 // maxAdBytes bounds a control-channel advertisement payload. A frame
@@ -269,6 +291,19 @@ func NewNode(tr netsim.Transport, reg *obvent.Registry, cfg Config) *Node {
 		peerVer: make(map[string]int),
 	}
 	n.destBuf.New = func() any { return &destScratch{} }
+	n.tele = cfg.Telemetry
+	n.log = cfg.Logger
+	if n.log == nil {
+		n.log = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Multicast.Logger == nil {
+		// The multicast groups inherit the node's logger unless the
+		// caller wired their own. n.cfg (used by groupLocked for the
+		// per-class groups) and the local cfg (used for the control
+		// group below) must both see it.
+		cfg.Multicast.Logger = n.log
+		n.cfg.Multicast.Logger = n.log
+	}
 	n.adVer = adSchemaVersion
 	if cfg.LegacyWire {
 		n.adVer = adVerDelta
@@ -625,7 +660,11 @@ func (n *Node) onUnknownStream(stream, from string, payload []byte) {
 
 // --- publishing ---
 
-// PublishEnvelope implements core.Disseminator.
+// PublishEnvelope implements core.Disseminator. The telemetry plane
+// times two publisher-side stages around each protocol branch:
+// publish→route (entry until the destination set or outbound frame is
+// resolved, closed by markRoute) and route→write (until the multicast
+// send hands off to the transport, closed by markWrite).
 func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 	n.mu.Lock()
 	if n.closed {
@@ -634,6 +673,10 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 	}
 	n.mu.Unlock()
 
+	var t0 int64
+	if n.tele.Enabled() {
+		t0 = telemetry.Now()
+	}
 	proto := n.protoFor(env)
 	g := n.group(proto, env.Type)
 
@@ -648,7 +691,10 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 		if err != nil {
 			return err
 		}
-		return cert.Broadcast(payload)
+		t1 := n.markRoute(t0)
+		err = cert.Broadcast(payload)
+		n.markWrite(t1)
+		return err
 	case "be", "rel":
 		// Unordered classes support per-message destination pruning and
 		// per-destination payload encoding.
@@ -660,11 +706,16 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 			if err != nil {
 				return err
 			}
-			return g.Broadcast(payload)
+			t1 := n.markRoute(t0)
+			err = g.Broadcast(payload)
+			n.markWrite(t1)
+			return err
 		}
 		buf := n.destBuf.Get().(*destScratch)
 		dests := n.destinationsFor(env, buf, buf.ids[:0])
+		t1 := n.markRoute(t0)
 		err := n.sendTargeted(tg, env, dests, buf)
+		n.markWrite(t1)
 		// BroadcastTo copies what it keeps; the scratch can be reused.
 		buf.ids = dests[:0]
 		n.destBuf.Put(buf)
@@ -682,11 +733,16 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 			if err != nil {
 				return err
 			}
-			return g.Broadcast(payload)
+			t1 := n.markRoute(t0)
+			err = g.Broadcast(payload)
+			n.markWrite(t1)
+			return err
 		}
 		buf := n.destBuf.Get().(*destScratch)
 		dests := n.destinationsFor(env, buf, buf.ids[:0])
+		t1 := n.markRoute(t0)
 		err := n.publishSplit(sp, env, dests, buf)
+		n.markWrite(t1)
 		// BroadcastSplit copies what it keeps; the scratch can be reused.
 		buf.ids = dests[:0]
 		n.destBuf.Put(buf)
@@ -700,13 +756,19 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 			if err != nil {
 				return err
 			}
-			return g.Broadcast(payload)
+			t1 := n.markRoute(t0)
+			err = g.Broadcast(payload)
+			n.markWrite(t1)
+			return err
 		}
 		payload, err := n.marshalForBroadcast(env)
 		if err != nil {
 			return err
 		}
-		return g.Broadcast(payload)
+		t1 := n.markRoute(t0)
+		err = g.Broadcast(payload)
+		n.markWrite(t1)
+		return err
 	default:
 		// Gossip and unknown classes broadcast whole frames (gossip
 		// biases its per-round fanout via interestFor instead; relayed
@@ -716,8 +778,30 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 		if err != nil {
 			return err
 		}
-		return g.Broadcast(payload)
+		t1 := n.markRoute(t0)
+		err = g.Broadcast(payload)
+		n.markWrite(t1)
+		return err
 	}
+}
+
+// markRoute closes the publish→route span opened at t0 (0 = telemetry
+// was off at entry) and opens route→write, returning its start.
+func (n *Node) markRoute(t0 int64) int64 {
+	if t0 == 0 {
+		return 0
+	}
+	now := telemetry.Now()
+	n.tele.Record(uint32(t0), telemetry.StagePublishRoute, now-t0)
+	return now
+}
+
+// markWrite closes the route→write span opened by markRoute.
+func (n *Node) markWrite(t1 int64) {
+	if t1 == 0 {
+		return
+	}
+	n.tele.Record(uint32(t1), telemetry.StageRouteWrite, telemetry.Now()-t1)
 }
 
 // publishSplit hands an interest-pruned publication to a
@@ -933,10 +1017,22 @@ func (n *Node) certSubscribersFor(class string) []multicast.CertSubscriber {
 }
 
 // onData receives a class-channel payload and hands the envelope to the
-// engine.
-func (n *Node) onData(_ string, payload []byte) {
+// engine. The wire→lane stage spans the envelope decode plus the sink
+// call (the sink is Engine.deliver, which returns once the envelope is
+// enqueued on its dispatch lane).
+func (n *Node) onData(stream string, payload []byte) {
+	var t0 int64
+	if n.tele.Enabled() {
+		t0 = telemetry.Now()
+	}
 	env, err := codec.Unmarshal(payload)
 	if err != nil {
+		// An undecodable frame was a silent vanish: make it count and
+		// make it loggable.
+		n.tele.Drop(telemetry.ReasonDecodeError)
+		n.tele.Trace("", "", telemetry.StageWireLane, 0, telemetry.ReasonDecodeError.String())
+		n.log.Warn("dace: dropping undecodable data frame",
+			"stream", stream, "bytes", len(payload), "err", err)
 		return
 	}
 	n.mu.Lock()
@@ -944,6 +1040,9 @@ func (n *Node) onData(_ string, payload []byte) {
 	n.mu.Unlock()
 	if sink != nil {
 		sink(env)
+		if t0 != 0 {
+			n.tele.Record(uint32(t0), telemetry.StageWireLane, telemetry.Now()-t0)
+		}
 	}
 }
 
@@ -1069,11 +1168,14 @@ func sameInfo(a, b core.SubscriptionInfo) bool {
 func (n *Node) onControl(_ string, payload []byte) {
 	if len(payload) > maxAdBytes {
 		n.routes.NoteAdRejected()
+		n.log.Warn("dace: rejecting oversized advertisement", "bytes", len(payload))
 		return // oversized advertisement: refuse before decoding
 	}
 	var ad subscriptionAd
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ad); err != nil {
 		n.routes.NoteAdRejected()
+		n.log.Warn("dace: rejecting undecodable advertisement",
+			"bytes", len(payload), "err", err)
 		return // corrupt advertisement: ignore
 	}
 	if ad.Node == n.self {

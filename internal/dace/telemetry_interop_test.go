@@ -1,0 +1,112 @@
+package dace
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"govents/internal/core"
+	"govents/internal/netsim"
+	"govents/internal/obvent"
+	"govents/internal/telemetry"
+)
+
+// TestTelemetryMixedVersionFleet runs a mixed-version domain — one
+// legacy (pre-wire, pre-telemetry-ad) node among telemetry-enabled
+// ones — and requires delivery to stay intact in both directions while
+// the modern nodes' stage histograms populate: the telemetry ad-schema
+// bump and the envelope publish stamp must not perturb legacy peers.
+func TestTelemetryMixedVersionFleet(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+
+	type member struct {
+		node   *Node
+		engine *core.Engine
+		tele   *telemetry.Plane
+	}
+	addrs := []string{"node-0", "node-1", "node-2"}
+	members := make([]*member, len(addrs))
+	for i, addr := range addrs {
+		ep, err := net.NewEndpoint(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obvent.NewRegistry()
+		registerAll(reg)
+		cfg := fastCfg()
+		engOpts := []core.Option{core.WithRegistry(reg)}
+		m := &member{}
+		if i == 2 {
+			// node-2 emulates a pre-wire, pre-telemetry binary.
+			cfg.LegacyWire = true
+			engOpts = append(engOpts, core.WithLegacyWire())
+		} else {
+			m.tele = telemetry.NewPlane()
+			cfg.Telemetry = m.tele
+			engOpts = append(engOpts, core.WithTelemetry(m.tele))
+		}
+		m.node = NewNode(ep, reg, cfg)
+		m.engine = core.NewEngine(addr, m.node, engOpts...)
+		members[i] = m
+	}
+	for _, m := range members {
+		m.node.SetPeers(addrs)
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			_ = m.engine.Close()
+		}
+	})
+	modernPub, modernSub, legacy := members[0], members[1], members[2]
+
+	var gotModern, gotLegacy atomic.Int32
+	for _, sub := range []struct {
+		m *member
+		c *atomic.Int32
+	}{{modernSub, &gotModern}, {legacy, &gotLegacy}} {
+		s, err := core.Subscribe(sub.m.engine, nil, func(q StockQuote) { sub.c.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Activate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitAds(t, modernPub.node, 2)
+	waitAds(t, legacy.node, 1)
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := core.Publish(modernPub.engine, StockQuote{StockObvent{Company: "Telco", Price: float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The legacy node publishes too: its gob envelopes carry the
+	// publish stamp new receivers use for the e2e stage, and its own
+	// pipeline has no telemetry plane at all.
+	for i := 0; i < n; i++ {
+		if err := core.Publish(legacy.engine, StockQuote{StockObvent{Company: "Retro", Price: float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 15*time.Second, "mixed-version delivery", func() bool {
+		return gotModern.Load() == 2*n && gotLegacy.Load() >= n
+	})
+
+	if drops := legacy.engine.Stats().DecodeErrors; drops != 0 {
+		t.Errorf("legacy node saw %d decode errors", drops)
+	}
+	if drops := modernSub.engine.Stats().DecodeErrors; drops != 0 {
+		t.Errorf("modern subscriber saw %d decode errors", drops)
+	}
+	for _, stage := range []string{"wire_to_lane", "lane_wait", "dispatch", "e2e"} {
+		snap := modernSub.tele.Histograms()[stage]
+		if snap.Count == 0 {
+			t.Errorf("modern subscriber stage %s recorded nothing", stage)
+		}
+	}
+	if snap := modernPub.tele.Histograms()["publish_to_route"]; snap.Count < n {
+		t.Errorf("modern publisher publish_to_route count %d, want >= %d", snap.Count, n)
+	}
+}

@@ -165,14 +165,21 @@ func (g *Certified) redeliver() {
 	for durableID, addr := range subs {
 		pending, err := g.log.Pending(durableID)
 		if err != nil {
+			g.opts.Logger.Warn("multicast: certified redelivery cannot read outbox",
+				"stream", g.stream, "subscriber", durableID, "err", err)
 			continue
 		}
 		for _, e := range pending {
 			wire, err := encodeMessage(&message{Kind: kindCertData, Origin: g.self, ID: e.ID, Payload: e.Payload})
 			if err != nil {
+				g.opts.Logger.Warn("multicast: certified redelivery cannot encode entry",
+					"stream", g.stream, "id", e.ID, "err", err)
 				continue
 			}
-			_ = g.mux.Send(addr, g.stream, wire)
+			if err := g.mux.Send(addr, g.stream, wire); err != nil {
+				g.opts.Logger.Debug("multicast: certified redelivery send failed",
+					"stream", g.stream, "subscriber", durableID, "addr", addr, "err", err)
+			}
 		}
 	}
 }
@@ -199,6 +206,8 @@ func (g *Certified) SetDurableID(id string) {
 func (g *Certified) onMessage(from string, data []byte) {
 	m, err := decodeMessage(data)
 	if err != nil {
+		g.opts.Logger.Warn("multicast: certified dropping undecodable frame",
+			"stream", g.stream, "from", from, "bytes", len(data), "err", err)
 		return
 	}
 	switch m.Kind {

@@ -1,6 +1,7 @@
 package multicast
 
 import (
+	"log/slog"
 	"sync"
 	"time"
 )
@@ -32,6 +33,9 @@ type Options struct {
 	// Seed seeds the gossip peer-selection randomness (0 = fixed
 	// default, keeping runs reproducible).
 	Seed int64
+	// Logger receives protocol diagnostics that have no error-return
+	// path (undecodable frames, failed redeliveries). Nil means discard.
+	Logger *slog.Logger
 }
 
 // Default protocol timing parameters.
@@ -64,6 +68,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
 	}
 	return o
 }

@@ -27,6 +27,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log/slog"
 	"reflect"
 	"strings"
 	"sync"
@@ -106,6 +107,9 @@ type Options struct {
 	RenewInterval time.Duration
 	// CallTimeout bounds a synchronous invocation (default 5s).
 	CallTimeout time.Duration
+	// Logger receives runtime diagnostics that have no error-return
+	// path (undecodable inbound messages). Nil means discard.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -120,6 +124,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CallTimeout == 0 {
 		o.CallTimeout = 5 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
@@ -277,6 +284,8 @@ func (r *Runtime) gcLoop() {
 func (r *Runtime) onMessage(from string, payload []byte) {
 	var m wireMsg
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		r.opts.Logger.Warn("rmi: dropping undecodable message",
+			"from", from, "bytes", len(payload), "err", err)
 		return
 	}
 	switch m.Kind {

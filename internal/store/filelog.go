@@ -5,9 +5,35 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sync"
+	"sync/atomic"
 )
+
+// pkgLogger receives replay anomalies — operations a FileLog replay had
+// to skip — which previously vanished silently. Package-level because
+// FileLogs replay inside OpenFileLog, before any caller could inject a
+// logger on the instance. Default: discard.
+var pkgLogger atomic.Pointer[slog.Logger]
+
+// SetLogger installs the package's diagnostics logger (nil restores the
+// discarding default). Safe for concurrent use.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		pkgLogger.Store(nil)
+		return
+	}
+	pkgLogger.Store(l)
+}
+
+// logger returns the installed logger or a discarding one.
+func logger() *slog.Logger {
+	if l := pkgLogger.Load(); l != nil {
+		return l
+	}
+	return slog.New(slog.DiscardHandler)
+}
 
 // opKind enumerates the record types of the on-disk operation log.
 type opKind byte
@@ -124,17 +150,27 @@ func OpenFileLog(path string) (*FileLog, error) {
 }
 
 func applyOp(mem *MemLog, o op) {
+	var err error
 	switch o.kind {
 	case opAppend:
-		_ = mem.Append(Entry{ID: o.id, Payload: o.payload})
+		err = mem.Append(Entry{ID: o.id, Payload: o.payload})
 	case opRegister:
-		_ = mem.RegisterConsumer(o.id)
+		err = mem.RegisterConsumer(o.id)
 	case opUnregister:
-		_ = mem.UnregisterConsumer(o.id)
+		err = mem.UnregisterConsumer(o.id)
 	case opAck:
 		// Ack of an unknown consumer can only appear in a corrupted
-		// log; ignore to keep replay total.
-		_ = mem.Ack(o.consumer, o.id)
+		// log; skip it to keep replay total.
+		err = mem.Ack(o.consumer, o.id)
+	default:
+		err = fmt.Errorf("unknown op kind %d", o.kind)
+	}
+	if err != nil {
+		// Replay must stay total — a FileLog that refuses to open loses
+		// the recoverable entries too — but skipped operations must not
+		// vanish silently.
+		logger().Warn("store: skipping unreplayable log record",
+			"kind", int(o.kind), "id", o.id, "consumer", o.consumer, "err", err)
 	}
 }
 

@@ -14,11 +14,37 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"govents/internal/netsim"
 )
+
+// pkgLogger receives transport diagnostics that have no error-return
+// path to the application — torn frames on inbound connections, which
+// readLoop previously swallowed. Package-level because accepted
+// connections have no per-instance configuration hook. Default: discard.
+var pkgLogger atomic.Pointer[slog.Logger]
+
+// SetLogger installs the package's diagnostics logger (nil restores the
+// discarding default). Safe for concurrent use.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		pkgLogger.Store(nil)
+		return
+	}
+	pkgLogger.Store(l)
+}
+
+// logger returns the installed logger or a discarding one.
+func logger() *slog.Logger {
+	if l := pkgLogger.Load(); l != nil {
+		return l
+	}
+	return slog.New(slog.DiscardHandler)
+}
 
 // maxFrame bounds a single message frame (16 MiB) to stop a corrupted
 // length prefix from allocating unbounded memory.
@@ -195,6 +221,14 @@ func (t *TCP) readLoop(conn net.Conn) {
 	for {
 		from, payload, err := readFrame(conn)
 		if err != nil {
+			// Clean close (EOF between frames, or our own Close tearing
+			// the socket down) is the normal end of a connection; anything
+			// else — a torn frame, a corrupt length prefix — is a peer or
+			// network anomaly worth surfacing.
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				logger().Warn("transport: closing inbound connection on bad frame",
+					"remote", conn.RemoteAddr().String(), "err", err)
+			}
 			return
 		}
 		t.mu.Lock()

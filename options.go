@@ -1,12 +1,14 @@
 package govents
 
 import (
+	"log/slog"
 	"time"
 
 	"govents/internal/dace"
 	"govents/internal/multicast"
 	"govents/internal/obvent"
 	"govents/internal/store"
+	"govents/internal/telemetry"
 )
 
 // Placement selects where migratable remote filters are evaluated
@@ -72,6 +74,11 @@ type config struct {
 	gossip       bool
 	naive        bool
 	pruneOff     bool
+	metricsAddr  string
+	traceHook    func(TraceEvent)
+	traceEvery   int
+	logger       *slog.Logger
+	teleOff      bool
 }
 
 // An Option configures a Domain at Open.
@@ -174,6 +181,44 @@ func WithOrderedPruning(enabled bool) Option {
 	return func(c *config) { c.pruneOff = !enabled }
 }
 
+// WithMetricsAddr starts an HTTP metrics endpoint on addr (e.g.
+// "127.0.0.1:0") when the domain opens and stops it on Close. The
+// endpoint serves /metrics (Prometheus text exposition of the per-stage
+// latency histograms, drop counters and lane gauges), /debug/vars
+// (expvar) and /debug/pprof (the runtime profiler). The effective
+// address, including a kernel-chosen port, is available from
+// Domain.MetricsAddr.
+func WithMetricsAddr(addr string) Option {
+	return func(c *config) { c.metricsAddr = addr }
+}
+
+// WithTraceHook installs a per-event trace callback: hook receives one
+// TraceEvent per sampled delivered event and one per failure outcome
+// (expiry, decode error, handler panic — failures always fire,
+// regardless of sampling). every is the delivered-event sampling rate
+// (1 = every event, n = one in n; <=0 means 1). The hook runs on hot
+// dispatch goroutines: it must be fast and must not call back into the
+// Domain.
+func WithTraceHook(hook func(TraceEvent), every int) Option {
+	return func(c *config) { c.traceHook, c.traceEvery = hook, every }
+}
+
+// WithTelemetry toggles per-stage latency measurement (default on).
+// Passing false turns the telemetry plane off: Histograms returns empty
+// snapshots and the hot paths skip timestamping entirely, one atomic
+// load per event. Drop counters and trace hooks stay live either way.
+func WithTelemetry(enabled bool) Option {
+	return func(c *config) { c.teleOff = !enabled }
+}
+
+// WithLogger installs the domain's diagnostics logger, receiving
+// anomalies that have no error-return path to the application —
+// recovered handler panics, undecodable frames, failed certified
+// redeliveries, file-log replay skips. The default discards them.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) { c.logger = l }
+}
+
 // WithNaiveDispatch disables the indexed dispatch pipeline in favor of
 // the unindexed per-subscription reference path. Delivery semantics
 // are identical; this exists as the transparency oracle for tests and
@@ -214,7 +259,9 @@ func (c *config) distributedOnly() []string {
 }
 
 // daceConfig renders the options into the substrate configuration.
-func (c *config) daceConfig() dace.Config {
+// tele and log are the domain's telemetry plane and logger, built by
+// Open and shared with the engine.
+func (c *config) daceConfig(tele *telemetry.Plane, log *slog.Logger) dace.Config {
 	placement := dace.AtPublisher
 	if c.placement == AtSubscriber {
 		placement = dace.AtSubscriber
@@ -227,6 +274,8 @@ func (c *config) daceConfig() dace.Config {
 		DurableID:        c.durableID,
 		AdTTL:            c.adTTL,
 		NoOrderedPruning: c.pruneOff,
+		Telemetry:        tele,
+		Logger:           log,
 		Multicast: multicast.Options{
 			RetransmitInterval: c.tuning.RetransmitInterval,
 			RetransmitLimit:    c.tuning.RetransmitLimit,
