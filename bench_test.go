@@ -7,6 +7,7 @@ package govents_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"reflect"
@@ -14,6 +15,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"govents"
 
 	"govents/internal/accessor"
 	"govents/internal/codec"
@@ -27,6 +30,7 @@ import (
 	"govents/internal/obvent"
 	"govents/internal/rmi"
 	"govents/internal/routing"
+	"govents/internal/store"
 	"govents/internal/telemetry"
 	"govents/internal/topics"
 	"govents/internal/tuplespace"
@@ -1158,5 +1162,101 @@ func BenchmarkSparseMulticast(b *testing.B) {
 				b.ReportMetric(float64(skips)/float64(b.N), "skipframes/op")
 			})
 		}
+	}
+}
+
+// --- Durable publish: certified cost under the durability plane ---
+
+// BenchmarkDurablePublish measures certified publish+deliver cost on a
+// two-node domain under four configurations: the seed baseline
+// (WithCertifiedStores over in-memory stores), the default domain with
+// no durability (must stay within the CI gate of the seed — the
+// durability plane is pay-for-what-you-use), and the on-disk plane
+// under both sync policies, exposing the fsync-per-record price
+// (paper §3.4.1).
+func BenchmarkDurablePublish(b *testing.B) {
+	cases := []struct {
+		name    string
+		durable bool // subscribe under a durable identity
+		opts    func(b *testing.B) []govents.Option
+	}{
+		{"seed", false, func(b *testing.B) []govents.Option {
+			return []govents.Option{govents.WithCertifiedStores(store.NewMemLog(), store.NewMemSet())}
+		}},
+		{"durable=off", false, func(b *testing.B) []govents.Option { return nil }},
+		{"sync=always", true, func(b *testing.B) []govents.Option {
+			return []govents.Option{
+				govents.WithDurability(b.TempDir()),
+				govents.WithDurabilityTuning(govents.DurabilityTuning{Sync: govents.SyncAlways}),
+			}
+		}},
+		{"sync=batch", true, func(b *testing.B) []govents.Option {
+			return []govents.Option{
+				govents.WithDurability(b.TempDir()),
+				govents.WithDurabilityTuning(govents.DurabilityTuning{Sync: govents.SyncBatch}),
+			}
+		}},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			net := netsim.New(netsim.Config{})
+			defer net.Close()
+			addrs := []string{"node-00", "node-01"}
+			domains := make([]*govents.Domain, len(addrs))
+			for i, addr := range addrs {
+				ep, err := net.NewEndpoint(addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := append([]govents.Option{
+					govents.WithTransport(ep),
+					// A long retransmit keeps redelivery ticks out of the
+					// timed loop; the zero-latency net acks immediately.
+					govents.WithTuning(govents.Tuning{RetransmitInterval: 250 * time.Millisecond}),
+				}, tc.opts(b)...)
+				d, err := govents.Open(ctx, addr, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				workload.RegisterTypes(d.Registry())
+				domains[i] = d
+			}
+			defer func() {
+				for _, d := range domains {
+					_ = d.Close(ctx)
+				}
+			}()
+			for _, d := range domains {
+				if err := d.SetPeers(addrs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			var got atomic.Int64
+			handler := func(q workload.QuoteCertified) { got.Add(1) }
+			var err error
+			if tc.durable {
+				_, err = govents.SubscribeDurable(domains[1], "bench-sub", handler)
+			} else {
+				_, err = govents.Subscribe(domains[1], nil, handler)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			waitUntil(b, 5*time.Second, func() bool { return domains[0].RemoteSubscriptionCount() >= 1 })
+			net.Settle()
+			gen := workload.NewQuoteGen(31, 10)
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := domains[0].Publish(ctx, workload.QuoteCertified{StockObvent: gen.Next().StockObvent}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			want := int64(b.N)
+			waitUntil(b, time.Minute, func() bool { return got.Load() >= want })
+			b.StopTimer()
+		})
 	}
 }

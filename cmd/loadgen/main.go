@@ -45,7 +45,7 @@ var defaultPlacement = govents.AtSubscriber
 var showMetrics = false
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: C1, C2, C3, C4, C5, C6, C7, C8 or all")
+	exp := flag.String("exp", "all", "experiment to run: C1, C2, C3, C4, C5, C6, C7, C8, C9 or all")
 	placement := flag.String("placement", "subscriber", "default remote filter placement: subscriber or publisher")
 	metrics := flag.Bool("metrics", false, "print per-stage latency quantiles (p50/p90/p99/max) after each run")
 	flag.Parse()
@@ -64,7 +64,7 @@ func main() {
 	experiments := map[string]func(){
 		"C1": expC1, "C2": expC2, "C3": expC3,
 		"C4": expC4, "C5": expC5, "C6": expC6,
-		"C7": expC7, "C8": expC8,
+		"C7": expC7, "C8": expC8, "C9": expC9,
 	}
 	if *exp == "all" {
 		names := make([]string, 0, len(experiments))
@@ -708,4 +708,108 @@ func expC8() {
 		closeAll(domains)
 		_ = net.Close()
 	}
+}
+
+// --- C9: durable subscriptions: crash, catch-up, resume (paper §3.1.2, §3.4.1) ---
+
+func expC9() {
+	fmt.Println("\n== C9: durable subscriptions: crash, catch-up, resume ==")
+	fmt.Println("claim: a durable identity recovers every certified event published while its host was")
+	fmt.Println("       down — across a publisher crash too — and catch-up cost tracks the missed backlog")
+	fmt.Printf("%-8s %8s %10s %10s %12s %12s\n", "sync", "missed", "caught", "staged", "catch-up", "per-event")
+
+	for _, pol := range []struct {
+		name string
+		sync govents.SyncPolicy
+	}{{"always", govents.SyncAlways}, {"batch", govents.SyncBatch}} {
+		for _, missed := range []int{50, 200, 800} {
+			caught, staged, catchUp := durableRun(pol.sync, missed)
+			fmt.Printf("%-8s %8d %10d %10d %12v %12v\n",
+				pol.name, missed, caught, staged, catchUp.Round(time.Microsecond),
+				(catchUp / time.Duration(missed)).Round(time.Microsecond))
+		}
+	}
+}
+
+// durableRun publishes a warm-up batch to a live durable subscriber,
+// crashes the subscriber, publishes `missed` more certified events,
+// crash-restarts the publisher (the owed backlog must come back from
+// its recovered outbox), then restarts the subscriber under the same
+// durable identity and times the catch-up until every missed event has
+// been delivered.
+func durableRun(sync govents.SyncPolicy, missed int) (caught int64, staged uint64, catchUp time.Duration) {
+	dir, err := os.MkdirTemp("", "loadgen-c9-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	g, err := govents.OpenGroup(ctx, 2, govents.GroupConfig{
+		Durability: dir,
+		Options: func(i int, addr string) []govents.Option {
+			return []govents.Option{
+				govents.WithTuning(fastTuning()),
+				govents.WithDurabilityTuning(govents.DurabilityTuning{Sync: sync}),
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer g.Close(ctx)
+
+	var got atomic.Int64
+	subscribe := func(d *govents.Domain) {
+		if _, err := govents.SubscribeDurable(d, "c9-sub", func(q workload.QuoteCertified) { got.Add(1) }); err != nil {
+			panic(err)
+		}
+	}
+	subscribe(g.Domain(1))
+	if !waitUntil(10*time.Second, func() bool { return g.Domain(0).RemoteSubscriptionCount() >= 1 }) {
+		panic("C9: subscription ad never reached the publisher")
+	}
+
+	gen := workload.NewQuoteGen(29, 5)
+	publish := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := g.Domain(0).Publish(ctx, workload.QuoteCertified{StockObvent: gen.Next().StockObvent}); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	const warm = 5
+	publish(warm)
+	if !waitUntil(10*time.Second, func() bool { return got.Load() >= warm }) {
+		panic("C9: warm-up batch never delivered")
+	}
+
+	// Subscriber down: the backlog accumulates, owed to its durable
+	// identity, in the publisher's on-disk outbox.
+	if err := g.Crash(ctx, 1); err != nil {
+		panic(err)
+	}
+	publish(missed)
+
+	// The publisher crashes too; the backlog must survive on disk.
+	if err := g.Crash(ctx, 0); err != nil {
+		panic(err)
+	}
+	if _, err := g.Restart(ctx, 0); err != nil {
+		panic(err)
+	}
+
+	d1, err := g.Restart(ctx, 1)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	subscribe(d1)
+	total := int64(warm + missed)
+	if !waitUntil(time.Minute, func() bool { return got.Load() >= total }) {
+		panic(fmt.Sprintf("C9: caught only %d of %d after restart", got.Load(), total))
+	}
+	catchUp = time.Since(start)
+	g.Settle()
+	return got.Load() - warm, d1.DurableStats().Staged, catchUp
 }

@@ -88,6 +88,42 @@
 // full-group broadcasts. RoutingStats reports the saved traffic as
 // PrunedSends and SkipFrames.
 //
+// # Durability
+//
+// Certified delivery (§3.1.2) promises that "even if a notifiable
+// temporarily disconnects or fails, it will eventually deliver the
+// obvent"; the paper keeps the promise with obvents logged to stable
+// storage and subscriptions that outlive their hosting process —
+// activate(long id), §3.4.1. The durability plane renders both:
+//
+//	d, err := govents.Open(ctx, "quoter",
+//	        govents.WithTransport(tr),
+//	        govents.WithDurability("/var/lib/quoter"))  // the plane's root dir
+//	sub, err := govents.SubscribeDurable(d, "quoter-1", // activate(id)
+//	        func(q QuoteCertified) { ... })
+//
+// WithDurability gives the domain a per-class segment log under the
+// directory: an append-only, CRC-framed, size-rolled publisher outbox
+// (write-ahead of any transmission) and a subscriber-side staging inbox
+// that records every certified arrival durably BEFORE acknowledging it
+// to the publisher. It supersedes WithCertifiedStores for certified
+// classes. Sync policy (fsync per record vs batched) and segment size
+// come from WithDurabilityTuning; Domain.DurableStats exposes the
+// plane's counters and Domain.CompactDurable drops fully consumed
+// segments.
+//
+// SubscribeDurable is the paper's activate(long id): the subscription
+// is owned by the durable identity, not the process. A new incarnation
+// that subscribes under the same identity first replays — synchronously,
+// before going live — every staged event the identity has not consumed,
+// then resumes live delivery, so the handler observes each certified
+// event published during the downtime exactly once above the
+// at-least-once transport floor. Identities are claimed per class
+// (ErrDurableConflict on collision; ErrNoDurability without
+// WithDurability) and released by Subscription.Deactivate. The
+// DomainGroup harness (OpenGroup) drives crash-restart, partition and
+// torn-log chaos schedules against exactly these guarantees.
+//
 // # Observability
 //
 // Every Domain records per-stage latency histograms on the delivery

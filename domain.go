@@ -9,6 +9,7 @@ import (
 
 	"govents/internal/core"
 	"govents/internal/dace"
+	"govents/internal/durable"
 	"govents/internal/obvent"
 	"govents/internal/rmi"
 	"govents/internal/routing"
@@ -51,6 +52,12 @@ type StageSnapshot = telemetry.Snapshot
 // each dequeue.
 type LaneOccupancy = telemetry.LaneOccupancy
 
+// DurableStats are the cumulative counters of a domain's durability
+// plane (WithDurability): segment-log sizes and append/sync/compaction
+// activity, inbox staging and replay counts, folded over all certified
+// classes.
+type DurableStats = durable.Stats
+
 // A Domain is one process's membership in a govents domain: the unified
 // facade over the publish/subscribe engine, the DACE dissemination
 // substrate, publisher-side routing, and the sibling abstractions of
@@ -64,8 +71,10 @@ type Domain struct {
 	name string
 	reg  *obvent.Registry
 	eng  *core.Engine
-	node *dace.Node // nil for local domains
+	node *dace.Node       // nil for local domains
+	dur  *durable.Manager // nil without WithDurability
 	tele *telemetry.Plane
+	log  *slog.Logger
 
 	tr      Transport // owned; nil for local domains
 	rmiTr   Transport // owned; nil unless WithRMI
@@ -75,6 +84,7 @@ type Domain struct {
 	mu        sync.Mutex
 	ts        *tuplespace.Space
 	topics    *topics.Bus
+	durClaims map[string]bool // active durable IDs, keyed class+"\x00"+id
 	closed    bool
 	closeDone chan struct{} // closed when background shutdown finishes
 	closeErr  error         // valid once closeDone is closed
@@ -144,6 +154,7 @@ func Open(ctx context.Context, name string, opts ...Option) (*Domain, error) {
 		store.SetLogger(log)
 		transport.SetLogger(log)
 	}
+	d.log = log
 
 	engOpts := []core.Option{
 		core.WithRegistry(reg),
@@ -158,8 +169,23 @@ func Open(ctx context.Context, name string, opts ...Option) (*Domain, error) {
 	}
 
 	if cfg.transport != nil {
+		if cfg.durDir != "" {
+			// Stable storage opens (and replays) before the substrate
+			// comes up, so the first retransmission already consults the
+			// recovered state.
+			dur, err := durable.Open(durable.Config{
+				Dir:          cfg.durDir,
+				SegmentBytes: cfg.durTuning.SegmentBytes,
+				Sync:         cfg.durTuning.Sync,
+				Logger:       log,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			d.dur = dur
+		}
 		d.tr = cfg.transport
-		d.node = dace.NewNode(cfg.transport, reg, cfg.daceConfig(d.tele, log))
+		d.node = dace.NewNode(cfg.transport, reg, cfg.daceConfig(d.tele, log, d.dur))
 		d.eng = core.NewEngine(cfg.transport.Addr(), d.node, engOpts...)
 		if len(cfg.peers) > 0 {
 			d.node.SetPeers(cfg.peers)
@@ -175,6 +201,9 @@ func Open(ctx context.Context, name string, opts ...Option) (*Domain, error) {
 		ms, err := startMetricsServer(cfg.metricsAddr, d)
 		if err != nil {
 			_ = d.eng.Close()
+			if d.dur != nil {
+				_ = d.dur.Close()
+			}
 			return fail(err)
 		}
 		d.metrics = ms
@@ -305,6 +334,31 @@ func (d *Domain) RoutingStatsByClass() map[string]RoutingStats {
 	return d.node.RoutingStatsByClass()
 }
 
+// DurableStats returns the cumulative counters of the durability plane,
+// folded over all certified classes. Zero without WithDurability.
+func (d *Domain) DurableStats() DurableStats {
+	if d.dur == nil {
+		return DurableStats{}
+	}
+	return d.dur.Stats()
+}
+
+// CompactDurable reclaims durable log space: fully-acknowledged sealed
+// segments of every class's outbox and inbox are dropped after a
+// snapshot of the surviving acknowledgement state. It fails with
+// ErrNoDurability on a domain opened without WithDurability. Safe to
+// call at any time; events still owed to any durable consumer are
+// always retained.
+func (d *Domain) CompactDurable() error {
+	if d.dur == nil {
+		return fmt.Errorf("govents: compact %q: %w", d.name, ErrNoDurability)
+	}
+	if err := d.dur.Compact(); err != nil {
+		return fmt.Errorf("govents: compact %q: %w", d.name, err)
+	}
+	return nil
+}
+
 // TupleSpace returns the domain's tuple space (paper §6.3), created
 // lazily on first use and closed with the domain. The space is
 // in-process: the paper's Linda baseline, reachable from the same
@@ -351,6 +405,14 @@ func (d *Domain) Close(ctx context.Context) error {
 				d.metrics.close() // stop scrapes before state goes down
 			}
 			err := d.eng.Close() // drains handlers, closes the disseminator
+			if d.dur != nil {
+				// After the engine: in-flight certified deliveries may
+				// still append acknowledgements until the substrate is
+				// down.
+				if cerr := d.dur.Close(); err == nil {
+					err = cerr
+				}
+			}
 			if ts != nil {
 				ts.Close()
 			}

@@ -3,6 +3,7 @@ package govents
 import (
 	"govents/internal/codec"
 	"govents/internal/core"
+	"govents/internal/durable"
 	"govents/internal/filter"
 )
 
@@ -29,4 +30,11 @@ var (
 	ErrCannotPublish     = core.ErrCannotPublish
 	ErrCannotSubscribe   = core.ErrCannotSubscribe
 	ErrCannotUnsubscribe = core.ErrCannotUnsubscribe
+
+	// ErrNoDurability reports a durable operation (SubscribeDurable,
+	// CompactDurable) on a domain opened without WithDurability.
+	ErrNoDurability = durable.ErrNoDurability
+	// ErrDurableConflict reports a SubscribeDurable with a durable
+	// identity already active in this domain member for the same class.
+	ErrDurableConflict = durable.ErrDurableConflict
 )

@@ -352,3 +352,27 @@ func (e *Engine) SubscribeDynamic(t reflect.Type, remote *filter.Expr, local fun
 	}
 	return s, nil
 }
+
+// Delivery is the per-event metadata handed to a delivery-aware
+// handler: the envelope's unique event ID and the event's concrete
+// class name. Durable subscriptions acknowledge deliveries in their
+// inbox keyed by exactly this pair.
+type Delivery struct {
+	EventID string
+	Class   string
+}
+
+// SubscribeDynamicDelivery is SubscribeDynamic for handlers that need
+// the delivery metadata alongside the obvent — the entry point durable
+// subscriptions build on.
+func (e *Engine) SubscribeDynamicDelivery(t reflect.Type, remote *filter.Expr, local func(obvent.Obvent) bool, handler func(obvent.Obvent, Delivery)) (*Subscription, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("%w: nil handler", ErrCannotSubscribe)
+	}
+	s, err := e.SubscribeDynamic(t, remote, local, func(obvent.Obvent) {})
+	if err != nil {
+		return nil, err
+	}
+	s.deliveryHandler = handler
+	return s, nil
+}

@@ -25,7 +25,12 @@ type Subscription struct {
 	remoteFilter *filter.Expr
 	localFilter  func(obvent.Obvent) bool
 	handler      func(obvent.Obvent)
-	executor     *executor
+	// deliveryHandler, when set, is invoked instead of handler and
+	// additionally receives the delivery metadata (event ID, concrete
+	// class). Durable subscriptions use it to acknowledge exactly the
+	// delivered event in their inbox.
+	deliveryHandler func(obvent.Obvent, Delivery)
+	executor        *executor
 
 	mu        sync.Mutex
 	activated bool
@@ -172,7 +177,11 @@ func (s *Subscription) invoke(item submission) (ok bool) {
 				"stack", string(debug.Stack()))
 		}
 	}()
-	s.handler(item.o)
+	if s.deliveryHandler != nil {
+		s.deliveryHandler(item.o, Delivery{EventID: item.id, Class: item.class})
+	} else {
+		s.handler(item.o)
+	}
 	return true
 }
 

@@ -66,6 +66,7 @@ import (
 
 	"govents/internal/codec"
 	"govents/internal/core"
+	"govents/internal/durable"
 	"govents/internal/multicast"
 	"govents/internal/netsim"
 	"govents/internal/obvent"
@@ -106,6 +107,12 @@ type Config struct {
 	// CertDedup is the subscriber-side durable delivered-set for
 	// certified classes (default: in-memory).
 	CertDedup store.Set
+	// Durable, when set, replaces CertLog/CertDedup with per-class
+	// crash-recoverable state: each certified class gets its own
+	// segment-log outbox, and incoming certified events are staged in a
+	// per-class inbox BEFORE they are acknowledged to the publisher, so
+	// delivery state survives crash-restart, not just disconnect.
+	Durable *durable.Manager
 	// DurableID is this node's default durable identity for certified
 	// subscriptions activated without one.
 	DurableID string
@@ -169,6 +176,12 @@ type Node struct {
 	localSubs []core.SubscriptionInfo
 	groups    map[string]multicast.Group
 	closed    bool
+
+	// epoch is this process incarnation's boot stamp, carried in every
+	// advertisement so peers can tell a restarted node (whose ad
+	// sequence restarts at 1) from a stale retransmission of its
+	// previous life. See routing.Table.NoteEpoch.
+	epoch int64
 
 	adVer        int                              // ad schema version we advertise (adSchemaVersion, capped by LegacyWire)
 	adSeq        uint64                           // our advertisement sequence number
@@ -264,6 +277,14 @@ type subscriptionAd struct {
 	Delta   bool
 	BaseSeq uint64
 	Removed []string
+	// Epoch is the sender's process-incarnation boot stamp. A receiver
+	// seeing a higher epoch than recorded for Node forgets the previous
+	// incarnation's routing state (its ad sequence died with it); a
+	// lower epoch marks a late retransmission from a dead incarnation
+	// and the whole ad is dropped. Zero (a legacy sender) disables the
+	// check. Gob's unknown-field tolerance makes this a compatible
+	// addition — no ad schema version bump needed.
+	Epoch int64
 }
 
 // NewNode creates a DACE node over a transport endpoint. The registry
@@ -291,6 +312,7 @@ func NewNode(tr netsim.Transport, reg *obvent.Registry, cfg Config) *Node {
 		peerVer: make(map[string]int),
 	}
 	n.destBuf.New = func() any { return &destScratch{} }
+	n.epoch = time.Now().UnixNano()
 	n.tele = cfg.Telemetry
 	n.log = cfg.Logger
 	if n.log == nil {
@@ -317,6 +339,15 @@ func NewNode(tr netsim.Transport, reg *obvent.Registry, cfg Config) *Node {
 		n.hbStop = make(chan struct{})
 		n.hbWG.Add(1)
 		go n.heartbeatLoop(cfg.AdTTL)
+	}
+	if cfg.Durable != nil {
+		// Recovered certified classes resume retransmission immediately:
+		// a restarted publisher owes its durable subscribers the pending
+		// outbox backlog even if it never publishes again, so the groups
+		// (and their redelivery tickers) must not wait for traffic.
+		for _, class := range cfg.Durable.Classes() {
+			n.group("cert", class)
+		}
 	}
 	return n
 }
@@ -369,15 +400,10 @@ func (n *Node) dropPeers(expired []string) {
 		delete(n.peerVer, p)
 	}
 	peers := append([]string(nil), n.peers...)
-	groups := make([]multicast.Group, 0, len(n.groups))
-	for _, g := range n.groups {
-		groups = append(groups, g)
-	}
+	groups := n.groupsSnapshotLocked()
 	n.mu.Unlock()
 	n.control.SetMembers(peers)
-	for _, g := range groups {
-		g.SetMembers(peers)
-	}
+	n.setGroupsMembers(groups, peers)
 }
 
 // Addr returns the node's transport address.
@@ -405,18 +431,43 @@ func (n *Node) SetPeers(peers []string) {
 			delete(n.peerVer, node)
 		}
 	}
-	groups := make([]multicast.Group, 0, len(n.groups))
-	for _, g := range n.groups {
-		groups = append(groups, g)
-	}
+	groups := n.groupsSnapshotLocked()
 	n.mu.Unlock()
 	n.routes.RetainNodes(append([]string{n.self}, peers...))
 	n.control.SetMembers(peers)
-	for _, g := range groups {
-		g.SetMembers(peers)
-	}
+	n.setGroupsMembers(groups, peers)
 	// Full snapshot: a joiner gaining membership has no delta base.
 	n.advertise(true)
+}
+
+// groupsSnapshotLocked snapshots the live groups with their streams.
+func (n *Node) groupsSnapshotLocked() map[string]multicast.Group {
+	groups := make(map[string]multicast.Group, len(n.groups))
+	for stream, g := range n.groups {
+		groups[stream] = g
+	}
+	return groups
+}
+
+// setGroupsMembers pushes a membership change to every group. Certified
+// groups are special-cased: their membership is the set of durable
+// subscribers from the routing plane, not the raw peer list — treating
+// every peer address as a durable consumer would register phantom
+// outbox consumers that never acknowledge, pinning the durable outbox's
+// GC frontier at zero forever.
+func (n *Node) setGroupsMembers(groups map[string]multicast.Group, peers []string) {
+	for stream, g := range groups {
+		if c, ok := g.(*multicast.Certified); ok {
+			if class := strings.TrimPrefix(stream, "dace/cert/"); class != stream {
+				if err := c.SetSubscribers(n.certSubscribersFor(class)); err != nil {
+					n.log.Warn("dace: certified membership update failed",
+						"stream", stream, "err", err)
+				}
+				continue
+			}
+		}
+		g.SetMembers(peers)
+	}
 }
 
 // SetSink implements core.Disseminator.
@@ -494,10 +545,34 @@ func (n *Node) groupLocked(proto, class, stream string) multicast.Group {
 	var g multicast.Group
 	switch proto {
 	case "cert":
-		g = multicast.NewCertified(n.mux, stream, n.cfg.CertLog, n.cfg.CertDedup, deliver, n.cfg.Multicast)
-		if c, ok := g.(*multicast.Certified); ok && n.cfg.DurableID != "" {
-			c.SetDurableID(n.cfg.DurableID)
+		log, dedup := n.cfg.CertLog, n.cfg.CertDedup
+		var stager multicast.Stager
+		if n.cfg.Durable != nil {
+			// Per-class crash-recoverable state replaces the shared
+			// in-memory defaults. Failure to open falls back loudly —
+			// delivery semantics degrade to disconnect-only recovery,
+			// they do not disappear.
+			if ob, err := n.cfg.Durable.OutboxFor(class); err != nil {
+				n.log.Warn("dace: durable outbox unavailable; using default cert log",
+					"class", class, "err", err)
+			} else {
+				log = ob
+			}
+			if ib, err := n.cfg.Durable.InboxFor(class); err != nil {
+				n.log.Warn("dace: durable inbox unavailable; using default cert dedup",
+					"class", class, "err", err)
+			} else {
+				stager = ib
+			}
 		}
+		c := multicast.NewCertified(n.mux, stream, log, dedup, deliver, n.cfg.Multicast)
+		if stager != nil {
+			c.SetStager(stager)
+		}
+		if id := n.durableIDForLocked(class); id != "" {
+			c.SetDurableID(id)
+		}
+		g = c
 	case "total":
 		t := multicast.NewTotal(n.mux, stream, n.sequencerLocked(), deliver, n.cfg.Multicast)
 		if prune {
@@ -529,9 +604,58 @@ func (n *Node) groupLocked(proto, class, stream string) multicast.Group {
 	default:
 		g = multicast.NewBestEffort(n.mux, stream, deliver)
 	}
-	g.SetMembers(n.peers)
+	if c, ok := g.(*multicast.Certified); ok {
+		// Certified membership is the durable-subscriber set, never the
+		// raw peer list (see setGroupsMembers).
+		if err := c.SetSubscribers(n.certSubscribersFor(class)); err != nil {
+			n.log.Warn("dace: certified membership update failed",
+				"stream", stream, "err", err)
+		}
+	} else {
+		g.SetMembers(n.peers)
+	}
 	n.groups[stream] = g
 	return g
+}
+
+// durableIDForLocked resolves the durable identity this node
+// acknowledges under for one certified class: the durable ID of the
+// first local subscription conforming to the class, else the node-wide
+// Config.DurableID, else empty (the group falls back to the node
+// address). Callers hold n.mu.
+func (n *Node) durableIDForLocked(class string) string {
+	for _, info := range n.localSubs {
+		if info.DurableID != "" && n.reg.ConformsTo(class, info.TypeName) {
+			return info.DurableID
+		}
+	}
+	return n.cfg.DurableID
+}
+
+// certifiedGroup returns (creating lazily) the certified group of a
+// class.
+func (n *Node) certifiedGroup(class string) *multicast.Certified {
+	g := n.group("cert", class)
+	c, _ := g.(*multicast.Certified)
+	return c
+}
+
+// PauseCertified parks a certified class's local delivery: incoming
+// events keep being staged and acknowledged, but nothing reaches the
+// engine until ResumeCertified. Durable subscriptions pause around
+// their backlog replay so replay and live delivery never interleave.
+func (n *Node) PauseCertified(class string) {
+	if c := n.certifiedGroup(class); c != nil {
+		c.Pause()
+	}
+}
+
+// ResumeCertified releases PauseCertified, draining held deliveries in
+// arrival order.
+func (n *Node) ResumeCertified(class string) {
+	if c := n.certifiedGroup(class); c != nil {
+		c.Resume()
+	}
 }
 
 // pruneObserver funnels a group's pruning counters into the routing
@@ -692,7 +816,10 @@ func (n *Node) PublishEnvelope(env *codec.Envelope) error {
 			return err
 		}
 		t1 := n.markRoute(t0)
-		err = cert.Broadcast(payload)
+		// The envelope ID is the certified event identity end to end:
+		// outbox entry, staging inbox record and the engine's delivery
+		// acknowledgement all key the same string.
+		err = cert.BroadcastWithID(env.ID, payload)
 		n.markWrite(t1)
 		return err
 	case "be", "rel":
@@ -1052,6 +1179,21 @@ func (n *Node) onData(stream string, payload []byte) {
 func (n *Node) SubscriptionChanged(infos []core.SubscriptionInfo) error {
 	n.mu.Lock()
 	n.localSubs = append([]core.SubscriptionInfo(nil), infos...)
+	// Certified groups created before a durable activation must learn
+	// the durable identity they now acknowledge under.
+	for stream, g := range n.groups {
+		c, ok := g.(*multicast.Certified)
+		if !ok {
+			continue
+		}
+		class := strings.TrimPrefix(stream, "dace/cert/")
+		if class == stream {
+			continue
+		}
+		if id := n.durableIDForLocked(class); id != "" {
+			c.SetDurableID(id)
+		}
+	}
 	n.mu.Unlock()
 	n.advertise(false)
 	return nil
@@ -1071,7 +1213,7 @@ func (n *Node) SubscriptionChanged(infos []core.SubscriptionInfo) error {
 func (n *Node) advertise(forceSnapshot bool) {
 	n.mu.Lock()
 	n.adSeq++
-	ad := subscriptionAd{Node: n.self, Seq: n.adSeq, Ver: n.adVer}
+	ad := subscriptionAd{Node: n.self, Seq: n.adSeq, Ver: n.adVer, Epoch: n.epoch}
 	cur := append([]core.SubscriptionInfo(nil), n.localSubs...)
 
 	var added []core.SubscriptionInfo
@@ -1181,6 +1323,11 @@ func (n *Node) onControl(_ string, payload []byte) {
 	if ad.Node == n.self {
 		return // our own broadcast echoed back
 	}
+	if !n.routes.NoteEpoch(ad.Node, ad.Epoch) {
+		n.log.Debug("dace: dropping advertisement from dead incarnation",
+			"node", ad.Node, "epoch", ad.Epoch)
+		return
+	}
 	n.mu.Lock()
 	if ad.Ver > n.peerVer[ad.Node] {
 		n.peerVer[ad.Node] = ad.Ver
@@ -1197,6 +1344,35 @@ func (n *Node) onControl(_ string, payload []byte) {
 		// late joiner learns the existing subscription tables. Full
 		// snapshot — the joiner has no delta base of ours.
 		n.advertise(true)
+	}
+	if res.Applied {
+		// Certified redelivery targets the routing plane's current
+		// durable-subscriber view; refresh it here so a subscriber that
+		// moved or resubscribed starts receiving its backlog without
+		// waiting for the next local publish.
+		n.refreshCertSubscribers()
+	}
+}
+
+// refreshCertSubscribers pushes the routing plane's durable-subscriber
+// view into every live certified group.
+func (n *Node) refreshCertSubscribers() {
+	n.mu.Lock()
+	groups := n.groupsSnapshotLocked()
+	n.mu.Unlock()
+	for stream, g := range groups {
+		c, ok := g.(*multicast.Certified)
+		if !ok {
+			continue
+		}
+		class := strings.TrimPrefix(stream, "dace/cert/")
+		if class == stream {
+			continue
+		}
+		if err := c.SetSubscribers(n.certSubscribersFor(class)); err != nil {
+			n.log.Warn("dace: certified membership update failed",
+				"stream", stream, "err", err)
+		}
 	}
 }
 

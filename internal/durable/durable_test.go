@@ -1,0 +1,382 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"govents/internal/store"
+)
+
+func openTestOutbox(t *testing.T, dir string) *Outbox {
+	t.Helper()
+	o, err := OpenOutbox(filepath.Join(dir, "data"), filepath.Join(dir, "meta"), SegmentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestOutboxMatchesMemLogSemantics(t *testing.T) {
+	dir := t.TempDir()
+	o := openTestOutbox(t, dir)
+	defer o.Close()
+	mem := store.NewMemLog()
+
+	for _, l := range []store.Log{o, mem} {
+		if err := l.RegisterConsumer("sub-a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.RegisterConsumer("sub-a"); err != nil { // idempotent
+			t.Fatal(err)
+		}
+		for i := range 5 {
+			e := store.Entry{ID: fmt.Sprintf("e%d", i), Payload: []byte{byte(i)}}
+			if err := l.Append(e); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Append(e); err != nil { // idempotent
+				t.Fatal(err)
+			}
+		}
+		if err := l.Ack("sub-a", "e1"); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Ack("sub-a", "never-appended"); err != nil { // tolerated
+			t.Fatal(err)
+		}
+		if err := l.Ack("ghost", "e1"); !errors.Is(err, store.ErrUnknownConsumer) {
+			t.Fatalf("Ack unknown consumer: %v", err)
+		}
+		if _, err := l.Pending("ghost"); !errors.Is(err, store.ErrUnknownConsumer) {
+			t.Fatalf("Pending unknown consumer: %v", err)
+		}
+	}
+	op, err := o.Pending("sub-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := mem.Pending("sub-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(op) != len(mp) {
+		t.Fatalf("pending: outbox %d, memlog %d", len(op), len(mp))
+	}
+	for i := range op {
+		if op[i].ID != mp[i].ID {
+			t.Fatalf("pending[%d]: outbox %q, memlog %q", i, op[i].ID, mp[i].ID)
+		}
+	}
+}
+
+func TestOutboxSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	o := openTestOutbox(t, dir)
+	if err := o.RegisterConsumer("sub"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range 6 {
+		if err := o.Append(store.Entry{ID: fmt.Sprintf("e%d", i), Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"e0", "e1", "e3"} {
+		if err := o.Ack("sub", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A restarted publisher owes exactly what was unacked: e2, e4, e5.
+	o = openTestOutbox(t, dir)
+	defer o.Close()
+	consumers, err := o.Consumers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(consumers) != 1 || consumers[0] != "sub" {
+		t.Fatalf("consumers after reopen = %v", consumers)
+	}
+	pending, err := o.Pending("sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"e2", "e4", "e5"}
+	if len(pending) != len(want) {
+		t.Fatalf("pending after reopen = %d entries, want %d", len(pending), len(want))
+	}
+	for i, id := range want {
+		if pending[i].ID != id {
+			t.Fatalf("pending[%d] = %q, want %q", i, pending[i].ID, id)
+		}
+	}
+}
+
+func TestOutboxGCSnapshotCompact(t *testing.T) {
+	dir := t.TempDir()
+	o, err := OpenOutbox(filepath.Join(dir, "data"), filepath.Join(dir, "meta"),
+		SegmentConfig{SegmentBytes: 1}) // one record per segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RegisterConsumer("sub"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range 5 {
+		if err := o.Append(store.Entry{ID: fmt.Sprintf("e%d", i), Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ack a contiguous prefix plus a gap: e0..e2 compactable, e3 not.
+	for _, id := range []string{"e0", "e1", "e2", "e4"} {
+		if err := o.Ack("sub", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped, err := o.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 3 {
+		t.Fatalf("GC dropped %d, want 3", dropped)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-GC reopen must reconstruct the surviving state.
+	o = openTestOutbox(t, dir)
+	defer o.Close()
+	pending, err := o.Pending("sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].ID != "e3" {
+		t.Fatalf("pending after GC+reopen = %v", pending)
+	}
+	if o.Len() != 2 { // e3 (pending) + e4 (acked, segment not droppable past gap)
+		t.Fatalf("Len after GC+reopen = %d, want 2", o.Len())
+	}
+}
+
+func TestOutboxGCWithoutConsumersRetains(t *testing.T) {
+	dir := t.TempDir()
+	o := openTestOutbox(t, dir)
+	defer o.Close()
+	if err := o.Append(store.Entry{ID: "e0"}); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := o.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 || o.Len() != 1 {
+		t.Fatalf("GC with no consumers dropped %d (len %d), want 0 (1)", dropped, o.Len())
+	}
+}
+
+func openTestInbox(t *testing.T, dir string) *Inbox {
+	t.Helper()
+	ib, err := OpenInbox(filepath.Join(dir, "data"), filepath.Join(dir, "acks"), SegmentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ib
+}
+
+// replayIDs collects the event IDs Replay would hand a resuming
+// subscription.
+func replayIDs(t *testing.T, ib *Inbox, durableID string) []string {
+	t.Helper()
+	var ids []string
+	if err := ib.Replay(durableID, func(id, origin string, payload []byte) error {
+		ids = append(ids, id)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func TestInboxStageDedupAndCursor(t *testing.T) {
+	dir := t.TempDir()
+	ib := openTestInbox(t, dir)
+	defer ib.Close()
+
+	// Events staged before the cursor exists are not owed to it.
+	if _, err := ib.Stage("old", "pub", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ib.EnsureCursor("durable-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("fresh cursor reported resumed")
+	}
+	for i := range 3 {
+		fresh, err := ib.Stage(fmt.Sprintf("e%d", i), "pub", []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fresh {
+			t.Fatalf("e%d not fresh", i)
+		}
+	}
+	if fresh, err := ib.Stage("e1", "pub", []byte{1}); err != nil || fresh {
+		t.Fatalf("duplicate stage: fresh=%v err=%v", fresh, err)
+	}
+	if ids := replayIDs(t, ib, "durable-1"); len(ids) != 3 || ids[0] != "e0" {
+		t.Fatalf("replay = %v, want [e0 e1 e2]", ids)
+	}
+	// Ack out of order: e1 then e0; replay owes only e2.
+	if err := ib.Ack("durable-1", "e1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ib.Ack("durable-1", "e0"); err != nil {
+		t.Fatal(err)
+	}
+	if ids := replayIDs(t, ib, "durable-1"); len(ids) != 1 || ids[0] != "e2" {
+		t.Fatalf("replay after acks = %v, want [e2]", ids)
+	}
+	// Misuse sentinels.
+	if err := ib.Ack("durable-1", "no-such-event"); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("Ack unknown event: %v", err)
+	}
+	if err := ib.Ack("ghost", "e2"); !errors.Is(err, ErrUnknownCursor) {
+		t.Fatalf("Ack unknown cursor: %v", err)
+	}
+	if err := ib.Replay("ghost", nil); !errors.Is(err, ErrUnknownCursor) {
+		t.Fatalf("Replay unknown cursor: %v", err)
+	}
+}
+
+func TestInboxSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	ib := openTestInbox(t, dir)
+	if _, err := ib.EnsureCursor("d1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range 5 {
+		if _, err := ib.Stage(fmt.Sprintf("e%d", i), "pub", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"e0", "e1", "e3"} {
+		if err := ib.Ack("d1", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ib.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ib = openTestInbox(t, dir)
+	defer ib.Close()
+	resumed, err := ib.EnsureCursor("d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Fatal("cursor lost across reopen")
+	}
+	if ids := replayIDs(t, ib, "d1"); len(ids) != 2 || ids[0] != "e2" || ids[1] != "e4" {
+		t.Fatalf("replay after reopen = %v, want [e2 e4]", ids)
+	}
+	// Dedup survives: a redelivered event is not fresh.
+	if fresh, err := ib.Stage("e2", "pub", []byte{2}); err != nil || fresh {
+		t.Fatalf("redelivered stage after reopen: fresh=%v err=%v", fresh, err)
+	}
+}
+
+func TestInboxCompact(t *testing.T) {
+	dir := t.TempDir()
+	ib, err := OpenInbox(filepath.Join(dir, "data"), filepath.Join(dir, "acks"),
+		SegmentConfig{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ib.EnsureCursor("d1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range 4 {
+		if _, err := ib.Stage(fmt.Sprintf("e%d", i), "pub", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"e0", "e1"} {
+		if err := ib.Ack("d1", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ib.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ib.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ib, err = OpenInbox(filepath.Join(dir, "data"), filepath.Join(dir, "acks"), SegmentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ib.Close()
+	if ids := replayIDs(t, ib, "d1"); len(ids) != 2 || ids[0] != "e2" || ids[1] != "e3" {
+		t.Fatalf("replay after compact+reopen = %v, want [e2 e3]", ids)
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := m.OutboxFor("pkg.Quote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Append(store.Entry{ID: "e0", Payload: []byte("q")}); err != nil {
+		t.Fatal(err)
+	}
+	ib, err := m.InboxFor("pkg.Quote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ib.EnsureCursor("d1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ib.Stage("e1", "pub", []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AckDelivered("pkg.Quote", "d1", "e1"); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Classes != 1 || st.Staged != 1 || st.Acked != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := m.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the class is discovered from disk before any traffic.
+	m, err = Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	classes := m.Classes()
+	if len(classes) != 1 || classes[0] != "pkg.Quote" {
+		t.Fatalf("classes after reopen = %v", classes)
+	}
+	ib, err = m.InboxFor("pkg.Quote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ib.HasCursor("d1") {
+		t.Fatal("cursor lost across manager reopen")
+	}
+}

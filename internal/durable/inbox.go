@@ -1,0 +1,441 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+)
+
+// ErrUnknownEvent reports an acknowledgement for an event ID the inbox
+// never staged — offset misuse by the caller.
+var ErrUnknownEvent = errors.New("durable: unknown event")
+
+// ErrUnknownCursor reports an operation against a durable subscription
+// ID with no cursor in this inbox.
+var ErrUnknownCursor = errors.New("durable: unknown durable cursor")
+
+// Inbox is the subscriber-side staging log for one class. Incoming
+// certified events are staged (appended + deduplicated by event ID)
+// BEFORE they are acknowledged to the publisher, closing the §3.1.2
+// crash window between delivery and acknowledgement: if the process
+// dies after the ack but before the handler ran, the event is still on
+// disk and is replayed to the durable subscription on restart.
+//
+// Each durable subscription ID owns a persistent cursor: a start
+// offset (events staged before the cursor existed are not owed), a
+// contiguous acknowledged frontier, and a sparse set of out-of-order
+// acknowledgements. SubscribeDurable resumes by replaying everything
+// between the frontier and the log head that is not sparsely acked.
+type Inbox struct {
+	data *SegmentLog // staged events: [blob id][blob origin][payload]
+	acks *SegmentLog // cursor history
+	log  *slog.Logger
+
+	mu      sync.Mutex
+	byID    map[string]uint64 // staged event ID -> offset
+	cursors map[string]*cursorState
+	closed  bool
+
+	staged    uint64
+	stageDups uint64
+	acked     uint64
+	replayed  uint64
+}
+
+// cursorState is one durable subscription's position in the inbox.
+type cursorState struct {
+	start    uint64 // offsets <= start are not owed
+	frontier uint64 // offsets <= frontier are acknowledged (>= start)
+	sparse   map[uint64]bool
+}
+
+// Ack-log record kinds.
+const (
+	ackCursor   = 1 // [blob durableID][u64 start]
+	ackAck      = 2 // [blob durableID][u64 offset]
+	ackSnapshot = 3 // full cursor state; resets replay
+)
+
+// OpenInbox opens (or creates) the inbox under dataDir/acksDir,
+// replaying both logs.
+func OpenInbox(dataDir, acksDir string, cfg SegmentConfig) (*Inbox, error) {
+	data, err := OpenSegmentLog(dataDir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	acks, err := OpenSegmentLog(acksDir, cfg)
+	if err != nil {
+		_ = data.Close()
+		return nil, err
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	ib := &Inbox{
+		data:    data,
+		acks:    acks,
+		log:     logger,
+		byID:    make(map[string]uint64),
+		cursors: make(map[string]*cursorState),
+	}
+	if err := ib.replay(); err != nil {
+		_ = data.Close()
+		_ = acks.Close()
+		return nil, err
+	}
+	return ib, nil
+}
+
+// replay rebuilds the dedup index from the data log and the cursors
+// from the ack log. Dedup knowledge for compacted events is gone, but a
+// compacted event was acknowledged by every cursor AND acknowledged to
+// its publisher, so a redelivery of it can only come from a publisher
+// that itself lost the ack — a duplicate within the at-least-once
+// floor, not a correctness break.
+func (ib *Inbox) replay() error {
+	err := ib.data.ReadFrom(ib.data.FirstOffset(), func(off uint64, rec []byte) error {
+		id, _, err := takeBlob(rec)
+		if err != nil {
+			return fmt.Errorf("durable: inbox data record %d: %w", off, err)
+		}
+		ib.byID[string(id)] = off
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return ib.acks.ReadFrom(ib.acks.FirstOffset(), func(off uint64, rec []byte) error {
+		if err := ib.applyAck(rec); err != nil {
+			return fmt.Errorf("durable: inbox ack record %d: %w", off, err)
+		}
+		return nil
+	})
+}
+
+// applyAck applies one ack-log record during replay.
+func (ib *Inbox) applyAck(rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	kind, rest := rec[0], rec[1:]
+	switch kind {
+	case ackCursor:
+		id, rest, err := takeBlob(rest)
+		if err != nil {
+			return err
+		}
+		start, _, err := takeUint64(rest)
+		if err != nil {
+			return err
+		}
+		if _, ok := ib.cursors[string(id)]; !ok {
+			ib.cursors[string(id)] = &cursorState{
+				start: start, frontier: start, sparse: make(map[uint64]bool),
+			}
+		}
+	case ackAck:
+		id, rest, err := takeBlob(rest)
+		if err != nil {
+			return err
+		}
+		off, _, err := takeUint64(rest)
+		if err != nil {
+			return err
+		}
+		if cs, ok := ib.cursors[string(id)]; ok {
+			cs.record(off)
+		}
+	case ackSnapshot:
+		cursors, err := decodeCursorSnapshot(rest)
+		if err != nil {
+			return err
+		}
+		ib.cursors = cursors
+	default:
+		return fmt.Errorf("unknown ack kind %d", kind)
+	}
+	return nil
+}
+
+// record folds one acknowledged offset into the cursor, advancing the
+// contiguous frontier through any sparse backlog it unlocks.
+func (cs *cursorState) record(off uint64) {
+	if off <= cs.frontier || cs.sparse[off] {
+		return
+	}
+	if off == cs.frontier+1 {
+		cs.frontier++
+		for cs.sparse[cs.frontier+1] {
+			delete(cs.sparse, cs.frontier+1)
+			cs.frontier++
+		}
+		return
+	}
+	cs.sparse[off] = true
+}
+
+// acked reports whether the cursor has acknowledged the offset.
+func (cs *cursorState) ackedAt(off uint64) bool {
+	return off <= cs.frontier || cs.sparse[off]
+}
+
+// encodeCursorSnapshot serialises all cursors.
+func encodeCursorSnapshot(cursors map[string]*cursorState) []byte {
+	out := []byte{ackSnapshot}
+	out = appendUint32(out, uint32(len(cursors)))
+	for id, cs := range cursors {
+		out = appendBlob(out, []byte(id))
+		out = appendUint64(out, cs.start)
+		out = appendUint64(out, cs.frontier)
+		out = appendUint32(out, uint32(len(cs.sparse)))
+		for off := range cs.sparse {
+			out = appendUint64(out, off)
+		}
+	}
+	return out
+}
+
+// decodeCursorSnapshot is the inverse of encodeCursorSnapshot (minus
+// the kind byte).
+func decodeCursorSnapshot(rec []byte) (map[string]*cursorState, error) {
+	n, rec, err := takeUint32(rec)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*cursorState, n)
+	for range n {
+		var id []byte
+		id, rec, err = takeBlob(rec)
+		if err != nil {
+			return nil, err
+		}
+		cs := &cursorState{sparse: make(map[uint64]bool)}
+		cs.start, rec, err = takeUint64(rec)
+		if err != nil {
+			return nil, err
+		}
+		cs.frontier, rec, err = takeUint64(rec)
+		if err != nil {
+			return nil, err
+		}
+		var cnt uint32
+		cnt, rec, err = takeUint32(rec)
+		if err != nil {
+			return nil, err
+		}
+		for range cnt {
+			var off uint64
+			off, rec, err = takeUint64(rec)
+			if err != nil {
+				return nil, err
+			}
+			cs.sparse[off] = true
+		}
+		out[string(id)] = cs
+	}
+	return out, nil
+}
+
+// Stage appends an incoming event if its ID is new, reporting whether
+// it was fresh. A false return with nil error is the dedup hit: the
+// event is already durable here, so the caller should re-acknowledge
+// it to the publisher but not deliver it again. Stage succeeding means
+// the event survives a crash — callers must stage BEFORE acking.
+func (ib *Inbox) Stage(id, origin string, payload []byte) (fresh bool, err error) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return false, ErrLogClosed
+	}
+	if _, ok := ib.byID[id]; ok {
+		ib.stageDups++
+		return false, nil
+	}
+	rec := appendBlob(nil, []byte(id))
+	rec = appendBlob(rec, []byte(origin))
+	rec = append(rec, payload...)
+	off, err := ib.data.Append(rec)
+	if err != nil {
+		return false, err
+	}
+	ib.byID[id] = off
+	ib.staged++
+	return true, nil
+}
+
+// EnsureCursor creates (and persists) the cursor for a durable
+// subscription ID if it does not exist, reporting whether it already
+// did. A fresh cursor starts at the current log head: a brand-new
+// durable subscription is owed events from now on, not history.
+func (ib *Inbox) EnsureCursor(durableID string) (resumed bool, err error) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return false, ErrLogClosed
+	}
+	if _, ok := ib.cursors[durableID]; ok {
+		return true, nil
+	}
+	start := ib.data.NextOffset() - 1
+	rec := appendBlob([]byte{ackCursor}, []byte(durableID))
+	rec = appendUint64(rec, start)
+	if _, err := ib.acks.Append(rec); err != nil {
+		return false, err
+	}
+	ib.cursors[durableID] = &cursorState{
+		start: start, frontier: start, sparse: make(map[uint64]bool),
+	}
+	return false, nil
+}
+
+// HasCursor reports whether the durable ID owns a cursor here.
+func (ib *Inbox) HasCursor(durableID string) bool {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	_, ok := ib.cursors[durableID]
+	return ok
+}
+
+// Ack durably marks the staged event delivered to the durable
+// subscription. Unknown event IDs are ErrUnknownEvent (the caller is
+// confusing offsets or classes); duplicate acks are a no-op.
+func (ib *Inbox) Ack(durableID, eventID string) error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return ErrLogClosed
+	}
+	cs, ok := ib.cursors[durableID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownCursor, durableID)
+	}
+	off, ok := ib.byID[eventID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEvent, eventID)
+	}
+	if cs.ackedAt(off) {
+		return nil
+	}
+	rec := appendBlob([]byte{ackAck}, []byte(durableID))
+	rec = appendUint64(rec, off)
+	if _, err := ib.acks.Append(rec); err != nil {
+		return err
+	}
+	cs.record(off)
+	ib.acked++
+	return nil
+}
+
+// Replay streams, in staging order, every event the durable
+// subscription has not acknowledged — the "missed while down" set. fn
+// runs without the inbox lock held, so it may Stage and Ack (the usual
+// flow: handler runs, then Ack). Events staged after the snapshot was
+// taken are not included; callers pause live delivery around Replay to
+// make the handoff seamless.
+func (ib *Inbox) Replay(durableID string, fn func(eventID, origin string, payload []byte) error) error {
+	ib.mu.Lock()
+	if ib.closed {
+		ib.mu.Unlock()
+		return ErrLogClosed
+	}
+	cs, ok := ib.cursors[durableID]
+	if !ok {
+		ib.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownCursor, durableID)
+	}
+	from := cs.frontier + 1
+	sparse := make(map[uint64]bool, len(cs.sparse))
+	for off := range cs.sparse {
+		sparse[off] = true
+	}
+	ib.mu.Unlock()
+
+	return ib.data.ReadFrom(from, func(off uint64, rec []byte) error {
+		if sparse[off] {
+			return nil
+		}
+		id, rest, err := takeBlob(rec)
+		if err != nil {
+			return fmt.Errorf("durable: inbox data record %d: %w", off, err)
+		}
+		origin, payload, err := takeBlob(rest)
+		if err != nil {
+			return fmt.Errorf("durable: inbox data record %d: %w", off, err)
+		}
+		ib.mu.Lock()
+		ib.replayed++
+		ib.mu.Unlock()
+		return fn(string(id), string(origin), payload)
+	})
+}
+
+// Compact drops data segments every cursor has fully acknowledged and
+// snapshots the cursor state into the ack log. With no cursors, all
+// sealed segments are droppable — nobody is owed anything.
+func (ib *Inbox) Compact() error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return ErrLogClosed
+	}
+	frontier := ib.data.NextOffset() - 1
+	for _, cs := range ib.cursors {
+		if cs.frontier < frontier {
+			frontier = cs.frontier
+		}
+	}
+	if _, _, err := ib.data.Compact(frontier + 1); err != nil {
+		return err
+	}
+	snap := encodeCursorSnapshot(ib.cursors)
+	snapOff, err := ib.acks.Append(snap)
+	if err != nil {
+		return err
+	}
+	if err := ib.acks.Roll(); err != nil {
+		return err
+	}
+	_, _, err = ib.acks.Compact(snapOff)
+	return err
+}
+
+// InboxStats are an Inbox's counters.
+type InboxStats struct {
+	Staged    uint64
+	StageDups uint64
+	Acked     uint64
+	Replayed  uint64
+	Data      SegmentStats
+	Acks      SegmentStats
+}
+
+// Stats returns the inbox counters.
+func (ib *Inbox) Stats() InboxStats {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return InboxStats{
+		Staged:    ib.staged,
+		StageDups: ib.stageDups,
+		Acked:     ib.acked,
+		Replayed:  ib.replayed,
+		Data:      ib.data.Stats(),
+		Acks:      ib.acks.Stats(),
+	}
+}
+
+// Close closes both logs. The inbox must not be used afterwards.
+func (ib *Inbox) Close() error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return nil
+	}
+	ib.closed = true
+	err := ib.data.Close()
+	if aerr := ib.acks.Close(); err == nil {
+		err = aerr
+	}
+	return err
+}

@@ -1,0 +1,413 @@
+package durable
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+
+	"govents/internal/store"
+)
+
+// Outbox is the publisher-side certified-delivery state for one class,
+// persisted across crash-restart: a data segment log of published
+// entries plus a meta segment log of consumer registrations and
+// acknowledgements. It implements store.Log, so it drops into the
+// certified multicast protocol where MemLog sits today — the difference
+// is that a restarted publisher still owes its durable subscribers
+// everything they have not acknowledged (paper §3.1.2).
+type Outbox struct {
+	data *SegmentLog
+	meta *SegmentLog
+	log  *slog.Logger
+
+	mu        sync.Mutex
+	offsets   []uint64 // live entry offsets, ascending
+	entries   map[uint64]store.Entry
+	byID      map[string]uint64
+	consumers map[string]map[uint64]bool // consumer -> acked offsets
+	closed    bool
+}
+
+var _ store.Log = (*Outbox)(nil)
+
+// Meta-log record kinds.
+const (
+	metaRegister   = 1 // [blob consumer]
+	metaUnregister = 2 // [blob consumer]
+	metaAck        = 3 // [blob consumer][u64 offset]
+	metaSnapshot   = 4 // full consumer/ack state; resets replay
+)
+
+// OpenOutbox opens (or creates) the outbox under dataDir/metaDir,
+// replaying both logs to rebuild the pending state.
+func OpenOutbox(dataDir, metaDir string, cfg SegmentConfig) (*Outbox, error) {
+	data, err := OpenSegmentLog(dataDir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := OpenSegmentLog(metaDir, cfg)
+	if err != nil {
+		_ = data.Close()
+		return nil, err
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	o := &Outbox{
+		data:      data,
+		meta:      meta,
+		log:       logger,
+		entries:   make(map[uint64]store.Entry),
+		byID:      make(map[string]uint64),
+		consumers: make(map[string]map[uint64]bool),
+	}
+	if err := o.replay(); err != nil {
+		_ = data.Close()
+		_ = meta.Close()
+		return nil, err
+	}
+	return o, nil
+}
+
+// replay rebuilds in-memory state from the two logs. Data first, then
+// meta: acks reference data offsets, and an ack for an offset that was
+// compacted away is simply below every live offset and harmless.
+func (o *Outbox) replay() error {
+	err := o.data.ReadFrom(o.data.FirstOffset(), func(off uint64, rec []byte) error {
+		id, payload, err := takeBlob(rec)
+		if err != nil {
+			return fmt.Errorf("durable: outbox data record %d: %w", off, err)
+		}
+		e := store.Entry{ID: string(id), Payload: append([]byte(nil), payload...)}
+		o.offsets = append(o.offsets, off)
+		o.entries[off] = e
+		o.byID[e.ID] = off
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return o.meta.ReadFrom(o.meta.FirstOffset(), func(off uint64, rec []byte) error {
+		if err := o.applyMeta(rec); err != nil {
+			return fmt.Errorf("durable: outbox meta record %d: %w", off, err)
+		}
+		return nil
+	})
+}
+
+// applyMeta applies one meta record during replay.
+func (o *Outbox) applyMeta(rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	kind, rest := rec[0], rec[1:]
+	switch kind {
+	case metaRegister:
+		name, _, err := takeBlob(rest)
+		if err != nil {
+			return err
+		}
+		if _, ok := o.consumers[string(name)]; !ok {
+			o.consumers[string(name)] = make(map[uint64]bool)
+		}
+	case metaUnregister:
+		name, _, err := takeBlob(rest)
+		if err != nil {
+			return err
+		}
+		delete(o.consumers, string(name))
+	case metaAck:
+		name, rest, err := takeBlob(rest)
+		if err != nil {
+			return err
+		}
+		off, _, err := takeUint64(rest)
+		if err != nil {
+			return err
+		}
+		if acked, ok := o.consumers[string(name)]; ok {
+			acked[off] = true
+		}
+	case metaSnapshot:
+		cs, err := decodeConsumerSnapshot(rest)
+		if err != nil {
+			return err
+		}
+		o.consumers = cs
+	default:
+		return fmt.Errorf("unknown meta kind %d", kind)
+	}
+	return nil
+}
+
+// encodeConsumerSnapshot serialises the full consumer/ack state.
+func encodeConsumerSnapshot(consumers map[string]map[uint64]bool) []byte {
+	names := make([]string, 0, len(consumers))
+	for n := range consumers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := []byte{metaSnapshot}
+	out = appendUint32(out, uint32(len(names)))
+	for _, n := range names {
+		out = appendBlob(out, []byte(n))
+		acked := consumers[n]
+		offs := make([]uint64, 0, len(acked))
+		for off := range acked {
+			offs = append(offs, off)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		out = appendUint32(out, uint32(len(offs)))
+		for _, off := range offs {
+			out = appendUint64(out, off)
+		}
+	}
+	return out
+}
+
+// decodeConsumerSnapshot is the inverse of encodeConsumerSnapshot
+// (minus the kind byte, already consumed).
+func decodeConsumerSnapshot(rec []byte) (map[string]map[uint64]bool, error) {
+	n, rec, err := takeUint32(rec)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[uint64]bool, n)
+	for range n {
+		var name []byte
+		name, rec, err = takeBlob(rec)
+		if err != nil {
+			return nil, err
+		}
+		var cnt uint32
+		cnt, rec, err = takeUint32(rec)
+		if err != nil {
+			return nil, err
+		}
+		acked := make(map[uint64]bool, cnt)
+		for range cnt {
+			var off uint64
+			off, rec, err = takeUint64(rec)
+			if err != nil {
+				return nil, err
+			}
+			acked[off] = true
+		}
+		out[string(name)] = acked
+	}
+	return out, nil
+}
+
+// Append implements store.Log: idempotent by entry ID.
+func (o *Outbox) Append(e store.Entry) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrLogClosed
+	}
+	if _, ok := o.byID[e.ID]; ok {
+		return nil
+	}
+	rec := appendBlob(nil, []byte(e.ID))
+	rec = append(rec, e.Payload...)
+	off, err := o.data.Append(rec)
+	if err != nil {
+		return err
+	}
+	cp := store.Entry{ID: e.ID, Payload: append([]byte(nil), e.Payload...)}
+	o.offsets = append(o.offsets, off)
+	o.entries[off] = cp
+	o.byID[e.ID] = off
+	return nil
+}
+
+// RegisterConsumer implements store.Log: idempotent, and a known
+// consumer costs no meta write.
+func (o *Outbox) RegisterConsumer(id string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrLogClosed
+	}
+	if _, ok := o.consumers[id]; ok {
+		return nil
+	}
+	rec := append([]byte{metaRegister}, appendBlob(nil, []byte(id))...)
+	if _, err := o.meta.Append(rec); err != nil {
+		return err
+	}
+	o.consumers[id] = make(map[uint64]bool)
+	return nil
+}
+
+// UnregisterConsumer implements store.Log.
+func (o *Outbox) UnregisterConsumer(id string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrLogClosed
+	}
+	if _, ok := o.consumers[id]; !ok {
+		return nil
+	}
+	rec := append([]byte{metaUnregister}, appendBlob(nil, []byte(id))...)
+	if _, err := o.meta.Append(rec); err != nil {
+		return err
+	}
+	delete(o.consumers, id)
+	return nil
+}
+
+// Consumers implements store.Log.
+func (o *Outbox) Consumers() ([]string, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.consumers))
+	for id := range o.consumers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Ack implements store.Log. Acknowledging an unknown (or already
+// compacted) entry is a no-op, mirroring MemLog's tolerance; an unknown
+// consumer is an error.
+func (o *Outbox) Ack(consumer, entryID string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrLogClosed
+	}
+	acked, ok := o.consumers[consumer]
+	if !ok {
+		return fmt.Errorf("%w: %q", store.ErrUnknownConsumer, consumer)
+	}
+	off, ok := o.byID[entryID]
+	if !ok || acked[off] {
+		return nil
+	}
+	rec := appendBlob([]byte{metaAck}, []byte(consumer))
+	rec = appendUint64(rec, off)
+	if _, err := o.meta.Append(rec); err != nil {
+		return err
+	}
+	acked[off] = true
+	return nil
+}
+
+// Pending implements store.Log: in append (offset) order.
+func (o *Outbox) Pending(consumer string) ([]store.Entry, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	acked, ok := o.consumers[consumer]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", store.ErrUnknownConsumer, consumer)
+	}
+	var out []store.Entry
+	for _, off := range o.offsets {
+		if !acked[off] {
+			e := o.entries[off]
+			out = append(out, store.Entry{ID: e.ID, Payload: append([]byte(nil), e.Payload...)})
+		}
+	}
+	return out, nil
+}
+
+// GC implements store.Log: the snapshot+compact step. It computes the
+// contiguous fully-acknowledged frontier, drops whole data segments
+// below it, then snapshots the consumer state into the meta log and
+// compacts the meta history behind the snapshot. Dropping is
+// segment-granular, so GC may retire fewer entries than are eligible —
+// the remainder go in a later pass once their segment seals.
+func (o *Outbox) GC() (int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return 0, ErrLogClosed
+	}
+	if len(o.consumers) == 0 {
+		return 0, nil // nobody registered: retain everything
+	}
+	// Contiguous frontier: every offset <= frontier acked by all.
+	frontier := o.data.FirstOffset() - 1
+	for _, off := range o.offsets {
+		ackedByAll := true
+		for _, acked := range o.consumers {
+			if !acked[off] {
+				ackedByAll = false
+				break
+			}
+		}
+		if !ackedByAll || off != frontier+1 {
+			break
+		}
+		frontier = off
+	}
+	_, records, err := o.data.Compact(frontier + 1)
+	if err != nil {
+		return 0, err
+	}
+	// Prune memory to match disk, so a restart reconstructs the same
+	// state the live process holds.
+	newFirst := o.data.FirstOffset()
+	dropped := 0
+	for len(o.offsets) > 0 && o.offsets[0] < newFirst {
+		off := o.offsets[0]
+		delete(o.byID, o.entries[off].ID)
+		delete(o.entries, off)
+		for _, acked := range o.consumers {
+			delete(acked, off)
+		}
+		o.offsets = o.offsets[1:]
+		dropped++
+	}
+	if uint64(dropped) != records {
+		// Disk and memory disagree on what was dropped; loud but
+		// non-fatal — the durable state on disk is authoritative.
+		o.log.Warn("durable: outbox GC drop mismatch", "disk", records, "memory", dropped)
+	}
+	// Snapshot consumer state so the meta log does not grow without
+	// bound; everything before the snapshot is then redundant.
+	snap := encodeConsumerSnapshot(o.consumers)
+	snapOff, err := o.meta.Append(snap)
+	if err != nil {
+		return dropped, err
+	}
+	if err := o.meta.Roll(); err != nil {
+		return dropped, err
+	}
+	if _, _, err := o.meta.Compact(snapOff); err != nil {
+		return dropped, err
+	}
+	return dropped, nil
+}
+
+// Stats returns the underlying segment-log counters (data, meta).
+func (o *Outbox) Stats() (data, meta SegmentStats) {
+	return o.data.Stats(), o.meta.Stats()
+}
+
+// Len returns the number of live entries (test aid, mirrors MemLog).
+func (o *Outbox) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.offsets)
+}
+
+// Close implements store.Log.
+func (o *Outbox) Close() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return nil
+	}
+	o.closed = true
+	err := o.data.Close()
+	if merr := o.meta.Close(); err == nil {
+		err = merr
+	}
+	return err
+}

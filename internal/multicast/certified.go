@@ -17,6 +17,17 @@ type CertSubscriber struct {
 	Addr      string
 }
 
+// Stager is the durable subscriber-side staging hook: incoming
+// certified events are staged — durably appended and deduplicated by
+// event ID — BEFORE they are acknowledged to the publisher. fresh
+// reports whether the event was new; a false return means the event is
+// already durable here (a redelivery) and must be re-acked but not
+// delivered again. A Stager subsumes the store.Set dedup: when one is
+// installed the set is not consulted.
+type Stager interface {
+	Stage(id, origin string, payload []byte) (fresh bool, err error)
+}
+
 // Certified implements the paper's Certified delivery semantics
 // (§3.1.2): "even if a notifiable temporarily disconnects or fails, it
 // will eventually deliver the obvent". The publisher persists every
@@ -39,6 +50,7 @@ type Certified struct {
 	mu        sync.Mutex
 	subs      map[string]string // durable ID -> current address
 	durableID string            // our identity when acknowledging
+	stager    Stager            // optional durable staging inbox
 }
 
 var _ Group = (*Certified)(nil)
@@ -117,10 +129,17 @@ func (g *Certified) SetMembers(members []string) {
 // subscribers. Retransmission to absent or unacknowledged subscribers is
 // driven by the redelivery tick.
 func (g *Certified) Broadcast(payload []byte) error {
+	return g.BroadcastWithID(codec.NewID(), payload)
+}
+
+// BroadcastWithID is Broadcast under a caller-chosen event identity.
+// Callers whose payload already carries an ID (envelopes) pass it here,
+// so the durable staging inbox and the application-level delivery
+// acknowledgements key the same event by the same string.
+func (g *Certified) BroadcastWithID(id string, payload []byte) error {
 	if g.lc.closed() {
 		return fmt.Errorf("multicast: certified %s: closed", g.stream)
 	}
-	id := codec.NewID()
 	if err := g.log.Append(store.Entry{ID: id, Payload: payload}); err != nil {
 		return fmt.Errorf("multicast: certified %s: persist: %w", g.stream, err)
 	}
@@ -133,12 +152,37 @@ func (g *Certified) Broadcast(payload []byte) error {
 	for _, addr := range g.subs {
 		addrs = append(addrs, addr)
 	}
+	stager := g.stager
 	g.mu.Unlock()
+	// Record the local delivery in the dedup state BEFORE pushing it,
+	// so the wire copy a self-subscribed node receives back is
+	// suppressed instead of delivered twice.
+	localFresh := true
+	if stager != nil {
+		fresh, err := stager.Stage(id, g.self, payload)
+		if err != nil {
+			return fmt.Errorf("multicast: certified %s: stage local: %w", g.stream, err)
+		}
+		localFresh = fresh
+		// A publisher subscribed under its own durable identity has, by
+		// staging, durably received its own event: self-ack the outbox.
+		_ = g.log.Ack(g.DurableID(), id)
+	} else if g.dedup != nil {
+		if seen, err := g.dedup.Has(id); err == nil && !seen {
+			if err := g.dedup.Add(id); err != nil {
+				localFresh = false
+			}
+		} else {
+			localFresh = false
+		}
+	}
 	for _, addr := range addrs {
 		_ = g.mux.Send(addr, g.stream, wire)
 	}
 	// Local delivery for a publishing subscriber node.
-	g.queue.push(g.self, payload)
+	if localFresh {
+		g.queue.push(g.self, payload)
+	}
 	return nil
 }
 
@@ -203,6 +247,24 @@ func (g *Certified) SetDurableID(id string) {
 	g.durableID = id
 }
 
+// SetStager installs the durable staging inbox. With a stager, incoming
+// events are staged before acknowledgement and the store.Set dedup is
+// bypassed — the stager's own ID dedup takes over.
+func (g *Certified) SetStager(s Stager) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stager = s
+}
+
+// Pause parks the group's delivery goroutine; incoming events continue
+// to be staged and acknowledged but are not delivered until Resume.
+// Used to make the replay→live handoff of a durable subscription
+// seamless: nothing is delivered live while the backlog replays.
+func (g *Certified) Pause() { g.queue.pause() }
+
+// Resume releases a Pause, draining accumulated deliveries in order.
+func (g *Certified) Resume() { g.queue.resume() }
+
 func (g *Certified) onMessage(from string, data []byte) {
 	m, err := decodeMessage(data)
 	if err != nil {
@@ -214,16 +276,31 @@ func (g *Certified) onMessage(from string, data []byte) {
 	case kindCertData:
 		// Acknowledge under our durable identity — after durably
 		// recording the delivery, so a crash between deliver and ack
-		// causes redelivery that the dedup set suppresses.
-		seen, err := g.dedup.Has(m.ID)
-		if err != nil {
-			return
-		}
-		if !seen {
-			if err := g.dedup.Add(m.ID); err != nil {
-				return // do not ack what we could not record
+		// causes redelivery that the dedup state suppresses.
+		g.mu.Lock()
+		stager := g.stager
+		g.mu.Unlock()
+		if stager != nil {
+			fresh, err := stager.Stage(m.ID, m.Origin, m.Payload)
+			if err != nil {
+				g.opts.Logger.Warn("multicast: certified staging failed; withholding ack",
+					"stream", g.stream, "id", m.ID, "err", err)
+				return // no ack: the publisher keeps redelivering
 			}
-			g.queue.push(m.Origin, m.Payload)
+			if fresh {
+				g.queue.push(m.Origin, m.Payload)
+			}
+		} else {
+			seen, err := g.dedup.Has(m.ID)
+			if err != nil {
+				return
+			}
+			if !seen {
+				if err := g.dedup.Add(m.ID); err != nil {
+					return // do not ack what we could not record
+				}
+				g.queue.push(m.Origin, m.Payload)
+			}
 		}
 		ack, err := encodeMessage(&message{Kind: kindCertAck, Origin: g.DurableID(), ID: m.ID})
 		if err == nil {

@@ -232,6 +232,7 @@ type deliveryQueue struct {
 	cond   *sync.Cond
 	items  []queuedMsg
 	closed bool
+	paused bool
 	wg     sync.WaitGroup
 }
 
@@ -245,7 +246,7 @@ func newDeliveryQueue(deliver Deliver) *deliveryQueue {
 		defer q.wg.Done()
 		for {
 			q.mu.Lock()
-			for len(q.items) == 0 && !q.closed {
+			for !q.closed && (q.paused || len(q.items) == 0) {
 				q.cond.Wait()
 			}
 			if len(q.items) == 0 && q.closed {
@@ -273,7 +274,25 @@ func (q *deliveryQueue) push(origin string, payload []byte) {
 	q.cond.Signal()
 }
 
-// close drains remaining items and stops the goroutine.
+// pause parks the drain goroutine after its current delivery; pushes
+// keep accumulating in order. Used to hold live deliveries back while a
+// durable subscription replays its backlog.
+func (q *deliveryQueue) pause() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.paused = true
+}
+
+// resume releases a pause; the accumulated backlog drains in order.
+func (q *deliveryQueue) resume() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.paused = false
+	q.cond.Signal()
+}
+
+// close drains remaining items and stops the goroutine. Close overrides
+// a pause so shutdown never hangs.
 func (q *deliveryQueue) close() {
 	q.mu.Lock()
 	q.closed = true

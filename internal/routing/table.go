@@ -58,7 +58,13 @@ type Table struct {
 
 	mu    sync.Mutex
 	nodes map[string]*nodeState
-	gen   atomic.Uint64 // bumped on every applied mutation
+	// epochs records each node's advertised incarnation (its boot
+	// stamp). A restarted node restarts its ad sequence from 1; without
+	// the epoch its fresh snapshots would be rejected as stale against
+	// the previous incarnation's high sequence — forever, since stale
+	// ads still refresh lastSeen. See NoteEpoch.
+	epochs map[string]int64
+	gen    atomic.Uint64 // bumped on every applied mutation
 
 	// adTTL is the silent-node expiry: a node whose last advertisement
 	// (of any kind — stale and deferred ads also prove liveness) is
@@ -240,9 +246,10 @@ type matchScratch struct {
 // with the node's engine, so conformance agrees with dispatch).
 func NewTable(reg *obvent.Registry) *Table {
 	t := &Table{
-		reg:   reg,
-		nodes: make(map[string]*nodeState),
-		now:   time.Now,
+		reg:    reg,
+		nodes:  make(map[string]*nodeState),
+		epochs: make(map[string]int64),
+		now:    time.Now,
 	}
 	t.match.New = func() any { return &matchScratch{} }
 	return t
@@ -330,6 +337,37 @@ func (t *Table) ApplySnapshot(node string, seq uint64, subs []core.SubscriptionI
 	t.gen.Add(1)
 	res.Applied = true
 	return res
+}
+
+// NoteEpoch records the advertised incarnation of a node before its ad
+// is applied, and reports whether the ad should be processed at all. A
+// higher epoch than recorded is a rebirth: the previous incarnation's
+// state (and its high ad sequence) is dropped so the newborn's
+// sequence-1 snapshot applies as a NewNode — which also triggers the
+// usual anti-entropy exchange. A lower epoch is a late retransmission
+// from a dead incarnation and must be ignored entirely. Epoch zero
+// (a peer predating epochs) is always accepted.
+func (t *Table) NoteEpoch(node string, epoch int64) bool {
+	if epoch == 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.epochs[node]
+	switch {
+	case epoch < cur:
+		t.adsStale.Add(1)
+		return false
+	case epoch > cur:
+		t.epochs[node] = epoch
+		if _, ok := t.nodes[node]; ok && cur != 0 {
+			// A genuine rebirth, not the first sighting: forget the
+			// dead incarnation.
+			delete(t.nodes, node)
+			t.gen.Add(1)
+		}
+	}
+	return true
 }
 
 // sameSubsLocked reports whether the applied subscription map equals
@@ -475,6 +513,7 @@ func (t *Table) RemoveNode(node string) {
 		return
 	}
 	delete(t.nodes, node)
+	delete(t.epochs, node)
 	t.gen.Add(1)
 }
 
@@ -492,6 +531,7 @@ func (t *Table) RetainNodes(members []string) {
 	for node := range t.nodes {
 		if !keep[node] {
 			delete(t.nodes, node)
+			delete(t.epochs, node)
 			changed = true
 		}
 	}

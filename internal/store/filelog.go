@@ -121,23 +121,52 @@ type FileLog struct {
 
 var _ Log = (*FileLog)(nil)
 
+// countingReader tracks how many bytes have been consumed, so replay
+// knows the byte offset of the last whole record.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // OpenFileLog opens (or creates) a file-backed log at path, replaying
-// any existing records.
+// any existing records. A torn tail record — the artifact of a crash
+// mid-append — is truncated away rather than failing the open: the torn
+// operation was never acknowledged to any caller, while refusing to
+// open would lose every recoverable record before it.
 func OpenFileLog(path string) (*FileLog, error) {
 	mem := NewMemLog()
 	if f, err := os.Open(path); err == nil {
+		cr := &countingReader{r: f}
+		var good int64 // byte offset after the last whole record
+		records := 0
 		for {
-			o, err := readOp(f)
+			o, err := readOp(cr)
 			if err != nil {
-				if errors.Is(err, io.EOF) {
-					break
-				}
 				_ = f.Close()
-				return nil, fmt.Errorf("store: replay %s: %w", path, err)
+				if errors.Is(err, io.EOF) && cr.n == good {
+					break // clean end at a record boundary
+				}
+				// Anything else — a short header, short body, or a
+				// garbage length — is a torn tail. Keep the longest
+				// valid prefix.
+				if terr := os.Truncate(path, good); terr != nil {
+					return nil, fmt.Errorf("store: truncate torn tail of %s: %w", path, terr)
+				}
+				logger().Warn("store: truncated torn tail record",
+					"path", path, "records", records, "goodBytes", good,
+					"tornBytes", cr.n-good, "err", err)
+				break
 			}
+			good = cr.n
+			records++
 			applyOp(mem, o)
 		}
-		_ = f.Close()
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
 	}

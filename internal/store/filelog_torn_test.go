@@ -1,0 +1,177 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// recordingHandler captures slog records for assertion.
+type recordingHandler struct {
+	mu      sync.Mutex
+	records []slog.Record
+}
+
+func (h *recordingHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *recordingHandler) Handle(_ context.Context, r slog.Record) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.records = append(h.records, r.Clone())
+	return nil
+}
+
+func (h *recordingHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *recordingHandler) WithGroup(string) slog.Handler      { return h }
+
+func (h *recordingHandler) messages() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, len(h.records))
+	for i, r := range h.records {
+		out[i] = r.Message
+	}
+	return out
+}
+
+// buildTornLog writes a log of n entries and returns its path and full
+// byte image.
+func buildTornLog(t *testing.T, dir string, n int) (string, []byte) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RegisterConsumer("sub"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range n {
+		e := Entry{ID: fmt.Sprintf("entry-%d", i), Payload: []byte(fmt.Sprintf("payload-%d", i))}
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// TestFileLogTruncatedTailRecovers pins the bugfix: a log whose final
+// record was torn by a crash mid-append must still open, keep every
+// whole record, and report the truncation through the injected logger.
+func TestFileLogTruncatedTailRecovers(t *testing.T) {
+	path, data := buildTornLog(t, t.TempDir(), 3)
+	// Tear the final record in half.
+	lastLen := len(encodeOp(op{kind: opAppend, id: "entry-2", payload: []byte("payload-2")}))
+	if err := os.Truncate(path, int64(len(data)-lastLen/2)); err != nil {
+		t.Fatal(err)
+	}
+
+	h := &recordingHandler{}
+	SetLogger(slog.New(h))
+	defer SetLogger(nil)
+
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("Open failed on torn tail: %v", err)
+	}
+	defer l.Close()
+	pending, err := l.Pending("sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 2 || pending[0].ID != "entry-0" || pending[1].ID != "entry-1" {
+		t.Fatalf("recovered entries = %v, want entry-0, entry-1", pending)
+	}
+	found := false
+	for _, msg := range h.messages() {
+		if msg == "store: truncated torn tail record" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("torn-tail truncation not logged; got %v", h.messages())
+	}
+	// The log must accept appends after recovery, and the re-appended
+	// entry must survive another reopen (the tail is truly gone from
+	// disk, not lurking as garbage mid-file).
+	if err := l.Append(Entry{ID: "entry-2", Payload: []byte("payload-2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	pending, err = l2.Pending("sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 3 {
+		t.Fatalf("entries after repair+reopen = %d, want 3", len(pending))
+	}
+}
+
+// TestFileLogTornWriteProperty truncates the log at every byte offset
+// of the final record: Open must always succeed and replay exactly the
+// longest valid prefix.
+func TestFileLogTornWriteProperty(t *testing.T) {
+	base := t.TempDir()
+	_, data := buildTornLog(t, filepath.Join(base, "ref"), 4)
+	lastLen := len(encodeOp(op{kind: opAppend, id: "entry-3", payload: []byte("payload-3")}))
+	goodBytes := len(data) - lastLen
+
+	for cut := goodBytes; cut < len(data); cut++ {
+		dir := filepath.Join(base, fmt.Sprintf("cut-%d", cut))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "log")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := OpenFileLog(path)
+		if err != nil {
+			t.Fatalf("cut at %d: Open failed: %v", cut, err)
+		}
+		pending, err := l.Pending("sub")
+		if err != nil {
+			t.Fatalf("cut at %d: consumer lost: %v", cut, err)
+		}
+		if len(pending) != 3 {
+			t.Fatalf("cut at %d: replayed %d entries, want 3", cut, len(pending))
+		}
+		for i, e := range pending {
+			if e.ID != fmt.Sprintf("entry-%d", i) {
+				t.Fatalf("cut at %d: entry[%d] = %q", cut, i, e.ID)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// On-disk file must now end at the last whole record.
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != int64(goodBytes) {
+			t.Fatalf("cut at %d: file size %d after recovery, want %d", cut, st.Size(), goodBytes)
+		}
+	}
+}

@@ -5,11 +5,36 @@ import (
 	"time"
 
 	"govents/internal/dace"
+	"govents/internal/durable"
 	"govents/internal/multicast"
 	"govents/internal/obvent"
 	"govents/internal/store"
 	"govents/internal/telemetry"
 )
+
+// SyncPolicy selects when the durable event log flushes appended
+// records to stable storage (see WithDurabilityTuning).
+type SyncPolicy = durable.SyncPolicy
+
+const (
+	// SyncAlways fsyncs after every appended record: no acknowledged
+	// event is ever lost, at the cost of one disk sync per publish.
+	SyncAlways = durable.SyncAlways
+	// SyncBatch fsyncs on segment roll and close only, letting the OS
+	// batch writes: a crash may lose the tail of the active segment,
+	// which certified redelivery then repairs from the publishers.
+	SyncBatch = durable.SyncBatch
+)
+
+// DurabilityTuning adjusts the durable event log (see WithDurability).
+// The zero value selects the defaults: 1 MiB segments, SyncAlways.
+type DurabilityTuning struct {
+	// SegmentBytes is the size threshold at which the log rolls to a
+	// new segment file; compaction reclaims whole sealed segments.
+	SegmentBytes int64
+	// Sync is the fsync policy for appended records.
+	Sync SyncPolicy
+}
 
 // Placement selects where migratable remote filters are evaluated
 // (paper §2.3.2, §3.3.3).
@@ -69,6 +94,8 @@ type config struct {
 	adTTL        time.Duration
 	tuning       Tuning
 	durableID    string
+	durDir       string
+	durTuning    DurabilityTuning
 	certLog      store.Log
 	certDedup    store.Set
 	gossip       bool
@@ -148,6 +175,29 @@ func WithGossipUnreliable() Option {
 // certified subscriptions activated without one (paper §3.4.1).
 func WithDurableID(id string) Option {
 	return func(c *config) { c.durableID = id }
+}
+
+// WithDurability gives the domain a durability directory: certified
+// delivery state — the publisher-side outbox and the subscriber-side
+// inbox of every certified class — moves to per-class append-only
+// segment logs under dir, so it survives crash-restart, not just
+// disconnection. A domain reopened on the same directory resumes where
+// the crashed incarnation stopped: unacknowledged outbox events are
+// retransmitted, and SubscribeDurable replays the events a durable
+// subscription missed while the process was down before going live.
+//
+// The directory belongs to one domain member; reopening it under a new
+// transport address orphans the previous incarnation's outbox
+// consumers. WithDurability supersedes WithCertifiedStores for the
+// certified classes; it requires WithTransport.
+func WithDurability(dir string) Option {
+	return func(c *config) { c.durDir = dir }
+}
+
+// WithDurabilityTuning adjusts the durable event log's segment size and
+// fsync policy. It only has effect together with WithDurability.
+func WithDurabilityTuning(t DurabilityTuning) Option {
+	return func(c *config) { c.durTuning = t }
 }
 
 // WithCertifiedStores installs stable storage for certified delivery:
@@ -252,6 +302,9 @@ func (c *config) distributedOnly() []string {
 	if c.certLog != nil || c.certDedup != nil {
 		bad = append(bad, "WithCertifiedStores")
 	}
+	if c.durDir != "" {
+		bad = append(bad, "WithDurability")
+	}
 	if c.pruneOff {
 		bad = append(bad, "WithOrderedPruning")
 	}
@@ -259,9 +312,10 @@ func (c *config) distributedOnly() []string {
 }
 
 // daceConfig renders the options into the substrate configuration.
-// tele and log are the domain's telemetry plane and logger, built by
+// tele and log are the domain's telemetry plane and logger, dur the
+// opened durability manager (nil without WithDurability) — all built by
 // Open and shared with the engine.
-func (c *config) daceConfig(tele *telemetry.Plane, log *slog.Logger) dace.Config {
+func (c *config) daceConfig(tele *telemetry.Plane, log *slog.Logger, dur *durable.Manager) dace.Config {
 	placement := dace.AtPublisher
 	if c.placement == AtSubscriber {
 		placement = dace.AtSubscriber
@@ -271,6 +325,7 @@ func (c *config) daceConfig(tele *telemetry.Plane, log *slog.Logger) dace.Config
 		GossipUnreliable: c.gossip,
 		CertLog:          c.certLog,
 		CertDedup:        c.certDedup,
+		Durable:          dur,
 		DurableID:        c.durableID,
 		AdTTL:            c.adTTL,
 		NoOrderedPruning: c.pruneOff,

@@ -18,6 +18,9 @@ import (
 // limit; a deactivated handle stays valid.
 type Subscription struct {
 	s *core.Subscription
+	// release, when set (durable subscriptions), frees the domain's
+	// durable-identity claim on deactivation.
+	release func()
 }
 
 // ID returns the domain-unique subscription identifier.
@@ -44,8 +47,18 @@ func (s *Subscription) ActivateDurable(durableID string) error {
 
 // Deactivate stops delivery — the action of unsubscribing (§3.4.2).
 // Deactivating an inactive subscription fails with
-// ErrCannotUnsubscribe.
-func (s *Subscription) Deactivate() error { return s.s.Deactivate() }
+// ErrCannotUnsubscribe. Deactivating a durable subscription releases
+// its durable-identity claim, letting a later SubscribeDurable in the
+// same domain member reclaim the identity.
+func (s *Subscription) Deactivate() error {
+	if err := s.s.Deactivate(); err != nil {
+		return err
+	}
+	if s.release != nil {
+		s.release()
+	}
+	return nil
+}
 
 // SetSingleThreading makes the handler process at most one obvent at a
 // time (paper §3.3.5).
