@@ -631,6 +631,127 @@ func BenchmarkDispatchParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkOverload measures the bounded-lane layer. The unbounded /
+// bounded-idle pair is the CI fast-path gate: with a bound configured
+// but never reached, dispatch must stay within 5% of the unbounded
+// baseline (benchjson -gate). The policy=* cells saturate a small bound
+// with more publishers than lanes and report the per-envelope cost of
+// each overload policy under pressure, its shed/spill accounting, and
+// the delivered latency p99. Part of the dispatch CI family archived
+// into BENCH_dispatch.json.
+func BenchmarkOverload(b *testing.B) {
+	b.Run("unbounded", func(b *testing.B) { benchDispatch(b, 100, 0.10) })
+	b.Run("bounded-idle", func(b *testing.B) {
+		benchDispatch(b, 100, 0.10,
+			core.WithLaneQueueBound(1<<16), core.WithOverloadPolicy(core.OverloadBlock))
+	})
+	for _, pol := range []struct {
+		name   string
+		policy core.OverloadPolicy
+	}{
+		{"block", core.OverloadBlock},
+		{"drop-oldest", core.OverloadDropOldest},
+		{"spill", core.OverloadSpill},
+	} {
+		b.Run("policy="+pol.name, func(b *testing.B) { benchOverloadPolicy(b, pol.policy) })
+	}
+}
+
+func benchOverloadPolicy(b *testing.B, policy core.OverloadPolicy) {
+	const (
+		publishers = 8
+		lanes      = 2
+		bound      = 256
+	)
+	tap := &sinkTap{}
+	p := telemetry.NewPlane()
+	opts := []core.Option{
+		core.WithDispatchLanes(lanes),
+		core.WithLaneQueueBound(bound),
+		core.WithOverloadPolicy(policy),
+		core.WithTelemetry(p),
+	}
+	if policy == core.OverloadSpill {
+		opts = append(opts, core.WithSpillDir(b.TempDir()))
+	}
+	e := core.NewEngine("bench-overload", tap, opts...)
+	defer func() { _ = e.Close() }()
+	workload.RegisterTypes(e.Registry())
+
+	// One subscription doing a fixed slice of work per delivery, so
+	// `publishers` producers outrun `lanes` drains and the bound
+	// genuinely engages (the handler cost is identical across policies,
+	// so the cells compare overload machinery, not handler speed).
+	var got atomic.Int64
+	sub, err := core.Subscribe(e, nil, func(q workload.StockQuote) {
+		h := uint64(14695981039346656037)
+		for i := 0; i < 256; i++ {
+			h = (h ^ uint64(i)) * 1099511628211
+		}
+		if h == 0 { // never: keeps the spin from being elided
+			return
+		}
+		got.Add(1)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sub.Activate(); err != nil {
+		b.Fatal(err)
+	}
+
+	q := workload.StockQuote{StockObvent: workload.StockObvent{Company: "Telco Mobiles", Price: 1, Amount: 1}}
+	envs := make([]*codec.Envelope, publishers)
+	for i := range envs {
+		env, err := e.Codec().Encode(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env.Publisher = fmt.Sprintf("publisher-%02d", i)
+		envs[i] = env
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < publishers; i++ {
+		n := b.N / publishers
+		if i < b.N%publishers {
+			n++
+		}
+		wg.Add(1)
+		go func(env *codec.Envelope, n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				tap.sink(env)
+			}
+		}(envs[i], n)
+	}
+	wg.Wait()
+	// Lossless policies deliver everything; DropOldest delivers the
+	// survivors — wait for the lanes (memory and spill) to drain fully
+	// either way, so the measured interval covers the whole backlog.
+	waitUntil(b, 5*time.Minute, func() bool {
+		for _, l := range e.LaneStats() {
+			if l.Queued != 0 || l.SpillBacklog != 0 {
+				return false
+			}
+		}
+		return got.Load()+int64(e.Stats().Shed) >= int64(b.N)
+	})
+	b.StopTimer()
+	st := e.Stats()
+	b.ReportMetric(float64(st.Shed)/float64(b.N), "shed/op")
+	b.ReportMetric(float64(st.Spilled)/float64(b.N), "spilled/op")
+	lat := p.StageSnapshot(telemetry.StageE2E)
+	if lat.Count == 0 {
+		lat = p.StageSnapshot(telemetry.StageDispatch)
+	}
+	if lat.Count > 0 {
+		b.ReportMetric(float64(lat.Quantile(0.99)), "p99_ns")
+	}
+}
+
 // --- C8: publisher-side routing plane (paper §2.3.2 at the dissemination layer) ---
 
 // BenchmarkPublisherRouting measures the publisher's per-event

@@ -45,7 +45,7 @@ var defaultPlacement = govents.AtSubscriber
 var showMetrics = false
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: C1, C2, C3, C4, C5, C6, C7, C8, C9 or all")
+	exp := flag.String("exp", "all", "experiment to run: C1, C2, C3, C4, C5, C6, C7, C8, C9, C10 or all")
 	placement := flag.String("placement", "subscriber", "default remote filter placement: subscriber or publisher")
 	metrics := flag.Bool("metrics", false, "print per-stage latency quantiles (p50/p90/p99/max) after each run")
 	flag.Parse()
@@ -65,6 +65,7 @@ func main() {
 		"C1": expC1, "C2": expC2, "C3": expC3,
 		"C4": expC4, "C5": expC5, "C6": expC6,
 		"C7": expC7, "C8": expC8, "C9": expC9,
+		"C10": expC10,
 	}
 	if *exp == "all" {
 		names := make([]string, 0, len(experiments))
@@ -812,4 +813,228 @@ func durableRun(sync govents.SyncPolicy, missed int) (caught int64, staged uint6
 	catchUp = time.Since(start)
 	g.Settle()
 	return got.Load() - warm, d1.DurableStats().Staged, catchUp
+}
+
+// --- C10: overload resilience: bounded lanes, policies, slow consumers ---
+
+func expC10() {
+	fmt.Println("\n== C10: overload: hot publisher + wedged consumer under each policy ==")
+	fmt.Println("claim: bounded lanes degrade explicitly — Block backpressures losslessly, DropOldest")
+	fmt.Println("       sheds newest-preserving, Spill overflows to disk and recovers — while the")
+	fmt.Println("       wedged consumer is quarantined and never blocks its co-hosted subscriptions")
+	fmt.Printf("%-12s %8s %10s %8s %8s %8s %8s %12s %12s\n",
+		"policy", "sent", "delivered", "shed", "spilled", "quarant", "drops", "e2e-p50", "e2e-p99")
+
+	for _, pol := range []struct {
+		name   string
+		policy govents.OverloadPolicy
+	}{
+		{"block", govents.OverloadBlock},
+		{"drop-oldest", govents.OverloadDropOldest},
+		{"spill", govents.OverloadSpill},
+	} {
+		r := overloadRun(pol.policy)
+		fmt.Printf("%-12s %8d %10d %8d %8d %8d %8d %12v %12v\n",
+			pol.name, r.sent, r.delivered, r.shed, r.spilled, r.quarantines, r.slowDrops,
+			r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond))
+	}
+
+	fmt.Println("\n== C10b: late-joining durable subscriber: returning identity vs old log ==")
+	fmt.Println("claim: a returning durable identity backfills its whole owed log before going live,")
+	fmt.Println("       at a cost tracking the log size; a fresh identity owes no history and joins")
+	fmt.Println("       in constant time regardless of how old the log is")
+	fmt.Printf("%8s %10s %12s %12s %12s\n", "log", "backfilled", "backfill", "per-event", "fresh-join")
+	for _, logSize := range []int{100, 400, 1600} {
+		caught, backfill, freshJoin := lateJoinRun(logSize)
+		fmt.Printf("%8d %10d %12v %12v %12v\n",
+			logSize, caught, backfill.Round(time.Microsecond),
+			(backfill / time.Duration(logSize)).Round(time.Microsecond),
+			freshJoin.Round(time.Microsecond))
+	}
+}
+
+type overloadResult struct {
+	sent, delivered        int
+	shed, spilled          uint64
+	quarantines, slowDrops uint64
+	p50, p99               time.Duration
+}
+
+// overloadRun drives one hot-publisher burst at a consumer node hosting
+// a wedged (never-returning) subscription next to a healthy one, with
+// bounded lanes under the given policy, and reports the shed/spill
+// accounting plus the healthy subscription's end-to-end latency.
+func overloadRun(policy govents.OverloadPolicy) overloadResult {
+	const burst = 4000
+	net := netsim.New(netsim.Config{MaxLatency: 200 * time.Microsecond, Seed: 10})
+	defer net.Close()
+
+	newNode := func(addr string, opts ...govents.Option) *govents.Domain {
+		ep, err := net.NewEndpoint(addr)
+		if err != nil {
+			panic(err)
+		}
+		d, err := govents.Open(ctx, addr, append([]govents.Option{
+			govents.WithTransport(ep), govents.WithTuning(fastTuning()),
+		}, opts...)...)
+		if err != nil {
+			panic(err)
+		}
+		workload.RegisterTypes(d.Registry())
+		return d
+	}
+
+	conOpts := []govents.Option{
+		govents.WithTelemetry(true),
+		govents.WithDispatchLanes(4),
+		govents.WithLaneQueueBound(256),
+		govents.WithOverloadPolicy(policy),
+		govents.WithSlowConsumerBudget(5*time.Millisecond, 256),
+	}
+	if policy == govents.OverloadSpill {
+		dir, err := os.MkdirTemp("", "loadgen-c10-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		conOpts = append(conOpts, govents.WithDurability(dir))
+	}
+	pub := newNode("node-00")
+	con := newNode("node-01", conOpts...)
+	defer pub.Close(ctx)
+	defer con.Close(ctx)
+	for _, d := range []*govents.Domain{pub, con} {
+		if err := d.SetPeers("node-00", "node-01"); err != nil {
+			panic(err)
+		}
+	}
+
+	release := make(chan struct{})
+	defer close(release)
+	wedged, err := govents.Subscribe(con, nil, func(q workload.QuoteReliable) { <-release })
+	if err != nil {
+		panic(err)
+	}
+	wedged.SetSingleThreading()
+	var got atomic.Int64
+	if _, err := govents.Subscribe(con, nil, func(q workload.QuoteReliable) { got.Add(1) }); err != nil {
+		panic(err)
+	}
+	if !waitUntil(10*time.Second, func() bool { return pub.RemoteSubscriptionCount() >= 2 }) {
+		panic("C10: subscription ads never reached the publisher")
+	}
+
+	gen := workload.NewQuoteGen(31, 5)
+	for i := 0; i < burst; i++ {
+		if err := pub.Publish(ctx, workload.QuoteReliable{StockObvent: gen.Next().StockObvent}); err != nil {
+			panic(err)
+		}
+	}
+
+	// Wait for the lanes to drain fully (memory and spill). Under the
+	// lossless policies that means every event reached the healthy
+	// subscription; under DropOldest the survivors did.
+	if !waitUntil(time.Minute, func() bool {
+		for _, l := range con.LaneStats() {
+			if l.Queued != 0 || l.SpillBacklog != 0 {
+				return false
+			}
+		}
+		st := con.Stats()
+		return got.Load()+int64(st.Shed) >= burst
+	}) {
+		panic(fmt.Sprintf("C10: lanes never drained under %v: got=%d stats=%+v",
+			policy, got.Load(), con.Stats()))
+	}
+
+	st := con.Stats()
+	r := overloadResult{
+		sent: burst, delivered: int(got.Load()),
+		shed: st.Shed, spilled: st.Spilled,
+		quarantines: st.Quarantines, slowDrops: st.SlowConsumerDrops,
+	}
+	if e2e, ok := con.Histograms()["e2e"]; ok && e2e.Count > 0 {
+		r.p50, r.p99 = e2e.Quantile(0.5), e2e.Quantile(0.99)
+	}
+	return r
+}
+
+// lateJoinRun builds an old certified log of logSize events — fully
+// consumed by a resident durable subscriber while a second durable
+// identity sits deactivated, owed everything — then times (a) the
+// returning identity's synchronous backfill of the whole log and (b) a
+// brand-new identity's join, which owes no history and goes live
+// immediately (a fresh cursor starts at the log head by design).
+func lateJoinRun(logSize int) (caught int64, backfill, freshJoin time.Duration) {
+	dir, err := os.MkdirTemp("", "loadgen-c10b-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	g, err := govents.OpenGroup(ctx, 2, govents.GroupConfig{
+		Durability: dir,
+		Options: func(i int, addr string) []govents.Option {
+			return []govents.Option{govents.WithTuning(fastTuning())}
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer g.Close(ctx)
+
+	var resident atomic.Int64
+	if _, err := govents.SubscribeDurable(g.Domain(1), "resident", func(q workload.QuoteCertified) {
+		resident.Add(1)
+	}); err != nil {
+		panic(err)
+	}
+	// The late joiner claims its identity up front (creating its durable
+	// cursor), then leaves before anything is published.
+	var late atomic.Int64
+	lateSub, err := govents.SubscribeDurable(g.Domain(1), "late-joiner", func(q workload.QuoteCertified) {
+		late.Add(1)
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := lateSub.Deactivate(); err != nil {
+		panic(err)
+	}
+	if !waitUntil(10*time.Second, func() bool { return g.Domain(0).RemoteSubscriptionCount() >= 1 }) {
+		panic("C10b: subscription ad never reached the publisher")
+	}
+
+	gen := workload.NewQuoteGen(37, 5)
+	for i := 0; i < logSize; i++ {
+		if err := g.Domain(0).Publish(ctx, workload.QuoteCertified{StockObvent: gen.Next().StockObvent}); err != nil {
+			panic(err)
+		}
+	}
+	if !waitUntil(time.Minute, func() bool { return resident.Load() >= int64(logSize) }) {
+		panic(fmt.Sprintf("C10b: resident consumed only %d of %d", resident.Load(), logSize))
+	}
+
+	// The identity returns: SubscribeDurable replays the whole owed log
+	// synchronously before the subscription goes live.
+	start := time.Now()
+	if _, err := govents.SubscribeDurable(g.Domain(1), "late-joiner", func(q workload.QuoteCertified) {
+		late.Add(1)
+	}); err != nil {
+		panic(err)
+	}
+	if !waitUntil(time.Minute, func() bool { return late.Load() >= int64(logSize) }) {
+		panic(fmt.Sprintf("C10b: late joiner backfilled only %d of %d", late.Load(), logSize))
+	}
+	backfill = time.Since(start)
+
+	// A brand-new identity against the same old log: no owed history, so
+	// the join is log-size independent.
+	start = time.Now()
+	if _, err := govents.SubscribeDurable(g.Domain(1), "fresh", func(q workload.QuoteCertified) {}); err != nil {
+		panic(err)
+	}
+	freshJoin = time.Since(start)
+	g.Settle()
+	return late.Load(), backfill, freshJoin
 }

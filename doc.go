@@ -88,6 +88,32 @@
 // full-group broadcasts. RoutingStats reports the saved traffic as
 // PrunedSends and SkipFrames.
 //
+// # Overload and flow control
+//
+// Inbound dispatch degrades gracefully instead of growing without
+// bound. WithLaneQueueBound caps every dispatch lane's in-memory
+// queue, and WithOverloadPolicy selects what a full lane does:
+// OverloadBlock (the default) applies backpressure to the intake,
+// OverloadDropOldest sheds the oldest queued envelope with a counted
+// reason, and OverloadSpill overflows to a per-lane durable segment
+// log (requires WithDurability) that drains back — in order — once
+// the lane catches up, so bursts cost latency rather than loss.
+// FIFO-ordered traffic dispatches on per-publisher parallel sub-lanes
+// (only causal, total and prioritary classes serialize), and idle
+// lanes steal whole-publisher batches from overloaded siblings
+// through a loan protocol that preserves each publisher's delivery
+// order exactly.
+//
+// One stuck handler cannot stall the rest of the domain:
+// WithSlowConsumerBudget(stall, mailbox) quarantines a subscription
+// whose handler exceeds its stall budget onto a private bounded
+// mailbox; ordered deliveries beyond the mailbox are dropped for that
+// subscription only, counted under ErrSlowConsumer, and the
+// subscription rejoins normal dispatch once it drains. Domain.Stats
+// exposes the accounting (Shed, Spilled, SpillDrained, Steals,
+// StolenEvents, Quarantines, SlowConsumerDrops) and Domain.LaneStats
+// the per-lane depths, bounds and policies.
+//
 // # Durability
 //
 // Certified delivery (§3.1.2) promises that "even if a notifiable
@@ -110,7 +136,10 @@
 // classes. Sync policy (fsync per record vs batched) and segment size
 // come from WithDurabilityTuning; Domain.DurableStats exposes the
 // plane's counters and Domain.CompactDurable drops fully consumed
-// segments.
+// segments. DurabilityTuning.Retention schedules that compaction on a
+// jittered background ticker instead — reclaiming only behind the
+// slowest consumer frontier, never a record still owed to a durable
+// identity — and DurableStats reports the reclaimed bytes and records.
 //
 // SubscribeDurable is the paper's activate(long id): the subscription
 // is owned by the durable identity, not the process. A new incarnation

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -81,6 +82,12 @@ type Domain struct {
 	rmiRT   *rmi.Runtime
 	metrics *metricsServer // nil unless WithMetricsAddr
 
+	// Retention ticker lifecycle (nil unless DurabilityTuning.Retention
+	// set an interval): closing retainStop stops the ticker goroutine,
+	// which closes retainDone on exit.
+	retainStop chan struct{}
+	retainDone chan struct{}
+
 	mu        sync.Mutex
 	ts        *tuplespace.Space
 	topics    *topics.Bus
@@ -127,6 +134,12 @@ func Open(ctx context.Context, name string, opts ...Option) (*Domain, error) {
 			return fail(fmt.Errorf("%s require(s) WithTransport", strings.Join(bad, ", ")))
 		}
 	}
+	if cfg.policy == OverloadSpill && cfg.durDir == "" {
+		// Spill needs a durability directory to host the per-lane
+		// overflow logs; silently degrading to a lossy policy would
+		// betray the "delivery does not degrade" promise of Spill.
+		return fail(fmt.Errorf("WithOverloadPolicy(OverloadSpill) requires WithDurability"))
+	}
 	reg := cfg.registry
 	if reg == nil {
 		reg = obvent.NewRegistry()
@@ -166,6 +179,20 @@ func Open(ctx context.Context, name string, opts ...Option) (*Domain, error) {
 	}
 	if cfg.naive {
 		engOpts = append(engOpts, core.WithNaiveDispatch())
+	}
+	if cfg.laneBound > 0 {
+		engOpts = append(engOpts, core.WithLaneQueueBound(cfg.laneBound))
+	}
+	if cfg.policy != OverloadBlock {
+		engOpts = append(engOpts, core.WithOverloadPolicy(cfg.policy))
+	}
+	if cfg.durDir != "" {
+		// Host the per-lane overflow logs beside the certified state;
+		// the subdirectory only materializes on first spill.
+		engOpts = append(engOpts, core.WithSpillDir(filepath.Join(cfg.durDir, "spill")))
+	}
+	if cfg.stallBudget > 0 {
+		engOpts = append(engOpts, core.WithSlowConsumerBudget(cfg.stallBudget, cfg.mailbox))
 	}
 
 	if cfg.transport != nil {
@@ -207,6 +234,9 @@ func Open(ctx context.Context, name string, opts ...Option) (*Domain, error) {
 			return fail(err)
 		}
 		d.metrics = ms
+	}
+	if d.dur != nil && cfg.durTuning.Retention.Interval > 0 {
+		d.startRetention(cfg.durTuning.Retention)
 	}
 	return d, nil
 }
@@ -403,6 +433,12 @@ func (d *Domain) Close(ctx context.Context) error {
 		go func() {
 			if d.metrics != nil {
 				d.metrics.close() // stop scrapes before state goes down
+			}
+			if d.retainStop != nil {
+				// Stop the retention ticker before the durable logs
+				// close underneath its compaction pass.
+				close(d.retainStop)
+				<-d.retainDone
 			}
 			err := d.eng.Close() // drains handlers, closes the disseminator
 			if d.dur != nil {

@@ -2,9 +2,11 @@ package govents
 
 import (
 	"fmt"
+	"math/rand"
 	"reflect"
 	"sort"
 	"sync"
+	"time"
 
 	"govents/internal/codec"
 	"govents/internal/core"
@@ -194,4 +196,41 @@ func (d *Domain) releaseDurable(classes []string, durableID string) {
 	for _, class := range classes {
 		delete(d.durClaims, class+"\x00"+durableID)
 	}
+}
+
+// startRetention launches the background retention ticker
+// (DurabilityTuning.Retention): every Interval ± 10% jitter it runs the
+// same snapshot+compact pass as CompactDurable — outbox GC up to the
+// consumer frontier, inbox compaction behind every cursor — so durable
+// disk usage is reclaimed without manual calls. With MaxBytes set the
+// tick compacts only while the logs' on-disk size exceeds it. The
+// jitter decorrelates a fleet of domains restarted together. Close
+// stops the ticker before the durable logs shut down.
+func (d *Domain) startRetention(p RetentionPolicy) {
+	d.retainStop = make(chan struct{})
+	d.retainDone = make(chan struct{})
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	go func() {
+		defer close(d.retainDone)
+		for {
+			wait := p.Interval
+			if j := int64(p.Interval / 10); j > 0 {
+				wait += time.Duration(rng.Int63n(2*j+1) - j)
+			}
+			timer := time.NewTimer(wait)
+			select {
+			case <-d.retainStop:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			if p.MaxBytes > 0 && d.dur.Stats().Bytes <= p.MaxBytes {
+				continue
+			}
+			if err := d.dur.Compact(); err != nil {
+				d.log.Warn("govents: retention compaction failed; will retry next tick",
+					"domain", d.name, "err", err)
+			}
+		}
+	}()
 }

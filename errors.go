@@ -31,6 +31,13 @@ var (
 	ErrCannotSubscribe   = core.ErrCannotSubscribe
 	ErrCannotUnsubscribe = core.ErrCannotUnsubscribe
 
+	// ErrSlowConsumer tags deliveries dropped because a quarantined
+	// slow consumer's bounded mailbox overflowed (see
+	// WithSlowConsumerBudget). It is an accounting sentinel — the
+	// counts appear in DispatchStats.SlowConsumerDrops and under the
+	// "slow_consumer" drop reason; handlers never receive it.
+	ErrSlowConsumer = core.ErrSlowConsumer
+
 	// ErrNoDurability reports a durable operation (SubscribeDurable,
 	// CompactDurable) on a domain opened without WithDurability.
 	ErrNoDurability = durable.ErrNoDurability

@@ -46,15 +46,37 @@ type DispatchStats struct {
 	Matched uint64
 	// Delivered counts clones actually handed to subscription
 	// executors. A clone that fails to decode surfaces in DecodeErrors
-	// before it can match, so Matched and Delivered currently coincide;
-	// they are kept separate for future delivery-side drop reasons
-	// (e.g. bounded executor queues).
+	// before it can match, and a quarantined slow consumer's mailbox
+	// overflow surfaces in SlowConsumerDrops, so Matched and Delivered
+	// coincide; both exclude dropped deliveries.
 	Delivered uint64
 	// DecodeErrors counts envelopes or clones that failed to decode.
 	DecodeErrors uint64
 	// HandlerPanics counts application handler panics recovered by the
 	// delivery pipeline (engine-wide; per-event, not per-lane).
 	HandlerPanics uint64
+
+	// Shed counts envelopes dropped by bounded lanes under the
+	// DropOldest overload policy (plus spill-failure degradations) —
+	// telemetry reason "overload_shed".
+	Shed uint64
+	// Spilled / SpillDrained count envelopes written to and drained back
+	// from the per-lane overflow segment logs (OverloadSpill). Spilled
+	// minus SpillDrained is the aggregate on-disk backlog.
+	Spilled      uint64
+	SpillDrained uint64
+	// Steals counts whole-publisher batch steals performed by idle
+	// parallel lanes; StolenEvents counts the envelopes they moved.
+	Steals       uint64
+	StolenEvents uint64
+	// SlowConsumerDrops counts deliveries dropped because a quarantined
+	// slow consumer's bounded mailbox overflowed (engine-wide; telemetry
+	// reason "slow_consumer"). Other subscriptions are unaffected.
+	SlowConsumerDrops uint64
+	// Quarantines counts slow-consumer quarantine transitions
+	// (engine-wide): a handler exceeded its stall budget with deliveries
+	// waiting and was moved to a bounded, serialized mailbox.
+	Quarantines uint64
 
 	// AccessorPrograms counts the accessor programs compiled by the live
 	// dispatch table's compound matchers: one per (event type, unique
@@ -106,6 +128,11 @@ type dispatchCounters struct {
 	matched      atomic.Uint64
 	delivered    atomic.Uint64
 	decodeErrors atomic.Uint64
+	shed         atomic.Uint64
+	spilled      atomic.Uint64
+	spillDrained atomic.Uint64
+	steals       atomic.Uint64
+	stolen       atomic.Uint64
 }
 
 func (c *dispatchCounters) snapshot() DispatchStats {
@@ -115,6 +142,11 @@ func (c *dispatchCounters) snapshot() DispatchStats {
 		Matched:      c.matched.Load(),
 		Delivered:    c.delivered.Load(),
 		DecodeErrors: c.decodeErrors.Load(),
+		Shed:         c.shed.Load(),
+		Spilled:      c.spilled.Load(),
+		SpillDrained: c.spillDrained.Load(),
+		Steals:       c.steals.Load(),
+		StolenEvents: c.stolen.Load(),
 	}
 }
 
@@ -125,6 +157,11 @@ func (s *DispatchStats) add(o DispatchStats) {
 	s.Matched += o.Matched
 	s.Delivered += o.Delivered
 	s.DecodeErrors += o.DecodeErrors
+	s.Shed += o.Shed
+	s.Spilled += o.Spilled
+	s.SpillDrained += o.SpillDrained
+	s.Steals += o.Steals
+	s.StolenEvents += o.StolenEvents
 }
 
 // Stats returns a snapshot of the engine's delivery counters, folded
@@ -134,6 +171,8 @@ func (s *DispatchStats) add(o DispatchStats) {
 func (e *Engine) Stats() DispatchStats {
 	st := e.lanes.stats()
 	st.HandlerPanics = e.handlerPanics.Load()
+	st.SlowConsumerDrops = e.overload.slowDrops.Load()
+	st.Quarantines = e.overload.quarantines.Load()
 	cs := e.codec.CopierStats()
 	st.CopierCompiles = cs.Compiles
 	st.CopierFallbacks = cs.Rejects
@@ -405,10 +444,13 @@ func (e *Engine) dispatch(env *codec.Envelope, ln *laneState) {
 		if s.localFilter != nil && !s.localFilter(o) {
 			continue
 		}
-		if s.executor.submit(o, ordered, ln.deq, env.PubNanos, env.ID, env.Type) {
+		switch s.executor.submit(o, ordered, ln.deq, env.PubNanos, env.ID, env.Type) {
+		case submitOK:
 			ln.counters.matched.Add(1)
 			ln.counters.delivered.Add(1)
-		} else {
+		case submitShed:
+			e.noteDrop(env, telemetry.ReasonSlowConsumer)
+		default: // submitClosed
 			e.noteDrop(env, telemetry.ReasonExecutorClosed)
 		}
 	}
@@ -498,10 +540,13 @@ func (e *Engine) dispatchNaive(env *codec.Envelope, ln *laneState) {
 		if s.localFilter != nil && !s.localFilter(o) {
 			continue
 		}
-		if s.executor.submit(o, ordered, ln.deq, env.PubNanos, env.ID, env.Type) {
+		switch s.executor.submit(o, ordered, ln.deq, env.PubNanos, env.ID, env.Type) {
+		case submitOK:
 			ln.counters.matched.Add(1)
 			ln.counters.delivered.Add(1)
-		} else {
+		case submitShed:
+			e.noteDrop(env, telemetry.ReasonSlowConsumer)
+		default: // submitClosed
 			e.noteDrop(env, telemetry.ReasonExecutorClosed)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"govents/internal/codec"
 	"govents/internal/filter"
@@ -87,6 +88,14 @@ type Engine struct {
 	// delivery pipeline: a panicking handler must not take down the
 	// process or starve other subscriptions of the same event.
 	handlerPanics atomic.Uint64
+	// overload aggregates slow-consumer isolation accounting across all
+	// subscription executors (quarantine transitions, mailbox drops).
+	overload overloadCounters
+	// stallBudget/mailbox configure slow-consumer isolation for every
+	// subscription executor (WithSlowConsumerBudget); a zero budget
+	// disables it.
+	stallBudget time.Duration
+	mailbox     int
 	// naiveDispatch routes envelopes through the unindexed
 	// per-subscription path (WithNaiveDispatch).
 	naiveDispatch bool
@@ -105,13 +114,18 @@ type Engine struct {
 type Option func(*engineConfig)
 
 type engineConfig struct {
-	registry   *obvent.Registry
-	naive      bool
-	lanes      int
-	legacyWire bool
-	tele       *telemetry.Plane
-	teleSet    bool
-	logger     *slog.Logger
+	registry    *obvent.Registry
+	naive       bool
+	lanes       int
+	legacyWire  bool
+	tele        *telemetry.Plane
+	teleSet     bool
+	logger      *slog.Logger
+	laneBound   int
+	policy      OverloadPolicy
+	spillDir    string
+	stallBudget time.Duration
+	mailbox     int
 }
 
 // WithRegistry makes the engine use a shared obvent type registry
@@ -165,6 +179,43 @@ func WithEngineLogger(l *slog.Logger) Option {
 	return func(c *engineConfig) { c.logger = l }
 }
 
+// WithLaneQueueBound caps every dispatch lane's in-memory queue at n
+// envelopes. A full lane applies the engine's overload policy
+// (WithOverloadPolicy). Zero or negative restores the default unbounded
+// queues.
+func WithLaneQueueBound(n int) Option {
+	return func(c *engineConfig) { c.laneBound = n }
+}
+
+// WithOverloadPolicy selects what a bounded lane (WithLaneQueueBound)
+// does once full: block the publisher path (default), shed the oldest
+// queued envelope, or spill overflow to a per-lane durable segment log
+// (requires WithSpillDir). Without a queue bound the policy is idle.
+func WithOverloadPolicy(p OverloadPolicy) Option {
+	return func(c *engineConfig) { c.policy = p }
+}
+
+// WithSpillDir hosts the per-lane overflow segment logs used by the
+// OverloadSpill policy. The directory is created on first spill; an
+// engine configured with OverloadSpill but no spill directory degrades
+// to OverloadDropOldest with a logged warning.
+func WithSpillDir(dir string) Option {
+	return func(c *engineConfig) { c.spillDir = dir }
+}
+
+// WithSlowConsumerBudget enables slow-consumer isolation: a
+// subscription whose handler has been running longer than stall without
+// completing anything, while deliveries queue behind it, is quarantined
+// — its delivery queue becomes a bounded mailbox of the given size
+// (<= 0 selects a default of 1024) whose overflow is dropped for that
+// subscription only, counted in DispatchStats.SlowConsumerDrops and
+// tagged ErrSlowConsumer in telemetry, so a wedged handler can never
+// head-of-line-block a dispatch lane or engine shutdown. A zero stall
+// disables isolation (the default).
+func WithSlowConsumerBudget(stall time.Duration, mailbox int) Option {
+	return func(c *engineConfig) { c.stallBudget = stall; c.mailbox = mailbox }
+}
+
 // NewEngine creates an engine with identifier id over the given
 // dissemination substrate.
 func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
@@ -197,6 +248,8 @@ func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
 		naiveDispatch: cfg.naive,
 		tele:          tele,
 		log:           logger,
+		stallBudget:   cfg.stallBudget,
+		mailbox:       cfg.mailbox,
 	}
 	if cfg.legacyWire {
 		e.codec.SetWireDisabled(true)
@@ -206,7 +259,12 @@ func NewEngine(id string, diss Disseminator, opts ...Option) *Engine {
 	}
 	e.tele.SetLanes(lanes + 1) // +1: the serial lane's gauge is index 0
 	e.table.Store(newDispatchTable(reg, nil))
-	e.lanes = newLaneSet(reg, lanes, e.dispatch, e.tele)
+	e.lanes = newLaneSet(reg, lanes, e.dispatch, e.tele, laneConfig{
+		bound:    cfg.laneBound,
+		policy:   cfg.policy,
+		spillDir: cfg.spillDir,
+		logger:   logger,
+	})
 	diss.SetSink(e.deliver)
 	return e
 }
@@ -346,7 +404,7 @@ func (e *Engine) SubscribeDynamic(t reflect.Type, remote *filter.Expr, local fun
 		localFilter:  local,
 		handler:      handler,
 	}
-	s.executor = newExecutor(s.invoke, e.tele)
+	s.executor = newExecutor(s.invoke, e.tele, e.stallBudget, e.mailbox, &e.overload)
 	if err := e.register(s); err != nil {
 		return nil, err
 	}

@@ -101,4 +101,11 @@ var (
 	ErrCannotUnsubscribe = errors.New("core: cannot unsubscribe")
 	// ErrEngineClosed is returned by operations on a closed engine.
 	ErrEngineClosed = errors.New("core: engine closed")
+	// ErrSlowConsumer tags deliveries dropped because a quarantined
+	// slow consumer's bounded mailbox overflowed (slow-consumer
+	// isolation, WithSlowConsumerBudget). It is an accounting sentinel:
+	// such drops appear in DispatchStats.SlowConsumerDrops and under
+	// the telemetry drop reason "slow_consumer"; other subscriptions'
+	// deliveries are unaffected.
+	ErrSlowConsumer = errors.New("core: slow consumer")
 )

@@ -20,18 +20,31 @@ const laneShrinkMin = 64
 // of §3.1.2 — "the delivery of obvents can be delayed to defer to
 // obvents with a higher priority" — at the receiving process, where
 // backlog actually forms. Because it is strictly serial it also
-// preserves arrival order for the ordered semantics (FIFO/Causal/Total),
-// whose envelopes the lane router (lanes.go) steers here.
+// preserves arrival order for the global ordered semantics
+// (Causal/Total), whose envelopes the lane router (lanes.go) steers
+// here; FIFO traffic needs only per-publisher order and drains through
+// the parallel lanes instead.
+//
+// The heap may be bounded (laneConfig.bound), applying the engine's
+// overload policy when full. Under OverloadSpill, overflow preserves
+// arrival order (each record carries its priority): priority overtaking
+// then applies only within the in-memory window — a documented
+// degradation of Prioritary under overload, never of Causal/Total
+// arrival order.
 type priorityInbox struct {
 	dispatch func(*codec.Envelope, *laneState)
 	tele     *telemetry.Plane
+	cfg      laneConfig
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	heap   inboxHeap
-	nextSq uint64
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	cond    *sync.Cond // work available (lane goroutine waits here)
+	notFull *sync.Cond // space available (OverloadBlock pushers wait here)
+	heap    inboxHeap
+	nextSq  uint64
+	closed  bool
+	wg      sync.WaitGroup
+
+	spill laneSpill
 
 	// st is the lane's private dispatch working set (scratch buffers and
 	// delivery counters); only the lane goroutine touches the scratch.
@@ -45,9 +58,11 @@ type inboxItem struct {
 	enq  int64  // telemetry enqueue timestamp (0 when telemetry is off)
 }
 
-func newPriorityInbox(dispatch func(*codec.Envelope, *laneState), tele *telemetry.Plane) *priorityInbox {
-	in := &priorityInbox{dispatch: dispatch, tele: tele}
+func newPriorityInbox(dispatch func(*codec.Envelope, *laneState), tele *telemetry.Plane, cfg laneConfig) *priorityInbox {
+	in := &priorityInbox{dispatch: dispatch, tele: tele, cfg: cfg}
 	in.cond = sync.NewCond(&in.mu)
+	in.notFull = sync.NewCond(&in.mu)
+	in.spill.init(cfg, 0) // the serial lane owns gauge (and spill dir) 0
 	in.wg.Add(1)
 	go in.loop()
 	return in
@@ -64,28 +79,94 @@ func (in *priorityInbox) push(env *codec.Envelope, prio int) {
 		return
 	}
 	in.st.enqueued.Add(1)
-	in.nextSq++
-	heap.Push(&in.heap, inboxItem{env: env, prio: prio, seq: in.nextSq, enq: enq})
+	// Spill mode is sticky: while a disk backlog exists it is older than
+	// any new arrival, so arrivals keep spilling until it fully drains.
+	if in.spill.count > 0 {
+		in.spillEnv(env, prio)
+		in.cond.Signal()
+		return
+	}
+	if in.cfg.bound > 0 && in.heap.Len() >= in.cfg.bound {
+		switch in.cfg.policy {
+		case OverloadDropOldest:
+			in.shedOldestLocked()
+		case OverloadSpill:
+			in.spillEnv(env, prio)
+			in.cond.Signal()
+			return
+		default: // OverloadBlock
+			for !in.closed && in.heap.Len() >= in.cfg.bound {
+				in.notFull.Wait()
+			}
+			if in.closed {
+				return
+			}
+		}
+	}
+	in.pushLocked(env, prio, enq)
 	in.cond.Signal()
 }
 
-// queued returns the instantaneous backlog length.
+func (in *priorityInbox) pushLocked(env *codec.Envelope, prio int, enq int64) {
+	in.nextSq++
+	heap.Push(&in.heap, inboxItem{env: env, prio: prio, seq: in.nextSq, enq: enq})
+}
+
+// shedOldestLocked drops the oldest queued envelope — the minimum
+// arrival sequence, regardless of priority. An O(n) scan, but the shed
+// path only runs at the overload boundary, never in steady state.
+func (in *priorityInbox) shedOldestLocked() {
+	oldest := 0
+	for i := 1; i < len(in.heap); i++ {
+		if in.heap[i].seq < in.heap[oldest].seq {
+			oldest = i
+		}
+	}
+	item := heap.Remove(&in.heap, oldest).(inboxItem)
+	in.st.counters.shed.Add(1)
+	in.tele.Drop(telemetry.ReasonOverloadShed)
+	_ = item
+}
+
+// spillEnv appends one envelope (with its priority) to the overflow log
+// (caller holds mu); a spill failure degrades to a counted shed.
+func (in *priorityInbox) spillEnv(env *codec.Envelope, prio int) {
+	if in.spill.append(marshalSpill(env, prio)) {
+		in.st.counters.spilled.Add(1)
+	} else {
+		in.st.counters.shed.Add(1)
+		in.tele.Drop(telemetry.ReasonOverloadShed)
+	}
+}
+
+// queued returns the instantaneous in-memory backlog length.
 func (in *priorityInbox) queued() int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.heap.Len()
 }
 
+// spillBacklog returns the number of spilled, not-yet-drained envelopes.
+func (in *priorityInbox) spillBacklog() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.spill.count
+}
+
 func (in *priorityInbox) loop() {
 	defer in.wg.Done()
 	for {
 		in.mu.Lock()
-		for in.heap.Len() == 0 && !in.closed {
+		for in.heap.Len() == 0 {
+			if in.spill.count > 0 {
+				in.refillFromSpillLocked()
+				continue
+			}
+			if in.closed {
+				in.mu.Unlock()
+				return
+			}
 			in.cond.Wait()
-		}
-		if in.heap.Len() == 0 && in.closed {
-			in.mu.Unlock()
-			return
 		}
 		item := heap.Pop(&in.heap).(inboxItem)
 		// A burst must not pin its high-water memory for the engine's
@@ -98,6 +179,7 @@ func (in *priorityInbox) loop() {
 			in.heap = shrunk
 		}
 		backlog := in.heap.Len()
+		in.notFull.Signal()
 		in.mu.Unlock()
 		in.st.deq = 0
 		if item.enq != 0 {
@@ -111,16 +193,41 @@ func (in *priorityInbox) loop() {
 	}
 }
 
-// close marks the lane closed and waits for the backlog to drain.
-// Broadcast, not Signal: Signal wakes a single waiter, which would leave
-// the remaining ones blocked forever if the condvar ever has more than
-// one (several drainers sharing one lane, or a future close/flush waiter).
+// refillFromSpillLocked moves a batch of spilled records back into the
+// heap (caller holds mu), re-sequencing them in spill (arrival) order.
+func (in *priorityInbox) refillFromSpillLocked() {
+	in.spill.drain(func(data []byte) {
+		env, prio, err := unmarshalSpill(data)
+		if err != nil {
+			in.st.counters.decodeErrors.Add(1)
+			in.tele.Drop(telemetry.ReasonDecodeError)
+			return
+		}
+		var enq int64
+		if in.tele.Enabled() {
+			enq = telemetry.Now()
+		}
+		in.pushLocked(env, prio, enq)
+	})
+	in.st.counters.spillDrained.Add(uint64(in.spill.lastDrained))
+	if in.spill.count == 0 {
+		in.notFull.Broadcast()
+	}
+}
+
+// close marks the lane closed and waits for the backlog — memory and
+// spill — to drain. Broadcast, not Signal: Signal wakes a single waiter,
+// which would leave the remaining ones blocked forever if the condvar
+// ever has more than one (several drainers sharing one lane, or a
+// future close/flush waiter).
 func (in *priorityInbox) close() {
 	in.mu.Lock()
 	in.closed = true
 	in.cond.Broadcast()
+	in.notFull.Broadcast()
 	in.mu.Unlock()
 	in.wg.Wait()
+	in.spill.close()
 }
 
 // inboxHeap orders by descending priority, then ascending arrival.

@@ -63,10 +63,12 @@ func encodeFrom(t *testing.T, e *Engine, o obvent.Obvent, pub string) *codec.Env
 	return env
 }
 
-// TestLaneRoutingSemantics pins the routing rules: ordered and
+// TestLaneRoutingSemantics pins the routing rules: causal/total and
 // prioritary envelopes go serial (whether identified by wire metadata
-// or by the cached class semantics), unordered envelopes go parallel,
-// and one publisher's unordered envelopes always share a lane.
+// or by the cached class semantics); FIFO and unordered envelopes go
+// parallel (FIFO needs only per-publisher order, which the
+// publisher-hashed lanes preserve); and one publisher's parallel
+// envelopes always share a lane.
 func TestLaneRoutingSemantics(t *testing.T) {
 	e := NewEngine("routing", NewLocal(), WithDispatchLanes(4))
 	t.Cleanup(func() { _ = e.Close() })
@@ -76,7 +78,6 @@ func TestLaneRoutingSemantics(t *testing.T) {
 	registerTickTypes(reg)
 
 	ordered := []obvent.Obvent{
-		fifoTick{Pub: "p", N: 1},
 		causalTick{Pub: "p", N: 1},
 		totalTick{Pub: "p", N: 1},
 	}
@@ -91,6 +92,17 @@ func TestLaneRoutingSemantics(t *testing.T) {
 		if !e.lanes.routeSerial(env) {
 			t.Errorf("%T: unstamped ordered envelope not routed serial", o)
 		}
+	}
+
+	// FIFO routes parallel — stamped or unstamped — and stays stable on
+	// the publisher's lane.
+	fifo := encodeFrom(t, e, fifoTick{Pub: "p", N: 1}, "p")
+	if e.lanes.routeSerial(fifo) {
+		t.Error("stamped FIFO envelope routed serial, want parallel sub-lane")
+	}
+	fifo.Ordering = obvent.NoOrder
+	if e.lanes.routeSerial(fifo) {
+		t.Error("unstamped FIFO envelope routed serial (class semantics), want parallel")
 	}
 
 	prio := encodeFrom(t, e, prioAlert{Msg: "x", PriorityBase: obvent.PriorityBase{Prio: 3}}, "p")
@@ -141,7 +153,8 @@ func TestLaneRoutingZeroAlloc(t *testing.T) {
 	registerTickTypes(reg)
 
 	free := encodeFrom(t, e, StockQuote{}, "pub-7")
-	ordered := encodeFrom(t, e, fifoTick{Pub: "p", N: 1}, "p")
+	ordered := encodeFrom(t, e, causalTick{Pub: "p", N: 1}, "p")
+	fifo := encodeFrom(t, e, fifoTick{Pub: "p", N: 1}, "p")
 	unstamped := encodeFrom(t, e, totalTick{Pub: "p", N: 1}, "p")
 	unstamped.Ordering = obvent.NoOrder
 
@@ -150,8 +163,8 @@ func TestLaneRoutingZeroAlloc(t *testing.T) {
 	e.lanes.routeSerial(unstamped)
 
 	allocs := testing.AllocsPerRun(1000, func() {
-		if e.lanes.routeSerial(free) {
-			t.Fatal("unordered routed serial")
+		if e.lanes.routeSerial(free) || e.lanes.routeSerial(fifo) {
+			t.Fatal("unordered/FIFO routed serial")
 		}
 		if !e.lanes.routeSerial(ordered) || !e.lanes.routeSerial(unstamped) {
 			t.Fatal("ordered not routed serial")
@@ -180,7 +193,7 @@ func TestSerialLanePriorityOvertaking(t *testing.T) {
 		mu.Lock()
 		order = append(order, env.ID)
 		mu.Unlock()
-	}, nil)
+	}, nil, laneConfig{})
 
 	in.push(&codec.Envelope{ID: "blocker"}, 0)
 	<-started // lane goroutine is now inside dispatch; pushes below queue up
@@ -212,7 +225,7 @@ func TestLaneQueuesShrinkAfterBurst(t *testing.T) {
 				started <- struct{}{}
 				<-release
 			}
-		}, nil)
+		}, nil, laneConfig{})
 		in.push(&codec.Envelope{ID: "blocker"}, 0)
 		<-started
 		for i := 0; i < burst; i++ {
@@ -238,11 +251,11 @@ func TestLaneQueuesShrinkAfterBurst(t *testing.T) {
 				started <- struct{}{}
 				<-release
 			}
-		}, nil, 1)
-		l.push(&codec.Envelope{ID: "blocker"})
+		}, nil, 1, laneConfig{}, nil)
+		l.push(&codec.Envelope{ID: "blocker"}, "blocker")
 		<-started
 		for i := 0; i < burst; i++ {
-			l.push(&codec.Envelope{})
+			l.push(&codec.Envelope{}, "burst")
 		}
 		l.mu.Lock()
 		grown := cap(l.queue)
@@ -263,10 +276,10 @@ func TestLaneQueuesShrinkAfterBurst(t *testing.T) {
 // compaction must reclaim the dead prefix).
 func TestFifoLaneSteadyStateMemory(t *testing.T) {
 	var n atomic.Int64
-	l := newFifoLane(func(*codec.Envelope, *laneState) { n.Add(1) }, nil, 1)
+	l := newFifoLane(func(*codec.Envelope, *laneState) { n.Add(1) }, nil, 1, laneConfig{}, nil)
 	deadline := time.Now().Add(30 * time.Second)
 	for i := 0; i < 5000; i++ {
-		l.push(&codec.Envelope{})
+		l.push(&codec.Envelope{}, "p")
 		for n.Load() != int64(i+1) {
 			if time.Now().After(deadline) {
 				t.Fatalf("lane stalled at %d/%d", n.Load(), i+1)
@@ -434,11 +447,11 @@ func TestOrderingStress(t *testing.T) {
 		}
 	}
 
-	// The serial lane carried exactly the ordered traffic, the parallel
-	// lanes the rest.
+	// The serial lane carried exactly the causal+total traffic (two of
+	// every three ordered events); FIFO rides the parallel sub-lanes.
 	for _, l := range indexed.LaneStats() {
-		if l.Serial && l.Enqueued != nPubs*nEvents {
-			t.Errorf("serial lane carried %d envelopes, want %d", l.Enqueued, nPubs*nEvents)
+		if l.Serial && l.Enqueued != nPubs*nEvents*2/3 {
+			t.Errorf("serial lane carried %d envelopes, want %d (causal+total only)", l.Enqueued, nPubs*nEvents*2/3)
 		}
 		if l.Queued != 0 {
 			t.Errorf("lane %d: backlog %d after drain", l.Lane, l.Queued)

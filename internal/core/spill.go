@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+
+	"govents/internal/codec"
+	"govents/internal/durable"
+)
+
+// laneSpill is a dispatch lane's overflow log for the OverloadSpill
+// policy: a per-lane durable segment log holding the envelopes a full
+// lane could not queue in memory, drained back (oldest first) when the
+// lane catches up and compacted away once empty. All methods are called
+// under the owning lane's mutex, so the bookkeeping fields need no
+// further synchronization; the segment log itself is internally
+// synchronized and its files touch disk outside any engine lock users
+// can observe.
+type laneSpill struct {
+	dir    string // "" = spill unconfigured
+	seg    int64
+	logger *slog.Logger
+	gauge  int
+
+	log    *durable.SegmentLog
+	next   uint64 // offset of the next record to drain
+	count  int    // spilled records not yet drained
+	failed bool   // the log broke; degrade to shedding
+	// lastDrained reports how many records the latest drain call moved,
+	// for the caller's counters.
+	lastDrained int
+}
+
+// errSpillStop aborts a ReadFrom once the drain batch is full.
+var errSpillStop = errors.New("core: spill drain batch full")
+
+func (sp *laneSpill) init(cfg laneConfig, gauge int) {
+	sp.dir = cfg.spillDir
+	sp.seg = cfg.spillSeg
+	sp.logger = cfg.logger
+	sp.gauge = gauge
+}
+
+// append adds one encoded envelope to the overflow log, reporting
+// whether it is safely spilled. Any failure (no directory, open error,
+// disk error, nil data from a failed encode) returns false and the
+// caller sheds the envelope instead — a broken disk must never wedge
+// the lane.
+func (sp *laneSpill) append(data []byte) bool {
+	if sp.failed || sp.dir == "" || data == nil {
+		return false
+	}
+	if sp.log == nil {
+		lg, err := durable.OpenSegmentLog(
+			filepath.Join(sp.dir, fmt.Sprintf("lane-%d", sp.gauge)),
+			durable.SegmentConfig{
+				SegmentBytes: sp.seg,
+				// Spill is an overload valve, not a durability promise:
+				// batch syncs keep the slow path from paying an fsync
+				// per envelope.
+				Sync:   durable.SyncBatch,
+				Logger: sp.logger,
+			})
+		if err != nil {
+			sp.logger.Error("opening lane spill log failed; shedding instead",
+				"lane", sp.gauge, "err", err)
+			sp.failed = true
+			return false
+		}
+		sp.log = lg
+		sp.next = lg.NextOffset()
+	}
+	if _, err := sp.log.Append(data); err != nil {
+		sp.logger.Error("lane spill append failed; shedding instead",
+			"lane", sp.gauge, "err", err)
+		sp.failed = true
+		return false
+	}
+	sp.count++
+	return true
+}
+
+// drain streams up to spillDrainBatch spilled records (oldest first) to
+// fn and advances the drain cursor. A read error with no progress
+// discards the remaining backlog — livelocking the lane on a corrupt
+// record would be worse than the counted loss.
+func (sp *laneSpill) drain(fn func(data []byte)) {
+	sp.lastDrained = 0
+	if sp.log == nil || sp.count == 0 {
+		sp.count = 0
+		return
+	}
+	end := sp.next + spillDrainBatch
+	err := sp.log.ReadFrom(sp.next, func(off uint64, data []byte) error {
+		if off >= end {
+			return errSpillStop
+		}
+		fn(data)
+		sp.lastDrained++
+		return nil
+	})
+	if err != nil && !errors.Is(err, errSpillStop) && sp.lastDrained == 0 {
+		sp.logger.Error("lane spill drain failed; discarding spilled backlog",
+			"lane", sp.gauge, "records", sp.count, "err", err)
+		sp.next = sp.log.NextOffset()
+		sp.count = 0
+		return
+	}
+	sp.next += uint64(sp.lastDrained)
+	sp.count -= sp.lastDrained
+	if sp.count <= 0 {
+		sp.count = 0
+		// Fully caught up: seal and drop the on-disk backlog so the next
+		// overload starts from an empty log.
+		_ = sp.log.Roll()
+		_, _, _ = sp.log.Compact(sp.log.NextOffset())
+	}
+}
+
+func (sp *laneSpill) close() {
+	if sp.log != nil {
+		_ = sp.log.Close()
+	}
+}
+
+// spillPrioBytes prefixes each spill record with the envelope's lane
+// priority so the serial lane round-trips Prioritary metadata; parallel
+// lanes store zero.
+const spillPrioBytes = 8
+
+// marshalSpill encodes an envelope (plus its serial-lane priority) as
+// one spill record. Returns nil when the envelope does not encode —
+// the caller sheds it.
+func marshalSpill(env *codec.Envelope, prio int) []byte {
+	body, err := codec.Marshal(env)
+	if err != nil {
+		return nil
+	}
+	rec := make([]byte, spillPrioBytes+len(body))
+	binary.BigEndian.PutUint64(rec, uint64(int64(prio)))
+	copy(rec[spillPrioBytes:], body)
+	return rec
+}
+
+// unmarshalSpill decodes one spill record.
+func unmarshalSpill(data []byte) (*codec.Envelope, int, error) {
+	if len(data) < spillPrioBytes {
+		return nil, 0, fmt.Errorf("core: spill record too short (%d bytes)", len(data))
+	}
+	prio := int(int64(binary.BigEndian.Uint64(data)))
+	env, err := codec.Unmarshal(data[spillPrioBytes:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return env, prio, nil
+}

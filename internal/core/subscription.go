@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"govents/internal/filter"
@@ -189,9 +190,25 @@ func (s *Subscription) invoke(item submission) (ok bool) {
 // a serial intake goroutine pulls obvents off an unbounded queue and
 // either runs the handler inline (single-threading) or spawns handler
 // goroutines gated by a semaphore (multi-threading with a cap).
+//
+// When the engine configures a slow-consumer stall budget, the executor
+// additionally watches its own progress: a handler that has been running
+// past the budget without completing anything, while deliveries queue
+// behind it, quarantines the subscription — its queue becomes a bounded
+// mailbox (overflow drops are counted as slow-consumer drops, never
+// blocking the dispatch lane) and execution serializes until the handler
+// makes progress again. One wedged subscriber can therefore never
+// head-of-line-block the lane, the engine, or — via the close-abandon
+// path below — shutdown.
 type executor struct {
 	run  func(submission) bool // reports whether the handler completed
 	tele *telemetry.Plane
+
+	// Slow-consumer isolation (quarantine) configuration: a zero
+	// stallBudget disables it and every probe short-circuits.
+	stallBudget time.Duration
+	mailbox     int
+	counters    *overloadCounters
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -199,10 +216,45 @@ type executor struct {
 	limit  int // 0 = unlimited, 1 = single, n = bounded
 	closed bool
 
+	// quarantined is the isolation state; transitions happen under mu,
+	// reads may be lock-free.
+	quarantined atomic.Bool
+
+	// Stall detection (lock-free): running handlers now; the monotonic
+	// time the current busy era began (running went 0→1); the monotonic
+	// time of the last handler completion. A healthy pipelined consumer
+	// keeps lastDone fresh no matter how old its era is.
+	running  atomic.Int64
+	eraStart atomic.Int64
+	lastDone atomic.Int64
+
 	inflight sync.WaitGroup
 	intake   sync.WaitGroup
 	sem      chan struct{} // rebuilt when the limit changes
 }
+
+// overloadCounters are the engine-wide slow-consumer accounting shared
+// by every executor of an engine.
+type overloadCounters struct {
+	slowDrops   atomic.Uint64
+	quarantines atomic.Uint64
+}
+
+// submitStatus is the outcome of an executor submit.
+type submitStatus int
+
+const (
+	submitOK submitStatus = iota
+	// submitClosed: the executor was already closed (shutdown race).
+	submitClosed
+	// submitShed: the quarantined consumer's bounded mailbox was full;
+	// the delivery was dropped for this subscription only.
+	submitShed
+)
+
+// defaultQuarantineMailbox bounds a quarantined consumer's queue when
+// the engine enables a stall budget without choosing a mailbox size.
+const defaultQuarantineMailbox = 1024
 
 // submission is one queued delivery; ordered deliveries bypass the
 // thread policy and run inline on the intake goroutine, because "multi-
@@ -222,8 +274,11 @@ type submission struct {
 	class   string
 }
 
-func newExecutor(run func(submission) bool, tele *telemetry.Plane) *executor {
-	x := &executor{run: run, tele: tele}
+func newExecutor(run func(submission) bool, tele *telemetry.Plane, stallBudget time.Duration, mailbox int, counters *overloadCounters) *executor {
+	if stallBudget > 0 && mailbox <= 0 {
+		mailbox = defaultQuarantineMailbox
+	}
+	x := &executor{run: run, tele: tele, stallBudget: stallBudget, mailbox: mailbox, counters: counters}
 	x.cond = sync.NewCond(&x.mu)
 	x.intake.Add(1)
 	go x.loop()
@@ -244,19 +299,70 @@ func (x *executor) setLimit(n int) {
 	}
 }
 
-// submit enqueues one delivery; it reports false when the executor is
-// already closed and the obvent will never reach the handler (so the
-// engine's delivery counters stay truthful during shutdown). deq, pub,
-// id and class are the delivery's telemetry context (see submission).
-func (x *executor) submit(o obvent.Obvent, ordered bool, deq, pub int64, id, class string) bool {
+// submit enqueues one delivery; the status reports when the executor is
+// already closed (the obvent will never reach the handler, so the
+// engine's delivery counters stay truthful during shutdown) or when the
+// quarantined consumer's bounded mailbox overflowed. deq, pub, id and
+// class are the delivery's telemetry context (see submission).
+func (x *executor) submit(o obvent.Obvent, ordered bool, deq, pub int64, id, class string) submitStatus {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.closed {
-		return false
+		return submitClosed
+	}
+	if x.stallBudget > 0 {
+		if !x.quarantined.Load() && len(x.queue) > 0 && x.stalled(telemetry.Now()) {
+			x.quarantined.Store(true)
+			x.counters.quarantines.Add(1)
+		}
+		if x.quarantined.Load() && len(x.queue) >= x.mailbox {
+			x.counters.slowDrops.Add(1)
+			return submitShed
+		}
 	}
 	x.queue = append(x.queue, submission{o: o, ordered: ordered, deq: deq, pub: pub, id: id, class: class})
 	x.cond.Signal()
-	return true
+	return submitOK
+}
+
+// stalled reports whether the handler is wedged: work is running, the
+// busy era started longer than the stall budget ago, and nothing has
+// completed within the budget either. Cheap enough for the submit path
+// (three atomic loads); a healthy consumer fails the lastDone check.
+func (x *executor) stalled(now int64) bool {
+	if x.running.Load() == 0 {
+		return false
+	}
+	budget := int64(x.stallBudget)
+	if era := x.eraStart.Load(); era == 0 || now-era <= budget {
+		return false
+	}
+	return now-x.lastDone.Load() > budget
+}
+
+// runTracked wraps one handler invocation with the stall-detection
+// bookkeeping and the quarantine-recovery check.
+func (x *executor) runTracked(item submission) bool {
+	if x.stallBudget <= 0 {
+		return x.run(item)
+	}
+	if x.running.Add(1) == 1 {
+		x.eraStart.Store(telemetry.Now())
+	}
+	ok := x.run(item)
+	x.lastDone.Store(telemetry.Now())
+	x.running.Add(-1)
+	if x.quarantined.Load() {
+		// A completion is progress: release the quarantine once the
+		// mailbox has drained to half, so recovery has headroom before
+		// the next overflow.
+		x.mu.Lock()
+		if x.quarantined.Load() && len(x.queue) <= x.mailbox/2 {
+			x.quarantined.Store(false)
+		}
+		x.mu.Unlock()
+	}
+	return ok
 }
 
 func (x *executor) loop() {
@@ -277,15 +383,18 @@ func (x *executor) loop() {
 		x.mu.Unlock()
 
 		switch {
-		case item.ordered || limit == 1:
+		case item.ordered || limit == 1 || x.quarantined.Load():
 			// Ordered obvents and single-threading: at most one
 			// obvent at a time, in arrival order. For ordered
 			// obvents we additionally wait out concurrent unordered
 			// handlers so an ordered delivery never races ahead.
+			// A quarantined consumer also serializes: spawning more
+			// goroutines at a handler that is not finishing any would
+			// just grow the leak.
 			if item.ordered {
 				x.inflight.Wait()
 			}
-			x.finish(item, x.run(item))
+			x.finish(item, x.runTracked(item))
 		case sem != nil:
 			// Bounded multi-threading.
 			sem <- struct{}{}
@@ -293,14 +402,14 @@ func (x *executor) loop() {
 			go func(item submission) {
 				defer x.inflight.Done()
 				defer func() { <-sem }()
-				x.finish(item, x.run(item))
+				x.finish(item, x.runTracked(item))
 			}(item)
 		default:
 			// Unlimited multi-threading (paper default).
 			x.inflight.Add(1)
 			go func(item submission) {
 				defer x.inflight.Done()
-				x.finish(item, x.run(item))
+				x.finish(item, x.runTracked(item))
 			}(item)
 		}
 	}
@@ -340,12 +449,37 @@ func (x *executor) finish(item submission, ok bool) {
 }
 
 // close drains the queue, waits for the intake goroutine and all
-// in-flight handlers.
+// in-flight handlers — unless the consumer is provably stalled past its
+// budget, in which case close abandons it instead of hanging the
+// engine's shutdown on a wedged handler: the intake goroutine drains
+// the remaining queue and exits on its own whenever the handler finally
+// returns, so nothing leaks beyond the handler's own lifetime.
 func (x *executor) close() {
 	x.mu.Lock()
 	x.closed = true
 	x.cond.Signal()
+	abandoned := x.stallBudget > 0 && x.stalled(telemetry.Now())
 	x.mu.Unlock()
+	if abandoned {
+		return
+	}
+	if x.stallBudget > 0 {
+		// A handler may have wedged too recently for stalled() to prove
+		// it; with isolation enabled, shutdown waits at most two budgets
+		// before abandoning. The waiter goroutine ends when the handler
+		// does, like the abandoned intake goroutine.
+		done := make(chan struct{})
+		go func() {
+			x.intake.Wait()
+			x.inflight.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(2 * x.stallBudget):
+		}
+		return
+	}
 	x.intake.Wait()
 	x.inflight.Wait()
 }

@@ -14,14 +14,14 @@ import (
 // records both.
 func TestExecutorE2EGatedOnPublishStamp(t *testing.T) {
 	p := telemetry.NewPlane()
-	x := newExecutor(func(submission) bool { return true }, p)
+	x := newExecutor(func(submission) bool { return true }, p, 0, 0, &overloadCounters{})
 	defer x.close()
 
 	deq := telemetry.Now()
-	if !x.submit(freeTick{N: 1}, false, deq, 0, "legacy-1", "freeTick") {
+	if x.submit(freeTick{N: 1}, false, deq, 0, "legacy-1", "freeTick") != submitOK {
 		t.Fatal("submit refused")
 	}
-	if !x.submit(freeTick{N: 2}, false, deq, time.Now().UnixNano(), "modern-1", "freeTick") {
+	if x.submit(freeTick{N: 2}, false, deq, time.Now().UnixNano(), "modern-1", "freeTick") != submitOK {
 		t.Fatal("submit refused")
 	}
 

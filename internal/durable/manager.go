@@ -44,8 +44,13 @@ type Stats struct {
 	// Appends and Syncs sum the low-level log operations.
 	Appends uint64
 	Syncs   uint64
-	// SegmentsCompacted counts segments dropped by compaction.
+	// SegmentsCompacted counts segments dropped by compaction;
+	// ReclaimedRecords and ReclaimedBytes sum the records and on-disk
+	// bytes those segments held — the space compaction (manual or the
+	// retention ticker) gave back over this process's lifetime.
 	SegmentsCompacted uint64
+	ReclaimedRecords  uint64
+	ReclaimedBytes    int64
 	// Staged, StageDups, Acked and Replayed sum the inbox flow: events
 	// staged for durable delivery, duplicate arrivals suppressed,
 	// deliveries durably acknowledged, and events replayed to resuming
@@ -244,6 +249,8 @@ func (m *Manager) Stats() Stats {
 			st.Appends += s.Appends
 			st.Syncs += s.Syncs
 			st.SegmentsCompacted += s.Compacted
+			st.ReclaimedRecords += s.ReclaimedRecords
+			st.ReclaimedBytes += s.ReclaimedBytes
 		}
 		st.Staged += ist.Staged
 		st.StageDups += ist.StageDups

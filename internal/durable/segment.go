@@ -93,6 +93,10 @@ type SegmentStats struct {
 	// Compacted counts segments dropped by Compact over the log's
 	// lifetime (this process).
 	Compacted uint64
+	// ReclaimedRecords and ReclaimedBytes sum the records and on-disk
+	// bytes of the compacted segments (this process).
+	ReclaimedRecords uint64
+	ReclaimedBytes   int64
 }
 
 // segment is one on-disk log file holding records [base, base+count).
@@ -124,6 +128,9 @@ type SegmentLog struct {
 	syncs   uint64
 	torn    uint64
 	compact uint64
+
+	reclaimedRecs  uint64
+	reclaimedBytes int64
 }
 
 // OpenSegmentLog opens (or creates) the segment log in dir, replaying
@@ -448,6 +455,8 @@ func (l *SegmentLog) Compact(before uint64) (segments int, records uint64, err e
 		segments++
 		records += seg.count
 		l.compact++
+		l.reclaimedRecs += seg.count
+		l.reclaimedBytes += seg.size
 	}
 	return segments, records, nil
 }
@@ -457,13 +466,15 @@ func (l *SegmentLog) Stats() SegmentStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	st := SegmentStats{
-		Segments:    len(l.segs),
-		FirstOffset: l.segs[0].base,
-		NextOffset:  l.next,
-		Appends:     l.appends,
-		Syncs:       l.syncs,
-		TornTails:   l.torn,
-		Compacted:   l.compact,
+		Segments:         len(l.segs),
+		FirstOffset:      l.segs[0].base,
+		NextOffset:       l.next,
+		Appends:          l.appends,
+		Syncs:            l.syncs,
+		TornTails:        l.torn,
+		Compacted:        l.compact,
+		ReclaimedRecords: l.reclaimedRecs,
+		ReclaimedBytes:   l.reclaimedBytes,
 	}
 	for _, s := range l.segs {
 		st.Records += s.count

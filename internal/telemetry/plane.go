@@ -78,6 +78,13 @@ const (
 	// ReasonExecutorClosed: the subscription's executor was already
 	// closed when the clone was submitted (shutdown race).
 	ReasonExecutorClosed
+	// ReasonOverloadShed: a bounded dispatch lane at capacity shed an
+	// envelope under the DropOldest overload policy (or degraded to
+	// shedding after a spill-log failure).
+	ReasonOverloadShed
+	// ReasonSlowConsumer: a quarantined slow consumer's bounded mailbox
+	// overflowed; the delivery was dropped for that subscription only.
+	ReasonSlowConsumer
 
 	numReasons
 )
@@ -87,6 +94,8 @@ var reasonNames = [numReasons]string{
 	"decode_error",
 	"handler_panic",
 	"executor_closed",
+	"overload_shed",
+	"slow_consumer",
 }
 
 // String returns the reason's counter-map key.

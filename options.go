@@ -4,12 +4,34 @@ import (
 	"log/slog"
 	"time"
 
+	"govents/internal/core"
 	"govents/internal/dace"
 	"govents/internal/durable"
 	"govents/internal/multicast"
 	"govents/internal/obvent"
 	"govents/internal/store"
 	"govents/internal/telemetry"
+)
+
+// OverloadPolicy selects what a bounded dispatch lane does once its
+// in-memory queue is full (see WithLaneQueueBound, WithOverloadPolicy).
+type OverloadPolicy = core.OverloadPolicy
+
+const (
+	// OverloadBlock applies backpressure: the enqueue blocks until the
+	// lane drains a slot. No event is lost; a saturated lane slows the
+	// path feeding it (the wire reader or the local publish loop)
+	// instead of growing without bound. This is the default.
+	OverloadBlock = core.OverloadBlock
+	// OverloadDropOldest sheds the oldest queued envelope to admit the
+	// newest. Sheds are counted in DispatchStats.Shed and under the
+	// telemetry drop reason "overload_shed".
+	OverloadDropOldest = core.OverloadDropOldest
+	// OverloadSpill overflows to a per-lane durable segment log under
+	// the domain's durability directory and drains it back, oldest
+	// first, once the lane catches up — latency degrades, delivery does
+	// not. Requires WithDurability.
+	OverloadSpill = core.OverloadSpill
 )
 
 // SyncPolicy selects when the durable event log flushes appended
@@ -26,14 +48,34 @@ const (
 	SyncBatch = durable.SyncBatch
 )
 
+// RetentionPolicy schedules automatic durable-log compaction (see
+// DurabilityTuning.Retention). The zero value disables the ticker;
+// CompactDurable remains available for manual compaction either way.
+type RetentionPolicy struct {
+	// Interval is the period of the background retention tick; each
+	// tick runs the same snapshot+compact pass as CompactDurable.
+	// Ticks are jittered ±10% so a fleet of domains restarted together
+	// does not compact in lockstep. Zero disables the ticker.
+	Interval time.Duration
+	// MaxBytes makes retention size-based: when set, a tick compacts
+	// only while the durable logs' on-disk size exceeds MaxBytes.
+	// Zero compacts on every tick (purely time-based).
+	MaxBytes int64
+}
+
 // DurabilityTuning adjusts the durable event log (see WithDurability).
-// The zero value selects the defaults: 1 MiB segments, SyncAlways.
+// The zero value selects the defaults: 1 MiB segments, SyncAlways, no
+// retention ticker.
 type DurabilityTuning struct {
 	// SegmentBytes is the size threshold at which the log rolls to a
 	// new segment file; compaction reclaims whole sealed segments.
 	SegmentBytes int64
 	// Sync is the fsync policy for appended records.
 	Sync SyncPolicy
+	// Retention schedules automatic background compaction. Compaction
+	// only ever drops fully-acknowledged sealed segments — events still
+	// owed to any durable consumer are retained regardless of policy.
+	Retention RetentionPolicy
 }
 
 // Placement selects where migratable remote filters are evaluated
@@ -106,6 +148,10 @@ type config struct {
 	traceEvery   int
 	logger       *slog.Logger
 	teleOff      bool
+	laneBound    int
+	policy       OverloadPolicy
+	stallBudget  time.Duration
+	mailbox      int
 }
 
 // An Option configures a Domain at Open.
@@ -134,11 +180,45 @@ func WithPlacement(p Placement) Option {
 }
 
 // WithDispatchLanes sets the number of parallel dispatch lanes for
-// unordered traffic. Zero (the default) means GOMAXPROCS. Ordered and
-// prioritary obvents always drain through one additional serial lane,
-// so their delivery semantics are unaffected.
+// FIFO and unordered traffic. Zero (the default) means GOMAXPROCS.
+// Causal, total-order and prioritary obvents always drain through one
+// additional serial lane, so their delivery semantics are unaffected;
+// FIFO traffic runs parallel per publisher (FIFO only promises
+// per-publisher order, which publisher-hashed lanes preserve).
 func WithDispatchLanes(n int) Option {
 	return func(c *config) { c.lanes = n }
+}
+
+// WithLaneQueueBound caps every dispatch lane's in-memory queue at n
+// envelopes. A full lane applies the domain's overload policy
+// (WithOverloadPolicy) instead of growing without bound. Zero (the
+// default) keeps the queues unbounded.
+func WithLaneQueueBound(n int) Option {
+	return func(c *config) { c.laneBound = n }
+}
+
+// WithOverloadPolicy selects what a bounded dispatch lane
+// (WithLaneQueueBound) does once full: OverloadBlock (backpressure,
+// the default), OverloadDropOldest (shed with counted reason), or
+// OverloadSpill (overflow to per-lane durable segment logs under the
+// durability directory — requires WithDurability — drained once the
+// lane catches up). Without a queue bound the policy is idle.
+func WithOverloadPolicy(p OverloadPolicy) Option {
+	return func(c *config) { c.policy = p }
+}
+
+// WithSlowConsumerBudget enables per-subscription slow-consumer
+// isolation: a subscription whose handler has been stuck longer than
+// stall while deliveries queue behind it is quarantined — its queue
+// becomes a bounded mailbox of the given size (<= 0 selects 1024)
+// whose overflow is dropped for that subscription only, counted in
+// DispatchStats.SlowConsumerDrops and under the telemetry drop reason
+// "slow_consumer" (ErrSlowConsumer). The subscription leaves
+// quarantine once its handler resumes and the mailbox half-drains.
+// Other subscriptions, lane draining and Close are never blocked by a
+// quarantined consumer. A zero stall disables isolation (the default).
+func WithSlowConsumerBudget(stall time.Duration, mailbox int) Option {
+	return func(c *config) { c.stallBudget, c.mailbox = stall, mailbox }
 }
 
 // WithRegistry makes the domain use a shared obvent type registry

@@ -1,0 +1,116 @@
+// Retention schedule tests: the background compaction ticker
+// (DurabilityTuning.Retention) must actually reclaim fully-acknowledged
+// sealed segments — without any manual CompactDurable call — and must
+// never drop a record still owed to a durable consumer, no matter how
+// many ticks elapse while the consumer is down.
+package govents_test
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"govents"
+	"govents/netsim"
+)
+
+// retentionGroup opens a 2-node group with tiny durable segments (so
+// sealed segments exist to reclaim) and a fast retention ticker.
+func retentionGroup(t *testing.T) *govents.DomainGroup {
+	t.Helper()
+	g, err := govents.OpenGroup(context.Background(), 2, govents.GroupConfig{
+		Net:        netsim.Config{MaxLatency: time.Millisecond, Seed: 7},
+		Durability: t.TempDir(),
+		Options: func(i int, addr string) []govents.Option {
+			return []govents.Option{
+				govents.WithTuning(govents.Tuning{RetransmitInterval: 5 * time.Millisecond}),
+				govents.WithDurabilityTuning(govents.DurabilityTuning{
+					SegmentBytes: 256,
+					Retention:    govents.RetentionPolicy{Interval: 20 * time.Millisecond},
+				}),
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = g.Close(context.Background()) })
+	return g
+}
+
+// TestRetentionCompactsAndPreservesUnacked runs the full property: a
+// consumed backlog is reclaimed by the ticker alone, then a crash takes
+// the durable consumer away while publishing continues across many
+// retention ticks — and the reborn consumer still receives every owed
+// event, exactly the published set.
+func TestRetentionCompactsAndPreservesUnacked(t *testing.T) {
+	ctx := context.Background()
+	g := retentionGroup(t)
+
+	durable := newRecorder()
+	subscribe := func(d *govents.Domain) {
+		t.Helper()
+		if _, err := govents.SubscribeDurable(d, "sub-1", func(e chaosTick) {
+			durable.record(e.Pub, e.Seq)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subscribe(g.Domain(1))
+	waitFor(t, "subscription ad at publisher", func() bool {
+		return g.Domain(0).RemoteSubscriptionCount() >= 1
+	})
+
+	var published []string
+	seq := 0
+	publish := func(n int, lockstep bool) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			k := tickKey("node-0", seq)
+			if err := g.Domain(0).Publish(ctx, chaosTick{Pub: "node-0", Seq: seq}); err != nil {
+				t.Fatal(err)
+			}
+			published = append(published, k)
+			if lockstep {
+				waitFor(t, "delivery of "+k, func() bool { return durable.has(k) })
+			}
+			seq++
+		}
+	}
+
+	// Phase A: a fully-consumed backlog large enough to seal several
+	// 256-byte segments. Every record is staged, delivered and acked, so
+	// the retention ticker — never called manually — must reclaim the
+	// sealed prefix on both sides.
+	publish(40, true)
+	waitFor(t, "retention ticker reclaiming consumed segments", func() bool {
+		return g.Domain(0).DurableStats().ReclaimedRecords > 0
+	})
+
+	// Phase B: the consumer crashes; publishing continues long enough
+	// for many retention ticks to fire against the un-acked backlog.
+	if err := g.Crash(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	publish(30, false)
+	time.Sleep(150 * time.Millisecond) // ≥ several Interval=20ms ticks
+
+	// Phase C: rebirth. Every event published while the consumer was
+	// down must still be on disk — retention compacts only behind the
+	// consumer frontier — and replay must deliver the exact set.
+	d1, err := g.Restart(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subscribe(d1)
+	want := append([]string(nil), published...)
+	sort.Strings(want)
+	waitFor(t, "owed events after rebirth across retention ticks", func() bool {
+		return durable.hasAll(want)
+	})
+	if got := durable.keys(); !reflect.DeepEqual(got, want) {
+		t.Errorf("delivery set mismatch after retention:\n got %v\nwant %v", got, want)
+	}
+}
